@@ -1,0 +1,90 @@
+//! Fig. 7: TailGuard with query admission control (Masstree OLDI,
+//! two classes).
+//!
+//! Procedure, as in §IV.D: first run without admission control to find the
+//! maximum acceptable load and the task deadline-violation ratio `R_th` at
+//! that load (the paper finds ≈54 % and 1.7 %); then enable admission
+//! control with that threshold and sweep offered load past saturation. The
+//! paper's findings to reproduce: (a) both classes keep meeting their SLOs
+//! at *all* offered loads; (b) the accepted load tracks the maximum
+//! acceptable load (within a few percent, dipping ~6 % deep into overload).
+
+use tailguard::run_simulation;
+use tailguard::{max_load, measure_at_load, scenarios, AdmissionConfig, SimConfig};
+use tailguard_bench::{header, maxload_opts, scaled};
+use tailguard_policy::Policy;
+use tailguard_workload::TailbenchWorkload;
+
+fn main() {
+    header(
+        "fig7_admission_control",
+        "Fig. 7 (a)(b)",
+        "Accepted/rejected load and per-class p99 vs offered load, with admission control",
+    );
+    let opts = maxload_opts(40_000);
+    let (hi, lo) = scenarios::fig6_slos(TailbenchWorkload::Masstree);
+    let scenario = scenarios::oldi_two_class(TailbenchWorkload::Masstree, hi, lo);
+
+    // Step 1: calibrate R_th at the no-admission maximum acceptable load.
+    let max_acceptable = max_load(&scenario, Policy::TfEdf, &opts) * 0.95;
+    let report = measure_at_load(&scenario, Policy::TfEdf, max_acceptable, &opts);
+    // A conservative threshold (80% of the miss ratio at the boundary)
+    // absorbs controller reaction lag, like the paper's hand-tuned 1.7%.
+    let r_th = (report.deadline_miss_ratio()
+        * std::env::var("TG_RTH_FACTOR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.8))
+    .max(0.001);
+    println!(
+        "\nmax acceptable load = {:.1}%  ->  R_th = {:.2}% (paper: ~54%, 1.7%)",
+        max_acceptable * 100.0,
+        r_th * 100.0
+    );
+
+    // Step 2: sweep offered load with admission control enabled.
+    // Moving time window = 1000 queries' worth of time at the maximum
+    // acceptable load (the paper's window for the Masstree OLDI case).
+    // A short reaction window (~30 queries' worth of time) keeps the
+    // bang-bang controller's duty cycle tight; the paper's 1000-query
+    // accounting window is the SLO measurement window, not the reaction
+    // window.
+    let window_ms = std::env::var("TG_ADM_WINDOW_Q")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0)
+        / scenario.rate_for_load(max_acceptable);
+    let admission = AdmissionConfig::new(
+        tailguard_simcore::SimDuration::from_millis_f64(window_ms),
+        r_th,
+    )
+    .with_resume_threshold(r_th * 0.3);
+    println!(
+        "admission: window = {window_ms:.1} ms (~1000 queries), R_th = {:.2}%",
+        r_th * 100.0
+    );
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "offered (%)", "accepted (%)", "rejected (%)", "I p99 (ms)", "II p99 (ms)", "SLOs ok"
+    );
+    for offered in [0.45, 0.50, 0.54, 0.58, 0.62, 0.66, 0.70] {
+        let input = scenario.input(offered, scaled(40_000));
+        let config: SimConfig = scenario
+            .config(Policy::TfEdf)
+            .with_admission(admission)
+            .with_warmup(scaled(40_000) / 20);
+        let mut r = run_simulation(&config, &input);
+        let ok = r.meets_all_slos();
+        println!(
+            "{:>12.1} {:>12.1} {:>12.1} {:>12.3} {:>12.3} {:>8}",
+            offered * 100.0,
+            r.accepted_load() * 100.0,
+            r.rejected_load() * 100.0,
+            r.class_tail(0, 0.99).as_millis_f64(),
+            r.class_tail(1, 0.99).as_millis_f64(),
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!("\nShape check vs paper: SLOs guaranteed at every offered load; accepted");
+    println!("load plateaus near the maximum acceptable load instead of collapsing.");
+}

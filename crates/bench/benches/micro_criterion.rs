@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks backing the paper's "TailGuard is
+//! lightweight" claim (§III.B.2): queue operations, deadline estimation,
+//! and end-to-end simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tailguard::{
+    run_simulation, scenarios, ClassSpec, ClusterSpec, DeadlineEstimator, EstimatorMode,
+};
+use tailguard_policy::{Policy, QueuedTask, ServiceClass};
+use tailguard_simcore::{SimDuration, SimRng, SimTime};
+use tailguard_workload::TailbenchWorkload;
+
+fn queue_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_push_pop");
+    for policy in Policy::ALL {
+        group.bench_function(policy.name(), |b| {
+            let mut rng = SimRng::seed(1);
+            // Pre-generate a batch of tasks with random deadlines/classes.
+            let tasks: Vec<QueuedTask> = (0..1024)
+                .map(|i| {
+                    QueuedTask::new(
+                        i,
+                        ServiceClass((i % 4) as u8),
+                        SimTime::from_nanos(rng.u64() % 1_000_000),
+                        SimTime::ZERO,
+                    )
+                })
+                .collect();
+            b.iter_batched(
+                || (policy.new_queue(), tasks.clone()),
+                |(mut q, tasks)| {
+                    for t in tasks {
+                        q.push(t);
+                    }
+                    while let Some(t) = q.pop() {
+                        black_box(t.task_id);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn deadline_estimation(c: &mut Criterion) {
+    let cluster = ClusterSpec::homogeneous(100, TailbenchWorkload::Masstree.service_dist());
+    let classes = vec![
+        ClassSpec::p99(SimDuration::from_millis_f64(1.0)),
+        ClassSpec::p99(SimDuration::from_millis_f64(1.5)),
+    ];
+
+    c.bench_function("estimator_budget_cached", |b| {
+        let mut est = DeadlineEstimator::new(&cluster, classes.clone(), EstimatorMode::Analytic);
+        let _ = est.budget(0, 100, &[]); // warm the cache
+        b.iter(|| black_box(est.budget(black_box(0), black_box(100), &[])));
+    });
+
+    c.bench_function("estimator_budget_cold", |b| {
+        b.iter_batched(
+            || DeadlineEstimator::new(&cluster, classes.clone(), EstimatorMode::Analytic),
+            |mut est| black_box(est.budget(0, 100, &[])),
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("estimator_online_record", |b| {
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            classes.clone(),
+            EstimatorMode::Online {
+                refresh_every: u64::MAX, // isolate the record cost
+                offline_samples: 0,
+            },
+        );
+        b.iter(|| est.record_post_queuing(7, SimDuration::from_micros(180)));
+    });
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    let input = scenario.input(0.4, 20_000);
+    for policy in [Policy::TfEdf, Policy::Fifo] {
+        group.bench_function(format!("20k_queries_{}", policy.name()), |b| {
+            let config = scenario.config(policy).with_warmup(1_000);
+            b.iter(|| black_box(run_simulation(&config, &input).completed_queries));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    queue_ops,
+    deadline_estimation,
+    simulator_throughput
+);
+criterion_main!(benches);

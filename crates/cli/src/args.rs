@@ -1,0 +1,214 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `--key value`, `--key=value` and boolean `--flag` forms, plus
+//! positional arguments, with typed accessors that produce friendly errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation failure, printed to stderr by `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn err(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+/// Parsed command-line arguments: positionals plus `--key` options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    ///
+    /// An option is `--key value` or `--key=value`; a flag is a `--key`
+    /// followed by another option or the end of input.
+    pub fn parse<I, S>(raw: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(stripped) = tok.strip_prefix("--") {
+                if stripped.is_empty() {
+                    return Err(err("unexpected bare `--`"));
+                }
+                if let Some((k, v)) = stripped.split_once('=') {
+                    args.options.insert(k.to_string(), v.to_string());
+                } else if iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false)
+                {
+                    let v = iter.next().expect("peeked");
+                    args.options.insert(stripped.to_string(), v);
+                } else {
+                    args.flags.push(stripped.to_string());
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string option, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// True when `--key` appeared as a bare flag (or as `--key=true`).
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key) || self.get(key) == Some("true")
+    }
+
+    /// A float option with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key}: `{v}` is not a number"))),
+        }
+    }
+
+    /// An integer option with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key}: `{v}` is not an integer"))),
+        }
+    }
+
+    /// A u64 option with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key}: `{v}` is not an integer"))),
+        }
+    }
+
+    /// A comma-separated list of floats.
+    pub fn f64_list(&self, key: &str) -> Result<Option<Vec<f64>>, ArgError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .map_err(|_| err(format!("--{key}: `{x}` is not a number")))
+                })
+                .collect::<Result<Vec<f64>, _>>()
+                .map(Some),
+        }
+    }
+
+    /// Rejects unknown option keys (catches typos early).
+    pub fn check_known(&self, known: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys().chain(self.flags.iter()) {
+            if !known.contains(&k.as_str()) {
+                return Err(err(format!(
+                    "unknown option --{k} (expected one of: {})",
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().copied()).expect("parse")
+    }
+
+    #[test]
+    fn key_value_both_forms() {
+        let a = parse(&["--load", "0.4", "--policy=fifo"]);
+        assert_eq!(a.get("load"), Some("0.4"));
+        assert_eq!(a.get("policy"), Some("fifo"));
+    }
+
+    #[test]
+    fn flags_vs_options() {
+        let a = parse(&["--json", "--queries", "100", "--realtime"]);
+        assert!(a.flag("json"));
+        assert!(a.flag("realtime"));
+        assert!(!a.flag("queries"));
+        assert_eq!(a.usize_or("queries", 0).unwrap(), 100);
+    }
+
+    #[test]
+    fn positionals_collected_in_order() {
+        let a = parse(&["sim", "--load", "0.3", "extra"]);
+        assert_eq!(a.positional(), &["sim".to_string(), "extra".to_string()]);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = parse(&["--x", "2.5", "--n", "7"]);
+        assert_eq!(a.f64_or("x", 0.0).unwrap(), 2.5);
+        assert_eq!(a.f64_or("missing", 1.5).unwrap(), 1.5);
+        assert_eq!(a.usize_or("n", 0).unwrap(), 7);
+        assert!(a.f64_or("n", 0.0).is_ok());
+    }
+
+    #[test]
+    fn bad_number_reports_key() {
+        let a = parse(&["--load", "abc"]);
+        let e = a.f64_or("load", 0.0).unwrap_err();
+        assert!(e.0.contains("--load"));
+        assert!(e.0.contains("abc"));
+    }
+
+    #[test]
+    fn list_parsing() {
+        let a = parse(&["--slos", "1.0, 1.5,2"]);
+        assert_eq!(a.f64_list("slos").unwrap(), Some(vec![1.0, 1.5, 2.0]));
+        assert_eq!(a.f64_list("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_options_rejected() {
+        let a = parse(&["--laod", "0.4"]);
+        let e = a.check_known(&["load"]).unwrap_err();
+        assert!(e.0.contains("--laod"));
+    }
+
+    #[test]
+    fn flag_as_value_true() {
+        let a = parse(&["--json=true"]);
+        assert!(a.flag("json"));
+    }
+}

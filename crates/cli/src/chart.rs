@@ -1,0 +1,152 @@
+//! Minimal ASCII charting for terminal output.
+//!
+//! Renders the Fig. 6-style "p99 vs load" curves directly in the terminal so
+//! `tailguard sweep` output can be eyeballed without exporting CSV.
+
+/// Renders one or more named series as an ASCII line chart.
+///
+/// All series share the x axis (indices of `xs`) and the y axis is scaled to
+/// the global value range. An optional horizontal `threshold` line (e.g. the
+/// SLO) is drawn with `-`.
+///
+/// # Example
+///
+/// ```ignore
+/// let chart = ascii_chart(
+///     &[20.0, 40.0, 60.0],
+///     &[("p99", vec![0.5, 0.9, 2.0])],
+///     Some(1.0),
+///     8,
+/// );
+/// assert!(chart.contains("p99"));
+/// ```
+pub fn ascii_chart(
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+    threshold: Option<f64>,
+    height: usize,
+) -> String {
+    if xs.is_empty() || series.is_empty() || height < 2 {
+        return String::new();
+    }
+    let width = xs.len();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in ys {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+    }
+    if let Some(t) = threshold {
+        lo = lo.min(t);
+        hi = hi.max(t);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::new();
+    }
+    if hi - lo < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let row_of = |y: f64| -> usize {
+        let frac = (y - lo) / (hi - lo);
+        ((1.0 - frac) * (height - 1) as f64).round() as usize
+    };
+
+    // Canvas of spaces; series marked with their index glyph.
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let mut canvas = vec![vec![' '; width]; height];
+    if let Some(t) = threshold {
+        let r = row_of(t);
+        for cell in &mut canvas[r] {
+            *cell = '-';
+        }
+    }
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for (xi, &y) in ys.iter().enumerate().take(width) {
+            let r = row_of(y);
+            canvas[r][xi] = g;
+        }
+    }
+
+    let mut out = String::new();
+    for (ri, row) in canvas.iter().enumerate() {
+        let label = if ri == 0 {
+            format!("{hi:>8.2} |")
+        } else if ri == height - 1 {
+            format!("{lo:>8.2} |")
+        } else {
+            format!("{:>8} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n{:>8}  {:<8.0}{:>width$.0}\n",
+        "",
+        "-".repeat(width),
+        "",
+        xs[0],
+        xs[width - 1],
+        width = width.saturating_sub(8).max(1)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {name}", glyphs[si % glyphs.len()]))
+        .collect();
+    out.push_str(&format!(
+        "{:>10}{}{}\n",
+        "",
+        legend.join("   "),
+        threshold.map(|t| format!("   - SLO {t:.2}")).unwrap_or_default()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_series_and_threshold() {
+        let chart = ascii_chart(
+            &[20.0, 30.0, 40.0, 50.0],
+            &[
+                ("classI", vec![0.5, 0.7, 0.9, 1.3]),
+                ("classII", vec![0.6, 0.9, 1.2, 1.8]),
+            ],
+            Some(1.0),
+            10,
+        );
+        assert!(chart.contains('*'), "{chart}");
+        assert!(chart.contains('o'), "{chart}");
+        assert!(chart.contains('-'), "{chart}");
+        assert!(chart.contains("classI"));
+        assert!(chart.contains("SLO 1.00"));
+        assert_eq!(chart.lines().count(), 13); // 10 rows + axis + labels + legend
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_chart() {
+        assert_eq!(ascii_chart(&[], &[("a", vec![])], None, 8), "");
+        assert_eq!(ascii_chart(&[1.0], &[], None, 8), "");
+        assert_eq!(ascii_chart(&[1.0], &[("a", vec![1.0])], None, 1), "");
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let chart = ascii_chart(&[1.0, 2.0], &[("flat", vec![5.0, 5.0])], None, 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn extremes_land_on_first_and_last_rows() {
+        let chart = ascii_chart(&[0.0, 1.0], &[("s", vec![0.0, 10.0])], None, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains('*'), "max on top row: {chart}");
+        assert!(lines[4].contains('*'), "min on bottom row: {chart}");
+    }
+}

@@ -1,0 +1,781 @@
+//! CLI subcommand implementations.
+//!
+//! Every command is a pure function from parsed [`Args`] to a printable
+//! `String`, so the full surface is unit-testable without spawning
+//! processes.
+
+use crate::args::{ArgError, Args};
+use serde::Serialize;
+use tailguard::{
+    max_load, measure_at_load, run_simulation, scenarios, AdmissionConfig, ClassSpec, ClusterSpec,
+    EstimatorMode, MaxLoadOptions, Scenario, SimReport,
+};
+use tailguard_policy::Policy;
+use tailguard_simcore::SimDuration;
+use tailguard_testbed::{run_testbed, TestbedConfig, TestbedMode};
+use tailguard_workload::{ArrivalProcess, FanoutDist, QueryMix, TailbenchWorkload, Trace};
+
+fn err(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+pub(crate) fn workload_from(name: &str) -> Result<TailbenchWorkload, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "masstree" => Ok(TailbenchWorkload::Masstree),
+        "shore" => Ok(TailbenchWorkload::Shore),
+        "xapian" => Ok(TailbenchWorkload::Xapian),
+        other => Err(err(format!(
+            "unknown workload `{other}` (expected masstree|shore|xapian)"
+        ))),
+    }
+}
+
+pub(crate) fn policy_from(name: &str) -> Result<Policy, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "fifo" => Ok(Policy::Fifo),
+        "priq" => Ok(Policy::Priq),
+        "tedf" | "t-edf" | "t-edfq" => Ok(Policy::TEdf),
+        "tfedf" | "tf-edf" | "tf-edfq" | "tailguard" => Ok(Policy::TfEdf),
+        "sjf" => Ok(Policy::Sjf),
+        other => Err(err(format!(
+            "unknown policy `{other}` (expected fifo|priq|tedf|tfedf|sjf)"
+        ))),
+    }
+}
+
+fn policies_from(arg: Option<&str>) -> Result<Vec<Policy>, ArgError> {
+    match arg {
+        None | Some("all") => Ok(Policy::ALL.to_vec()),
+        Some(list) => list.split(',').map(|p| policy_from(p.trim())).collect(),
+    }
+}
+
+fn fanout_from(arg: Option<&str>, servers: u32) -> Result<FanoutDist, ArgError> {
+    match arg.unwrap_or("paper") {
+        "paper" => Ok(FanoutDist::paper_mix()),
+        "oldi" => Ok(FanoutDist::fixed(servers)),
+        "facebook" => Ok(FanoutDist::facebook_like(servers.min(300))),
+        other => {
+            if let Some(k) = other.strip_prefix("fixed:") {
+                let k: u32 = k
+                    .parse()
+                    .map_err(|_| err(format!("--fanout fixed:{k}: not an integer")))?;
+                Ok(FanoutDist::fixed(k))
+            } else {
+                Err(err(format!(
+                    "unknown fanout model `{other}` (expected paper|oldi|facebook|fixed:<k>)"
+                )))
+            }
+        }
+    }
+}
+
+fn admission_from(arg: Option<&str>) -> Result<Option<AdmissionConfig>, ArgError> {
+    match arg {
+        None => Ok(None),
+        Some(spec) => {
+            let (w, t) = spec.split_once(':').ok_or_else(|| {
+                err("--admission expects `<window_ms>:<threshold>`, e.g. 10:0.017")
+            })?;
+            let window: f64 = w
+                .parse()
+                .map_err(|_| err(format!("--admission window `{w}` is not a number")))?;
+            let threshold: f64 = t
+                .parse()
+                .map_err(|_| err(format!("--admission threshold `{t}` is not a number")))?;
+            if window <= 0.0 || !(0.0..1.0).contains(&threshold) || threshold == 0.0 {
+                return Err(err("--admission needs window > 0 and threshold in (0,1)"));
+            }
+            Ok(Some(
+                AdmissionConfig::new(SimDuration::from_millis_f64(window), threshold)
+                    .with_resume_threshold(threshold * 0.3),
+            ))
+        }
+    }
+}
+
+/// Builds a [`Scenario`] from common options (`sim`, `maxload`, `sweep`).
+fn scenario_from(args: &Args) -> Result<Scenario, ArgError> {
+    let workload = workload_from(args.get("workload").unwrap_or("masstree"))?;
+    let servers = args.usize_or("servers", 100)?;
+    if servers == 0 {
+        return Err(err("--servers must be positive"));
+    }
+    let slos = args
+        .f64_list("slos")?
+        .unwrap_or_else(|| vec![args.f64_or("slo", 1.0).unwrap_or(1.0)]);
+    if slos.is_empty() || slos.iter().any(|&s| s <= 0.0) {
+        return Err(err("--slos must be positive, e.g. --slos 1.0,1.5"));
+    }
+    let classes: Vec<ClassSpec> = slos
+        .iter()
+        .map(|&ms| ClassSpec::p99(SimDuration::from_millis_f64(ms)))
+        .collect();
+    let fanout = fanout_from(args.get("fanout"), servers as u32)?;
+    if fanout.max_fanout() as usize > servers {
+        return Err(err(format!(
+            "fanout {} exceeds --servers {servers}",
+            fanout.max_fanout()
+        )));
+    }
+    let arrival = match args.get("arrival").unwrap_or("poisson") {
+        "poisson" => ArrivalProcess::poisson(1.0),
+        "pareto" => ArrivalProcess::pareto(1.0),
+        other => return Err(err(format!("unknown arrival `{other}` (poisson|pareto)"))),
+    };
+    let service = workload.service_dist();
+    let mean = workload.mean_service_ms();
+    Ok(Scenario {
+        label: format!("{workload} via CLI"),
+        cluster: ClusterSpec::homogeneous(servers, service),
+        classes: classes.clone(),
+        mix: QueryMix::equiprobable(classes.len() as u8, fanout),
+        arrival,
+        mean_task_work_ms: mean,
+        placement: None,
+        seed: args.u64_or("seed", 1)?,
+    })
+}
+
+const SIM_KEYS: &[&str] = &[
+    "workload",
+    "policy",
+    "load",
+    "queries",
+    "slo",
+    "slos",
+    "fanout",
+    "servers",
+    "arrival",
+    "seed",
+    "warmup",
+    "admission",
+    "online",
+    "json",
+];
+
+#[derive(Serialize)]
+struct SimSummary {
+    policy: String,
+    offered_load: f64,
+    measured_load: f64,
+    rejected_load: f64,
+    deadline_miss_ratio: f64,
+    completed_queries: u64,
+    rejected_queries: u64,
+    meets_all_slos: bool,
+    class_p99_ms: Vec<f64>,
+}
+
+fn summarize(report: &mut SimReport, offered: f64) -> SimSummary {
+    let class_p99_ms = (0..report.classes.len() as u8)
+        .map(|c| report.class_tail(c, 0.99).as_millis_f64())
+        .collect();
+    SimSummary {
+        policy: report.policy.name().to_string(),
+        offered_load: offered,
+        measured_load: report.accepted_load(),
+        rejected_load: report.rejected_load(),
+        deadline_miss_ratio: report.deadline_miss_ratio(),
+        completed_queries: report.completed_queries,
+        rejected_queries: report.rejected_queries,
+        meets_all_slos: report.meets_all_slos(),
+        class_p99_ms,
+    }
+}
+
+/// `tailguard sim` — run one simulation and report per-type tails.
+pub fn cmd_sim(args: &Args) -> Result<String, ArgError> {
+    args.check_known(SIM_KEYS)?;
+    let scenario = scenario_from(args)?;
+    let policy = policy_from(args.get("policy").unwrap_or("tfedf"))?;
+    let load = args.f64_or("load", 0.4)?;
+    if !(0.0..=1.5).contains(&load) || load <= 0.0 {
+        return Err(err("--load must lie in (0, 1.5]"));
+    }
+    let queries = args.usize_or("queries", 100_000)?;
+    let warmup = args.usize_or("warmup", queries / 20)?;
+    let input = scenario.input(load, queries);
+    let mut config = scenario.config(policy).with_warmup(warmup);
+    if let Some(adm) = admission_from(args.get("admission"))? {
+        config = config.with_admission(adm);
+    }
+    if args.flag("online") {
+        config = config.with_estimator(EstimatorMode::online_default());
+    }
+    let mut report = run_simulation(&config, &input);
+    if args.flag("json") {
+        let summary = summarize(&mut report, load);
+        serde_json::to_string_pretty(&summary).map_err(|e| err(e.to_string()))
+    } else {
+        Ok(format!(
+            "{} @ offered load {:.1}%\n{}",
+            scenario.label,
+            load * 100.0,
+            report.render_table()
+        ))
+    }
+}
+
+const MAXLOAD_KEYS: &[&str] = &[
+    "workload",
+    "policies",
+    "queries",
+    "slo",
+    "slos",
+    "fanout",
+    "servers",
+    "arrival",
+    "seed",
+    "tolerance",
+    "json",
+];
+
+/// `tailguard maxload` — bisect for the max load meeting all SLOs.
+pub fn cmd_maxload(args: &Args) -> Result<String, ArgError> {
+    args.check_known(MAXLOAD_KEYS)?;
+    let scenario = scenario_from(args)?;
+    let policies = policies_from(args.get("policies"))?;
+    let opts = MaxLoadOptions {
+        queries: args.usize_or("queries", 100_000)?,
+        tolerance: args.f64_or("tolerance", 0.01)?,
+        ..MaxLoadOptions::default()
+    };
+    let mut rows = Vec::new();
+    for policy in &policies {
+        let load = max_load(&scenario, *policy, &opts);
+        rows.push((policy.name().to_string(), load));
+    }
+    if args.flag("json") {
+        let map: std::collections::BTreeMap<_, _> = rows.into_iter().collect();
+        serde_json::to_string_pretty(&map).map_err(|e| err(e.to_string()))
+    } else {
+        let mut out = format!("{} — max load meeting all SLOs:\n", scenario.label);
+        for (name, load) in rows {
+            out.push_str(&format!("  {name:<10} {:>5.1}%\n", load * 100.0));
+        }
+        Ok(out)
+    }
+}
+
+const SWEEP_KEYS: &[&str] = &[
+    "workload", "policy", "loads", "queries", "slo", "slos", "fanout", "servers", "arrival", "seed",
+];
+
+/// `tailguard sweep` — per-class p99 at a list of loads (Fig. 6 style),
+/// with an ASCII chart of the curves against the tightest SLO.
+pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    args.check_known(SWEEP_KEYS)?;
+    let scenario = scenario_from(args)?;
+    let policy = policy_from(args.get("policy").unwrap_or("tfedf"))?;
+    let loads = args
+        .f64_list("loads")?
+        .unwrap_or_else(|| (4..=12).map(|i| i as f64 * 0.05).collect());
+    let opts = MaxLoadOptions {
+        queries: args.usize_or("queries", 40_000)?,
+        ..MaxLoadOptions::default()
+    };
+    let mut out = format!("{} under {policy}\n{:>8}", scenario.label, "load");
+    for c in 0..scenario.classes.len() {
+        out.push_str(&format!(" {:>14}", format!("class{c} p99(ms)")));
+    }
+    out.push_str("   SLOs\n");
+    let mut per_class_series: Vec<Vec<f64>> = vec![Vec::new(); scenario.classes.len()];
+    for &load in &loads {
+        let mut r = measure_at_load(&scenario, policy, load, &opts);
+        out.push_str(&format!("{:>7.0}%", load * 100.0));
+        for c in 0..scenario.classes.len() as u8 {
+            out.push_str(&format!(" {:>14.3}", r.class_tail(c, 0.99).as_millis_f64()));
+        }
+        out.push_str(&format!(
+            "   {}\n",
+            if r.meets_all_slos() { "ok" } else { "VIOLATED" }
+        ));
+        per_class_series
+            .iter_mut()
+            .zip(0..scenario.classes.len() as u8)
+            .for_each(|(series, c)| {
+                series.push(r.class_tail(c, 0.99).as_millis_f64());
+            });
+    }
+    let named: Vec<(String, Vec<f64>)> = per_class_series
+        .into_iter()
+        .enumerate()
+        .map(|(c, ys)| (format!("class{c}"), ys))
+        .collect();
+    let named_refs: Vec<(&str, Vec<f64>)> = named
+        .iter()
+        .map(|(n, ys)| (n.as_str(), ys.clone()))
+        .collect();
+    let tightest_slo = scenario
+        .classes
+        .iter()
+        .map(|c| c.slo.as_millis_f64())
+        .fold(f64::INFINITY, f64::min);
+    let xs: Vec<f64> = loads.iter().map(|l| l * 100.0).collect();
+    out.push('\n');
+    out.push_str(&crate::chart::ascii_chart(
+        &xs,
+        &named_refs,
+        Some(tightest_slo),
+        12,
+    ));
+    Ok(out)
+}
+
+const TESTBED_KEYS: &[&str] = &[
+    "policy",
+    "load",
+    "queries",
+    "scale",
+    "probes",
+    "seed",
+    "realtime",
+    "store-days",
+    "json",
+];
+
+/// `tailguard testbed` — run the tokio SaS testbed.
+pub fn cmd_testbed(args: &Args) -> Result<String, ArgError> {
+    args.check_known(TESTBED_KEYS)?;
+    let cfg = TestbedConfig {
+        policy: policy_from(args.get("policy").unwrap_or("tfedf"))?,
+        queries: args.usize_or("queries", 2_000)?,
+        target_load: args.f64_or("load", 0.4)?,
+        time_scale: args.f64_or("scale", 25.0)?,
+        calibration_probes: args.usize_or("probes", 40)?,
+        seed: args.u64_or("seed", 0x5A5_7E57)?,
+        store_days: args.usize_or("store-days", 90)? as u32,
+        mode: if args.flag("realtime") {
+            TestbedMode::RealTime
+        } else {
+            TestbedMode::PausedTime
+        },
+        ..TestbedConfig::default()
+    };
+    let mut report = run_testbed(&cfg);
+    let mut out = format!(
+        "SaS testbed, {} @ {:.0}% target load ({} queries)\n",
+        report.policy,
+        cfg.target_load * 100.0,
+        report.completed_queries
+    );
+    out.push_str("per-cluster post-queuing (mean/p95/p99 ms, load):\n");
+    for c in &report.clusters {
+        out.push_str(&format!(
+            "  {:<12} {:>6.0} {:>6.0} {:>6.0}  {:>5.1}%\n",
+            c.name,
+            c.mean_ms,
+            c.p95_ms,
+            c.p99_ms,
+            c.load * 100.0
+        ));
+    }
+    let slos = report.slos.clone();
+    for class in 0..3u8 {
+        out.push_str(&format!(
+            "  class {} p99 {:>6.0} ms (SLO {:>5.0} ms)\n",
+            (b'A' + class) as char,
+            report.class_p99_ms(class),
+            slos[class as usize].as_millis_f64()
+        ));
+    }
+    Ok(out)
+}
+
+const TRACE_KEYS: &[&str] = &[
+    "workload", "rate", "queries", "classes", "fanout", "servers", "seed", "arrival", "format",
+];
+
+/// `tailguard trace` — generate a JSON query trace on stdout.
+pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
+    args.check_known(TRACE_KEYS)?;
+    let servers = args.usize_or("servers", 100)? as u32;
+    let fanout = fanout_from(args.get("fanout"), servers)?;
+    let classes = args.usize_or("classes", 1)? as u8;
+    if classes == 0 {
+        return Err(err("--classes must be positive"));
+    }
+    let rate = args.f64_or("rate", 1.0)?;
+    if rate <= 0.0 {
+        return Err(err("--rate must be positive (queries per ms)"));
+    }
+    let arrival = match args.get("arrival").unwrap_or("poisson") {
+        "poisson" => ArrivalProcess::poisson(rate),
+        "pareto" => ArrivalProcess::pareto(rate),
+        other => return Err(err(format!("unknown arrival `{other}`"))),
+    };
+    let trace = Trace::generate(
+        "cli",
+        &arrival,
+        &QueryMix::equiprobable(classes, fanout),
+        args.usize_or("queries", 10_000)?,
+        args.u64_or("seed", 1)?,
+    );
+    match args.get("format").unwrap_or("json") {
+        "json" => trace.to_json().map_err(|e| err(e.to_string())),
+        "csv" => Ok(trace.to_csv()),
+        other => Err(err(format!("unknown --format `{other}` (json|csv)"))),
+    }
+}
+
+/// `tailguard workloads` — the calibrated Table II statistics.
+pub fn cmd_workloads(args: &Args) -> Result<String, ArgError> {
+    args.check_known(&["json"])?;
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        mean_ms: f64,
+        x99_k1_ms: f64,
+        x99_k10_ms: f64,
+        x99_k100_ms: f64,
+    }
+    let rows: Vec<Row> = TailbenchWorkload::ALL
+        .iter()
+        .map(|w| Row {
+            name: w.name().to_string(),
+            mean_ms: w.mean_service_ms(),
+            x99_k1_ms: w.unloaded_query_tail(0.99, 1),
+            x99_k10_ms: w.unloaded_query_tail(0.99, 10),
+            x99_k100_ms: w.unloaded_query_tail(0.99, 100),
+        })
+        .collect();
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&rows).map_err(|e| err(e.to_string()));
+    }
+    let mut out = format!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}   (paper Table II, reproduced)\n",
+        "workload", "T_m", "x99(1)", "x99(10)", "x99(100)"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+            r.name, r.mean_ms, r.x99_k1_ms, r.x99_k10_ms, r.x99_k100_ms
+        ));
+    }
+    Ok(out)
+}
+
+/// `tailguard budgets` — show Eq. 6 pre-dequeuing budgets for a workload.
+pub fn cmd_budgets(args: &Args) -> Result<String, ArgError> {
+    args.check_known(&["workload", "slos", "slo", "fanouts"])?;
+    let workload = workload_from(args.get("workload").unwrap_or("masstree"))?;
+    let slos = args
+        .f64_list("slos")?
+        .unwrap_or_else(|| vec![args.f64_or("slo", 1.0).unwrap_or(1.0)]);
+    let fanouts: Vec<u32> = match args.f64_list("fanouts")? {
+        Some(v) => v.into_iter().map(|f| f as u32).collect(),
+        None => vec![1, 10, 100],
+    };
+    if fanouts.contains(&0) {
+        return Err(err("--fanouts must be positive"));
+    }
+    let cluster = ClusterSpec::homogeneous(
+        *fanouts.iter().max().expect("non-empty") as usize,
+        workload.service_dist(),
+    );
+    let classes: Vec<ClassSpec> = slos
+        .iter()
+        .map(|&ms| ClassSpec::p99(SimDuration::from_millis_f64(ms)))
+        .collect();
+    let mut est = tailguard::DeadlineEstimator::new(&cluster, classes, EstimatorMode::Analytic);
+    let mut out = format!(
+        "{workload}: task pre-dequeuing budgets T_b = x99_SLO − x99_u(k)  (Eq. 6, ms)\n{:>10}",
+        "fanout"
+    );
+    for slo in &slos {
+        out.push_str(&format!(" {:>12}", format!("SLO {slo}ms")));
+    }
+    out.push('\n');
+    for &k in &fanouts {
+        out.push_str(&format!("{k:>10}"));
+        for class in 0..slos.len() as u8 {
+            out.push_str(&format!(
+                " {:>12.3}",
+                est.budget(class, k, &[]).as_millis_f64()
+            ));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+const CALIBRATE_KEYS: &[&str] = &["samples", "anchors", "fanouts", "json"];
+
+/// `tailguard calibrate` — fit a service-time model to measured latencies.
+///
+/// Reads newline-separated latencies in milliseconds from `--samples
+/// <path>` (the paper's offline estimation process, productized) and prints
+/// the fitted piecewise-quantile control points plus the Table-II-style
+/// statistics TailGuard consumes.
+pub fn cmd_calibrate(args: &Args) -> Result<String, ArgError> {
+    args.check_known(CALIBRATE_KEYS)?;
+    let path = args
+        .get("samples")
+        .ok_or_else(|| err("missing required option --samples <path>"))?;
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read --samples {path}: {e}")))?;
+    let mut samples = Vec::new();
+    for (lineno, line) in raw.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v: f64 = line
+            .parse()
+            .map_err(|_| err(format!("{path}:{}: `{line}` is not a number", lineno + 1)))?;
+        samples.push(v);
+    }
+    let anchors = args
+        .f64_list("anchors")?
+        .unwrap_or_else(|| tailguard_dist::PiecewiseQuantile::DEFAULT_ANCHORS.to_vec());
+    let model = tailguard_dist::PiecewiseQuantile::fit(&samples, &anchors)
+        .map_err(|e| err(format!("calibration failed: {e}")))?;
+    let fanouts: Vec<u32> = match args.f64_list("fanouts")? {
+        Some(v) => v.into_iter().map(|f| f as u32).collect(),
+        None => vec![1, 10, 100],
+    };
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&model).map_err(|e| err(e.to_string()));
+    }
+    use tailguard_dist::{order_stats, Distribution};
+    let mut out = format!(
+        "fitted {} samples from {path}
+control points (p, ms):
+",
+        samples.len()
+    );
+    for (p, x) in model.points() {
+        out.push_str(&format!(
+            "  ({p:.4}, {x:.4})
+"
+        ));
+    }
+    out.push_str(&format!(
+        "mean T_m = {:.4} ms
+",
+        model.mean()
+    ));
+    for k in fanouts {
+        if k == 0 {
+            return Err(err("--fanouts must be positive"));
+        }
+        out.push_str(&format!(
+            "x99^u({k}) = {:.4} ms
+",
+            order_stats::homogeneous_quantile(&model, 0.99, k)
+        ));
+    }
+    Ok(out)
+}
+
+/// `tailguard scenarios` — list built-in paper scenarios.
+pub fn cmd_scenarios(args: &Args) -> Result<String, ArgError> {
+    args.check_known(&[])?;
+    let presets = [
+        scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100).label,
+        scenarios::two_class(
+            TailbenchWorkload::Masstree,
+            1.0,
+            ArrivalProcess::poisson(1.0),
+        )
+        .label,
+        scenarios::oldi_two_class(TailbenchWorkload::Masstree, 1.0, 1.5).label,
+        scenarios::n1000_single_class(TailbenchWorkload::Masstree, 1.0).label,
+        scenarios::four_class(TailbenchWorkload::Masstree, 1.0).label,
+        scenarios::sas_testbed().label,
+    ];
+    let mut out = String::from("built-in paper scenarios (see `tailguard::scenarios`):\n");
+    for p in presets {
+        out.push_str(&format!("  - {p}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().copied()).expect("parse")
+    }
+
+    #[test]
+    fn workload_and_policy_parsing() {
+        assert_eq!(workload_from("Shore").unwrap(), TailbenchWorkload::Shore);
+        assert!(workload_from("nope").is_err());
+        assert_eq!(policy_from("tailguard").unwrap(), Policy::TfEdf);
+        assert_eq!(policy_from("T-EDFQ").unwrap(), Policy::TEdf);
+        assert_eq!(policy_from("sjf").unwrap(), Policy::Sjf);
+        assert!(policy_from("lifo").is_err());
+    }
+
+    #[test]
+    fn sim_runs_small() {
+        let out = cmd_sim(&args(&[
+            "--workload",
+            "masstree",
+            "--policy",
+            "tfedf",
+            "--load",
+            "0.3",
+            "--queries",
+            "3000",
+        ]))
+        .expect("sim");
+        assert!(out.contains("TailGuard"));
+        assert!(out.contains("class 0"));
+    }
+
+    #[test]
+    fn sim_json_summary_parses() {
+        let out = cmd_sim(&args(&["--queries", "2000", "--load", "0.2", "--json"])).expect("sim");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("json");
+        assert_eq!(v["policy"], "TailGuard");
+        assert!(v["measured_load"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sim_rejects_unknown_option() {
+        let e = cmd_sim(&args(&["--polcy", "fifo"])).unwrap_err();
+        assert!(e.0.contains("--polcy"));
+    }
+
+    #[test]
+    fn sim_rejects_oversized_fanout() {
+        let e = cmd_sim(&args(&["--fanout", "fixed:200", "--servers", "100"])).unwrap_err();
+        assert!(e.0.contains("exceeds"));
+    }
+
+    #[test]
+    fn maxload_two_policies() {
+        let out = cmd_maxload(&args(&[
+            "--policies",
+            "tfedf,fifo",
+            "--queries",
+            "4000",
+            "--tolerance",
+            "0.1",
+        ]))
+        .expect("maxload");
+        assert!(out.contains("TailGuard"));
+        assert!(out.contains("FIFO"));
+    }
+
+    #[test]
+    fn sweep_prints_rows() {
+        let out = cmd_sweep(&args(&[
+            "--loads",
+            "0.2,0.4",
+            "--queries",
+            "3000",
+            "--slos",
+            "1.0,1.5",
+        ]))
+        .expect("sweep");
+        assert!(out.contains("20%"));
+        assert!(out.contains("40%"));
+        assert!(out.contains("class1 p99"));
+    }
+
+    #[test]
+    fn trace_emits_valid_csv() {
+        let out = cmd_trace(&args(&["--queries", "20", "--format", "csv"])).expect("trace");
+        let trace = Trace::from_csv(&out).expect("roundtrip");
+        assert_eq!(trace.len(), 20);
+        let e = cmd_trace(&args(&["--format", "yaml"])).unwrap_err();
+        assert!(e.0.contains("yaml"));
+    }
+
+    #[test]
+    fn trace_emits_valid_json() {
+        let out = cmd_trace(&args(&["--queries", "50", "--rate", "2.0"])).expect("trace");
+        let trace = Trace::from_json(&out).expect("roundtrip");
+        assert_eq!(trace.len(), 50);
+    }
+
+    #[test]
+    fn workloads_table() {
+        let out = cmd_workloads(&args(&[])).expect("workloads");
+        assert!(out.contains("Masstree"));
+        assert!(out.contains("0.473"));
+        let json = cmd_workloads(&args(&["--json"])).expect("json");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("parse");
+        assert_eq!(v.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn budgets_decrease_with_fanout() {
+        let out = cmd_budgets(&args(&["--workload", "masstree", "--slo", "1.0"])).expect("b");
+        assert!(out.contains("Eq. 6"));
+        // Rows for fanouts 1, 10, 100 present.
+        assert!(out.contains("\n         1"));
+        assert!(out.contains("\n       100"));
+    }
+
+    #[test]
+    fn testbed_small_run() {
+        let out = cmd_testbed(&args(&[
+            "--queries",
+            "150",
+            "--load",
+            "0.2",
+            "--probes",
+            "10",
+            "--store-days",
+            "35",
+        ]))
+        .expect("testbed");
+        assert!(out.contains("Server-room"));
+        assert!(out.contains("class A"));
+    }
+
+    #[test]
+    fn admission_spec_parsing() {
+        assert!(admission_from(Some("10:0.017")).unwrap().is_some());
+        assert!(admission_from(Some("banana")).is_err());
+        assert!(admission_from(Some("10:2.0")).is_err());
+        assert!(admission_from(None).unwrap().is_none());
+    }
+
+    #[test]
+    fn calibrate_fits_sample_file() {
+        use tailguard_dist::Distribution;
+        use tailguard_simcore::SimRng;
+        let dir = std::env::temp_dir().join("tailguard-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("samples.txt");
+        let d = TailbenchWorkload::Masstree.service_dist();
+        let mut rng = SimRng::seed(5);
+        let mut body = String::from(
+            "# masstree-like samples
+",
+        );
+        for _ in 0..100_000 {
+            body.push_str(&format!(
+                "{}
+",
+                d.sample(&mut rng)
+            ));
+        }
+        std::fs::write(&path, body).unwrap();
+        let out = cmd_calibrate(&args(&["--samples", path.to_str().unwrap()])).expect("fit");
+        assert!(out.contains("mean T_m = 0.17"), "{out}");
+        assert!(out.contains("x99^u(100)"), "{out}");
+        let json =
+            cmd_calibrate(&args(&["--samples", path.to_str().unwrap(), "--json"])).expect("fit");
+        let _: serde_json::Value = serde_json::from_str(&json).expect("json");
+    }
+
+    #[test]
+    fn calibrate_reports_bad_file() {
+        let e = cmd_calibrate(&args(&["--samples", "/nonexistent/x.txt"])).unwrap_err();
+        assert!(e.0.contains("cannot read"));
+    }
+
+    #[test]
+    fn scenarios_listing() {
+        let out = cmd_scenarios(&args(&[])).expect("scenarios");
+        assert!(out.contains("SaS testbed twin"));
+    }
+}

@@ -1,0 +1,98 @@
+//! `tailguard` — the command-line interface to the TailGuard reproduction.
+//!
+//! ```text
+//! tailguard sim       run one cluster simulation
+//! tailguard maxload   bisect for the max load meeting all SLOs
+//! tailguard sweep     per-class p99 across a list of loads
+//! tailguard testbed   run the tokio Sensing-as-a-Service testbed
+//! tailguard trace     generate a JSON query trace on stdout
+//! tailguard workloads print the calibrated Table II statistics
+//! tailguard budgets   show Eq. 6 pre-dequeuing budgets
+//! tailguard scenarios list built-in paper scenarios
+//! ```
+
+mod args;
+mod chart;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+tailguard — TailGuard (ICDCS 2023) reproduction CLI
+
+USAGE:
+    tailguard <command> [options]
+
+COMMANDS:
+    sim        Run one cluster simulation and print per-type tails
+               --workload masstree|shore|xapian  --policy fifo|priq|tedf|tfedf|sjf
+               --load <frac>  --queries <n>  --slos <ms,...>
+               --fanout paper|oldi|facebook|fixed:<k>  --servers <n>
+               --arrival poisson|pareto  --admission <window_ms>:<threshold>
+               --online  --warmup <n>  --seed <n>  --json
+    maxload    Bisect for the maximum load meeting all SLOs
+               --policies all|<p,p,...> plus the sim workload options
+               --tolerance <frac>
+    sweep      Per-class p99 at each load in --loads <f,f,...>
+    testbed    Run the tokio SaS testbed (32 nodes, 4 clusters)
+               --policy ... --load ... --queries ... --scale <x>
+               --probes <n> --store-days <n> --realtime
+    trace      Generate a JSON query trace on stdout
+               --rate <q/ms> --queries <n> --classes <n> --fanout ...
+    workloads  Print the calibrated Tailbench statistics (Table II)
+    calibrate  Fit a service-time model to measured latencies
+               --samples <path> [--anchors <p,...>] [--fanouts <k,...>] [--json]
+    budgets    Print Eq. 6 task budgets  --workload ... --slos ... --fanouts ...
+    scenarios  List built-in paper scenarios
+
+EXAMPLES:
+    tailguard sim --workload masstree --policy tfedf --load 0.38
+    tailguard maxload --workload xapian --slos 10,15 --fanout oldi --policies all
+    tailguard testbed --policy tfedf --load 0.42
+    tailguard trace --rate 2 --queries 100000 > trace.json
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "-h" || raw[0] == "help" {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let command = raw[0].clone();
+    let parsed = match Args::parse(raw.into_iter().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(stray) = parsed.positional().first() {
+        eprintln!("error: unexpected positional argument `{stray}`");
+        return ExitCode::FAILURE;
+    }
+    let result = match command.as_str() {
+        "sim" => commands::cmd_sim(&parsed),
+        "maxload" => commands::cmd_maxload(&parsed),
+        "sweep" => commands::cmd_sweep(&parsed),
+        "testbed" => commands::cmd_testbed(&parsed),
+        "trace" => commands::cmd_trace(&parsed),
+        "workloads" => commands::cmd_workloads(&parsed),
+        "budgets" => commands::cmd_budgets(&parsed),
+        "scenarios" => commands::cmd_scenarios(&parsed),
+        "calibrate" => commands::cmd_calibrate(&parsed),
+        other => Err(args::ArgError(format!(
+            "unknown command `{other}` — run `tailguard --help`"
+        ))),
+    };
+    match result {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests of the compiled `tailguard` binary: real process
+//! spawns, real stdout/stderr, real exit codes.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tailguard"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let o = run(&["--help"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    for cmd in [
+        "sim", "maxload", "sweep", "testbed", "trace", "workloads", "budgets", "calibrate",
+        "scenarios",
+    ] {
+        assert!(out.contains(cmd), "help missing `{cmd}`");
+    }
+    // Bare invocation prints the same help.
+    let bare = run(&[]);
+    assert!(bare.status.success());
+    assert_eq!(stdout(&bare), out);
+}
+
+#[test]
+fn workloads_prints_table2() {
+    let o = run(&["workloads"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("Masstree"));
+    assert!(out.contains("0.473"));
+}
+
+#[test]
+fn budgets_match_paper_worked_example() {
+    let o = run(&["budgets", "--workload", "masstree", "--slos", "1.0,1.5"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("0.527"), "class-I fanout-100 budget:\n{out}");
+    assert!(out.contains("1.027"), "class-II fanout-100 budget:\n{out}");
+}
+
+#[test]
+fn sim_small_run_reports_types() {
+    let o = run(&[
+        "sim", "--queries", "3000", "--load", "0.3", "--policy", "tailguard",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("policy=TailGuard"));
+    assert!(out.contains("fanout  100"));
+}
+
+#[test]
+fn trace_pipes_json_and_csv() {
+    let json = run(&["trace", "--queries", "30", "--seed", "9"]);
+    assert!(json.status.success());
+    assert!(stdout(&json).trim_start().starts_with('{'));
+
+    let csv = run(&["trace", "--queries", "30", "--seed", "9", "--format", "csv"]);
+    assert!(csv.status.success());
+    assert!(stdout(&csv).starts_with("arrival_ns,class,fanout"));
+    assert_eq!(stdout(&csv).trim().lines().count(), 31); // header + 30 rows
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let o = run(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("frobnicate"));
+}
+
+#[test]
+fn typo_option_fails_with_suggestion_list() {
+    let o = run(&["sim", "--laod", "0.4"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("--laod"), "{err}");
+    assert!(err.contains("--load"), "{err}");
+}
+
+#[test]
+fn stray_positional_rejected() {
+    let o = run(&["sim", "extra-arg"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("extra-arg"));
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let o = run(&["sim", "--queries", "2000", "--load", "0.25", "--json"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let v: serde_json::Value = serde_json::from_str(stdout(&o).trim()).expect("valid json");
+    assert_eq!(v["policy"], "TailGuard");
+    assert!(v["meets_all_slos"].is_boolean());
+}

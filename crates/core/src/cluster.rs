@@ -1,0 +1,899 @@
+//! The discrete-event cluster simulator.
+//!
+//! Implements the TailGuard query processing model of Fig. 2: a query
+//! handler receives requests, spawns `k_f` tasks per query, computes the
+//! task queuing deadline `t_D = t_0 + T_b` (Eq. 6), and dispatches the tasks
+//! to per-server queues managed by the configured policy. Each task server
+//! serves one task at a time, work-conserving: whenever a task finishes, the
+//! task at the head of the queue enters service immediately.
+//!
+//! Deadline misses are detected at *dequeue* time (`t_dequeue > t_D`) and
+//! feed both the load statistics and the admission controller's moving
+//! window (§III.C).
+
+use crate::estimator::{DeadlineEstimator, EstimatorMode};
+use crate::report::{QueryTypeKey, SimReport};
+use crate::spec::{QuerySpec, SimConfig, SimInput};
+use std::collections::BTreeMap;
+use tailguard_metrics::{LatencyReservoir, LoadStats, TimedRatio};
+use tailguard_policy::{DeadlineRule, QueuedTask, ServiceClass, TaskQueue};
+use tailguard_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, Simulation};
+
+/// Runs one simulation to completion and returns the measurements.
+///
+/// The run is fully deterministic in `(config.seed, input)`: service times
+/// and placements are drawn from split RNG streams in request-arrival order,
+/// so replaying the same input under different policies compares them on
+/// identical work (the variance-reduction setup behind the paper's policy
+/// comparisons).
+///
+/// # Panics
+///
+/// Panics when the input references a class outside `config.classes`, a
+/// fanout larger than the cluster, or an explicit placement of the wrong
+/// length.
+///
+/// # Example
+///
+/// ```
+/// use tailguard::{run_simulation, ClassSpec, ClusterSpec, SimConfig, SimInput};
+/// use tailguard_policy::Policy;
+/// use tailguard_simcore::SimDuration;
+/// use tailguard_workload::{ArrivalProcess, FanoutDist, QueryMix, Trace};
+/// use tailguard_workload::TailbenchWorkload;
+///
+/// let trace = Trace::generate(
+///     "quick",
+///     &ArrivalProcess::poisson(0.5),
+///     &QueryMix::single(FanoutDist::paper_mix()),
+///     2_000,
+///     7,
+/// );
+/// let cfg = SimConfig::new(
+///     ClusterSpec::homogeneous(100, TailbenchWorkload::Masstree.service_dist()),
+///     vec![ClassSpec::p99(SimDuration::from_millis_f64(1.0))],
+///     Policy::TfEdf,
+/// ).with_warmup(100);
+/// let mut report = run_simulation(&cfg, &SimInput::from_trace(&trace));
+/// assert!(report.completed_queries > 0);
+/// assert!(report.meets_all_slos());
+/// ```
+pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
+    let mut master = SimRng::seed(config.seed);
+    let placement_rng = master.split();
+    let service_rng = master.split();
+    let mut estimator_rng = master.split();
+
+    let mut estimator = DeadlineEstimator::new(
+        &config.cluster,
+        config.classes.clone(),
+        config.estimator.clone(),
+    );
+    if let EstimatorMode::Online {
+        offline_samples, ..
+    } = config.estimator
+    {
+        estimator.seed_offline(&config.cluster, offline_samples, &mut estimator_rng);
+    }
+
+    let servers = config.cluster.servers();
+    let sim = ClusterSim {
+        config: config.clone(),
+        input: input.clone(),
+        estimator,
+        placement_rng,
+        service_rng,
+        servers: (0..servers)
+            .map(|_| ServerState {
+                queue: config.policy.new_queue(),
+                in_service: None,
+            })
+            .collect(),
+        tasks: Vec::with_capacity(input.query_count() * 2),
+        queries: Vec::new(),
+        request_progress: vec![0; input.requests.len()],
+        request_started: vec![SimTime::ZERO; input.requests.len()],
+        issued_queries: 0,
+        admission_window: config.admission.map(|a| TimedRatio::new(a.window)),
+        rejecting: false,
+        report: SimReport {
+            policy: config.policy,
+            classes: config.classes.clone(),
+            query_latency_by_class: BTreeMap::new(),
+            query_latency_by_type: BTreeMap::new(),
+            request_latency_by_class: BTreeMap::new(),
+            pre_dequeue: LatencyReservoir::new(),
+            load: LoadStats::new(servers),
+            busy_by_server: vec![SimDuration::ZERO; servers],
+            elapsed: SimTime::ZERO,
+            completed_queries: 0,
+            rejected_queries: 0,
+        },
+    };
+
+    let mut engine = Engine::new(sim);
+    if !input.requests.is_empty() {
+        engine
+            .scheduler_mut()
+            .schedule_at(input.requests[0].arrival, Ev::Arrive(0));
+    }
+    engine.run_to_completion();
+    let elapsed = engine.now();
+    let mut state = engine.into_state();
+    state.report.elapsed = elapsed;
+    state.report
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Request `i` arrives (its first query is issued).
+    Arrive(usize),
+    /// The task in service at server `s` finishes.
+    Finish(u32),
+}
+
+struct TaskState {
+    query: u32,
+    service: SimDuration,
+}
+
+struct QueryRuntime {
+    request: u32,
+    class: u8,
+    fanout: u32,
+    started_at: SimTime,
+    outstanding: u32,
+    record: bool,
+}
+
+struct ServerState {
+    queue: Box<dyn TaskQueue>,
+    in_service: Option<u32>, // task id
+}
+
+struct ClusterSim {
+    config: SimConfig,
+    input: SimInput,
+    estimator: DeadlineEstimator,
+    placement_rng: SimRng,
+    service_rng: SimRng,
+    servers: Vec<ServerState>,
+    tasks: Vec<TaskState>,
+    queries: Vec<QueryRuntime>,
+    request_progress: Vec<usize>, // next query index per request
+    request_started: Vec<SimTime>,
+    issued_queries: u64,
+    admission_window: Option<TimedRatio>,
+    rejecting: bool,
+    report: SimReport,
+}
+
+impl ClusterSim {
+    fn admission_rejects(&mut self, now: SimTime) -> bool {
+        match (&self.config.admission, &mut self.admission_window) {
+            (Some(adm), Some(win)) => {
+                if win.len(now) < adm.min_samples {
+                    self.rejecting = false;
+                    return false;
+                }
+                let ratio = win.ratio(now);
+                if self.rejecting {
+                    if ratio < adm.resume_threshold {
+                        self.rejecting = false;
+                    }
+                } else if ratio > adm.threshold {
+                    self.rejecting = true;
+                }
+                self.rejecting
+            }
+            _ => false,
+        }
+    }
+
+    fn choose_servers(&mut self, spec: &QuerySpec) -> Vec<u32> {
+        let n = self.servers.len();
+        match &spec.servers {
+            Some(s) => {
+                assert_eq!(
+                    s.len(),
+                    spec.fanout as usize,
+                    "explicit placement length must equal fanout"
+                );
+                assert!(
+                    s.iter().all(|&i| (i as usize) < n),
+                    "placement server index out of range"
+                );
+                s.clone()
+            }
+            None => {
+                assert!(
+                    spec.fanout as usize <= n,
+                    "fanout {} exceeds cluster size {n}",
+                    spec.fanout
+                );
+                self.placement_rng
+                    .sample_distinct(n, spec.fanout as usize)
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect()
+            }
+        }
+    }
+
+    fn issue_query(&mut self, now: SimTime, request: usize, sched: &mut Scheduler<Ev>) {
+        let spec = self.input.requests[request].queries[self.request_progress[request]].clone();
+        assert!(
+            (spec.class as usize) < self.config.classes.len(),
+            "query class {} out of range",
+            spec.class
+        );
+        self.report.load.query_offered();
+        let targets = self.choose_servers(&spec);
+        // Service times drawn now, in issue order, for cross-policy
+        // alignment — and so rejected work can be accounted.
+        let services: Vec<SimDuration> = targets
+            .iter()
+            .map(|&s| {
+                let mut ms = self
+                    .config
+                    .cluster
+                    .service_of(s as usize)
+                    .sample(&mut self.service_rng);
+                for sd in &self.config.slowdowns {
+                    if now >= sd.at && sd.servers.contains(&s) {
+                        ms *= sd.factor;
+                    }
+                }
+                SimDuration::from_millis_f64(ms)
+            })
+            .collect();
+
+        if self.admission_rejects(now) {
+            self.report.rejected_queries += 1;
+            for svc in services {
+                self.report.load.record_rejected_work(svc);
+            }
+            // A rejected query terminates its request (no successors).
+            return;
+        }
+        self.report.load.query_accepted();
+
+        let record = self.issued_queries >= self.config.warmup_queries as u64;
+        self.issued_queries += 1;
+
+        // Eq. 6 (or the baseline's rule): the shared queuing deadline.
+        let budget = match spec.budget_override {
+            Some(b) => b,
+            None => match self.config.policy.deadline_rule() {
+                DeadlineRule::SloOnly => self.config.classes[spec.class as usize].slo,
+                // FIFO/PRIQ ignore deadlines for ordering; we still stamp
+                // the TailGuard deadline so miss accounting is comparable.
+                DeadlineRule::SloAndFanout | DeadlineRule::Unused => {
+                    self.estimator.budget(spec.class, spec.fanout, &targets)
+                }
+            },
+        };
+        let deadline = now + budget;
+        if let Some(tb) = &spec.task_budgets {
+            assert_eq!(
+                tb.len(),
+                spec.fanout as usize,
+                "task budget count must equal fanout"
+            );
+        }
+
+        let query_id = self.queries.len() as u32;
+        self.queries.push(QueryRuntime {
+            request: request as u32,
+            class: spec.class,
+            fanout: spec.fanout,
+            started_at: now,
+            outstanding: spec.fanout,
+            record,
+        });
+
+        for (idx, (&server, service)) in targets.iter().zip(services).enumerate() {
+            let task_id = self.tasks.len() as u32;
+            self.tasks.push(TaskState {
+                query: query_id,
+                service,
+            });
+            self.report.load.task_dispatched();
+            // Footnote-4 ablation hook: per-task deadlines when provided.
+            let task_deadline = match &spec.task_budgets {
+                Some(tb) => now + tb[idx],
+                None => deadline,
+            };
+            let entry = QueuedTask::new(
+                u64::from(task_id),
+                ServiceClass(spec.class),
+                task_deadline,
+                now,
+            )
+            .with_size_hint(service);
+            let state = &mut self.servers[server as usize];
+            if state.in_service.is_none() {
+                // Idle server: immediate dequeue, by definition on time.
+                self.start_task(now, server, entry, sched);
+            } else {
+                state.queue.push(entry);
+            }
+        }
+    }
+
+    fn start_task(
+        &mut self,
+        now: SimTime,
+        server: u32,
+        entry: QueuedTask,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let missed = now > entry.deadline;
+        self.report.load.task_completed(missed);
+        if let Some(win) = &mut self.admission_window {
+            win.record(now, missed);
+        }
+        let waited = now.saturating_since(entry.enqueued_at);
+        let query = self.tasks[entry.task_id as usize].query;
+        if self.queries[query as usize].record {
+            self.report.pre_dequeue.record(waited);
+        }
+        let task_id = entry.task_id as u32;
+        self.servers[server as usize].in_service = Some(task_id);
+        let service = self.tasks[task_id as usize].service;
+        sched.schedule_in(now, service, Ev::Finish(server));
+    }
+
+    fn finish_task(&mut self, now: SimTime, server: u32, sched: &mut Scheduler<Ev>) {
+        let task_id = self.servers[server as usize]
+            .in_service
+            .take()
+            .expect("finish event implies a task in service");
+        let task = &self.tasks[task_id as usize];
+        self.report.load.record_busy(task.service);
+        self.report.busy_by_server[server as usize] += task.service;
+        self.estimator
+            .record_post_queuing(server as usize, task.service);
+
+        // Work conservation: the freed server pulls its next task *before*
+        // any successor query is issued, so a chained query cannot jump the
+        // queue (and cannot double-start the server).
+        let query_id = task.query;
+        if let Some(next) = self.servers[server as usize].queue.pop() {
+            self.start_task(now, server, next, sched);
+        }
+
+        // Query bookkeeping.
+        let query = &mut self.queries[query_id as usize];
+        query.outstanding -= 1;
+        if query.outstanding == 0 {
+            let latency = now.saturating_since(query.started_at);
+            let class = query.class;
+            let fanout = query.fanout;
+            let record = query.record;
+            let request = query.request as usize;
+            if record {
+                self.report
+                    .query_latency_by_class
+                    .entry(class)
+                    .or_default()
+                    .record(latency);
+                self.report
+                    .query_latency_by_type
+                    .entry(QueryTypeKey { class, fanout })
+                    .or_default()
+                    .record(latency);
+                self.report.completed_queries += 1;
+            }
+            // Sequential request chaining (Fig. 1): issue the next query.
+            self.request_progress[request] += 1;
+            let req_input = &self.input.requests[request];
+            if self.request_progress[request] < req_input.queries.len() {
+                self.issue_query(now, request, sched);
+            } else if req_input.queries.len() > 1 {
+                let req_latency = now.saturating_since(self.request_started[request]);
+                let first_class = req_input.queries[0].class;
+                self.report
+                    .request_latency_by_class
+                    .entry(first_class)
+                    .or_default()
+                    .record(req_latency);
+            }
+        }
+    }
+}
+
+impl Simulation for ClusterSim {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Arrive(i) => {
+                // Chain the next arrival (requests are pre-sorted).
+                if i + 1 < self.input.requests.len() {
+                    let t = self.input.requests[i + 1].arrival;
+                    sched.schedule_at(t.max(now), Ev::Arrive(i + 1));
+                }
+                self.request_started[i] = now;
+                self.issue_query(now, i, sched);
+            }
+            Ev::Finish(server) => self.finish_task(now, server, sched),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AdmissionConfig, ClassSpec, ClusterSpec, RequestInput};
+    use tailguard_dist::Deterministic;
+    use tailguard_policy::Policy;
+    use tailguard_workload::{ArrivalProcess, FanoutDist, QueryMix, Trace};
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis_f64(v)
+    }
+
+    fn det_cluster(n: usize, service_ms: f64) -> ClusterSpec {
+        ClusterSpec::homogeneous(n, Deterministic::new(service_ms))
+    }
+
+    fn one_query_input(arrivals_ms: &[u64], class: u8, fanout: u32) -> SimInput {
+        SimInput {
+            requests: arrivals_ms
+                .iter()
+                .map(|&t| RequestInput {
+                    arrival: SimTime::from_millis(t),
+                    queries: vec![QuerySpec::new(class, fanout)],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_query_latency_is_service_time_when_idle() {
+        let cfg = SimConfig::new(
+            det_cluster(4, 2.0),
+            vec![ClassSpec::p99(ms(10.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(0);
+        let input = one_query_input(&[0], 0, 4);
+        let mut report = run_simulation(&cfg, &input);
+        assert_eq!(report.completed_queries, 1);
+        // All four tasks run in parallel on idle servers: latency = 2ms.
+        assert_eq!(report.class_tail(0, 0.99), ms(2.0));
+        assert_eq!(report.deadline_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn queueing_serializes_on_one_server() {
+        // Two fanout-1 queries arrive together on a 1-server cluster.
+        let cfg = SimConfig::new(
+            det_cluster(1, 3.0),
+            vec![ClassSpec::p99(ms(100.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(0);
+        let input = one_query_input(&[0, 0], 0, 1);
+        let mut report = run_simulation(&cfg, &input);
+        assert_eq!(report.completed_queries, 2);
+        // Latencies 3ms and 6ms → p99 = 6ms, median 3ms.
+        assert_eq!(report.class_tail(0, 0.99), ms(6.0));
+        assert_eq!(report.class_tail(0, 0.5), ms(3.0));
+        // The second task waited 3ms.
+        assert_eq!(report.pre_dequeue.percentile(1.0), ms(3.0));
+    }
+
+    #[test]
+    fn work_conservation_no_idle_with_backlog() {
+        // Many queries on a small deterministic cluster: total busy time
+        // must equal tasks × service.
+        let cfg = SimConfig::new(
+            det_cluster(2, 1.0),
+            vec![ClassSpec::p99(ms(1000.0))],
+            Policy::TfEdf,
+        )
+        .with_warmup(0);
+        let arrivals: Vec<u64> = (0..100).collect();
+        let input = one_query_input(&arrivals, 0, 2);
+        let report = run_simulation(&cfg, &input);
+        let busy_ms = report.accepted_load() * report.elapsed.as_millis_f64() * 2.0;
+        assert!((busy_ms - 200.0).abs() < 1e-6, "busy {busy_ms}");
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_policies_share_work() {
+        let trace = Trace::generate(
+            "d",
+            &ArrivalProcess::poisson(1.0),
+            &QueryMix::single(FanoutDist::paper_mix()),
+            2_000,
+            3,
+        );
+        let input = SimInput::from_trace(&trace);
+        let base = SimConfig::new(
+            ClusterSpec::homogeneous(
+                100,
+                tailguard_workload::TailbenchWorkload::Masstree.service_dist(),
+            ),
+            vec![ClassSpec::p99(ms(1.0))],
+            Policy::TfEdf,
+        )
+        .with_warmup(0);
+
+        let mut a = run_simulation(&base, &input);
+        let mut b = run_simulation(&base, &input);
+        assert_eq!(a.class_tail(0, 0.99), b.class_tail(0, 0.99));
+        assert_eq!(a.completed_queries, b.completed_queries);
+
+        // Different policy, same total work (same draws).
+        let fifo = run_simulation(&base.clone().with_policy(Policy::Fifo), &input);
+        let work_a = a.accepted_load() * a.elapsed.as_millis_f64();
+        let work_f = fifo.accepted_load() * fifo.elapsed.as_millis_f64();
+        assert!((work_a - work_f).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_discards_prefix() {
+        let cfg = SimConfig::new(
+            det_cluster(1, 1.0),
+            vec![ClassSpec::p99(ms(100.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(5);
+        let input = one_query_input(&[0, 10, 20, 30, 40, 50, 60], 0, 1);
+        let report = run_simulation(&cfg, &input);
+        assert_eq!(report.completed_queries, 2); // 7 issued − 5 warm-up
+    }
+
+    #[test]
+    fn edf_reorders_for_tight_deadline() {
+        // One server busy; a loose-deadline task queued, then a tight one.
+        // TF-EDF must serve the tight one first; FIFO must not.
+        let cluster = det_cluster(1, 10.0);
+        let classes = vec![ClassSpec::p99(ms(1000.0)), ClassSpec::p99(ms(12.0))];
+        let input = SimInput {
+            requests: vec![
+                RequestInput {
+                    arrival: SimTime::ZERO,
+                    queries: vec![QuerySpec::new(0, 1)], // occupies the server
+                },
+                RequestInput {
+                    arrival: SimTime::from_millis(1),
+                    queries: vec![QuerySpec::new(0, 1)], // loose
+                },
+                RequestInput {
+                    arrival: SimTime::from_millis(2),
+                    queries: vec![QuerySpec::new(1, 1)], // tight
+                },
+            ],
+        };
+        let run = |policy: Policy| {
+            let cfg = SimConfig::new(cluster.clone(), classes.clone(), policy).with_warmup(0);
+            let mut r = run_simulation(&cfg, &input);
+            (
+                r.class_tail(0, 1.0).as_millis_f64(),
+                r.class_tail(1, 1.0).as_millis_f64(),
+            )
+        };
+        let (_, tight_fifo) = run(Policy::Fifo);
+        let (_, tight_edf) = run(Policy::TfEdf);
+        assert!(
+            tight_edf < tight_fifo,
+            "EDF must prioritize the tight class: {tight_edf} vs {tight_fifo}"
+        );
+    }
+
+    #[test]
+    fn priq_prefers_class_zero() {
+        let cluster = det_cluster(1, 10.0);
+        let classes = vec![ClassSpec::p99(ms(1000.0)), ClassSpec::p99(ms(1000.0))];
+        let input = SimInput {
+            requests: vec![
+                RequestInput {
+                    arrival: SimTime::ZERO,
+                    queries: vec![QuerySpec::new(1, 1)],
+                },
+                RequestInput {
+                    arrival: SimTime::from_millis(1),
+                    queries: vec![QuerySpec::new(1, 1)],
+                },
+                RequestInput {
+                    arrival: SimTime::from_millis(2),
+                    queries: vec![QuerySpec::new(0, 1)],
+                },
+            ],
+        };
+        let cfg = SimConfig::new(cluster, classes, Policy::Priq).with_warmup(0);
+        let mut r = run_simulation(&cfg, &input);
+        // Class 0 arrived last but jumps the queued class-1 task:
+        // finishes at 20ms (latency 18), class-1 queued finishes at 30 (29).
+        assert_eq!(r.class_tail(0, 1.0), ms(18.0));
+        assert_eq!(r.class_tail(1, 1.0), ms(29.0));
+    }
+
+    #[test]
+    fn admission_control_rejects_under_overload() {
+        // Overload a single slow server; with a tight threshold the
+        // controller must start rejecting queries.
+        let cfg = SimConfig::new(
+            det_cluster(1, 5.0),
+            vec![ClassSpec::p99(ms(6.0))],
+            Policy::TfEdf,
+        )
+        .with_admission(
+            AdmissionConfig::new(SimDuration::from_millis(100), 0.05).with_min_samples(5),
+        )
+        .with_warmup(0);
+        let arrivals: Vec<u64> = (0..200).collect(); // 1/ms vs capacity 0.2/ms
+        let input = one_query_input(&arrivals, 0, 1);
+        let report = run_simulation(&cfg, &input);
+        assert!(
+            report.rejected_queries > 80,
+            "rejected only {}",
+            report.rejected_queries
+        );
+        assert!(report.rejected_load() > 0.0);
+        assert!(report.offered_load() > report.accepted_load());
+    }
+
+    #[test]
+    fn multi_query_requests_run_sequentially() {
+        // A 3-query request on an idle cluster: request latency = 3 × 2ms.
+        let cfg = SimConfig::new(
+            det_cluster(2, 2.0),
+            vec![ClassSpec::p99(ms(100.0))],
+            Policy::TfEdf,
+        )
+        .with_warmup(0);
+        let input = SimInput {
+            requests: vec![RequestInput {
+                arrival: SimTime::ZERO,
+                queries: vec![
+                    QuerySpec::new(0, 2),
+                    QuerySpec::new(0, 2),
+                    QuerySpec::new(0, 2),
+                ],
+            }],
+        };
+        let mut report = run_simulation(&cfg, &input);
+        assert_eq!(report.completed_queries, 3);
+        let req = report
+            .request_latency_by_class
+            .get_mut(&0)
+            .expect("request latency recorded");
+        assert_eq!(req.percentile(1.0), ms(6.0));
+    }
+
+    #[test]
+    fn chained_query_cannot_double_start_a_server() {
+        // Regression: a request's successor query issued at completion time
+        // must not start on a server that still has queued work, nor
+        // double-occupy the server that just freed up.
+        let cfg = SimConfig::new(
+            det_cluster(1, 4.0),
+            vec![ClassSpec::p99(ms(1000.0))],
+            Policy::TfEdf,
+        )
+        .with_warmup(0);
+        let input = SimInput {
+            requests: vec![
+                RequestInput {
+                    arrival: SimTime::ZERO,
+                    queries: vec![QuerySpec::new(0, 1), QuerySpec::new(0, 1)],
+                },
+                RequestInput {
+                    arrival: SimTime::from_millis(1),
+                    queries: vec![QuerySpec::new(0, 1)],
+                },
+            ],
+        };
+        let mut report = run_simulation(&cfg, &input);
+        assert_eq!(report.completed_queries, 3);
+        // Serialized on one server: busy 12ms total, queued task (arrived
+        // at 1ms) runs second (finishes at 8ms, latency 7ms), chained query
+        // runs last (finishes at 12ms, its own latency 12-4=8ms).
+        assert_eq!(report.class_tail(0, 1.0), ms(8.0));
+        let req = report
+            .request_latency_by_class
+            .get_mut(&0)
+            .expect("request recorded");
+        assert_eq!(req.percentile(1.0), ms(12.0));
+    }
+
+    #[test]
+    fn explicit_placement_is_honored() {
+        // Pin both tasks to server 0: they serialize (latency 2·service).
+        let cfg = SimConfig::new(
+            det_cluster(4, 2.0),
+            vec![ClassSpec::p99(ms(100.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(0);
+        let input = SimInput {
+            requests: vec![RequestInput {
+                arrival: SimTime::ZERO,
+                queries: vec![QuerySpec {
+                    class: 0,
+                    fanout: 2,
+                    servers: Some(vec![0, 0]),
+                    budget_override: None,
+                    task_budgets: None,
+                }],
+            }],
+        };
+        let mut report = run_simulation(&cfg, &input);
+        assert_eq!(report.class_tail(0, 1.0), ms(4.0));
+    }
+
+    #[test]
+    fn budget_override_controls_deadline() {
+        // Zero budget → any queued task is late; generous budget → on time.
+        let mk_input = |budget: SimDuration| SimInput {
+            requests: vec![
+                RequestInput {
+                    arrival: SimTime::ZERO,
+                    queries: vec![QuerySpec::new(0, 1)],
+                },
+                RequestInput {
+                    arrival: SimTime::ZERO,
+                    queries: vec![QuerySpec {
+                        class: 0,
+                        fanout: 1,
+                        servers: None,
+                        budget_override: Some(budget),
+                        task_budgets: None,
+                    }],
+                },
+            ],
+        };
+        let cfg = SimConfig::new(
+            det_cluster(1, 5.0),
+            vec![ClassSpec::p99(ms(100.0))],
+            Policy::TfEdf,
+        )
+        .with_warmup(0);
+        let tight = run_simulation(&cfg, &mk_input(SimDuration::ZERO));
+        assert!(tight.deadline_miss_ratio() > 0.0);
+        let loose = run_simulation(&cfg, &mk_input(ms(50.0)));
+        assert_eq!(loose.deadline_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout 5 exceeds cluster size 2")]
+    fn oversized_fanout_panics() {
+        let cfg = SimConfig::new(
+            det_cluster(2, 1.0),
+            vec![ClassSpec::p99(ms(10.0))],
+            Policy::Fifo,
+        );
+        let input = one_query_input(&[0], 0, 5);
+        let _ = run_simulation(&cfg, &input);
+    }
+
+    #[test]
+    fn per_task_budgets_order_the_queue() {
+        // Footnote-4 ablation hook: two tasks of one query pinned to one
+        // busy server, with per-task budgets reversing arrival order.
+        let cfg = SimConfig::new(
+            det_cluster(1, 5.0),
+            vec![ClassSpec::p99(ms(1000.0))],
+            Policy::TfEdf,
+        )
+        .with_warmup(0);
+        let input = SimInput {
+            requests: vec![
+                RequestInput {
+                    arrival: SimTime::ZERO,
+                    queries: vec![QuerySpec::new(0, 1)], // occupies the server
+                },
+                RequestInput {
+                    arrival: SimTime::from_millis(1),
+                    queries: vec![QuerySpec {
+                        class: 0,
+                        fanout: 2,
+                        servers: Some(vec![0, 0]),
+                        budget_override: None,
+                        // Second task far more urgent than the first.
+                        task_budgets: Some(vec![ms(100.0), ms(1.0)]),
+                    }],
+                },
+            ],
+        };
+        let report = run_simulation(&cfg, &input);
+        // Pre-dequeue times: urgent task waited 4ms (served first at t=5),
+        // lax task waited 9ms (served at t=10).
+        let mut pre = report.pre_dequeue.clone();
+        assert_eq!(pre.percentile(1.0), ms(9.0));
+        let sorted = pre.sorted_samples().to_vec();
+        assert_eq!(sorted[1], ms(4.0).as_nanos());
+    }
+
+    #[test]
+    #[should_panic(expected = "task budget count must equal fanout")]
+    fn per_task_budgets_must_match_fanout() {
+        let cfg = SimConfig::new(
+            det_cluster(2, 1.0),
+            vec![ClassSpec::p99(ms(10.0))],
+            Policy::TfEdf,
+        );
+        let input = SimInput {
+            requests: vec![RequestInput {
+                arrival: SimTime::ZERO,
+                queries: vec![QuerySpec {
+                    class: 0,
+                    fanout: 2,
+                    servers: None,
+                    budget_override: None,
+                    task_budgets: Some(vec![ms(1.0)]),
+                }],
+            }],
+        };
+        let _ = run_simulation(&cfg, &input);
+    }
+
+    #[test]
+    fn slowdown_multiplies_service_after_cutover() {
+        use crate::spec::Slowdown;
+        let cfg = SimConfig::new(
+            det_cluster(1, 2.0),
+            vec![ClassSpec::p99(ms(1000.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(0)
+        .with_slowdown(Slowdown::new(SimTime::from_millis(5), 0..1, 3.0));
+        // One query before the cutover (latency 2ms), one after (6ms).
+        let input = one_query_input(&[0, 10], 0, 1);
+        let mut report = run_simulation(&cfg, &input);
+        assert_eq!(report.class_tail(0, 0.4), ms(2.0));
+        assert_eq!(report.class_tail(0, 1.0), ms(6.0));
+    }
+
+    #[test]
+    fn slowdown_only_affects_named_servers() {
+        use crate::spec::Slowdown;
+        let cfg = SimConfig::new(
+            det_cluster(2, 2.0),
+            vec![ClassSpec::p99(ms(1000.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(0)
+        .with_slowdown(Slowdown::new(SimTime::ZERO, 1..2, 5.0));
+        // Fanout 2: one task per server. Slow server dominates: 10ms.
+        let input = one_query_input(&[0], 0, 2);
+        let mut report = run_simulation(&cfg, &input);
+        assert_eq!(report.class_tail(0, 1.0), ms(10.0));
+        // Fast server's busy time stays 2ms.
+        assert_eq!(report.busy_by_server[0], ms(2.0));
+        assert_eq!(report.busy_by_server[1], ms(10.0));
+    }
+
+    #[test]
+    fn slowdowns_compose_multiplicatively() {
+        use crate::spec::Slowdown;
+        let cfg = SimConfig::new(
+            det_cluster(1, 1.0),
+            vec![ClassSpec::p99(ms(1000.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(0)
+        .with_slowdown(Slowdown::new(SimTime::ZERO, 0..1, 2.0))
+        .with_slowdown(Slowdown::new(SimTime::ZERO, 0..1, 3.0));
+        let input = one_query_input(&[0], 0, 1);
+        let mut report = run_simulation(&cfg, &input);
+        assert_eq!(report.class_tail(0, 1.0), ms(6.0));
+    }
+
+    #[test]
+    fn empty_input_is_benign() {
+        let cfg = SimConfig::new(
+            det_cluster(2, 1.0),
+            vec![ClassSpec::p99(ms(10.0))],
+            Policy::Fifo,
+        );
+        let report = run_simulation(&cfg, &SimInput::default());
+        assert_eq!(report.completed_queries, 0);
+        assert_eq!(report.elapsed, SimTime::ZERO);
+    }
+}

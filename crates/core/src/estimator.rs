@@ -1,0 +1,558 @@
+//! Task queuing deadline estimation — the paper's task decomposition
+//! (§III.B).
+//!
+//! For a query of class `c` (SLO `x_p^SLO`) with fanout `k_f` dispatched to
+//! a known set of servers, the estimator computes the *task pre-dequeuing
+//! time budget*
+//!
+//! ```text
+//! T_b = x_p^SLO − x_p^u(k_f)                        (Eq. 6)
+//! ```
+//!
+//! where `x_p^u(k_f)` solves `Π_l F_l^u(t) = p` over the unloaded
+//! response-time CDFs of the chosen servers (Eqs. 1–2). The query handler
+//! then stamps every task of the query with the deadline `t_D = t_0 + T_b`.
+//!
+//! Two CDF sources are supported, mirroring §III.B.2:
+//!
+//! * [`EstimatorMode::Analytic`] — the true service distributions of the
+//!   cluster (the idealized simulation setting),
+//! * [`EstimatorMode::Online`] — per-group streaming histograms seeded by an
+//!   offline estimation pass and updated as task results return, with
+//!   budgets recomputed in the background every `refresh_every` samples.
+//!
+//! Servers are organized into *groups* sharing a CDF (all servers in the
+//! homogeneous simulations; one group per hardware cluster in the SaS
+//! testbed — "we let all 8 edge nodes in each cluster share the same CDF").
+//! Budgets are cached per `(class, group-multiset)`, so the steady-state
+//! cost of a deadline is one hash lookup — the "lightweight" property the
+//! paper claims.
+
+use crate::spec::{ClassSpec, ClusterSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tailguard_dist::{order_stats, Cdf, CdfSnapshot, DynDistribution, LogHistogram};
+use tailguard_simcore::{SimDuration, SimRng};
+
+/// Where the estimator's per-server CDFs come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorMode {
+    /// Use the cluster's true service distributions (idealized; the
+    /// simulation setting of §IV.B–D).
+    Analytic,
+    /// Maintain per-group streaming histograms updated from observed task
+    /// post-queuing times (§III.B.2).
+    Online {
+        /// Recompute cached budgets after this many new observations.
+        refresh_every: u64,
+        /// Samples drawn per group in the offline seeding pass
+        /// ([`DeadlineEstimator::seed_offline`]).
+        offline_samples: usize,
+    },
+}
+
+impl EstimatorMode {
+    /// The default online configuration: refresh every 10 000 observations,
+    /// seed with 100 000 offline samples per group.
+    pub fn online_default() -> Self {
+        EstimatorMode::Online {
+            refresh_every: 10_000,
+            offline_samples: 100_000,
+        }
+    }
+}
+
+/// A multiset of server groups, canonicalized as sorted `(group, count)`
+/// pairs — the cache key for budgets.
+type GroupKey = Vec<(u32, u32)>;
+
+enum CdfSource {
+    Analytic(Vec<DynDistribution>), // one per group
+    Online(Vec<Arc<CdfSnapshot>>),  // one per group
+}
+
+/// Computes task pre-dequeuing budgets `T_b(x_p^SLO, k_f)` (Eq. 6).
+///
+/// # Example
+///
+/// ```
+/// use tailguard::{ClassSpec, ClusterSpec, DeadlineEstimator, EstimatorMode};
+/// use tailguard_simcore::SimDuration;
+/// use tailguard_workload::TailbenchWorkload;
+///
+/// let cluster = ClusterSpec::homogeneous(100, TailbenchWorkload::Masstree.service_dist());
+/// let classes = vec![ClassSpec::p99(SimDuration::from_millis_f64(1.0))];
+/// let mut est = DeadlineEstimator::new(&cluster, classes, EstimatorMode::Analytic);
+///
+/// // Paper §IV.C: budget for class I at fanout 100 is 1 − 0.473 ≈ 0.527 ms.
+/// let b = est.budget(0, 100, &[0; 0]); // empty server list = uniform placement
+/// assert!((b.as_millis_f64() - 0.527).abs() < 0.01);
+/// ```
+pub struct DeadlineEstimator {
+    classes: Vec<ClassSpec>,
+    group_of: Vec<u32>, // server -> group
+    group_count: usize,
+    source: CdfSource,
+    hists: Vec<LogHistogram>, // per group; empty in analytic mode
+    budget_cache: HashMap<(u8, GroupKey), SimDuration>,
+    tail_cache: HashMap<(u8, GroupKey), SimDuration>,
+    refresh_every: u64,
+    since_refresh: u64,
+    refreshes: u64,
+}
+
+impl std::fmt::Debug for DeadlineEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeadlineEstimator")
+            .field("classes", &self.classes.len())
+            .field("groups", &self.group_count)
+            .field("cached_budgets", &self.budget_cache.len())
+            .field("refreshes", &self.refreshes)
+            .finish()
+    }
+}
+
+impl DeadlineEstimator {
+    /// Creates an estimator for `cluster` and `classes`.
+    ///
+    /// Server groups are derived from the cluster: servers sharing the same
+    /// distribution object form one group.
+    ///
+    /// In [`EstimatorMode::Online`] the histograms start empty — call
+    /// [`DeadlineEstimator::seed_offline`] to run the offline estimation
+    /// pass before the first budget query, or budgets fall back to the
+    /// analytic CDFs until data arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes` is empty.
+    pub fn new(cluster: &ClusterSpec, classes: Vec<ClassSpec>, mode: EstimatorMode) -> Self {
+        assert!(!classes.is_empty(), "need at least one class");
+        // Group servers by distribution identity.
+        let mut group_of = Vec::with_capacity(cluster.servers());
+        let mut reps: Vec<DynDistribution> = Vec::new();
+        for i in 0..cluster.servers() {
+            let d = cluster.service_of(i);
+            let gid = reps
+                .iter()
+                .position(|r| Arc::ptr_eq(r, d))
+                .unwrap_or_else(|| {
+                    reps.push(Arc::clone(d));
+                    reps.len() - 1
+                });
+            group_of.push(gid as u32);
+        }
+        let group_count = reps.len();
+        let (source, hists, refresh_every) = match mode {
+            EstimatorMode::Analytic => (CdfSource::Analytic(reps), Vec::new(), u64::MAX),
+            EstimatorMode::Online { refresh_every, .. } => (
+                CdfSource::Analytic(reps), // fallback until seeded
+                vec![LogHistogram::new(); group_count],
+                refresh_every,
+            ),
+        };
+        DeadlineEstimator {
+            classes,
+            group_of,
+            group_count,
+            source,
+            hists,
+            budget_cache: HashMap::new(),
+            tail_cache: HashMap::new(),
+            refresh_every,
+            since_refresh: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Runs the paper's offline estimation process: samples each group's
+    /// true distribution `samples` times into its histogram and switches the
+    /// estimator onto the measured CDFs.
+    ///
+    /// No-op in analytic mode.
+    pub fn seed_offline(&mut self, cluster: &ClusterSpec, samples: usize, rng: &mut SimRng) {
+        if self.hists.is_empty() {
+            return;
+        }
+        for server in 0..cluster.servers() {
+            let g = self.group_of[server] as usize;
+            // Spread samples evenly across the group's servers.
+            let members = self.group_of.iter().filter(|&&x| x == g as u32).count();
+            let per_server = samples.div_ceil(members);
+            let d = cluster.service_of(server);
+            for _ in 0..per_server {
+                self.hists[g].record(d.sample(rng));
+            }
+        }
+        self.rebuild_snapshots();
+    }
+
+    /// Records an observed task post-queuing time for `server` (the online
+    /// updating process). Cached budgets are refreshed every
+    /// `refresh_every` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `server` is out of range.
+    pub fn record_post_queuing(&mut self, server: usize, t: SimDuration) {
+        if self.hists.is_empty() {
+            return; // analytic mode ignores observations
+        }
+        let g = self.group_of[server] as usize;
+        self.hists[g].record(t.as_millis_f64());
+        self.since_refresh += 1;
+        if self.since_refresh >= self.refresh_every {
+            self.rebuild_snapshots();
+        }
+    }
+
+    fn rebuild_snapshots(&mut self) {
+        let snaps: Vec<Arc<CdfSnapshot>> =
+            self.hists.iter().map(|h| Arc::new(h.snapshot())).collect();
+        // Only switch to measured CDFs once every group has data; otherwise
+        // a fanout spanning an empty group would see cdf == 0 forever.
+        if snaps.iter().all(|s| !s.is_empty()) {
+            self.source = CdfSource::Online(snaps);
+        }
+        self.budget_cache.clear();
+        self.tail_cache.clear();
+        self.since_refresh = 0;
+        self.refreshes += 1;
+    }
+
+    /// Number of background refreshes performed so far.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Forces an immediate snapshot rebuild and cache flush — used after an
+    /// explicit offline calibration pass so budgets come from measured CDFs
+    /// from the very first query. No-op in analytic mode.
+    pub fn refresh_now(&mut self) {
+        if !self.hists.is_empty() {
+            self.rebuild_snapshots();
+        }
+    }
+
+    /// The class table.
+    pub fn classes(&self) -> &[ClassSpec] {
+        &self.classes
+    }
+
+    fn group_key(&self, fanout: u32, servers: &[u32]) -> GroupKey {
+        if servers.is_empty() || self.group_count == 1 {
+            // Uniform placement over a homogeneous cluster (or unknown
+            // placement): all tasks belong to group 0's CDF.
+            if self.group_count == 1 {
+                return vec![(0, fanout)];
+            }
+            // Unknown placement on a heterogeneous cluster: approximate by
+            // spreading tasks across groups proportionally to group size.
+            let mut counts = vec![0u32; self.group_count];
+            let n = self.group_of.len() as u32;
+            for (g, c) in counts.iter_mut().enumerate() {
+                let members = self.group_of.iter().filter(|&&x| x == g as u32).count() as u32;
+                *c = (fanout * members).div_ceil(n);
+            }
+            return counts
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .map(|(g, c)| (g as u32, c))
+                .collect();
+        }
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for &s in servers {
+            let g = self.group_of[s as usize];
+            *counts.entry(g).or_insert(0) += 1;
+        }
+        let mut key: GroupKey = counts.into_iter().collect();
+        key.sort_unstable();
+        key
+    }
+
+    /// The unloaded `p`-th percentile query tail latency `x_p^u(k_f)`
+    /// (Eq. 2) for a query of `class` with `fanout` tasks on `servers`.
+    ///
+    /// Pass an empty `servers` slice for uniform placement on a homogeneous
+    /// cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range or `fanout` is zero.
+    pub fn unloaded_query_tail(&mut self, class: u8, fanout: u32, servers: &[u32]) -> SimDuration {
+        assert!(fanout >= 1, "fanout must be at least 1");
+        let spec = self.classes[class as usize];
+        let key = self.group_key(fanout, servers);
+        if let Some(&t) = self.tail_cache.get(&(class, key.clone())) {
+            return t;
+        }
+        let ms = self.solve_tail(&key, spec.percentile);
+        let t = SimDuration::from_millis_f64(ms);
+        self.tail_cache.insert((class, key), t);
+        t
+    }
+
+    fn solve_tail(&self, key: &GroupKey, p: f64) -> f64 {
+        match &self.source {
+            CdfSource::Analytic(reps) => {
+                let pairs: Vec<(&dyn Cdf, u32)> = key
+                    .iter()
+                    .map(|&(g, c)| (reps[g as usize].as_ref() as &dyn Cdf, c))
+                    .collect();
+                order_stats::grouped_quantile(&pairs, p)
+            }
+            CdfSource::Online(snaps) => {
+                let pairs: Vec<(&dyn Cdf, u32)> = key
+                    .iter()
+                    .map(|&(g, c)| (snaps[g as usize].as_ref() as &dyn Cdf, c))
+                    .collect();
+                order_stats::grouped_quantile(&pairs, p)
+            }
+        }
+    }
+
+    /// The task pre-dequeuing time budget `T_b = x_p^SLO − x_p^u(k_f)`
+    /// (Eq. 6), clamped at zero when the unloaded tail already exceeds the
+    /// SLO (such queries are maximally urgent).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range or `fanout` is zero.
+    pub fn budget(&mut self, class: u8, fanout: u32, servers: &[u32]) -> SimDuration {
+        assert!(fanout >= 1, "fanout must be at least 1");
+        let spec = self.classes[class as usize];
+        let key = self.group_key(fanout, servers);
+        if let Some(&b) = self.budget_cache.get(&(class, key.clone())) {
+            return b;
+        }
+        let tail = SimDuration::from_millis_f64(self.solve_tail(&key, spec.percentile));
+        let b = spec.slo.saturating_sub(tail);
+        self.budget_cache.insert((class, key), b);
+        b
+    }
+
+    /// Number of distinct `(class, placement)` budgets currently cached.
+    pub fn cached_budget_count(&self) -> usize {
+        self.budget_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailguard_dist::{Deterministic, Distribution, Exponential};
+    use tailguard_simcore::SimTime;
+    use tailguard_workload::TailbenchWorkload;
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis_f64(v)
+    }
+
+    fn masstree_cluster(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(n, TailbenchWorkload::Masstree.service_dist())
+    }
+
+    #[test]
+    fn paper_section_ivc_budgets() {
+        // §IV.C: Masstree, fanout 100, class I SLO 1ms, class II 1.5ms:
+        // budgets 1−0.473 = 0.527 ms and 1.5−0.473 = 1.027 ms.
+        let cluster = masstree_cluster(100);
+        let classes = vec![ClassSpec::p99(ms(1.0)), ClassSpec::p99(ms(1.5))];
+        let mut est = DeadlineEstimator::new(&cluster, classes, EstimatorMode::Analytic);
+        let b0 = est.budget(0, 100, &[]);
+        let b1 = est.budget(1, 100, &[]);
+        assert!((b0.as_millis_f64() - 0.527).abs() < 0.01, "b0={b0}");
+        assert!((b1.as_millis_f64() - 1.027).abs() < 0.01, "b1={b1}");
+    }
+
+    #[test]
+    fn budget_decreases_with_fanout() {
+        let cluster = masstree_cluster(100);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(1.0))],
+            EstimatorMode::Analytic,
+        );
+        let b1 = est.budget(0, 1, &[]);
+        let b10 = est.budget(0, 10, &[]);
+        let b100 = est.budget(0, 100, &[]);
+        assert!(b1 > b10 && b10 > b100);
+    }
+
+    #[test]
+    fn budget_clamps_at_zero() {
+        // SLO below even the unloaded tail.
+        let cluster = masstree_cluster(10);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(0.1))],
+            EstimatorMode::Analytic,
+        );
+        assert_eq!(est.budget(0, 10, &[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn budgets_are_cached() {
+        let cluster = masstree_cluster(100);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(1.0))],
+            EstimatorMode::Analytic,
+        );
+        let _ = est.budget(0, 100, &[]);
+        let _ = est.budget(0, 100, &[]);
+        let _ = est.budget(0, 10, &[]);
+        assert_eq!(est.cached_budget_count(), 2);
+    }
+
+    #[test]
+    fn heterogeneous_placement_matters() {
+        let fast: DynDistribution = Arc::new(Exponential::with_mean(0.1));
+        let slow: DynDistribution = Arc::new(Exponential::with_mean(1.0));
+        let cluster = ClusterSpec::heterogeneous(vec![
+            Arc::clone(&fast),
+            Arc::clone(&fast),
+            Arc::clone(&slow),
+            Arc::clone(&slow),
+        ]);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(10.0))],
+            EstimatorMode::Analytic,
+        );
+        let fast_budget = est.budget(0, 2, &[0, 1]);
+        let slow_budget = est.budget(0, 2, &[2, 3]);
+        assert!(
+            fast_budget > slow_budget,
+            "fast placement must leave more budget: {fast_budget} vs {slow_budget}"
+        );
+        // Mixed placement lies in between.
+        let mixed = est.budget(0, 2, &[0, 2]);
+        assert!(mixed < fast_budget && mixed >= slow_budget);
+    }
+
+    #[test]
+    fn group_key_canonical_across_orderings() {
+        let fast: DynDistribution = Arc::new(Exponential::with_mean(0.1));
+        let slow: DynDistribution = Arc::new(Exponential::with_mean(1.0));
+        let cluster =
+            ClusterSpec::heterogeneous(vec![Arc::clone(&fast), Arc::clone(&slow), fast, slow]);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(10.0))],
+            EstimatorMode::Analytic,
+        );
+        let a = est.budget(0, 2, &[0, 1]);
+        let b = est.budget(0, 2, &[3, 2]); // same group multiset, other order
+        assert_eq!(a, b);
+        assert_eq!(est.cached_budget_count(), 1);
+    }
+
+    #[test]
+    fn online_seeded_matches_analytic() {
+        let cluster = masstree_cluster(100);
+        let classes = vec![ClassSpec::p99(ms(1.0))];
+        let mut analytic =
+            DeadlineEstimator::new(&cluster, classes.clone(), EstimatorMode::Analytic);
+        let mut online = DeadlineEstimator::new(
+            &cluster,
+            classes,
+            EstimatorMode::Online {
+                refresh_every: 10_000,
+                offline_samples: 400_000,
+            },
+        );
+        let mut rng = SimRng::seed(5);
+        online.seed_offline(&cluster, 400_000, &mut rng);
+        for k in [1u32, 10, 100] {
+            let a = analytic.budget(0, k, &[]).as_millis_f64();
+            let o = online.budget(0, k, &[]).as_millis_f64();
+            assert!((a - o).abs() < 0.05, "k={k}: analytic {a} vs online {o}");
+        }
+    }
+
+    #[test]
+    fn online_tracks_server_slowdown() {
+        // Failure injection: a server group slows down 5×; after online
+        // updates the budget must tighten (x_p^u grows).
+        let base: DynDistribution = Arc::new(Exponential::with_mean(0.2));
+        let cluster = ClusterSpec::heterogeneous(vec![Arc::clone(&base), base]);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(20.0))],
+            EstimatorMode::Online {
+                refresh_every: 2_000,
+                offline_samples: 50_000,
+            },
+        );
+        let mut rng = SimRng::seed(6);
+        est.seed_offline(&cluster, 50_000, &mut rng);
+        let before = est.budget(0, 2, &[0, 1]);
+
+        // Both servers now observed 5× slower.
+        let slow = Exponential::with_mean(1.0);
+        for _ in 0..200_000 {
+            est.record_post_queuing(0, ms(slow.sample(&mut rng)));
+            est.record_post_queuing(1, ms(slow.sample(&mut rng)));
+        }
+        let after = est.budget(0, 2, &[0, 1]);
+        assert!(
+            after < before,
+            "budget must tighten after slowdown: {before} -> {after}"
+        );
+        assert!(est.refresh_count() > 10);
+    }
+
+    #[test]
+    fn deadline_is_t0_plus_budget() {
+        // Smoke-test the Eq. 6 composition used by the query handler.
+        let cluster = masstree_cluster(100);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(1.0))],
+            EstimatorMode::Analytic,
+        );
+        let t0 = SimTime::from_millis(7);
+        let deadline = t0 + est.budget(0, 100, &[]);
+        assert!(deadline > t0);
+        assert!(deadline < t0 + ms(1.0));
+    }
+
+    #[test]
+    fn analytic_ignores_observations() {
+        let cluster = masstree_cluster(10);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(1.0))],
+            EstimatorMode::Analytic,
+        );
+        let before = est.budget(0, 10, &[]);
+        for _ in 0..50_000 {
+            est.record_post_queuing(0, ms(100.0));
+        }
+        // Cache not even invalidated: same value, zero refreshes.
+        assert_eq!(est.budget(0, 10, &[]), before);
+        assert_eq!(est.refresh_count(), 0);
+    }
+
+    #[test]
+    fn unknown_placement_on_heterogeneous_spreads_proportionally() {
+        let fast: DynDistribution = Arc::new(Deterministic::new(0.1));
+        let slow: DynDistribution = Arc::new(Deterministic::new(1.0));
+        let cluster = ClusterSpec::heterogeneous(vec![
+            Arc::clone(&fast),
+            Arc::clone(&fast),
+            Arc::clone(&fast),
+            slow,
+        ]);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(5.0))],
+            EstimatorMode::Analytic,
+        );
+        // fanout 4, unknown placement: 3 fast + 1 slow → tail = 1.0ms.
+        let tail = est.unloaded_query_tail(0, 4, &[]);
+        assert!((tail.as_millis_f64() - 1.0).abs() < 1e-6, "tail {tail}");
+    }
+}

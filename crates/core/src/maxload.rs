@@ -1,0 +1,229 @@
+//! Max-load search and load sweeps — the measurement harness behind
+//! Figs. 4–6.
+//!
+//! The paper reports, per policy, "the maximum load at which all three
+//! types of queries meet their tail latency SLOs" (§IV.B). We reproduce
+//! that as a bisection over offered load `ρ`: each probe generates the
+//! scenario's workload at `ρ`, runs the simulator, and asks
+//! [`SimReport::meets_all_slos`].
+
+use crate::cluster::run_simulation;
+use crate::report::SimReport;
+use crate::spec::Scenario;
+use std::collections::BTreeMap;
+use tailguard_policy::Policy;
+use tailguard_simcore::SimDuration;
+
+/// Tuning knobs for [`max_load`] and [`sweep_loads`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxLoadOptions {
+    /// Queries simulated per probe (more = tighter tail estimates; the
+    /// paper-scale benches use 300k+, tests use ~20k).
+    pub queries: usize,
+    /// Lower bracket of the search (load fraction).
+    pub lo: f64,
+    /// Upper bracket of the search (load fraction).
+    pub hi: f64,
+    /// Bisection stops when the bracket is narrower than this.
+    pub tolerance: f64,
+    /// Fraction of queries discarded as warm-up.
+    pub warmup_fraction: f64,
+}
+
+impl Default for MaxLoadOptions {
+    fn default() -> Self {
+        MaxLoadOptions {
+            queries: 100_000,
+            lo: 0.05,
+            hi: 0.95,
+            tolerance: 0.01,
+            warmup_fraction: 0.05,
+        }
+    }
+}
+
+/// One point of a load sweep (Figs. 6, 7, 9).
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// The offered load the scenario was generated at.
+    pub load: f64,
+    /// Measured tail latency per class, at each class's percentile.
+    pub tails_by_class: BTreeMap<u8, SimDuration>,
+    /// Whether every query type met its SLO at this load.
+    pub meets: bool,
+    /// Fraction of tasks that missed their queuing deadline.
+    pub miss_ratio: f64,
+    /// Measured (accepted) load.
+    pub measured_load: f64,
+}
+
+/// Runs the scenario once at offered load `load` under `policy`.
+///
+/// # Panics
+///
+/// Panics when `load` is not positive (via the rate computation).
+pub fn measure_at_load(
+    scenario: &Scenario,
+    policy: Policy,
+    load: f64,
+    opts: &MaxLoadOptions,
+) -> SimReport {
+    let input = scenario.input(load, opts.queries);
+    let warmup = (opts.queries as f64 * opts.warmup_fraction) as usize;
+    let config = scenario.config(policy).with_warmup(warmup);
+    run_simulation(&config, &input)
+}
+
+fn meets(scenario: &Scenario, policy: Policy, load: f64, opts: &MaxLoadOptions) -> bool {
+    measure_at_load(scenario, policy, load, opts).meets_all_slos()
+}
+
+/// Bisects for the maximum offered load at which every query type meets its
+/// SLO. Returns `opts.lo` when even the lower bracket fails, and `opts.hi`
+/// when the upper bracket passes.
+///
+/// # Example
+///
+/// ```
+/// use tailguard::{scenarios, max_load, MaxLoadOptions};
+/// use tailguard_policy::Policy;
+/// use tailguard_workload::TailbenchWorkload;
+///
+/// let s = scenarios::single_class(TailbenchWorkload::Masstree, 1.2, 100);
+/// let opts = MaxLoadOptions { queries: 15_000, tolerance: 0.05, ..Default::default() };
+/// let load = max_load(&s, Policy::TfEdf, &opts);
+/// assert!(load > 0.05);
+/// ```
+pub fn max_load(scenario: &Scenario, policy: Policy, opts: &MaxLoadOptions) -> f64 {
+    assert!(
+        opts.lo > 0.0 && opts.lo < opts.hi && opts.hi < 1.0,
+        "need 0 < lo < hi < 1"
+    );
+    if meets(scenario, policy, opts.hi, opts) {
+        return opts.hi;
+    }
+    if !meets(scenario, policy, opts.lo, opts) {
+        return opts.lo;
+    }
+    let (mut lo, mut hi) = (opts.lo, opts.hi);
+    while hi - lo > opts.tolerance {
+        let mid = 0.5 * (lo + hi);
+        if meets(scenario, policy, mid, opts) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Measures per-class tails at each load in `loads` (the Fig. 6 curves).
+pub fn sweep_loads(
+    scenario: &Scenario,
+    policy: Policy,
+    loads: &[f64],
+    opts: &MaxLoadOptions,
+) -> Vec<LoadPoint> {
+    loads
+        .iter()
+        .map(|&load| {
+            let mut report = measure_at_load(scenario, policy, load, opts);
+            let mut tails = BTreeMap::new();
+            for (class, spec) in scenario.classes.iter().enumerate() {
+                tails.insert(class as u8, report.class_tail(class as u8, spec.percentile));
+            }
+            LoadPoint {
+                load,
+                tails_by_class: tails,
+                meets: report.meets_all_slos(),
+                miss_ratio: report.deadline_miss_ratio(),
+                measured_load: report.accepted_load(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use tailguard_workload::TailbenchWorkload;
+
+    fn quick_opts() -> MaxLoadOptions {
+        MaxLoadOptions {
+            queries: 15_000,
+            tolerance: 0.05,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn measured_load_tracks_offered_load() {
+        let s = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+        let report = measure_at_load(&s, Policy::Fifo, 0.4, &quick_opts());
+        let measured = report.accepted_load();
+        assert!(
+            (measured - 0.4).abs() < 0.05,
+            "offered 0.40, measured {measured:.3}"
+        );
+    }
+
+    #[test]
+    fn low_load_meets_high_load_fails() {
+        let s = scenarios::single_class(TailbenchWorkload::Masstree, 0.8, 100);
+        let opts = quick_opts();
+        let mut low = measure_at_load(&s, Policy::TfEdf, 0.08, &opts);
+        assert!(low.meets_all_slos(), "{}", low.render_table());
+        let mut high = measure_at_load(&s, Policy::TfEdf, 0.92, &opts);
+        assert!(!high.meets_all_slos(), "{}", high.render_table());
+    }
+
+    #[test]
+    fn bisection_brackets_the_boundary() {
+        let s = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+        let opts = quick_opts();
+        let load = max_load(&s, Policy::TfEdf, &opts);
+        assert!(load > opts.lo && load < opts.hi, "load {load}");
+        // The found load must itself pass.
+        assert!(meets(&s, Policy::TfEdf, load, &opts));
+    }
+
+    #[test]
+    fn tailguard_at_least_matches_fifo() {
+        // The headline claim, in miniature.
+        let s = scenarios::single_class(TailbenchWorkload::Masstree, 0.9, 100);
+        let opts = quick_opts();
+        let tg = max_load(&s, Policy::TfEdf, &opts);
+        let fifo = max_load(&s, Policy::Fifo, &opts);
+        assert!(
+            tg >= fifo - opts.tolerance,
+            "TailGuard {tg:.3} must not lose to FIFO {fifo:.3}"
+        );
+    }
+
+    #[test]
+    fn sweep_monotone_tails() {
+        let s = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+        let pts = sweep_loads(&s, Policy::Fifo, &[0.2, 0.5, 0.8], &quick_opts());
+        assert_eq!(pts.len(), 3);
+        // Tail latency grows with load.
+        let t: Vec<f64> = pts
+            .iter()
+            .map(|p| p.tails_by_class[&0].as_millis_f64())
+            .collect();
+        assert!(t[0] < t[2], "tails {t:?}");
+        assert!(pts[0].meets, "low load point must meet SLO");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo < hi < 1")]
+    fn rejects_bad_bracket() {
+        let s = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+        let opts = MaxLoadOptions {
+            lo: 0.9,
+            hi: 0.1,
+            ..quick_opts()
+        };
+        let _ = max_load(&s, Policy::Fifo, &opts);
+    }
+}

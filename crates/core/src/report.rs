@@ -1,0 +1,247 @@
+//! Results of a simulation run.
+
+use crate::spec::ClassSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+use tailguard_metrics::{LatencyReservoir, LoadStats};
+use tailguard_policy::Policy;
+use tailguard_simcore::{SimDuration, SimTime};
+
+/// A query *type*: the paper measures tail latency separately per
+/// `(class, fanout)` pair, because meeting the SLO "for queries as a whole
+/// does not guarantee that queries of individual types can meet" it
+/// (§IV.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryTypeKey {
+    /// Service class index.
+    pub class: u8,
+    /// Query fanout.
+    pub fanout: u32,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// The policy that produced this report.
+    pub policy: Policy,
+    /// The class SLOs the run was configured with.
+    pub classes: Vec<ClassSpec>,
+    /// Query latencies per class (post-warm-up).
+    pub query_latency_by_class: BTreeMap<u8, LatencyReservoir>,
+    /// Query latencies per `(class, fanout)` type (post-warm-up).
+    pub query_latency_by_type: BTreeMap<QueryTypeKey, LatencyReservoir>,
+    /// Request latencies keyed by the class of the request's first query
+    /// (only populated for multi-query requests).
+    pub request_latency_by_class: BTreeMap<u8, LatencyReservoir>,
+    /// Task pre-dequeuing times (queuing delay before reaching the server).
+    pub pre_dequeue: LatencyReservoir,
+    /// Load accounting (busy time, accepted/rejected work, miss counts).
+    pub load: LoadStats,
+    /// Executed service time per server — lets experiments report per-server
+    /// or per-cluster utilization (Fig. 9's x-axis is the Server-room
+    /// cluster's load).
+    pub busy_by_server: Vec<SimDuration>,
+    /// Simulated time at the last processed event.
+    pub elapsed: SimTime,
+    /// Queries whose latency was recorded (arrived after warm-up and were
+    /// admitted).
+    pub completed_queries: u64,
+    /// Queries rejected by admission control.
+    pub rejected_queries: u64,
+}
+
+impl SimReport {
+    /// Minimum per-type sample count for a type to participate in SLO
+    /// verdicts; tinier types are statistically meaningless.
+    pub const MIN_TYPE_SAMPLES: usize = 20;
+
+    /// The measured `p`-th percentile query latency of `class`
+    /// ([`SimDuration::ZERO`] if the class saw no queries).
+    pub fn class_tail(&mut self, class: u8, p: f64) -> SimDuration {
+        self.query_latency_by_class
+            .get_mut(&class)
+            .map(|r| r.percentile(p))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The measured tail of one `(class, fanout)` type at that class's
+    /// configured percentile.
+    pub fn type_tail(&mut self, class: u8, fanout: u32) -> SimDuration {
+        let p = self.classes[class as usize].percentile;
+        self.query_latency_by_type
+            .get_mut(&QueryTypeKey { class, fanout })
+            .map(|r| r.percentile(p))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// True when **every** query type with at least
+    /// [`Self::MIN_TYPE_SAMPLES`] samples meets its class SLO — the paper's
+    /// acceptance criterion for a load point.
+    pub fn meets_all_slos(&mut self) -> bool {
+        let classes = self.classes.clone();
+        let keys: Vec<QueryTypeKey> = self
+            .query_latency_by_type
+            .iter()
+            .filter(|(_, r)| r.len() >= Self::MIN_TYPE_SAMPLES)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.into_iter().all(|k| {
+            let spec = classes[k.class as usize];
+            let tail = self
+                .query_latency_by_type
+                .get_mut(&k)
+                .expect("key just listed")
+                .percentile(spec.percentile);
+            tail <= spec.slo
+        })
+    }
+
+    /// Measured (accepted) load: executed busy time over cluster capacity.
+    pub fn accepted_load(&self) -> f64 {
+        self.load.accepted_load(self.elapsed)
+    }
+
+    /// Load equivalent of admission-rejected work.
+    pub fn rejected_load(&self) -> f64 {
+        self.load.rejected_load(self.elapsed)
+    }
+
+    /// Offered load = accepted + rejected.
+    pub fn offered_load(&self) -> f64 {
+        self.load.offered_load(self.elapsed)
+    }
+
+    /// Mean utilization of a contiguous server range (e.g. one hardware
+    /// cluster of the SaS testbed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or empty, or when no time has
+    /// elapsed.
+    pub fn server_range_load(&self, range: std::ops::Range<usize>) -> f64 {
+        assert!(!range.is_empty() && range.end <= self.busy_by_server.len());
+        assert!(self.elapsed > SimTime::ZERO, "no simulated time elapsed");
+        let busy: f64 = self.busy_by_server[range.clone()]
+            .iter()
+            .map(|d| d.as_nanos() as f64)
+            .sum();
+        busy / (self.elapsed.as_nanos() as f64 * range.len() as f64)
+    }
+
+    /// Fraction of dequeued tasks that missed their queuing deadline.
+    pub fn deadline_miss_ratio(&self) -> f64 {
+        self.load.deadline_miss_ratio()
+    }
+
+    /// A human-readable multi-line summary (one row per query type).
+    pub fn render_table(&mut self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "policy={} load={:.1}% miss={:.2}% completed={} rejected={}",
+            self.policy,
+            self.accepted_load() * 100.0,
+            self.deadline_miss_ratio() * 100.0,
+            self.completed_queries,
+            self.rejected_queries
+        );
+        let keys: Vec<QueryTypeKey> = self.query_latency_by_type.keys().copied().collect();
+        for k in keys {
+            let spec = self.classes[k.class as usize];
+            let tail = self.type_tail(k.class, k.fanout);
+            let n = self.query_latency_by_type[&k].len();
+            let _ = writeln!(
+                out,
+                "  class {} fanout {:>4}: p{:>4.1} = {:>8.3} ms (SLO {:>8.3} ms, n={})",
+                k.class,
+                k.fanout,
+                spec.percentile * 100.0,
+                tail.as_millis_f64(),
+                spec.slo.as_millis_f64(),
+                n
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SimReport[{} — {} queries, load {:.1}%]",
+            self.policy,
+            self.completed_queries,
+            self.accepted_load() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailguard_simcore::SimDuration;
+
+    fn report_with_type(class: u8, fanout: u32, samples: Vec<u64>) -> SimReport {
+        let mut by_type = BTreeMap::new();
+        let mut by_class = BTreeMap::new();
+        let res: LatencyReservoir = samples
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .collect();
+        by_type.insert(QueryTypeKey { class, fanout }, res.clone());
+        by_class.insert(class, res);
+        SimReport {
+            policy: Policy::TfEdf,
+            classes: vec![ClassSpec::p99(SimDuration::from_millis(10))],
+            query_latency_by_class: by_class,
+            query_latency_by_type: by_type,
+            request_latency_by_class: BTreeMap::new(),
+            pre_dequeue: LatencyReservoir::new(),
+            load: LoadStats::new(4),
+            busy_by_server: vec![SimDuration::ZERO; 4],
+            elapsed: SimTime::from_millis(1000),
+            completed_queries: samples.len() as u64,
+            rejected_queries: 0,
+        }
+    }
+
+    #[test]
+    fn meets_slos_passes_under_slo() {
+        let mut r = report_with_type(0, 10, (1..=100).collect());
+        // p99 = 99ms > 10ms SLO → fails
+        assert!(!r.meets_all_slos());
+        let mut ok = report_with_type(0, 10, vec![5; 100]);
+        assert!(ok.meets_all_slos());
+    }
+
+    #[test]
+    fn tiny_types_ignored_in_verdict() {
+        let mut r = report_with_type(0, 100, vec![9999; SimReport::MIN_TYPE_SAMPLES - 1]);
+        assert!(
+            r.meets_all_slos(),
+            "under-sampled type must not fail the verdict"
+        );
+    }
+
+    #[test]
+    fn class_tail_and_type_tail() {
+        let mut r = report_with_type(1, 10, (1..=100).collect());
+        r.classes = vec![
+            ClassSpec::p99(SimDuration::from_millis(10)),
+            ClassSpec::p99(SimDuration::from_millis(10)),
+        ];
+        assert_eq!(r.class_tail(1, 0.5), SimDuration::from_millis(50));
+        assert_eq!(r.type_tail(1, 10), SimDuration::from_millis(99));
+        assert_eq!(r.class_tail(7, 0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn render_table_contains_rows() {
+        let mut r = report_with_type(0, 10, vec![5; 100]);
+        let t = r.render_table();
+        assert!(t.contains("class 0 fanout   10"));
+        assert!(t.contains("TailGuard"));
+    }
+}

@@ -1,0 +1,400 @@
+//! Preset scenarios reproducing the paper's evaluation configurations
+//! (§IV.B–E).
+
+use crate::spec::{ClassSpec, ClusterSpec, Scenario};
+use std::sync::Arc;
+use tailguard_dist::{Distribution, DynDistribution, PiecewiseQuantile};
+use tailguard_simcore::SimDuration;
+use tailguard_workload::{ArrivalProcess, FanoutDist, QueryMix, TailbenchWorkload};
+
+fn ms(v: f64) -> SimDuration {
+    SimDuration::from_millis_f64(v)
+}
+
+/// §IV.B single-class case (Fig. 4, Table III): cluster of `n` servers,
+/// fanouts {1, 10, 100} with P(k) ∝ 1/k, one 99th-percentile SLO of
+/// `slo_ms`, Poisson arrivals.
+///
+/// # Panics
+///
+/// Panics when `n < 100` (the mix needs fanout-100 queries to fit).
+pub fn single_class(workload: TailbenchWorkload, slo_ms: f64, n: usize) -> Scenario {
+    assert!(n >= 100, "paper mix needs at least 100 servers");
+    let service = workload.service_dist();
+    let mean = service.mean();
+    Scenario {
+        label: format!("{workload} single-class x99={slo_ms}ms N={n}"),
+        cluster: ClusterSpec::homogeneous(n, service),
+        classes: vec![ClassSpec::p99(ms(slo_ms))],
+        mix: QueryMix::single(FanoutDist::paper_mix()),
+        arrival: ArrivalProcess::poisson(1.0),
+        mean_task_work_ms: mean,
+        placement: None,
+        seed: 0xF164 ^ n as u64,
+    }
+}
+
+/// §IV.B two-class case (Fig. 5): like [`single_class`] but with two
+/// equiprobable classes, the lower class's SLO at `1.5 ×` the higher
+/// class's, and a choice of arrival process.
+pub fn two_class(
+    workload: TailbenchWorkload,
+    high_slo_ms: f64,
+    arrival: ArrivalProcess,
+) -> Scenario {
+    let service = workload.service_dist();
+    let mean = service.mean();
+    let high = ClassSpec::p99(ms(high_slo_ms));
+    Scenario {
+        label: format!(
+            "{workload} two-class x99={high_slo_ms}/{:.2}ms {}",
+            high_slo_ms * 1.5,
+            arrival.label()
+        ),
+        cluster: ClusterSpec::homogeneous(100, service),
+        classes: vec![high, high.scaled(1.5)],
+        mix: QueryMix::equiprobable(2, FanoutDist::paper_mix()),
+        arrival,
+        mean_task_work_ms: mean,
+        placement: None,
+        seed: 0xF165,
+    }
+}
+
+/// §IV.C OLDI case (Fig. 6): every query fans out to all `N = 100`
+/// servers; two classes with explicit SLOs (`1/1.5`, `6/10`, `10/15` ms for
+/// Masstree/Shore/Xapian in the paper).
+pub fn oldi_two_class(workload: TailbenchWorkload, slo_high_ms: f64, slo_low_ms: f64) -> Scenario {
+    let service = workload.service_dist();
+    let mean = service.mean();
+    Scenario {
+        label: format!("{workload} OLDI two-class x99={slo_high_ms}/{slo_low_ms}ms"),
+        cluster: ClusterSpec::homogeneous(100, service),
+        classes: vec![
+            ClassSpec::p99(ms(slo_high_ms)),
+            ClassSpec::p99(ms(slo_low_ms)),
+        ],
+        mix: QueryMix::equiprobable(2, FanoutDist::fixed(100)),
+        arrival: ArrivalProcess::poisson(1.0),
+        mean_task_work_ms: mean,
+        placement: None,
+        seed: 0xF166,
+    }
+}
+
+/// The paper's Fig. 6 SLO pairs per workload, in ms.
+pub fn fig6_slos(workload: TailbenchWorkload) -> (f64, f64) {
+    match workload {
+        TailbenchWorkload::Masstree => (1.0, 1.5),
+        TailbenchWorkload::Shore => (6.0, 10.0),
+        TailbenchWorkload::Xapian => (10.0, 15.0),
+    }
+}
+
+/// §IV.D extension mentioned in the text: `N = 1000` with the scaled paper
+/// mix (fanouts {1, 100, 1000}).
+pub fn n1000_single_class(workload: TailbenchWorkload, slo_ms: f64) -> Scenario {
+    let service = workload.service_dist();
+    let mean = service.mean();
+    Scenario {
+        label: format!("{workload} single-class x99={slo_ms}ms N=1000"),
+        cluster: ClusterSpec::homogeneous(1000, service),
+        classes: vec![ClassSpec::p99(ms(slo_ms))],
+        mix: QueryMix::single(FanoutDist::paper_mix_scaled(1000)),
+        arrival: ArrivalProcess::poisson(1.0),
+        mean_task_work_ms: mean,
+        placement: None,
+        seed: 0x1000,
+    }
+}
+
+/// §IV.D extension mentioned in the text: four service classes with SLOs
+/// `base × {1, 1.5, 2, 3}`, OLDI fanout 100.
+pub fn four_class(workload: TailbenchWorkload, base_slo_ms: f64) -> Scenario {
+    let service = workload.service_dist();
+    let mean = service.mean();
+    let base = ClassSpec::p99(ms(base_slo_ms));
+    Scenario {
+        label: format!("{workload} four-class base x99={base_slo_ms}ms"),
+        cluster: ClusterSpec::homogeneous(100, service),
+        classes: vec![base, base.scaled(1.5), base.scaled(2.0), base.scaled(3.0)],
+        mix: QueryMix::equiprobable(4, FanoutDist::fixed(100)),
+        arrival: ArrivalProcess::poisson(1.0),
+        mean_task_work_ms: mean,
+        placement: None,
+        seed: 0xF0C4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SaS testbed twin (§IV.E)
+// ---------------------------------------------------------------------------
+
+/// The four hardware clusters of the SaS testbed, in server-index order:
+/// servers `8c..8c+8` belong to cluster `c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SasCluster {
+    /// Heavily loaded shared server room (slower Pis, near the handler).
+    ServerRoom,
+    /// Highest-performing Pis co-located with the query handler.
+    WetLab,
+    /// Faculty office, other building.
+    Faculty,
+    /// Graduate teaching assistant office, other building.
+    Gta,
+}
+
+impl SasCluster {
+    /// All four clusters in server-index order.
+    pub const ALL: [SasCluster; 4] = [
+        SasCluster::ServerRoom,
+        SasCluster::WetLab,
+        SasCluster::Faculty,
+        SasCluster::Gta,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SasCluster::ServerRoom => "Server-room",
+            SasCluster::WetLab => "Wet-lab",
+            SasCluster::Faculty => "Faculty",
+            SasCluster::Gta => "GTA",
+        }
+    }
+
+    /// The paper's measured `(mean, p95, p99)` task post-queuing times for
+    /// this cluster, in ms (§IV.E: 82/31/92/91, 235/112/226/228,
+    /// 300/136/306/304).
+    pub fn paper_stats(&self) -> (f64, f64, f64) {
+        match self {
+            SasCluster::ServerRoom => (82.0, 235.0, 300.0),
+            SasCluster::WetLab => (31.0, 112.0, 136.0),
+            SasCluster::Faculty => (92.0, 226.0, 306.0),
+            SasCluster::Gta => (91.0, 228.0, 304.0),
+        }
+    }
+
+    /// The server-index range of this cluster in the 32-node testbed.
+    pub fn server_range(&self) -> std::ops::Range<usize> {
+        let i = Self::ALL.iter().position(|c| c == self).expect("member");
+        (i * 8)..(i * 8 + 8)
+    }
+
+    /// An edge-node service-time distribution calibrated to
+    /// [`Self::paper_stats`]: the mean is exact and p95/p99 are control
+    /// points of the quantile function.
+    pub fn service_dist(&self) -> PiecewiseQuantile {
+        let (mean, p95, p99) = self.paper_stats();
+        let lo = mean * 0.12;
+        let body = p95 * 0.5;
+        PiecewiseQuantile::new(vec![
+            (0.0, lo),
+            (0.5, (lo + body) / 2.0), // calibrated below
+            (0.9, body),
+            (0.95, p95),
+            (0.99, p99),
+            (1.0, p99 * 1.15),
+        ])
+        .expect("valid control points")
+        .calibrate_mean(1, mean)
+        .expect("mean reachable")
+    }
+}
+
+/// §IV.E: the heterogeneous Sensing-as-a-Service scenario, as a simulation
+/// twin of the tokio testbed.
+///
+/// * 32 edge nodes in 4 clusters of 8 with distinct service distributions,
+/// * class A (50 % of queries, SLO 800 ms): fanout 1, 80 % pinned to the
+///   Server-room cluster, 20 % on a random node of the other clusters,
+/// * class B (40 %, SLO 1300 ms): fanout 4, one random node per cluster,
+/// * class C (10 %, SLO 1800 ms): fanout 32, every node.
+pub fn sas_testbed() -> Scenario {
+    let dists: Vec<DynDistribution> = SasCluster::ALL
+        .iter()
+        .flat_map(|c| {
+            let d: DynDistribution = Arc::new(c.service_dist());
+            std::iter::repeat_n(d, 8)
+        })
+        .collect();
+    let cluster = ClusterSpec::heterogeneous(dists);
+
+    let mix = QueryMix::new(vec![
+        tailguard_workload::ClassShare {
+            class: 0,
+            probability: 0.5,
+            fanout: FanoutDist::fixed(1),
+        },
+        tailguard_workload::ClassShare {
+            class: 1,
+            probability: 0.4,
+            fanout: FanoutDist::fixed(4),
+        },
+        tailguard_workload::ClassShare {
+            class: 2,
+            probability: 0.1,
+            fanout: FanoutDist::fixed(32),
+        },
+    ]);
+
+    let placement = Arc::new(
+        |rng: &mut tailguard_simcore::SimRng, class: u8, fanout: u32| -> Vec<u32> {
+            match class {
+                0 => {
+                    // 80% on the Server-room cluster, 20% elsewhere.
+                    if rng.chance(0.8) {
+                        vec![rng.index(8) as u32]
+                    } else {
+                        vec![(8 + rng.index(24)) as u32]
+                    }
+                }
+                1 => (0..4).map(|c| (c * 8 + rng.index(8)) as u32).collect(),
+                _ => (0..fanout).collect(),
+            }
+        },
+    );
+
+    // Placement-weighted mean work per task.
+    let cluster_means: Vec<f64> = SasCluster::ALL
+        .iter()
+        .map(|c| c.service_dist().mean())
+        .collect();
+    let other_mean = (cluster_means[1] + cluster_means[2] + cluster_means[3]) / 3.0;
+    let class_a_task = 0.8 * cluster_means[0] + 0.2 * other_mean;
+    let per_cluster_avg = cluster_means.iter().sum::<f64>() / 4.0;
+    // E[k] = 0.5·1 + 0.4·4 + 0.1·32 ; mean work = Σ p·k·work_k / E[k]
+    let ek = 0.5 + 0.4 * 4.0 + 0.1 * 32.0;
+    let mean_task_work_ms =
+        (0.5 * class_a_task + 0.4 * 4.0 * per_cluster_avg + 0.1 * 32.0 * per_cluster_avg) / ek;
+
+    Scenario {
+        label: "SaS testbed twin (4 heterogeneous clusters)".to_string(),
+        cluster,
+        classes: vec![
+            ClassSpec::p99(ms(800.0)),
+            ClassSpec::p99(ms(1300.0)),
+            ClassSpec::p99(ms(1800.0)),
+        ],
+        mix,
+        arrival: ArrivalProcess::poisson(1.0),
+        mean_task_work_ms,
+        placement: Some(placement),
+        seed: 0x5A5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailguard_dist::Cdf;
+
+    #[test]
+    fn single_class_shape() {
+        let s = single_class(TailbenchWorkload::Shore, 7.0, 100);
+        assert_eq!(s.cluster.servers(), 100);
+        assert_eq!(s.classes.len(), 1);
+        assert!((s.mean_task_work_ms - 0.341).abs() < 1e-9);
+        assert!((s.mean_fanout() - 300.0 / 111.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_class_slos_scale() {
+        let s = two_class(
+            TailbenchWorkload::Masstree,
+            1.0,
+            ArrivalProcess::poisson(1.0),
+        );
+        assert_eq!(s.classes.len(), 2);
+        assert_eq!(s.classes[1].slo, ms(1.5));
+    }
+
+    #[test]
+    fn fig6_slo_table() {
+        assert_eq!(fig6_slos(TailbenchWorkload::Masstree), (1.0, 1.5));
+        assert_eq!(fig6_slos(TailbenchWorkload::Shore), (6.0, 10.0));
+        assert_eq!(fig6_slos(TailbenchWorkload::Xapian), (10.0, 15.0));
+    }
+
+    #[test]
+    fn oldi_fixed_fanout() {
+        let s = oldi_two_class(TailbenchWorkload::Xapian, 10.0, 15.0);
+        assert_eq!(s.mean_fanout(), 100.0);
+    }
+
+    #[test]
+    fn n1000_scaled_mix() {
+        let s = n1000_single_class(TailbenchWorkload::Masstree, 1.0);
+        assert_eq!(s.cluster.servers(), 1000);
+        assert_eq!(s.mix.max_fanout(), 1000);
+    }
+
+    #[test]
+    fn four_class_slo_ladder() {
+        let s = four_class(TailbenchWorkload::Masstree, 1.0);
+        let slos: Vec<f64> = s.classes.iter().map(|c| c.slo.as_millis_f64()).collect();
+        assert_eq!(slos, vec![1.0, 1.5, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sas_cluster_calibration() {
+        for c in SasCluster::ALL {
+            let (mean, p95, p99) = c.paper_stats();
+            let d = c.service_dist();
+            assert!((d.mean() - mean).abs() < 1e-9, "{}: mean", c.name());
+            assert!((d.quantile(0.95) - p95).abs() < 1e-9, "{}: p95", c.name());
+            assert!((d.quantile(0.99) - p99).abs() < 1e-9, "{}: p99", c.name());
+        }
+    }
+
+    #[test]
+    fn sas_wetlab_is_fastest() {
+        let wet = SasCluster::WetLab.service_dist().mean();
+        for c in [SasCluster::ServerRoom, SasCluster::Faculty, SasCluster::Gta] {
+            assert!(wet < c.service_dist().mean(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn sas_scenario_placement_rules() {
+        let s = sas_testbed();
+        let place = s.placement.as_ref().expect("sas has placement").clone();
+        let mut rng = tailguard_simcore::SimRng::seed(3);
+        // Class A: single server; mostly server-room.
+        let mut in_server_room = 0;
+        for _ in 0..10_000 {
+            let p = place(&mut rng, 0, 1);
+            assert_eq!(p.len(), 1);
+            assert!(p[0] < 32);
+            if p[0] < 8 {
+                in_server_room += 1;
+            }
+        }
+        let frac = in_server_room as f64 / 10_000.0;
+        assert!((frac - 0.8).abs() < 0.02, "server-room frac {frac}");
+        // Class B: one node per cluster.
+        for _ in 0..100 {
+            let p = place(&mut rng, 1, 4);
+            assert_eq!(p.len(), 4);
+            for (c, &s) in p.iter().enumerate() {
+                assert!((s as usize) / 8 == c, "task {c} on server {s}");
+            }
+        }
+        // Class C: all nodes.
+        let p = place(&mut rng, 2, 32);
+        assert_eq!(p, (0..32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sas_server_ranges() {
+        assert_eq!(SasCluster::ServerRoom.server_range(), 0..8);
+        assert_eq!(SasCluster::Gta.server_range(), 24..32);
+    }
+
+    #[test]
+    fn sas_mean_task_work_reasonable() {
+        let s = sas_testbed();
+        // Between the fastest and slowest cluster means.
+        assert!(s.mean_task_work_ms > 31.0 && s.mean_task_work_ms < 92.0);
+    }
+}

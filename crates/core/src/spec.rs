@@ -1,0 +1,656 @@
+//! Configuration types: classes, clusters, queries, scenarios.
+
+use std::fmt;
+use std::sync::Arc;
+use tailguard_dist::{Distribution, DynDistribution};
+use tailguard_policy::Policy;
+use tailguard_simcore::{SimDuration, SimRng, SimTime};
+use tailguard_workload::{ArrivalProcess, QueryMix, Trace};
+
+use crate::estimator::EstimatorMode;
+
+/// A service class: a tail-latency SLO at a percentile.
+///
+/// The paper expresses SLOs as "the `p`-th percentile query latency must not
+/// exceed `x_p^SLO`"; the evaluation uses `p = 99` throughout.
+///
+/// # Example
+///
+/// ```
+/// use tailguard::ClassSpec;
+/// use tailguard_simcore::SimDuration;
+///
+/// let class = ClassSpec::p99(SimDuration::from_millis_f64(1.0));
+/// assert_eq!(class.percentile, 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSpec {
+    /// The tail latency SLO `x_p^SLO`.
+    pub slo: SimDuration,
+    /// The percentile `p` as a fraction in (0, 1), e.g. `0.99`.
+    pub percentile: f64,
+}
+
+impl ClassSpec {
+    /// Creates a class SLO.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `percentile ∈ (0, 1)` and the SLO is positive.
+    pub fn new(slo: SimDuration, percentile: f64) -> Self {
+        assert!(
+            percentile > 0.0 && percentile < 1.0,
+            "percentile must lie in (0,1)"
+        );
+        assert!(!slo.is_zero(), "SLO must be positive");
+        ClassSpec { slo, percentile }
+    }
+
+    /// A 99th-percentile SLO — the paper's standard setting.
+    pub fn p99(slo: SimDuration) -> Self {
+        ClassSpec::new(slo, 0.99)
+    }
+
+    /// This class's SLO scaled by `factor` (e.g. the paper's lower class at
+    /// `1.5 × x99`).
+    pub fn scaled(&self, factor: f64) -> Self {
+        ClassSpec::new(self.slo.mul_f64(factor), self.percentile)
+    }
+}
+
+/// The task-server cluster: size and per-server unloaded service-time
+/// distributions.
+#[derive(Clone)]
+pub struct ClusterSpec {
+    servers: usize,
+    service: Vec<DynDistribution>,
+}
+
+impl fmt::Debug for ClusterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterSpec")
+            .field("servers", &self.servers)
+            .field("heterogeneous", &(self.service.len() > 1))
+            .finish()
+    }
+}
+
+impl ClusterSpec {
+    /// A homogeneous cluster: `n` servers sharing one service distribution
+    /// (the paper's simulation setting, §IV.A).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn homogeneous(n: usize, service: impl Distribution + 'static) -> Self {
+        assert!(n > 0, "cluster needs at least one server");
+        ClusterSpec {
+            servers: n,
+            service: vec![Arc::new(service)],
+        }
+    }
+
+    /// A heterogeneous cluster with one distribution per server (the SaS
+    /// testbed setting, §IV.E).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dists` is empty.
+    pub fn heterogeneous(dists: Vec<DynDistribution>) -> Self {
+        assert!(!dists.is_empty(), "cluster needs at least one server");
+        ClusterSpec {
+            servers: dists.len(),
+            service: dists,
+        }
+    }
+
+    /// Number of task servers `N`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// The service distribution of server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= servers()`.
+    pub fn service_of(&self, i: usize) -> &DynDistribution {
+        assert!(i < self.servers, "server index out of range");
+        if self.service.len() == 1 {
+            &self.service[0]
+        } else {
+            &self.service[i]
+        }
+    }
+
+    /// True when all servers share one distribution.
+    pub fn is_homogeneous(&self) -> bool {
+        self.service.len() == 1
+    }
+
+    /// Mean task service time averaged over servers, in ms.
+    pub fn mean_service_ms(&self) -> f64 {
+        if self.service.len() == 1 {
+            self.service[0].mean()
+        } else {
+            self.service.iter().map(|d| d.mean()).sum::<f64>() / self.service.len() as f64
+        }
+    }
+}
+
+/// One query inside a request: class, fanout and optional pre-computed
+/// placement / budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Service class index into [`SimConfig::classes`].
+    pub class: u8,
+    /// Query fanout `k_f`.
+    pub fanout: u32,
+    /// Pre-chosen target servers. `None` lets the simulator pick `k_f`
+    /// distinct servers uniformly at random (the paper's simulation
+    /// placement); presets with skewed placement (SaS) fill this in.
+    pub servers: Option<Vec<u32>>,
+    /// Overrides the estimator-derived pre-dequeuing budget `T_b` — used by
+    /// the request-decomposition extension (Eq. 7) to assign per-query
+    /// budgets out of a request-level budget.
+    pub budget_override: Option<SimDuration>,
+    /// Per-task budget overrides (one per task, aligned with the placement)
+    /// — used by the footnote-4 ablation to compare the paper's shared
+    /// query-wide deadline against per-task deadlines. Takes precedence
+    /// over `budget_override`.
+    pub task_budgets: Option<Vec<SimDuration>>,
+}
+
+impl QuerySpec {
+    /// A plain query of `class` with `fanout`, default placement and
+    /// estimator-derived budget.
+    pub fn new(class: u8, fanout: u32) -> Self {
+        QuerySpec {
+            class,
+            fanout,
+            servers: None,
+            budget_override: None,
+            task_budgets: None,
+        }
+    }
+}
+
+/// A user request: one or more queries issued *sequentially* (query `i+1`
+/// cannot start before query `i` completes — the dependency model of Fig. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestInput {
+    /// When the request (i.e. its first query) arrives.
+    pub arrival: SimTime,
+    /// The request's queries in issue order; `len() == 1` for plain queries.
+    pub queries: Vec<QuerySpec>,
+}
+
+/// The complete workload for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimInput {
+    /// Requests sorted by arrival time.
+    pub requests: Vec<RequestInput>,
+}
+
+impl SimInput {
+    /// Wraps a generated [`Trace`] (each record becomes a single-query
+    /// request).
+    pub fn from_trace(trace: &Trace) -> Self {
+        SimInput {
+            requests: trace
+                .records
+                .iter()
+                .map(|r| RequestInput {
+                    arrival: r.arrival(),
+                    queries: vec![QuerySpec::new(r.class, r.fanout)],
+                })
+                .collect(),
+        }
+    }
+
+    /// Total number of queries across all requests.
+    pub fn query_count(&self) -> usize {
+        self.requests.iter().map(|r| r.queries.len()).sum()
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when there are no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// A mid-run change to a range of servers' service speed — failure
+/// injection for the scenarios §III.B.2 motivates the online updating
+/// process with ("skewed workloads, uneven resource allocation and
+/// resource availability changes").
+///
+/// From `at` onward, service times drawn for servers in `servers` are
+/// multiplied by `factor` (`> 1` = slowdown, `< 1` = speedup). Multiple
+/// events compose multiplicatively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slowdown {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// The affected server index range.
+    pub servers: std::ops::Range<u32>,
+    /// Service-time multiplier.
+    pub factor: f64,
+}
+
+impl Slowdown {
+    /// Creates a slowdown event.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive and the range is
+    /// non-empty.
+    pub fn new(at: SimTime, servers: std::ops::Range<u32>, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
+        assert!(!servers.is_empty(), "server range must be non-empty");
+        Slowdown {
+            at,
+            servers,
+            factor,
+        }
+    }
+}
+
+/// Query admission control parameters (§III.C).
+///
+/// The paper: "The query handler can update the task deadline violation
+/// ratio in a given moving time window. When the ratio exceeds R_th,
+/// upcoming queries are rejected, till the ratio falls back below R_th
+/// again. The moving time window can be set to be the same as the time
+/// window in which the tail latency SLOs should be guaranteed."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Moving *time* window over task-dequeue outcomes (the paper sizes it
+    /// as 1 000 queries' worth of time for the Masstree OLDI case).
+    pub window: SimDuration,
+    /// Deadline-violation ratio threshold `R_th` above which new queries
+    /// are rejected (the paper finds 1.7 % at the maximum acceptable load).
+    pub threshold: f64,
+    /// Minimum dequeue events inside the window before the controller may
+    /// reject (guards against noise right after start-up or idle spells).
+    pub min_samples: usize,
+    /// Hysteresis: once rejecting, admission resumes only when the ratio
+    /// falls below `resume_threshold` (≤ `threshold`), letting the backlog
+    /// drain before new load is accepted. Defaults to `threshold` (no
+    /// hysteresis).
+    pub resume_threshold: f64,
+}
+
+impl AdmissionConfig {
+    /// Creates an admission-control configuration with a default
+    /// `min_samples` of 50.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the window is positive and the threshold lies in
+    /// `(0, 1)`.
+    pub fn new(window: SimDuration, threshold: f64) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "threshold must lie in (0,1)"
+        );
+        AdmissionConfig {
+            window,
+            threshold,
+            min_samples: 50,
+            resume_threshold: threshold,
+        }
+    }
+
+    /// Overrides the minimum sample count (builder-style).
+    pub fn with_min_samples(mut self, min_samples: usize) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Enables hysteresis (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < resume_threshold <= threshold`.
+    pub fn with_resume_threshold(mut self, resume_threshold: f64) -> Self {
+        assert!(
+            resume_threshold > 0.0 && resume_threshold <= self.threshold,
+            "resume threshold must lie in (0, threshold]"
+        );
+        self.resume_threshold = resume_threshold;
+        self
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The task-server cluster.
+    pub cluster: ClusterSpec,
+    /// Service classes, indexed by `QuerySpec::class`.
+    pub classes: Vec<ClassSpec>,
+    /// The queuing policy under test.
+    pub policy: Policy,
+    /// Optional admission control.
+    pub admission: Option<AdmissionConfig>,
+    /// How the deadline estimator obtains per-server CDFs.
+    pub estimator: EstimatorMode,
+    /// Number of initial *queries* whose latencies are discarded as
+    /// warm-up.
+    pub warmup_queries: usize,
+    /// Master seed for service times and placement.
+    pub seed: u64,
+    /// Mid-run server speed changes (failure injection); empty by default.
+    pub slowdowns: Vec<Slowdown>,
+}
+
+impl SimConfig {
+    /// Creates a configuration with no admission control, analytic
+    /// estimator, 5 % of a 100k-query run as default warm-up, and seed 1.
+    pub fn new(cluster: ClusterSpec, classes: Vec<ClassSpec>, policy: Policy) -> Self {
+        assert!(!classes.is_empty(), "need at least one class");
+        SimConfig {
+            cluster,
+            classes,
+            policy,
+            admission: None,
+            estimator: EstimatorMode::Analytic,
+            warmup_queries: 5_000,
+            seed: 1,
+            slowdowns: Vec::new(),
+        }
+    }
+
+    /// Sets the queuing policy (builder-style).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables admission control (builder-style).
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Sets the estimator mode (builder-style).
+    pub fn with_estimator(mut self, estimator: EstimatorMode) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the warm-up query count (builder-style).
+    pub fn with_warmup(mut self, warmup_queries: usize) -> Self {
+        self.warmup_queries = warmup_queries;
+        self
+    }
+
+    /// Sets the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a mid-run server speed change (builder-style).
+    pub fn with_slowdown(mut self, slowdown: Slowdown) -> Self {
+        self.slowdowns.push(slowdown);
+        self
+    }
+}
+
+/// A placement function: picks target servers for a `(class, fanout)` query.
+pub type PlacementFn = dyn Fn(&mut SimRng, u8, u32) -> Vec<u32> + Send + Sync;
+
+/// A reusable experiment scenario: everything except the policy and the
+/// offered load, which the max-load search varies.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Human-readable name, e.g. `"Masstree single-class x99=0.8ms"`.
+    pub label: String,
+    /// The cluster under test.
+    pub cluster: ClusterSpec,
+    /// The service classes.
+    pub classes: Vec<ClassSpec>,
+    /// Class/fanout mix.
+    pub mix: QueryMix,
+    /// Arrival process family; its rate is rescaled per load point.
+    pub arrival: ArrivalProcess,
+    /// Mean service work per *task* in ms, used to convert load to rate via
+    /// `λ = ρ·N / (E[k_f]·T̄_m)`. Presets with skewed placement set this to
+    /// the placement-weighted mean.
+    pub mean_task_work_ms: f64,
+    /// Optional skewed placement (None = uniform distinct servers).
+    pub placement: Option<Arc<PlacementFn>>,
+    /// Base seed for workload generation.
+    pub seed: u64,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("label", &self.label)
+            .field("servers", &self.cluster.servers())
+            .field("classes", &self.classes)
+            .field("arrival", &self.arrival.label())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Expected fanout of the mix.
+    pub fn mean_fanout(&self) -> f64 {
+        let mut total = 0.0;
+        let shares = self.mix.classes();
+        let prob_sum: f64 = shares.iter().map(|c| c.probability).sum();
+        for share in shares {
+            total += share.probability / prob_sum * share.fanout.mean();
+        }
+        total
+    }
+
+    /// The query arrival rate (queries/ms) that produces offered load `ρ`:
+    /// `λ = ρ·N / (E[k_f]·T̄_m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `load` is positive.
+    pub fn rate_for_load(&self, load: f64) -> f64 {
+        assert!(load > 0.0, "load must be positive");
+        load * self.cluster.servers() as f64 / (self.mean_fanout() * self.mean_task_work_ms)
+    }
+
+    /// Generates the workload for one run at offered load `ρ` with
+    /// `queries` single-query requests.
+    pub fn input(&self, load: f64, queries: usize) -> SimInput {
+        let rate = self.rate_for_load(load);
+        let arrival = self.arrival.with_rate(rate);
+        let mut master = SimRng::seed(self.seed);
+        let mut arrival_rng = master.split();
+        let mut mix_rng = master.split();
+        let mut place_rng = master.split();
+        let mut t = SimTime::ZERO;
+        let mut requests = Vec::with_capacity(queries);
+        for _ in 0..queries {
+            t += arrival.next_gap(&mut arrival_rng);
+            let (class, fanout) = self.mix.sample(&mut mix_rng);
+            let servers = self
+                .placement
+                .as_ref()
+                .map(|f| f(&mut place_rng, class, fanout));
+            requests.push(RequestInput {
+                arrival: t,
+                queries: vec![QuerySpec {
+                    class,
+                    fanout,
+                    servers,
+                    budget_override: None,
+                    task_budgets: None,
+                }],
+            });
+        }
+        SimInput { requests }
+    }
+
+    /// Builds a [`SimConfig`] for this scenario under `policy`.
+    pub fn config(&self, policy: Policy) -> SimConfig {
+        SimConfig::new(self.cluster.clone(), self.classes.clone(), policy)
+            .with_seed(self.seed ^ 0x5eed_c0de)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailguard_dist::Deterministic;
+    use tailguard_workload::FanoutDist;
+
+    #[test]
+    fn class_spec_validation() {
+        let c = ClassSpec::p99(SimDuration::from_millis(1));
+        assert_eq!(c.percentile, 0.99);
+        let low = c.scaled(1.5);
+        assert_eq!(low.slo, SimDuration::from_micros(1500));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must lie in (0,1)")]
+    fn class_spec_rejects_bad_percentile() {
+        let _ = ClassSpec::new(SimDuration::from_millis(1), 1.0);
+    }
+
+    #[test]
+    fn homogeneous_cluster_shares_distribution() {
+        let c = ClusterSpec::homogeneous(10, Deterministic::new(0.5));
+        assert_eq!(c.servers(), 10);
+        assert!(c.is_homogeneous());
+        assert_eq!(c.mean_service_ms(), 0.5);
+        assert_eq!(c.service_of(9).mean(), 0.5);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_per_server() {
+        let c = ClusterSpec::heterogeneous(vec![
+            Arc::new(Deterministic::new(1.0)) as DynDistribution,
+            Arc::new(Deterministic::new(3.0)),
+        ]);
+        assert!(!c.is_homogeneous());
+        assert_eq!(c.mean_service_ms(), 2.0);
+        assert_eq!(c.service_of(1).mean(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "server index out of range")]
+    fn service_of_bounds() {
+        let c = ClusterSpec::homogeneous(2, Deterministic::new(1.0));
+        let _ = c.service_of(2);
+    }
+
+    #[test]
+    fn scenario_rate_for_load() {
+        let scenario = Scenario {
+            label: "t".into(),
+            cluster: ClusterSpec::homogeneous(100, Deterministic::new(0.2)),
+            classes: vec![ClassSpec::p99(SimDuration::from_millis(1))],
+            mix: QueryMix::single(FanoutDist::fixed(10)),
+            arrival: ArrivalProcess::poisson(1.0),
+            mean_task_work_ms: 0.2,
+            placement: None,
+            seed: 1,
+        };
+        // λ = 0.5 * 100 / (10 * 0.2) = 25 queries/ms
+        assert!((scenario.rate_for_load(0.5) - 25.0).abs() < 1e-12);
+        assert_eq!(scenario.mean_fanout(), 10.0);
+    }
+
+    #[test]
+    fn scenario_input_deterministic_and_sized() {
+        let scenario = Scenario {
+            label: "t".into(),
+            cluster: ClusterSpec::homogeneous(4, Deterministic::new(0.1)),
+            classes: vec![ClassSpec::p99(SimDuration::from_millis(1))],
+            mix: QueryMix::single(FanoutDist::fixed(2)),
+            arrival: ArrivalProcess::poisson(1.0),
+            mean_task_work_ms: 0.1,
+            placement: None,
+            seed: 9,
+        };
+        let a = scenario.input(0.4, 100);
+        let b = scenario.input(0.4, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.query_count(), 100);
+        assert!(a.requests.windows(2).all(|w| w[1].arrival >= w[0].arrival));
+    }
+
+    #[test]
+    fn scenario_placement_applied() {
+        let scenario = Scenario {
+            label: "t".into(),
+            cluster: ClusterSpec::homogeneous(8, Deterministic::new(0.1)),
+            classes: vec![ClassSpec::p99(SimDuration::from_millis(1))],
+            mix: QueryMix::single(FanoutDist::fixed(1)),
+            arrival: ArrivalProcess::poisson(1.0),
+            mean_task_work_ms: 0.1,
+            placement: Some(Arc::new(|_rng, _class, _fanout| vec![3])),
+            seed: 2,
+        };
+        let input = scenario.input(0.2, 10);
+        for r in &input.requests {
+            assert_eq!(r.queries[0].servers, Some(vec![3]));
+        }
+    }
+
+    #[test]
+    fn sim_input_from_trace() {
+        let trace = Trace::generate(
+            "x",
+            &ArrivalProcess::poisson(1.0),
+            &QueryMix::single(FanoutDist::fixed(3)),
+            50,
+            1,
+        );
+        let input = SimInput::from_trace(&trace);
+        assert_eq!(input.len(), 50);
+        assert_eq!(input.query_count(), 50);
+        assert_eq!(input.requests[0].queries[0].fanout, 3);
+    }
+
+    #[test]
+    fn admission_config_validation() {
+        let a = AdmissionConfig::new(SimDuration::from_millis(10), 0.017).with_min_samples(10);
+        assert_eq!(a.window, SimDuration::from_millis(10));
+        assert_eq!(a.min_samples, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must lie in (0,1)")]
+    fn admission_rejects_bad_threshold() {
+        let _ = AdmissionConfig::new(SimDuration::from_millis(10), 1.5);
+    }
+
+    #[test]
+    fn sim_config_builder() {
+        let cfg = SimConfig::new(
+            ClusterSpec::homogeneous(1, Deterministic::new(1.0)),
+            vec![ClassSpec::p99(SimDuration::from_millis(5))],
+            Policy::Fifo,
+        )
+        .with_policy(Policy::TfEdf)
+        .with_admission(AdmissionConfig::new(SimDuration::from_millis(100), 0.02))
+        .with_warmup(10)
+        .with_seed(42);
+        assert_eq!(cfg.policy, Policy::TfEdf);
+        assert!(cfg.admission.is_some());
+        assert_eq!(cfg.warmup_queries, 10);
+        assert_eq!(cfg.seed, 42);
+    }
+}

@@ -1,0 +1,396 @@
+//! Exact-percentile latency reservoirs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tailguard_simcore::SimDuration;
+
+/// A reservoir of latency samples with exact percentile queries.
+///
+/// The paper's conclusions hinge on 99th-percentile comparisons between
+/// queuing policies, sometimes for query types that make up < 1 % of
+/// traffic; approximate sketches would blur exactly the signal under study,
+/// so the reservoir keeps every sample (8 bytes each) and sorts lazily on
+/// the first percentile query after an insert.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_metrics::LatencyReservoir;
+/// use tailguard_simcore::SimDuration;
+///
+/// let mut r = LatencyReservoir::new();
+/// for ms in 1..=100 {
+///     r.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(r.percentile(0.99), SimDuration::from_millis(99));
+/// assert_eq!(r.len(), 100);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyReservoir {
+    samples: Vec<u64>, // nanoseconds
+    sorted: bool,
+    sum: u128,
+}
+
+impl LatencyReservoir {
+    /// Creates an empty reservoir.
+    pub fn new() -> Self {
+        LatencyReservoir {
+            samples: Vec::new(),
+            sorted: true,
+            sum: 0,
+        }
+    }
+
+    /// Creates an empty reservoir with capacity pre-allocated for `cap`
+    /// samples.
+    pub fn with_capacity(cap: usize) -> Self {
+        LatencyReservoir {
+            samples: Vec::with_capacity(cap),
+            sorted: true,
+            sum: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+        self.sum += u128::from(d.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The exact `p`-quantile (`p ∈ [0, 1]`) using the nearest-rank method
+    /// (rank `⌈p·n⌉`) — the same convention as `tailguard_dist::Ecdf`.
+    ///
+    /// Returns [`SimDuration::ZERO`] on an empty reservoir.
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 1.0);
+        let n = self.samples.len();
+        let rank = (p * n as f64).ceil() as usize;
+        let idx = rank.clamp(1, n) - 1;
+        SimDuration::from_nanos(self.samples[idx])
+    }
+
+    /// Arithmetic mean of the samples ([`SimDuration::ZERO`] when empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Largest sample ([`SimDuration::ZERO`] when empty).
+    pub fn max(&mut self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        SimDuration::from_nanos(*self.samples.last().expect("non-empty"))
+    }
+
+    /// Smallest sample ([`SimDuration::ZERO`] when empty).
+    pub fn min(&mut self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        SimDuration::from_nanos(self.samples[0])
+    }
+
+    /// Fraction of samples strictly greater than `threshold` — the measured
+    /// SLO violation rate.
+    pub fn exceed_ratio(&self, threshold: SimDuration) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let t = threshold.as_nanos();
+        let over = self.samples.iter().filter(|&&s| s > t).count();
+        over as f64 / self.samples.len() as f64
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+        self.sum = 0;
+    }
+
+    /// Absorbs all samples of `other`.
+    pub fn merge(&mut self, other: &LatencyReservoir) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+        self.sum += other.sum;
+    }
+
+    /// Produces a compact summary row of the current contents.
+    pub fn summary(&mut self) -> LatencySummary {
+        LatencySummary {
+            count: self.len() as u64,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// The raw samples in ascending order.
+    pub fn sorted_samples(&mut self) -> &[u64] {
+        self.ensure_sorted();
+        &self.samples
+    }
+
+    /// A distribution-free confidence interval for the `p`-quantile at
+    /// (two-sided) confidence `conf`, via the binomial order-statistic
+    /// bound: the number of samples `≤ Q_p` is Binomial(n, p), so the
+    /// interval is `[x_(lo), x_(hi)]` with ranks at the normal-approximated
+    /// binomial quantiles.
+    ///
+    /// Used to justify tolerances when comparing p99s between policies:
+    /// if the intervals do not overlap, the difference is real.
+    ///
+    /// Returns `None` when fewer than 20 samples are available (the normal
+    /// approximation would mislead).
+    pub fn percentile_ci(&mut self, p: f64, conf: f64) -> Option<(SimDuration, SimDuration)> {
+        let n = self.samples.len();
+        if n < 20 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let conf = conf.clamp(0.5, 0.9999);
+        // z for two-sided confidence.
+        let z = normal_quantile(0.5 + conf / 2.0);
+        let mean = p * n as f64;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let lo_rank = (mean - z * sd).floor().clamp(1.0, n as f64) as usize;
+        let hi_rank = (mean + z * sd).ceil().clamp(1.0, n as f64) as usize;
+        self.ensure_sorted();
+        Some((
+            SimDuration::from_nanos(self.samples[lo_rank - 1]),
+            SimDuration::from_nanos(self.samples[hi_rank - 1]),
+        ))
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+/// Inverse standard-normal CDF via the Beasley-Springer-Moro style rational
+/// fit used for CI ranks (1e-4 accuracy suffices for rank selection).
+fn normal_quantile(p: f64) -> f64 {
+    // Shifted logistic-style approximation good to ~1e-3 over (0.5, 0.9999):
+    // use the symmetry and the classical Hastings fit.
+    let p = p.clamp(1e-6, 1.0 - 1e-6);
+    let (sign, pp) = if p < 0.5 { (-1.0, p) } else { (1.0, 1.0 - p) };
+    let t = (-2.0 * pp.ln()).sqrt();
+    let num = 2.30753 + 0.27061 * t;
+    let den = 1.0 + 0.99229 * t + 0.04481 * t * t;
+    sign * (t - num / den)
+}
+
+impl Extend<SimDuration> for LatencyReservoir {
+    fn extend<I: IntoIterator<Item = SimDuration>>(&mut self, iter: I) {
+        for d in iter {
+            self.record(d);
+        }
+    }
+}
+
+impl FromIterator<SimDuration> for LatencyReservoir {
+    fn from_iter<I: IntoIterator<Item = SimDuration>>(iter: I) -> Self {
+        let mut r = LatencyReservoir::new();
+        r.extend(iter);
+        r
+    }
+}
+
+/// A compact one-line latency summary (count, mean, p50/p95/p99, max).
+///
+/// `Display` renders the durations in milliseconds, ready for the experiment
+/// tables printed by the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: SimDuration,
+    /// Median latency.
+    pub p50: SimDuration,
+    /// 95th percentile latency.
+    pub p95: SimDuration,
+    /// 99th percentile latency.
+    pub p99: SimDuration,
+    /// Maximum latency.
+    pub max: SimDuration,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={:<9} mean={:>9.3}ms p50={:>9.3}ms p95={:>9.3}ms p99={:>9.3}ms max={:>9.3}ms",
+            self.count,
+            self.mean.as_millis_f64(),
+            self.p50.as_millis_f64(),
+            self.p95.as_millis_f64(),
+            self.p99.as_millis_f64(),
+            self.max.as_millis_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r: LatencyReservoir = (1..=10).map(ms).collect();
+        assert_eq!(r.percentile(0.0), ms(1));
+        assert_eq!(r.percentile(0.1), ms(1));
+        assert_eq!(r.percentile(0.11), ms(2));
+        assert_eq!(r.percentile(0.5), ms(5));
+        assert_eq!(r.percentile(0.99), ms(10));
+        assert_eq!(r.percentile(1.0), ms(10));
+    }
+
+    #[test]
+    fn empty_reservoir_is_benign() {
+        let mut r = LatencyReservoir::new();
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(0.99), SimDuration::ZERO);
+        assert_eq!(r.mean(), SimDuration::ZERO);
+        assert_eq!(r.max(), SimDuration::ZERO);
+        assert_eq!(r.min(), SimDuration::ZERO);
+        assert_eq!(r.exceed_ratio(ms(1)), 0.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let r: LatencyReservoir = [2, 4, 6, 8].into_iter().map(ms).collect();
+        assert_eq!(r.mean(), ms(5));
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut r = LatencyReservoir::new();
+        r.record(ms(5));
+        assert_eq!(r.percentile(0.5), ms(5));
+        r.record(ms(1));
+        assert_eq!(r.percentile(0.5), ms(1));
+        r.record(ms(9));
+        assert_eq!(r.percentile(0.5), ms(5));
+        assert_eq!(r.min(), ms(1));
+        assert_eq!(r.max(), ms(9));
+    }
+
+    #[test]
+    fn exceed_ratio_counts_strictly_greater() {
+        let r: LatencyReservoir = (1..=100).map(ms).collect();
+        assert_eq!(r.exceed_ratio(ms(99)), 0.01);
+        assert_eq!(r.exceed_ratio(ms(100)), 0.0);
+        assert_eq!(r.exceed_ratio(ms(0)), 1.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a: LatencyReservoir = (1..=50).map(ms).collect();
+        let b: LatencyReservoir = (51..=100).map(ms).collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.percentile(0.99), ms(99));
+        assert_eq!(a.mean(), SimDuration::from_micros(50_500));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r: LatencyReservoir = (1..=3).map(ms).collect();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let mut r: LatencyReservoir = (1..=100).map(ms).collect();
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, ms(50));
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.p99, ms(99));
+        assert_eq!(s.max, ms(100));
+        let line = s.to_string();
+        assert!(line.contains("n=100"));
+        assert!(line.contains("p99="));
+    }
+
+    #[test]
+    fn percentile_ci_brackets_the_point_estimate() {
+        let mut r: LatencyReservoir = (1..=10_000).map(ms).collect();
+        let p99 = r.percentile(0.99);
+        let (lo, hi) = r.percentile_ci(0.99, 0.95).expect("enough samples");
+        assert!(lo <= p99 && p99 <= hi, "[{lo}, {hi}] vs {p99}");
+        // Interval should be tight for 10k uniform samples (~±0.2%).
+        let width = hi.as_millis_f64() - lo.as_millis_f64();
+        assert!(width < 100.0, "width {width}");
+    }
+
+    #[test]
+    fn percentile_ci_requires_samples() {
+        let mut r: LatencyReservoir = (1..=10).map(ms).collect();
+        assert!(r.percentile_ci(0.99, 0.95).is_none());
+    }
+
+    #[test]
+    fn percentile_ci_coverage_monte_carlo() {
+        // The 95% CI for p90 should contain the true quantile in roughly
+        // 95% of repeated experiments.
+        use tailguard_simcore::SimRng;
+        let mut rng = SimRng::seed(31);
+        let true_p90 = 0.9_f64; // Uniform(0,1): Q(0.9) = 0.9
+        let mut covered = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let mut r = LatencyReservoir::new();
+            for _ in 0..500 {
+                r.record(SimDuration::from_nanos((rng.f64() * 1e9) as u64));
+            }
+            let (lo, hi) = r.percentile_ci(0.9, 0.95).expect("enough");
+            let t = (true_p90 * 1e9) as u64;
+            if lo.as_nanos() <= t && t <= hi.as_nanos() {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!((0.90..=0.99).contains(&rate), "coverage {rate}");
+    }
+
+    #[test]
+    fn sorted_samples_ascending() {
+        let mut r: LatencyReservoir = [5, 1, 4, 2, 3].into_iter().map(ms).collect();
+        let s = r.sorted_samples();
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

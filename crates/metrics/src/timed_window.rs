@@ -1,0 +1,178 @@
+//! Time-based moving-window ratio tracking.
+
+use std::collections::VecDeque;
+use tailguard_simcore::{SimDuration, SimTime};
+
+/// A moving *time* window over boolean outcomes, reporting the fraction of
+/// `true` outcomes among events younger than the window length.
+///
+/// This is the admission controller's measurement device as the paper
+/// actually specifies it (§III.C): "The moving time window can be set to be
+/// the same as the time window in which the tail latency SLOs should be
+/// guaranteed." A time window is essential: under full rejection no new
+/// tasks are dequeued, and a count-based window would freeze above the
+/// threshold and reject forever, whereas old misses here *age out* and the
+/// controller re-admits.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_metrics::TimedRatio;
+/// use tailguard_simcore::{SimDuration, SimTime};
+///
+/// let mut w = TimedRatio::new(SimDuration::from_millis(10));
+/// w.record(SimTime::from_millis(0), true);
+/// w.record(SimTime::from_millis(5), false);
+/// assert_eq!(w.ratio(SimTime::from_millis(5)), 0.5);
+/// // At t=12ms the miss at t=0 has aged out.
+/// assert_eq!(w.ratio(SimTime::from_millis(12)), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimedRatio {
+    window: SimDuration,
+    events: VecDeque<(SimTime, bool)>,
+    hits: usize,
+}
+
+impl TimedRatio {
+    /// Creates a window of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window length is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window length must be positive");
+        TimedRatio {
+            window,
+            events: VecDeque::new(),
+            hits: 0,
+        }
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now - self.window;
+        while let Some(&(t, hit)) = self.events.front() {
+            if t >= cutoff {
+                break;
+            }
+            self.events.pop_front();
+            if hit {
+                self.hits -= 1;
+            }
+        }
+    }
+
+    /// Records one outcome at `now`. Timestamps must be non-decreasing.
+    pub fn record(&mut self, now: SimTime, hit: bool) {
+        debug_assert!(
+            self.events.back().is_none_or(|&(t, _)| now >= t),
+            "timestamps must be non-decreasing"
+        );
+        self.evict(now);
+        self.events.push_back((now, hit));
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// The fraction of `true` outcomes within the window ending at `now`
+    /// (0 when the window holds no events).
+    pub fn ratio(&mut self, now: SimTime) -> f64 {
+        self.evict(now);
+        if self.events.is_empty() {
+            0.0
+        } else {
+            self.hits as f64 / self.events.len() as f64
+        }
+    }
+
+    /// Number of events currently inside the window (after evicting
+    /// against `now`).
+    pub fn len(&mut self, now: SimTime) -> usize {
+        self.evict(now);
+        self.events.len()
+    }
+
+    /// True when no events are in the window at `now`.
+    pub fn is_empty(&mut self, now: SimTime) -> bool {
+        self.len(now) == 0
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn ratio_over_window() {
+        let mut w = TimedRatio::new(SimDuration::from_millis(100));
+        w.record(ms(0), true);
+        w.record(ms(10), false);
+        w.record(ms(20), false);
+        w.record(ms(30), false);
+        assert_eq!(w.ratio(ms(30)), 0.25);
+    }
+
+    #[test]
+    fn old_events_age_out() {
+        let mut w = TimedRatio::new(SimDuration::from_millis(50));
+        for i in 0..10 {
+            w.record(ms(i), true); // a burst of misses
+        }
+        assert_eq!(w.ratio(ms(9)), 1.0);
+        // 60ms later, all misses expired even with no new events.
+        assert_eq!(w.ratio(ms(70)), 0.0);
+        assert!(w.is_empty(ms(70)));
+    }
+
+    #[test]
+    fn recovery_after_total_rejection() {
+        // The scenario that deadlocks a count-based window: misses fill the
+        // window, then no events at all for a long stretch.
+        let mut w = TimedRatio::new(SimDuration::from_millis(10));
+        for i in 0..100 {
+            w.record(ms(i / 10), true);
+        }
+        assert!(w.ratio(ms(10)) > 0.9);
+        // Silence; controller polls later and must see a clean window.
+        assert_eq!(w.ratio(ms(25)), 0.0);
+        // New on-time tasks keep it clean.
+        w.record(ms(26), false);
+        assert_eq!(w.ratio(ms(26)), 0.0);
+        assert_eq!(w.len(ms(26)), 1);
+    }
+
+    #[test]
+    fn eviction_boundary_inclusive() {
+        let mut w = TimedRatio::new(SimDuration::from_millis(10));
+        w.record(ms(0), true);
+        // Exactly window-old events are retained (cutoff is exclusive).
+        assert_eq!(w.ratio(ms(10)), 1.0);
+        assert_eq!(w.ratio(ms(11)), 0.0);
+    }
+
+    #[test]
+    fn hits_counter_consistent() {
+        let mut w = TimedRatio::new(SimDuration::from_millis(7));
+        for i in 0..1000u64 {
+            w.record(ms(i), i % 3 == 0);
+            let actual = w.events.iter().filter(|&&(_, h)| h).count();
+            assert_eq!(actual, w.hits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_rejected() {
+        let _ = TimedRatio::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,172 @@
+//! Moving-window ratio tracking for admission control.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A boolean moving window reporting the fraction of `true` outcomes.
+///
+/// This implements the measurement side of the paper's query admission
+/// control (§III.C): the query handler records, for each task result, whether
+/// the task missed its queuing deadline, over a window sized like the SLO
+/// accounting window (the paper uses 1 000 queries ≈ 100 000 tasks for the
+/// Masstree OLDI case). When [`MovingRatio::ratio`] exceeds the threshold
+/// `R_th`, new queries are rejected until it falls back below.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_metrics::MovingRatio;
+///
+/// let mut w = MovingRatio::new(4);
+/// w.record(true);
+/// w.record(false);
+/// w.record(false);
+/// w.record(false);
+/// assert_eq!(w.ratio(), 0.25);
+/// w.record(false); // evicts the initial `true`
+/// assert_eq!(w.ratio(), 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MovingRatio {
+    window: VecDeque<bool>,
+    capacity: usize,
+    hits: usize,
+}
+
+impl MovingRatio {
+    /// Creates a window holding the most recent `capacity` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        MovingRatio {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+        }
+    }
+
+    /// Records one outcome (`true` = event of interest, e.g. deadline miss).
+    pub fn record(&mut self, hit: bool) {
+        if self.window.len() == self.capacity && self.window.pop_front() == Some(true) {
+            self.hits -= 1;
+        }
+        self.window.push_back(hit);
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// The fraction of `true` outcomes in the current window (0 when empty).
+    pub fn ratio(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.hits as f64 / self.window.len() as f64
+        }
+    }
+
+    /// Number of outcomes currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// True once the window has filled to capacity.
+    pub fn is_full(&self) -> bool {
+        self.window.len() == self.capacity
+    }
+
+    /// The configured window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Empties the window.
+    pub fn clear(&mut self) {
+        self.window.clear();
+        self.hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_over_partial_window() {
+        let mut w = MovingRatio::new(10);
+        w.record(true);
+        w.record(false);
+        assert_eq!(w.ratio(), 0.5);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn eviction_updates_ratio() {
+        let mut w = MovingRatio::new(3);
+        w.record(true);
+        w.record(true);
+        w.record(false);
+        assert!((w.ratio() - 2.0 / 3.0).abs() < 1e-12);
+        w.record(false); // evicts first true
+        assert!((w.ratio() - 1.0 / 3.0).abs() < 1e-12);
+        w.record(false); // evicts second true
+        assert_eq!(w.ratio(), 0.0);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        let w = MovingRatio::new(5);
+        assert_eq!(w.ratio(), 0.0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut w = MovingRatio::new(2);
+        w.record(true);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = MovingRatio::new(0);
+    }
+
+    #[test]
+    fn long_stream_ratio_tracks_recent_rate() {
+        let mut w = MovingRatio::new(1000);
+        // 10% miss rate for 5000 records...
+        for i in 0..5000 {
+            w.record(i % 10 == 0);
+        }
+        assert!((w.ratio() - 0.1).abs() < 0.01);
+        // ...then 2% for another 1000: the window should forget the past.
+        for i in 0..1000 {
+            w.record(i % 50 == 0);
+        }
+        assert!((w.ratio() - 0.02).abs() < 0.005, "ratio {}", w.ratio());
+    }
+
+    #[test]
+    fn hits_never_desync() {
+        // Adversarial interleaving; internal hit counter must match window.
+        let mut w = MovingRatio::new(7);
+        for i in 0..10_000u32 {
+            w.record(i.wrapping_mul(2654435761) % 3 == 0);
+            let actual = w.window.iter().filter(|&&b| b).count();
+            assert_eq!(actual, w.hits);
+        }
+    }
+}

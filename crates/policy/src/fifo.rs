@@ -1,0 +1,113 @@
+//! First-in-first-out queuing.
+
+use crate::{QueuedTask, TaskQueue};
+use std::collections::VecDeque;
+
+/// The FIFO baseline: tasks are served strictly in arrival order.
+///
+/// With a single service class, the paper notes that PRIQ and T-EDFQ both
+/// degenerate to FIFO, which is why Fig. 4 compares TailGuard against FIFO
+/// alone.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_policy::{FifoQueue, QueuedTask, ServiceClass, TaskQueue};
+/// use tailguard_simcore::SimTime;
+///
+/// let mut q = FifoQueue::new();
+/// for id in 0..3 {
+///     q.push(QueuedTask::new(id, ServiceClass(0), SimTime::ZERO, SimTime::ZERO));
+/// }
+/// assert_eq!(q.pop().unwrap().task_id, 0);
+/// assert_eq!(q.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct FifoQueue {
+    queue: VecDeque<QueuedTask>,
+}
+
+impl FifoQueue {
+    /// Creates an empty FIFO queue.
+    pub fn new() -> Self {
+        FifoQueue {
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl TaskQueue for FifoQueue {
+    fn push(&mut self, task: QueuedTask) {
+        self.queue.push_back(task);
+    }
+
+    fn pop(&mut self) -> Option<QueuedTask> {
+        self.queue.pop_front()
+    }
+
+    fn peek(&self) -> Option<&QueuedTask> {
+        self.queue.front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceClass;
+    use tailguard_simcore::SimTime;
+
+    fn task(id: u64) -> QueuedTask {
+        QueuedTask::new(id, ServiceClass(0), SimTime::ZERO, SimTime::ZERO)
+    }
+
+    #[test]
+    fn strict_arrival_order() {
+        let mut q = FifoQueue::new();
+        for id in 0..100 {
+            q.push(task(id));
+        }
+        for id in 0..100 {
+            assert_eq!(q.pop().unwrap().task_id, id);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ignores_deadlines_and_classes() {
+        let mut q = FifoQueue::new();
+        q.push(QueuedTask::new(
+            0,
+            ServiceClass(9),
+            SimTime::from_millis(100),
+            SimTime::ZERO,
+        ));
+        q.push(QueuedTask::new(
+            1,
+            ServiceClass(0),
+            SimTime::from_millis(1),
+            SimTime::ZERO,
+        ));
+        assert_eq!(q.pop().unwrap().task_id, 0);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = FifoQueue::new();
+        q.push(task(5));
+        assert_eq!(q.peek().unwrap().task_id, 5);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = FifoQueue::new();
+        assert!(q.is_empty());
+        assert!(q.peek().is_none());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Strict per-class priority queuing (PRIQ).
+
+use crate::{QueuedTask, ServiceClass, TaskQueue};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The PRIQ baseline: one FIFO per service class, with strict priority given
+/// to lower class numbers (class 0 is most urgent).
+///
+/// The paper (§IV.C) shows PRIQ over-serves the high class and starves the
+/// low class of the headroom it needs to meet its own SLO — the motivating
+/// failure mode that TailGuard's per-query budgets fix.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_policy::{PriqQueue, QueuedTask, ServiceClass, TaskQueue};
+/// use tailguard_simcore::SimTime;
+///
+/// let mut q = PriqQueue::new();
+/// q.push(QueuedTask::new(1, ServiceClass(1), SimTime::ZERO, SimTime::ZERO));
+/// q.push(QueuedTask::new(2, ServiceClass(0), SimTime::ZERO, SimTime::ZERO));
+/// assert_eq!(q.pop().unwrap().task_id, 2); // class 0 wins
+/// ```
+#[derive(Debug, Default)]
+pub struct PriqQueue {
+    queues: BTreeMap<ServiceClass, VecDeque<QueuedTask>>,
+    len: usize,
+}
+
+impl PriqQueue {
+    /// Creates an empty priority queue.
+    pub fn new() -> Self {
+        PriqQueue {
+            queues: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of distinct classes currently queued.
+    pub fn class_count(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+impl TaskQueue for PriqQueue {
+    fn push(&mut self, task: QueuedTask) {
+        self.queues.entry(task.class).or_default().push_back(task);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<QueuedTask> {
+        let class = *self.queues.keys().next()?;
+        let queue = self.queues.get_mut(&class).expect("key just observed");
+        let task = queue.pop_front();
+        if queue.is_empty() {
+            self.queues.remove(&class);
+        }
+        if task.is_some() {
+            self.len -= 1;
+        }
+        task
+    }
+
+    fn peek(&self) -> Option<&QueuedTask> {
+        self.queues.values().next().and_then(|q| q.front())
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailguard_simcore::SimTime;
+
+    fn task(id: u64, class: u8) -> QueuedTask {
+        QueuedTask::new(id, ServiceClass(class), SimTime::ZERO, SimTime::ZERO)
+    }
+
+    #[test]
+    fn strict_priority_across_classes() {
+        let mut q = PriqQueue::new();
+        q.push(task(1, 2));
+        q.push(task(2, 0));
+        q.push(task(3, 1));
+        q.push(task(4, 0));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|t| t.task_id)).collect();
+        assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut q = PriqQueue::new();
+        for id in 0..10 {
+            q.push(task(id, 1));
+        }
+        for id in 0..10 {
+            assert_eq!(q.pop().unwrap().task_id, id);
+        }
+    }
+
+    #[test]
+    fn high_class_arrival_preempts_queue_position() {
+        let mut q = PriqQueue::new();
+        q.push(task(1, 1));
+        q.push(task(2, 1));
+        assert_eq!(q.pop().unwrap().task_id, 1);
+        q.push(task(3, 0)); // urgent arrival jumps ahead of task 2
+        assert_eq!(q.pop().unwrap().task_id, 3);
+        assert_eq!(q.pop().unwrap().task_id, 2);
+    }
+
+    #[test]
+    fn len_tracks_across_classes() {
+        let mut q = PriqQueue::new();
+        q.push(task(1, 0));
+        q.push(task(2, 3));
+        q.push(task(3, 7));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.class_count(), 3);
+        q.pop();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.class_count(), 2);
+    }
+
+    #[test]
+    fn peek_returns_highest_priority() {
+        let mut q = PriqQueue::new();
+        q.push(task(1, 5));
+        q.push(task(2, 2));
+        assert_eq!(q.peek().unwrap().task_id, 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = PriqQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.peek().is_none());
+    }
+}

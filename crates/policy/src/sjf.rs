@@ -1,0 +1,174 @@
+//! Shortest-job-first queuing — the task-size-aware reordering baseline.
+//!
+//! The paper's related work (§II.B) covers "solutions based on
+//! task-size-aware task reordering in a task queue … to avoid head-of-line
+//! blocking of small-sized tasks by large-sized ones" and argues they are
+//! inadequate for the design objective because task *size* ignores both the
+//! query's SLO and its fanout. This queue implements that class with a
+//! perfect size oracle (the scheduler knows each task's true service time),
+//! giving the baseline its best case; the `ext_sjf_baseline` bench shows it
+//! still loses to TF-EDFQ on SLO-constrained max load.
+
+use crate::{QueuedTask, TaskQueue};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A non-preemptive shortest-job-first queue ordered by
+/// [`QueuedTask::size_hint`], ties broken FIFO.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_policy::{QueuedTask, ServiceClass, SjfQueue, TaskQueue};
+/// use tailguard_simcore::{SimDuration, SimTime};
+///
+/// let mut q = SjfQueue::new();
+/// let mut long = QueuedTask::new(1, ServiceClass(0), SimTime::ZERO, SimTime::ZERO);
+/// long.size_hint = SimDuration::from_millis(9);
+/// let mut short = QueuedTask::new(2, ServiceClass(0), SimTime::ZERO, SimTime::ZERO);
+/// short.size_hint = SimDuration::from_millis(1);
+/// q.push(long);
+/// q.push(short);
+/// assert_eq!(q.pop().unwrap().task_id, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SjfQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    task: QueuedTask,
+    seq: u64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.task.size_hint == other.task.size_hint && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on (size, seq).
+        other
+            .task
+            .size_hint
+            .cmp(&self.task.size_hint)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl SjfQueue {
+    /// Creates an empty SJF queue.
+    pub fn new() -> Self {
+        SjfQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl TaskQueue for SjfQueue {
+    fn push(&mut self, task: QueuedTask) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { task, seq });
+    }
+
+    fn pop(&mut self) -> Option<QueuedTask> {
+        self.heap.pop().map(|e| e.task)
+    }
+
+    fn peek(&self) -> Option<&QueuedTask> {
+        self.heap.peek().map(|e| &e.task)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceClass;
+    use proptest::prelude::*;
+    use tailguard_simcore::{SimDuration, SimTime};
+
+    fn task(id: u64, size_us: u64) -> QueuedTask {
+        let mut t = QueuedTask::new(id, ServiceClass(0), SimTime::ZERO, SimTime::ZERO);
+        t.size_hint = SimDuration::from_micros(size_us);
+        t
+    }
+
+    #[test]
+    fn shortest_first() {
+        let mut q = SjfQueue::new();
+        q.push(task(1, 500));
+        q.push(task(2, 100));
+        q.push(task(3, 300));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|t| t.task_id)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ties_fifo() {
+        let mut q = SjfQueue::new();
+        for id in 0..20 {
+            q.push(task(id, 100));
+        }
+        for id in 0..20 {
+            assert_eq!(q.pop().unwrap().task_id, id);
+        }
+    }
+
+    #[test]
+    fn ignores_deadline_and_class() {
+        let mut q = SjfQueue::new();
+        let mut urgent = task(1, 900);
+        urgent.deadline = SimTime::from_millis(1);
+        urgent.class = ServiceClass(0);
+        let mut lazy = task(2, 100);
+        lazy.deadline = SimTime::from_millis(999);
+        lazy.class = ServiceClass(9);
+        q.push(urgent);
+        q.push(lazy);
+        // The small task wins even though the other is far more urgent —
+        // exactly the blindness the paper criticizes.
+        assert_eq!(q.pop().unwrap().task_id, 2);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = SjfQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.peek().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_sizes_sorted(sizes in proptest::collection::vec(0u64..100_000, 1..150)) {
+            let mut q = SjfQueue::new();
+            for (id, s) in sizes.iter().enumerate() {
+                q.push(task(id as u64, *s));
+            }
+            let mut last = 0u64;
+            while let Some(t) = q.pop() {
+                let s = t.size_hint.as_nanos();
+                prop_assert!(s >= last);
+                last = s;
+            }
+        }
+    }
+}

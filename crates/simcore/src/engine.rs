@@ -1,0 +1,252 @@
+//! The simulation run loop.
+
+use crate::event::Scheduler;
+use crate::time::SimTime;
+
+/// A discrete-event state machine driven by an [`Engine`].
+///
+/// Implementors own all mutable simulation state; the engine owns the clock
+/// and the future-event list. `handle` is invoked once per event, in
+/// non-decreasing time order, and may schedule further events through the
+/// provided scheduler.
+pub trait Simulation {
+    /// The event alphabet of this simulation.
+    type Event;
+
+    /// Processes a single event occurring at simulated instant `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Optional early-stop predicate checked after every event; returning
+    /// `true` halts the run loop (used e.g. to stop after a target number of
+    /// completed queries).
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The future-event list drained completely.
+    Exhausted,
+    /// The time horizon passed to [`Engine::run_until`] was reached.
+    HorizonReached,
+    /// [`Simulation::should_stop`] returned `true`.
+    Stopped,
+    /// The event budget passed to [`Engine::run_events`] was consumed.
+    BudgetExhausted,
+}
+
+/// Drives a [`Simulation`] forward through simulated time.
+///
+/// # Example
+///
+/// See the crate-level documentation for a complete M/D/1 example.
+#[derive(Debug)]
+pub struct Engine<S: Simulation> {
+    state: S,
+    scheduler: Scheduler<S::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<S: Simulation> Engine<S> {
+    /// Creates an engine at time zero with an empty event list.
+    pub fn new(state: S) -> Self {
+        Engine {
+            state,
+            scheduler: Scheduler::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated instant (the timestamp of the last event
+    /// processed, or zero before any event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the simulation state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the simulation state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the engine, returning the final simulation state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Exclusive access to the scheduler, e.g. for seeding initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<S::Event> {
+        &mut self.scheduler
+    }
+
+    /// Shared access to the scheduler.
+    pub fn scheduler(&self) -> &Scheduler<S::Event> {
+        &self.scheduler
+    }
+
+    /// Processes a single event, if one is pending. Returns `false` when the
+    /// event list is empty.
+    pub fn step(&mut self) -> bool {
+        match self.scheduler.pop() {
+            Some(scheduled) => {
+                debug_assert!(
+                    scheduled.at >= self.now,
+                    "event scheduled in the past: {} < {}",
+                    scheduled.at,
+                    self.now
+                );
+                self.now = scheduled.at;
+                self.processed += 1;
+                self.state
+                    .handle(self.now, scheduled.event, &mut self.scheduler);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event list drains or the simulation requests a stop.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        loop {
+            if self.state.should_stop() {
+                return RunOutcome::Stopped;
+            }
+            if !self.step() {
+                return RunOutcome::Exhausted;
+            }
+        }
+    }
+
+    /// Runs until the next pending event lies strictly beyond `horizon`, the
+    /// event list drains, or the simulation requests a stop. Events stamped
+    /// exactly at `horizon` are processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.state.should_stop() {
+                return RunOutcome::Stopped;
+            }
+            match self.scheduler.peek_time() {
+                None => return RunOutcome::Exhausted,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs at most `budget` events (or to exhaustion / stop).
+    pub fn run_events(&mut self, budget: u64) -> RunOutcome {
+        for _ in 0..budget {
+            if self.state.should_stop() {
+                return RunOutcome::Stopped;
+            }
+            if !self.step() {
+                return RunOutcome::Exhausted;
+            }
+        }
+        if self.state.should_stop() {
+            RunOutcome::Stopped
+        } else {
+            RunOutcome::BudgetExhausted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Ticks forever at 1ms intervals, counting.
+    struct Ticker {
+        ticks: u64,
+        stop_at: Option<u64>,
+    }
+
+    impl Simulation for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+            self.ticks += 1;
+            sched.schedule_in(now, SimDuration::from_millis(1), ());
+        }
+        fn should_stop(&self) -> bool {
+            self.stop_at.is_some_and(|n| self.ticks >= n)
+        }
+    }
+
+    fn ticker(stop_at: Option<u64>) -> Engine<Ticker> {
+        let mut e = Engine::new(Ticker { ticks: 0, stop_at });
+        e.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        e
+    }
+
+    #[test]
+    fn run_until_respects_horizon_inclusive() {
+        let mut e = ticker(None);
+        let outcome = e.run_until(SimTime::from_millis(10));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // events at 0,1,...,10 ms inclusive
+        assert_eq!(e.state().ticks, 11);
+        assert_eq!(e.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn run_events_respects_budget() {
+        let mut e = ticker(None);
+        assert_eq!(e.run_events(5), RunOutcome::BudgetExhausted);
+        assert_eq!(e.state().ticks, 5);
+        assert_eq!(e.processed(), 5);
+    }
+
+    #[test]
+    fn should_stop_halts() {
+        let mut e = ticker(Some(7));
+        assert_eq!(e.run_to_completion(), RunOutcome::Stopped);
+        assert_eq!(e.state().ticks, 7);
+    }
+
+    #[test]
+    fn exhaustion_when_no_events() {
+        struct Inert;
+        impl Simulation for Inert {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), _: &mut Scheduler<()>) {}
+        }
+        let mut e = Engine::new(Inert);
+        assert_eq!(e.run_to_completion(), RunOutcome::Exhausted);
+        assert_eq!(e.processed(), 0);
+    }
+
+    #[test]
+    fn clock_is_monotone_across_steps() {
+        let mut e = ticker(None);
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            e.step();
+            assert!(e.now() >= last);
+            last = e.now();
+        }
+    }
+
+    #[test]
+    fn into_state_returns_final_state() {
+        let mut e = ticker(Some(3));
+        e.run_to_completion();
+        let s = e.into_state();
+        assert_eq!(s.ticks, 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Future-event list: a deterministic, time-ordered scheduler.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queued for execution at a given simulated instant.
+///
+/// Events at equal times are delivered in insertion order (FIFO among ties),
+/// which makes simulations deterministic regardless of heap internals.
+#[derive(Debug)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// The scheduler is the only channel through which a [`crate::Simulation`]
+/// creates future work. Determinism guarantee:
+/// two events scheduled for the same instant are delivered in the order they
+/// were scheduled.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_simcore::{Scheduler, SimDuration, SimTime};
+///
+/// let mut sched: Scheduler<&'static str> = Scheduler::new();
+/// sched.schedule_at(SimTime::from_millis(2), "late");
+/// sched.schedule_at(SimTime::from_millis(1), "early");
+/// sched.schedule_in(SimTime::from_millis(1), SimDuration::ZERO, "tie");
+///
+/// let order: Vec<_> = std::iter::from_fn(|| sched.pop().map(|s| s.event)).collect();
+/// assert_eq!(order, vec!["early", "tie", "late"]);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty scheduler with pre-allocated capacity for `cap`
+    /// simultaneously outstanding events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Scheduler {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute instant `at`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after `now`.
+    pub fn schedule_in(&mut self, now: SimTime, delay: SimDuration, event: E) {
+        self.schedule_at(now + delay, event);
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled over the scheduler's lifetime.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drops all pending events (the lifetime counter is preserved).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_millis(5), 5);
+        s.schedule_at(SimTime::from_millis(1), 1);
+        s.schedule_at(SimTime::from_millis(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_offsets_from_now() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimTime::from_millis(2), SimDuration::from_millis(3), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut s = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule_at(SimTime::ZERO, ());
+        s.schedule_at(SimTime::ZERO, ());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.scheduled_total(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_millis(10), 10);
+        s.schedule_at(SimTime::from_millis(1), 1);
+        assert_eq!(s.pop().unwrap().event, 1);
+        s.schedule_at(SimTime::from_millis(2), 2);
+        s.schedule_at(SimTime::from_millis(20), 20);
+        assert_eq!(s.pop().unwrap().event, 2);
+        assert_eq!(s.pop().unwrap().event, 10);
+        assert_eq!(s.pop().unwrap().event, 20);
+        assert!(s.pop().is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Discrete-event simulation substrate for the TailGuard reproduction.
+//!
+//! This crate provides the three building blocks every simulation experiment
+//! in the workspace is built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulated clock
+//!   with total ordering and saturating arithmetic,
+//! * [`Scheduler`] / [`Engine`] — a deterministic future-event list (a binary
+//!   heap keyed by `(time, sequence)`) and a run loop driving a user-supplied
+//!   [`Simulation`] state machine,
+//! * [`SimRng`] — a seedable, splittable random-number generator so that every
+//!   experiment is exactly reproducible from a single `u64` seed.
+//!
+//! # Example
+//!
+//! A minimal M/D/1 queue simulated to completion:
+//!
+//! ```
+//! use tailguard_simcore::{Engine, Scheduler, SimDuration, SimTime, Simulation};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Arrival, Departure }
+//!
+//! #[derive(Default)]
+//! struct Md1 {
+//!     arrived: u32,
+//!     queued: u32,
+//!     busy: bool,
+//!     served: u32,
+//! }
+//!
+//! impl Simulation for Md1 {
+//!     type Event = Ev;
+//!     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+//!         match ev {
+//!             Ev::Arrival => {
+//!                 self.arrived += 1;
+//!                 if self.arrived < 10 {
+//!                     sched.schedule_in(now, SimDuration::from_millis_f64(1.0), Ev::Arrival);
+//!                 }
+//!                 if self.busy {
+//!                     self.queued += 1;
+//!                 } else {
+//!                     self.busy = true;
+//!                     sched.schedule_in(now, SimDuration::from_millis_f64(0.5), Ev::Departure);
+//!                 }
+//!             }
+//!             Ev::Departure => {
+//!                 self.served += 1;
+//!                 if self.queued > 0 {
+//!                     self.queued -= 1;
+//!                     sched.schedule_in(now, SimDuration::from_millis_f64(0.5), Ev::Departure);
+//!                 } else {
+//!                     self.busy = false;
+//!                 }
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Md1::default());
+//! engine.scheduler_mut().schedule_at(SimTime::ZERO, Ev::Arrival);
+//! engine.run_to_completion();
+//! assert_eq!(engine.state().served, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod event;
+mod rng;
+mod time;
+
+pub use engine::{Engine, RunOutcome, Simulation};
+pub use event::{Scheduled, Scheduler};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,179 @@
+//! The emulated edge node.
+
+use crate::sensor::SensorStore;
+use std::sync::Arc;
+use tailguard_dist::DynDistribution;
+use tailguard_simcore::SimRng;
+use tokio::sync::mpsc;
+
+/// A task sent from the query handler to an edge node.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TaskAssignment {
+    /// Handler-side task identifier.
+    pub task_id: u64,
+    /// First day of the requested record range.
+    pub start_day: u32,
+    /// Number of consecutive days requested.
+    pub days: u32,
+}
+
+/// A completed task returned to the handler/aggregator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TaskResult {
+    /// The node that served the task.
+    pub node: u32,
+    /// Handler-side task identifier.
+    pub task_id: u64,
+    /// Number of sensor records retrieved.
+    pub records: usize,
+    /// Mean temperature over the range (the aggregated payload).
+    pub mean_temperature: f32,
+    /// Mean humidity over the range.
+    pub mean_humidity: f32,
+}
+
+/// Runs one edge node: serves tasks one at a time — emulating the Pi's
+/// processing time with a sleep drawn from the node's cluster service
+/// distribution (compressed by `time_scale`) — then performs the actual
+/// record retrieval and returns the aggregate.
+///
+/// Exits when the assignment channel closes.
+pub(crate) async fn edge_node(
+    node_id: u32,
+    store: Arc<SensorStore>,
+    service: DynDistribution,
+    time_scale: f64,
+    mut rng: SimRng,
+    mut tasks: mpsc::UnboundedReceiver<TaskAssignment>,
+    results: mpsc::UnboundedSender<TaskResult>,
+) {
+    while let Some(task) = tasks.recv().await {
+        let service_ms = service.sample(&mut rng) / time_scale;
+        // tokio's timer wheel rounds sleeps *up* to 1 ms, which would bias
+        // every service time (+0.5 ms mean — 20% at a 25x compression).
+        // Stochastic rounding to whole milliseconds keeps the mean exact:
+        // 2.3 ms sleeps 2 ms with p=0.7 and 3 ms with p=0.3.
+        let floor = service_ms.floor();
+        let quantized_ms = if rng.f64() < service_ms - floor {
+            floor + 1.0
+        } else {
+            floor
+        } as u64;
+        // tokio wakes at the first wheel tick *strictly after* now + d, so
+        // an aligned n-ms target needs sleep(n-1 ms); sleep(0) itself
+        // consumes exactly one 1-ms tick (verified by testbed tests).
+        if quantized_ms >= 1 {
+            tokio::time::sleep(std::time::Duration::from_millis(quantized_ms - 1)).await;
+        }
+        let slice = store.range_query(task.start_day, task.days);
+        let (mean_temperature, mean_humidity) = SensorStore::aggregate(slice);
+        let result = TaskResult {
+            node: node_id,
+            task_id: task.task_id,
+            records: slice.len(),
+            mean_temperature,
+            mean_humidity,
+        };
+        if results.send(result).is_err() {
+            return; // handler gone; shut down quietly
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailguard_dist::Deterministic;
+
+    #[tokio::test(start_paused = true)]
+    async fn node_serves_tasks_in_order() {
+        let store = Arc::new(SensorStore::generate_days(1, 40));
+        let (task_tx, task_rx) = mpsc::unbounded_channel();
+        let (res_tx, mut res_rx) = mpsc::unbounded_channel();
+        let service: DynDistribution = Arc::new(Deterministic::new(5.0));
+        tokio::spawn(edge_node(
+            3,
+            store,
+            service,
+            1.0,
+            SimRng::seed(1),
+            task_rx,
+            res_tx,
+        ));
+        let t0 = tokio::time::Instant::now();
+        for id in 0..3 {
+            task_tx
+                .send(TaskAssignment {
+                    task_id: id,
+                    start_day: 0,
+                    days: 1,
+                })
+                .unwrap();
+        }
+        for id in 0..3 {
+            let r = res_rx.recv().await.unwrap();
+            assert_eq!(r.task_id, id);
+            assert_eq!(r.node, 3);
+            assert_eq!(r.records, SensorStore::RECORDS_PER_DAY);
+        }
+        // Three sequential ~5ms services (tick-compensated; allow 1-tick
+        // misalignment at the start of the run).
+        let e = t0.elapsed();
+        assert!(e >= std::time::Duration::from_millis(11), "{e:?}");
+        assert!(e <= std::time::Duration::from_millis(18), "{e:?}");
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn time_scale_compresses_service() {
+        let store = Arc::new(SensorStore::generate_days(2, 5));
+        let (task_tx, task_rx) = mpsc::unbounded_channel();
+        let (res_tx, mut res_rx) = mpsc::unbounded_channel();
+        let service: DynDistribution = Arc::new(Deterministic::new(100.0));
+        tokio::spawn(edge_node(
+            0,
+            store,
+            service,
+            10.0, // 100ms of "Pi time" becomes 10ms of wall time
+            SimRng::seed(1),
+            task_rx,
+            res_tx,
+        ));
+        let t0 = tokio::time::Instant::now();
+        task_tx
+            .send(TaskAssignment {
+                task_id: 0,
+                start_day: 0,
+                days: 1,
+            })
+            .unwrap();
+        res_rx.recv().await.unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_millis(8),
+            "{elapsed:?}"
+        );
+        assert!(
+            elapsed < std::time::Duration::from_millis(20),
+            "{elapsed:?}"
+        );
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn node_exits_on_channel_close() {
+        let store = Arc::new(SensorStore::generate_days(3, 5));
+        let (task_tx, task_rx) = mpsc::unbounded_channel();
+        let (res_tx, _res_rx) = mpsc::unbounded_channel();
+        let service: DynDistribution = Arc::new(Deterministic::new(1.0));
+        let h = tokio::spawn(edge_node(
+            0,
+            store,
+            service,
+            1.0,
+            SimRng::seed(1),
+            task_rx,
+            res_tx,
+        ));
+        drop(task_tx);
+        h.await.unwrap(); // must terminate
+    }
+}

@@ -1,0 +1,464 @@
+//! Testbed orchestration: calibration, load generation, and reporting.
+
+use crate::handler::{query_handler, HandlerConfig, IncomingQuery};
+use crate::node::{edge_node, TaskAssignment, TaskResult};
+use crate::sensor::SensorStore;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tailguard::scenarios::{self, SasCluster};
+use tailguard::{AdmissionConfig, ClusterSpec, DeadlineEstimator, EstimatorMode};
+use tailguard_dist::{DynDistribution, Scaled};
+use tailguard_metrics::LatencyReservoir;
+use tailguard_policy::Policy;
+use tailguard_simcore::{SimDuration, SimRng};
+use tokio::sync::mpsc;
+
+/// Wall-clock behaviour of a testbed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestbedMode {
+    /// Sleeps take real time (compressed by `time_scale`) — the live-demo
+    /// mode closest to the physical testbed.
+    RealTime,
+    /// tokio's paused clock with auto-advance: the identical async code
+    /// path executes at simulation speed, deterministically — the mode
+    /// tests and benches use.
+    PausedTime,
+}
+
+/// Configuration of one testbed run.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Queuing policy at the handler's per-node queues.
+    pub policy: Policy,
+    /// Number of queries to issue.
+    pub queries: usize,
+    /// Overall offered load (fraction of aggregate node capacity).
+    pub target_load: f64,
+    /// Time compression: 25 means 82 ms of Pi time runs as 3.3 ms of wall
+    /// time. SLOs are compressed identically; reports are de-compressed.
+    pub time_scale: f64,
+    /// Offline-calibration probe tasks per node (§III.B.2's offline
+    /// estimation process).
+    pub calibration_probes: usize,
+    /// Admission control (window expressed in *uncompressed* Pi time), if
+    /// any.
+    pub admission: Option<AdmissionConfig>,
+    /// Clock mode.
+    pub mode: TestbedMode,
+    /// Master seed.
+    pub seed: u64,
+    /// Days of sensor history per node (the physical testbed keeps 540;
+    /// tests use less to bound memory).
+    pub store_days: u32,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            policy: Policy::TfEdf,
+            queries: 2_000,
+            target_load: 0.4,
+            time_scale: 25.0,
+            calibration_probes: 40,
+            admission: None,
+            mode: TestbedMode::PausedTime,
+            seed: 0x5A5_7E57,
+            store_days: 90,
+        }
+    }
+}
+
+/// Per-cluster post-queuing observations — the data behind Fig. 9(a).
+#[derive(Debug, Clone)]
+pub struct ClusterObservation {
+    /// Cluster display name.
+    pub name: &'static str,
+    /// Mean task post-queuing time, ms (uncompressed).
+    pub mean_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Mean utilization of the cluster's 8 nodes.
+    pub load: f64,
+}
+
+/// Results of one testbed run (all durations uncompressed to Pi time).
+#[derive(Debug)]
+pub struct TestbedReport {
+    /// Policy under test.
+    pub policy: Policy,
+    /// Query latencies per class (A=0, B=1, C=2), in real (uncompressed)
+    /// time.
+    pub latency_by_class: BTreeMap<u8, LatencyReservoir>,
+    /// The per-class SLOs (800/1300/1800 ms).
+    pub slos: Vec<SimDuration>,
+    /// Per-cluster post-queuing statistics (Fig. 9a).
+    pub clusters: Vec<ClusterObservation>,
+    /// Queries completed.
+    pub completed_queries: u64,
+    /// Queries rejected by admission control.
+    pub rejected_queries: u64,
+    /// Fraction of dequeued tasks that missed their deadline.
+    pub miss_ratio: f64,
+    /// Overall measured load.
+    pub overall_load: f64,
+    /// Total sensor records retrieved by all tasks.
+    pub records_retrieved: u64,
+    /// Fleet-wide mean `(temperature °C, humidity %)` over all task
+    /// results — the merged sensing answer the SaS returns to users.
+    pub mean_reading: (f64, f64),
+    /// Wall-clock (compressed) duration of the measurement phase, ms.
+    pub elapsed_wall_ms: f64,
+    /// Total compressed busy time across all nodes, ms.
+    pub busy_wall_ms: f64,
+}
+
+impl TestbedReport {
+    /// The measured 99th-percentile latency of `class`, ms.
+    pub fn class_p99_ms(&mut self, class: u8) -> f64 {
+        self.latency_by_class
+            .get_mut(&class)
+            .map(|r| r.percentile(0.99).as_millis_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// True when every class with enough samples meets its SLO.
+    pub fn meets_all_slos(&mut self) -> bool {
+        let slos = self.slos.clone();
+        (0..slos.len() as u8).all(|c| match self.latency_by_class.get_mut(&c) {
+            Some(r) if r.len() >= 20 => r.percentile(0.99) <= slos[c as usize],
+            _ => true,
+        })
+    }
+}
+
+/// Runs the testbed to completion on a fresh single-threaded tokio runtime
+/// and returns the report.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (zero queries, non-positive load or
+/// time scale) or if the runtime cannot be built.
+pub fn run_testbed(config: &TestbedConfig) -> TestbedReport {
+    assert!(config.queries > 0, "need at least one query");
+    assert!(config.target_load > 0.0, "load must be positive");
+    assert!(config.time_scale > 0.0, "time scale must be positive");
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async {
+        if config.mode == TestbedMode::PausedTime {
+            tokio::time::pause();
+        }
+        run_async(config).await
+    })
+}
+
+async fn run_async(config: &TestbedConfig) -> TestbedReport {
+    let scale = config.time_scale;
+    let mut master = SimRng::seed(config.seed);
+
+    // --- Build the 32-node heterogeneous cluster (scaled domain). -------
+    let scaled_dists: Vec<DynDistribution> = SasCluster::ALL
+        .iter()
+        .flat_map(|c| {
+            let d: DynDistribution = Arc::new(Scaled::new(c.service_dist(), scale));
+            std::iter::repeat_n(d, 8)
+        })
+        .collect();
+    let scaled_cluster = ClusterSpec::heterogeneous(scaled_dists.clone());
+
+    // --- Spawn edge nodes. ----------------------------------------------
+    let (result_tx, result_rx) = mpsc::unbounded_channel::<TaskResult>();
+    let mut node_txs = Vec::with_capacity(32);
+    for node_id in 0..32u32 {
+        let (tx, rx) = mpsc::unbounded_channel::<TaskAssignment>();
+        node_txs.push(tx);
+        let store = Arc::new(SensorStore::generate_days(
+            config.seed ^ (0x1000 + u64::from(node_id)),
+            config.store_days,
+        ));
+        tokio::spawn(edge_node(
+            node_id,
+            store,
+            scaled_dists[node_id as usize].clone(),
+            1.0, // dists are already compressed
+            master.split(),
+            rx,
+            result_tx.clone(),
+        ));
+    }
+
+    // --- The workload plan comes from the simulation twin scenario. ------
+    let scenario = scenarios::sas_testbed();
+    let scaled_slos: Vec<SimDuration> = scenario
+        .classes
+        .iter()
+        .map(|c| SimDuration::from_millis_f64(c.slo.as_millis_f64() / scale))
+        .collect();
+    let scaled_classes: Vec<tailguard::ClassSpec> = scaled_slos
+        .iter()
+        .map(|&slo| tailguard::ClassSpec::p99(slo))
+        .collect();
+
+    // --- Offline calibration (§III.B.2). ----------------------------------
+    let mut estimator = DeadlineEstimator::new(
+        &scaled_cluster,
+        scaled_classes,
+        EstimatorMode::Online {
+            refresh_every: 2_000,
+            offline_samples: 0,
+        },
+    );
+    // Probe each node sequentially while it is idle, so the measured
+    // dispatch→result time is the node's unloaded response time.
+    let mut result_rx = result_rx;
+    let mut range_rng = master.split();
+    for (node, tx) in node_txs.iter().enumerate() {
+        for _ in 0..config.calibration_probes {
+            let start_day = range_rng.index(config.store_days.max(2) as usize - 1) as u32;
+            let sent = tokio::time::Instant::now();
+            let _ = tx.send(TaskAssignment {
+                task_id: u64::MAX,
+                start_day,
+                days: 1,
+            });
+            let r = result_rx.recv().await.expect("nodes alive");
+            debug_assert_eq!(r.node as usize, node);
+            estimator.record_post_queuing(
+                node,
+                SimDuration::from_nanos(sent.elapsed().as_nanos() as u64),
+            );
+        }
+    }
+    estimator.refresh_now();
+
+    // --- Load generator. ---------------------------------------------------
+    let input = scenario.input(config.target_load, config.queries);
+    let (query_tx, query_rx) = mpsc::unbounded_channel::<IncomingQuery>();
+    let mut gen_rng = master.split();
+    let store_days = config.store_days;
+    let generator = tokio::spawn(async move {
+        let epoch = tokio::time::Instant::now();
+        for req in input.requests {
+            let spec = &req.queries[0];
+            let at = epoch
+                + std::time::Duration::from_nanos((req.arrival.as_nanos() as f64 / scale) as u64);
+            tokio::time::sleep_until(at).await;
+            let servers = spec
+                .servers
+                .clone()
+                .expect("sas scenario always places explicitly");
+            let ranges: Vec<(u32, u32)> = servers
+                .iter()
+                .map(|_| {
+                    let days = 1 + gen_rng.index(30.min(store_days as usize)) as u32;
+                    let max_start = store_days.saturating_sub(days).max(1);
+                    (gen_rng.index(max_start as usize) as u32, days)
+                })
+                .collect();
+            if query_tx
+                .send(IncomingQuery {
+                    class: spec.class,
+                    servers,
+                    ranges,
+                })
+                .is_err()
+            {
+                return; // handler finished early
+            }
+        }
+    });
+
+    // --- Query handler. -----------------------------------------------------
+    let out = query_handler(
+        HandlerConfig {
+            policy: config.policy,
+            scaled_slos: scaled_slos.clone(),
+            admission: config.admission.map(|a| {
+                AdmissionConfig::new(
+                    SimDuration::from_millis_f64(a.window.as_millis_f64() / scale),
+                    a.threshold,
+                )
+                .with_min_samples(a.min_samples)
+            }),
+            expected_queries: config.queries as u64,
+        },
+        estimator,
+        query_rx,
+        result_rx,
+        node_txs,
+    )
+    .await;
+    generator.abort();
+
+    // --- Assemble the uncompressed report. ----------------------------------
+    let unscale = |r: &mut LatencyReservoir| -> LatencyReservoir {
+        r.sorted_samples()
+            .iter()
+            .map(|&ns| SimDuration::from_nanos((ns as f64 * scale) as u64))
+            .collect()
+    };
+    let mut latency_by_class = BTreeMap::new();
+    let mut out_latency = out.latency_by_class;
+    for (class, r) in out_latency.iter_mut() {
+        latency_by_class.insert(*class, unscale(r));
+    }
+
+    let elapsed_ns = out.elapsed.as_nanos().max(1);
+    let post = out.post_queuing_by_node;
+    let clusters = SasCluster::ALL
+        .iter()
+        .map(|c| {
+            let range = c.server_range();
+            let mut merged = LatencyReservoir::new();
+            for node in range.clone() {
+                merged.merge(&post[node]);
+            }
+            let mut merged = unscale(&mut merged);
+            let busy: u64 = out.busy_by_node[range.clone()]
+                .iter()
+                .map(|d| d.as_nanos())
+                .sum();
+            ClusterObservation {
+                name: c.name(),
+                mean_ms: merged.mean().as_millis_f64(),
+                p95_ms: merged.percentile(0.95).as_millis_f64(),
+                p99_ms: merged.percentile(0.99).as_millis_f64(),
+                load: busy as f64 / (elapsed_ns as f64 * range.len() as f64),
+            }
+        })
+        .collect();
+    let total_busy: u64 = out.busy_by_node.iter().map(|d| d.as_nanos()).sum();
+
+    TestbedReport {
+        policy: config.policy,
+        latency_by_class,
+        slos: scenario.classes.iter().map(|c| c.slo).collect(),
+        clusters,
+        completed_queries: out.completed_queries,
+        rejected_queries: out.rejected_queries,
+        miss_ratio: if out.tasks_dequeued == 0 {
+            0.0
+        } else {
+            out.deadline_misses as f64 / out.tasks_dequeued as f64
+        },
+        overall_load: total_busy as f64 / (elapsed_ns as f64 * 32.0),
+        elapsed_wall_ms: elapsed_ns as f64 / 1e6,
+        busy_wall_ms: total_busy as f64 / 1e6,
+        records_retrieved: out.records_retrieved,
+        mean_reading: if out.task_results == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                out.temperature_sum / out.task_results as f64,
+                out.humidity_sum / out.task_results as f64,
+            )
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(policy: Policy, load: f64, queries: usize) -> TestbedConfig {
+        TestbedConfig {
+            policy,
+            queries,
+            target_load: load,
+            calibration_probes: 20,
+            store_days: 35,
+            mode: TestbedMode::PausedTime,
+            ..TestbedConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_all_queries() {
+        let mut report = run_testbed(&quick(Policy::TfEdf, 0.25, 300));
+        assert_eq!(report.completed_queries, 300);
+        assert_eq!(report.rejected_queries, 0);
+        assert!(report.records_retrieved > 0);
+        let (t, h) = report.mean_reading;
+        assert!(t > -20.0 && t < 50.0, "temperature {t}");
+        assert!((0.0..=100.0).contains(&h), "humidity {h}");
+        // All three classes saw traffic.
+        for class in 0..3u8 {
+            assert!(report.class_p99_ms(class) > 0.0, "class {class}");
+        }
+    }
+
+    #[test]
+    fn cluster_observations_match_paper_ordering() {
+        let report = run_testbed(&quick(Policy::TfEdf, 0.2, 400));
+        let by_name: std::collections::HashMap<&str, &ClusterObservation> =
+            report.clusters.iter().map(|c| (c.name, c)).collect();
+        // Wet-lab is the fastest cluster (§IV.E).
+        assert!(by_name["Wet-lab"].mean_ms < by_name["Server-room"].mean_ms);
+        assert!(by_name["Wet-lab"].mean_ms < by_name["Faculty"].mean_ms);
+        // Server-room carries the skewed class-A load.
+        assert!(
+            by_name["Server-room"].load > by_name["Faculty"].load,
+            "server-room {} vs faculty {}",
+            by_name["Server-room"].load,
+            by_name["Faculty"].load
+        );
+    }
+
+    #[test]
+    fn low_load_meets_slos() {
+        let mut report = run_testbed(&quick(Policy::TfEdf, 0.15, 400));
+        assert!(
+            report.meets_all_slos(),
+            "A={} B={} C={}",
+            report.class_p99_ms(0),
+            report.class_p99_ms(1),
+            report.class_p99_ms(2)
+        );
+        assert!(report.miss_ratio < 0.05);
+    }
+
+    #[test]
+    fn paused_runs_are_deterministic() {
+        let cfg = quick(Policy::TfEdf, 0.3, 200);
+        let mut a = run_testbed(&cfg);
+        let mut b = run_testbed(&cfg);
+        assert_eq!(a.completed_queries, b.completed_queries);
+        assert_eq!(a.class_p99_ms(0), b.class_p99_ms(0));
+        assert_eq!(a.records_retrieved, b.records_retrieved);
+    }
+
+    #[test]
+    fn all_policies_run() {
+        for policy in Policy::ALL {
+            let report = run_testbed(&quick(policy, 0.25, 150));
+            assert_eq!(report.completed_queries, 150, "{policy}");
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_at_overload() {
+        let mut cfg = quick(Policy::TfEdf, 1.4, 600);
+        cfg.admission = Some(AdmissionConfig::new(
+            tailguard_simcore::SimDuration::from_millis(20_000),
+            0.02,
+        ));
+        let report = run_testbed(&cfg);
+        assert!(
+            report.rejected_queries > 0,
+            "expected rejections at 140% load"
+        );
+        assert_eq!(report.completed_queries + report.rejected_queries, 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one query")]
+    fn zero_queries_rejected() {
+        let mut cfg = quick(Policy::Fifo, 0.2, 1);
+        cfg.queries = 0;
+        let _ = run_testbed(&cfg);
+    }
+}

@@ -1,0 +1,200 @@
+//! The per-edge-node sensing data store.
+
+use tailguard_simcore::SimRng;
+
+/// Minutes per sampling interval (the testbed's Pis "receive sensing data
+/// periodically"; we default to one record every 10 minutes).
+pub const SAMPLE_INTERVAL_MINUTES: u32 = 10;
+
+/// Days of history each edge node keeps (§IV.E: "up to eighteen-month-worth
+/// of the data records").
+pub const HISTORY_DAYS: u32 = 18 * 30;
+
+/// One temperature/humidity observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorRecord {
+    /// Minutes since the start of the node's history window.
+    pub ts_minutes: u32,
+    /// Temperature in °C.
+    pub temperature: f32,
+    /// Relative humidity in %.
+    pub humidity: f32,
+}
+
+/// An in-memory time-series store of one edge node's sensor history.
+///
+/// Records are generated synthetically (diurnal temperature cycle plus
+/// seeded noise) and kept sorted by timestamp, so range retrieval — the
+/// testbed's task workload, "one to up to thirty-day-worth of consecutive
+/// records starting from a random time" — is a binary search plus a slice.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_testbed::SensorStore;
+///
+/// let store = SensorStore::generate(7);
+/// let day = store.range_query(0, 1);
+/// assert_eq!(day.len(), 144); // one record per 10 minutes
+/// let (t, h) = SensorStore::aggregate(day);
+/// assert!(t > -20.0 && t < 50.0);
+/// assert!((0.0..=100.0).contains(&h));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensorStore {
+    records: Vec<SensorRecord>,
+}
+
+impl SensorStore {
+    /// Records per day at the default sampling interval.
+    pub const RECORDS_PER_DAY: usize = (24 * 60 / SAMPLE_INTERVAL_MINUTES) as usize;
+
+    /// Generates a full eighteen-month history from a seed.
+    pub fn generate(seed: u64) -> Self {
+        Self::generate_days(seed, HISTORY_DAYS)
+    }
+
+    /// Generates `days` days of history (tests use small stores).
+    pub fn generate_days(seed: u64, days: u32) -> Self {
+        let mut rng = SimRng::seed(seed);
+        let total = days as usize * Self::RECORDS_PER_DAY;
+        let mut records = Vec::with_capacity(total);
+        let base_temp = 18.0 + rng.f64() * 6.0; // node-specific bias
+        let base_hum = 35.0 + rng.f64() * 20.0;
+        for i in 0..total {
+            let ts_minutes = i as u32 * SAMPLE_INTERVAL_MINUTES;
+            let day_phase = (ts_minutes % (24 * 60)) as f64 / (24.0 * 60.0) * std::f64::consts::TAU;
+            let season_phase = ts_minutes as f64 / (365.0 * 24.0 * 60.0) * std::f64::consts::TAU;
+            let temperature = base_temp
+                + 4.0 * (day_phase - std::f64::consts::FRAC_PI_2).sin()
+                + 6.0 * season_phase.sin()
+                + (rng.f64() - 0.5);
+            let humidity =
+                (base_hum + 8.0 * day_phase.cos() + 2.0 * (rng.f64() - 0.5)).clamp(0.0, 100.0);
+            records.push(SensorRecord {
+                ts_minutes,
+                temperature: temperature as f32,
+                humidity: humidity as f32,
+            });
+        }
+        SensorStore { records }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Days of history available.
+    pub fn days(&self) -> u32 {
+        (self.records.len() / Self::RECORDS_PER_DAY) as u32
+    }
+
+    /// Retrieves `days` consecutive days of records starting at
+    /// `start_day`, clamped to the stored history.
+    pub fn range_query(&self, start_day: u32, days: u32) -> &[SensorRecord] {
+        let start_min = start_day * 24 * 60;
+        let end_min = start_min.saturating_add(days * 24 * 60);
+        let lo = self.records.partition_point(|r| r.ts_minutes < start_min);
+        let hi = self.records.partition_point(|r| r.ts_minutes < end_min);
+        &self.records[lo..hi]
+    }
+
+    /// Averages a slice of records into `(mean_temperature, mean_humidity)`
+    /// — the merge operation the testbed's aggregator performs.
+    pub fn aggregate(records: &[SensorRecord]) -> (f32, f32) {
+        if records.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = records.len() as f32;
+        let t: f32 = records.iter().map(|r| r.temperature).sum();
+        let h: f32 = records.iter().map(|r| r.humidity).sum();
+        (t / n, h / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SensorStore::generate_days(1, 10);
+        let b = SensorStore::generate_days(1, 10);
+        assert_eq!(a.records, b.records);
+        let c = SensorStore::generate_days(2, 10);
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn full_history_size() {
+        let s = SensorStore::generate(1);
+        assert_eq!(s.days(), HISTORY_DAYS);
+        assert_eq!(
+            s.len(),
+            HISTORY_DAYS as usize * SensorStore::RECORDS_PER_DAY
+        );
+    }
+
+    #[test]
+    fn range_query_day_boundaries() {
+        let s = SensorStore::generate_days(3, 30);
+        let one = s.range_query(5, 1);
+        assert_eq!(one.len(), SensorStore::RECORDS_PER_DAY);
+        assert_eq!(one[0].ts_minutes, 5 * 24 * 60);
+        let week = s.range_query(5, 7);
+        assert_eq!(week.len(), 7 * SensorStore::RECORDS_PER_DAY);
+    }
+
+    #[test]
+    fn range_query_clamps_to_history() {
+        let s = SensorStore::generate_days(4, 10);
+        let tail = s.range_query(8, 30);
+        assert_eq!(tail.len(), 2 * SensorStore::RECORDS_PER_DAY);
+        let past = s.range_query(100, 5);
+        assert!(past.is_empty());
+    }
+
+    #[test]
+    fn values_physically_plausible() {
+        let s = SensorStore::generate_days(5, 30);
+        for r in s.range_query(0, 30) {
+            assert!(r.temperature > -20.0 && r.temperature < 60.0);
+            assert!((0.0..=100.0).contains(&r.humidity));
+        }
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let recs = vec![
+            SensorRecord {
+                ts_minutes: 0,
+                temperature: 10.0,
+                humidity: 40.0,
+            },
+            SensorRecord {
+                ts_minutes: 10,
+                temperature: 20.0,
+                humidity: 60.0,
+            },
+        ];
+        let (t, h) = SensorStore::aggregate(&recs);
+        assert_eq!(t, 15.0);
+        assert_eq!(h, 50.0);
+        assert_eq!(SensorStore::aggregate(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn timestamps_sorted() {
+        let s = SensorStore::generate_days(6, 20);
+        assert!(s
+            .records
+            .windows(2)
+            .all(|w| w[0].ts_minutes < w[1].ts_minutes));
+    }
+}

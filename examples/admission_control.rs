@@ -1,0 +1,92 @@
+//! Query admission control under overload — §III.C / Fig. 7.
+//!
+//! Drives the Masstree OLDI two-class cluster 20 % past its maximum
+//! acceptable load, once without and once with TailGuard's moving-window
+//! admission controller, and prints what each user population experiences.
+//!
+//! Run with: `cargo run --release --example admission_control`
+
+use tailguard::{
+    max_load, measure_at_load, run_simulation, scenarios, AdmissionConfig, MaxLoadOptions,
+};
+use tailguard_policy::Policy;
+use tailguard_simcore::SimDuration;
+use tailguard_workload::TailbenchWorkload;
+
+fn main() {
+    let (hi, lo) = scenarios::fig6_slos(TailbenchWorkload::Masstree);
+    let scenario = scenarios::oldi_two_class(TailbenchWorkload::Masstree, hi, lo);
+    let opts = MaxLoadOptions {
+        queries: 40_000,
+        ..MaxLoadOptions::default()
+    };
+
+    // Calibrate: maximum acceptable load and the violation ratio there.
+    let max_acceptable = max_load(&scenario, Policy::TfEdf, &opts) * 0.95;
+    let calib = measure_at_load(&scenario, Policy::TfEdf, max_acceptable, &opts);
+    let r_th = (calib.deadline_miss_ratio() * 0.5).max(0.001);
+    println!(
+        "maximum acceptable load = {:.0}%   R_th = {:.2}%",
+        max_acceptable * 100.0,
+        r_th * 100.0
+    );
+
+    let overload = max_acceptable * 1.2;
+    println!(
+        "\nDriving the cluster at {:.0}% offered load (20% past acceptable):\n",
+        overload * 100.0
+    );
+
+    // Without admission control.
+    let input = scenario.input(overload, opts.queries);
+    let mut without = run_simulation(
+        &scenario
+            .config(Policy::TfEdf)
+            .with_warmup(opts.queries / 20),
+        &input,
+    );
+    // With admission control (30-query reaction window, hysteresis).
+    let window = SimDuration::from_millis_f64(30.0 / scenario.rate_for_load(max_acceptable));
+    let admission = AdmissionConfig::new(window, r_th).with_resume_threshold(r_th * 0.3);
+    let mut with = run_simulation(
+        &scenario
+            .config(Policy::TfEdf)
+            .with_admission(admission)
+            .with_warmup(opts.queries / 20),
+        &input,
+    );
+
+    println!("{:<26} {:>14} {:>14}", "", "no admission", "with admission");
+    println!(
+        "{:<26} {:>13.1}% {:>13.1}%",
+        "accepted load",
+        without.accepted_load() * 100.0,
+        with.accepted_load() * 100.0
+    );
+    println!(
+        "{:<26} {:>13.1}% {:>13.1}%",
+        "rejected load",
+        without.rejected_load() * 100.0,
+        with.rejected_load() * 100.0
+    );
+    println!(
+        "{:<26} {:>11.3} ms {:>11.3} ms   (SLO {:.1} ms)",
+        "class I p99",
+        without.class_tail(0, 0.99).as_millis_f64(),
+        with.class_tail(0, 0.99).as_millis_f64(),
+        hi
+    );
+    println!(
+        "{:<26} {:>11.3} ms {:>11.3} ms   (SLO {:.1} ms)",
+        "class II p99",
+        without.class_tail(1, 0.99).as_millis_f64(),
+        with.class_tail(1, 0.99).as_millis_f64(),
+        lo
+    );
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "queries rejected", without.rejected_queries, with.rejected_queries
+    );
+    println!("\nWithout the controller every admitted query suffers; with it, a fraction");
+    println!("of queries is turned away and the admitted ones keep (near-)SLO tails.");
+}

@@ -1,0 +1,41 @@
+//! Quickstart: compare TailGuard (TF-EDFQ) against FIFO on the paper's
+//! single-class Masstree scenario (Fig. 4a) and print the maximum load each
+//! policy sustains while meeting the 99th-percentile SLO.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tailguard::{max_load, measure_at_load, scenarios, MaxLoadOptions};
+use tailguard_policy::Policy;
+use tailguard_workload::TailbenchWorkload;
+
+fn main() {
+    let opts = MaxLoadOptions {
+        queries: 120_000,
+        tolerance: 0.02,
+        ..MaxLoadOptions::default()
+    };
+
+    println!("TailGuard quickstart — Masstree, single class, fanouts {{1,10,100}}");
+    println!("{:-<72}", "");
+    for slo_ms in [0.8, 1.0, 1.2, 1.4] {
+        let scenario = scenarios::single_class(TailbenchWorkload::Masstree, slo_ms, 100);
+        let tg = max_load(&scenario, Policy::TfEdf, &opts);
+        let fifo = max_load(&scenario, Policy::Fifo, &opts);
+        println!(
+            "x99 SLO {slo_ms:>4.1} ms   TailGuard {:>5.1}%   FIFO {:>5.1}%   gain {:>+5.1}%",
+            tg * 100.0,
+            fifo * 100.0,
+            (tg / fifo - 1.0) * 100.0
+        );
+    }
+
+    // Show a per-type breakdown at TailGuard's max load for the 1.0ms SLO.
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    let load = max_load(&scenario, Policy::TfEdf, &opts);
+    let mut report = measure_at_load(&scenario, Policy::TfEdf, load, &opts);
+    println!(
+        "\nPer-type tails at TailGuard's max load ({:.0}%):",
+        load * 100.0
+    );
+    print!("{}", report.render_table());
+}

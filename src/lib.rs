@@ -1,0 +1,13 @@
+//! Workspace umbrella crate for the TailGuard reproduction.
+//!
+//! Re-exports the member crates so that integration tests under `tests/` and
+//! the runnable examples under `examples/` can reach every public API through
+//! a single dependency.
+
+pub use tailguard;
+pub use tailguard_dist as dist;
+pub use tailguard_metrics as metrics;
+pub use tailguard_policy as policy;
+pub use tailguard_simcore as simcore;
+pub use tailguard_testbed as testbed;
+pub use tailguard_workload as workload;

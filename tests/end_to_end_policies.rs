@@ -1,0 +1,132 @@
+//! Cross-crate integration: traces → simulator → reports, across all four
+//! queuing policies.
+
+use tailguard_repro::policy::Policy;
+use tailguard_repro::simcore::SimDuration;
+use tailguard_repro::tailguard::{
+    run_simulation, scenarios, ClassSpec, ClusterSpec, SimConfig, SimInput,
+};
+use tailguard_repro::workload::{ArrivalProcess, FanoutDist, QueryMix, TailbenchWorkload, Trace};
+
+fn two_class_trace(queries: usize, seed: u64) -> Trace {
+    Trace::generate(
+        "integration",
+        &ArrivalProcess::poisson(1.0),
+        &QueryMix::equiprobable(2, FanoutDist::paper_mix()),
+        queries,
+        seed,
+    )
+}
+
+fn config(policy: Policy) -> SimConfig {
+    SimConfig::new(
+        ClusterSpec::homogeneous(100, TailbenchWorkload::Masstree.service_dist()),
+        vec![
+            ClassSpec::p99(SimDuration::from_millis_f64(1.0)),
+            ClassSpec::p99(SimDuration::from_millis_f64(1.5)),
+        ],
+        policy,
+    )
+    .with_warmup(200)
+}
+
+#[test]
+fn all_policies_complete_identical_work() {
+    let input = SimInput::from_trace(&two_class_trace(4_000, 11));
+    let mut total_work = Vec::new();
+    for policy in Policy::ALL {
+        let report = run_simulation(&config(policy), &input);
+        assert_eq!(
+            report.completed_queries, 3_800,
+            "{policy}: all post-warm-up queries must complete"
+        );
+        // Same seeds + same draw order => identical executed work.
+        let work = report.accepted_load() * report.elapsed.as_millis_f64();
+        total_work.push(work);
+    }
+    for w in &total_work[1..] {
+        assert!(
+            (w - total_work[0]).abs() < 1e-6,
+            "work differs: {total_work:?}"
+        );
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let input = SimInput::from_trace(&two_class_trace(3_000, 12));
+    let mut a = run_simulation(&config(Policy::TfEdf), &input);
+    let mut b = run_simulation(&config(Policy::TfEdf), &input);
+    for class in 0..2u8 {
+        assert_eq!(a.class_tail(class, 0.99), b.class_tail(class, 0.99));
+        assert_eq!(a.class_tail(class, 0.5), b.class_tail(class, 0.5));
+    }
+    assert_eq!(a.deadline_miss_ratio(), b.deadline_miss_ratio());
+}
+
+#[test]
+fn trace_json_roundtrip_preserves_simulation() {
+    let trace = two_class_trace(2_000, 13);
+    let json = trace.to_json().expect("serialize");
+    let back = Trace::from_json(&json).expect("parse");
+    let mut r1 = run_simulation(&config(Policy::TfEdf), &SimInput::from_trace(&trace));
+    let mut r2 = run_simulation(&config(Policy::TfEdf), &SimInput::from_trace(&back));
+    assert_eq!(r1.class_tail(0, 0.99), r2.class_tail(0, 0.99));
+    assert_eq!(r1.completed_queries, r2.completed_queries);
+}
+
+#[test]
+fn latencies_bounded_below_by_service_floor() {
+    // No query can beat the minimum service time of the workload.
+    let input = SimInput::from_trace(&two_class_trace(2_000, 14));
+    let floor = {
+        use tailguard_repro::dist::Cdf;
+        TailbenchWorkload::Masstree.service_dist().quantile(0.0)
+    };
+    for policy in Policy::ALL {
+        let mut report = run_simulation(&config(policy), &input);
+        let min_latency = report
+            .query_latency_by_class
+            .values_mut()
+            .map(|r| r.percentile(0.0).as_millis_f64())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_latency >= floor - 1e-9,
+            "{policy}: min latency {min_latency} below service floor {floor}"
+        );
+    }
+}
+
+#[test]
+fn measured_load_matches_offered_for_all_policies() {
+    let scenario = scenarios::single_class(TailbenchWorkload::Shore, 6.0, 100);
+    let input = scenario.input(0.35, 4_000);
+    for policy in Policy::ALL {
+        let report = run_simulation(&scenario.config(policy).with_warmup(0), &input);
+        let measured = report.accepted_load();
+        assert!(
+            (measured - 0.35).abs() < 0.06,
+            "{policy}: measured {measured:.3} vs offered 0.35"
+        );
+    }
+}
+
+#[test]
+fn per_type_reservoirs_partition_per_class_counts() {
+    let input = SimInput::from_trace(&two_class_trace(3_000, 15));
+    let report = run_simulation(&config(Policy::TfEdf), &input);
+    for class in 0..2u8 {
+        let class_count = report
+            .query_latency_by_class
+            .get(&class)
+            .map(|r| r.len())
+            .unwrap_or(0);
+        let type_sum: usize = report
+            .query_latency_by_type
+            .iter()
+            .filter(|(k, _)| k.class == class)
+            .map(|(_, r)| r.len())
+            .sum();
+        assert_eq!(class_count, type_sum, "class {class}");
+    }
+}

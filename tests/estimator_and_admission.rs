@@ -1,0 +1,142 @@
+//! Integration tests for the online estimator and admission control in
+//! full simulation runs.
+
+use tailguard_repro::policy::Policy;
+use tailguard_repro::simcore::SimDuration;
+use tailguard_repro::tailguard::{
+    measure_at_load, run_simulation, scenarios, AdmissionConfig, EstimatorMode, MaxLoadOptions,
+};
+use tailguard_repro::workload::TailbenchWorkload;
+
+fn opts() -> MaxLoadOptions {
+    MaxLoadOptions {
+        queries: 20_000,
+        ..MaxLoadOptions::default()
+    }
+}
+
+#[test]
+fn online_estimator_matches_analytic_outcomes() {
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    let load = 0.3;
+    let input = scenario.input(load, 20_000);
+
+    let mut analytic = run_simulation(&scenario.config(Policy::TfEdf).with_warmup(1_000), &input);
+    let mut online = run_simulation(
+        &scenario
+            .config(Policy::TfEdf)
+            .with_estimator(EstimatorMode::Online {
+                refresh_every: 10_000,
+                offline_samples: 100_000,
+            })
+            .with_warmup(1_000),
+        &input,
+    );
+    let a = analytic.class_tail(0, 0.99).as_millis_f64();
+    let o = online.class_tail(0, 0.99).as_millis_f64();
+    assert!(
+        (a - o).abs() / a < 0.10,
+        "online p99 {o:.3} vs analytic {a:.3}"
+    );
+    assert!(online.meets_all_slos());
+}
+
+#[test]
+fn online_estimator_works_on_heterogeneous_sas_twin() {
+    let scenario = scenarios::sas_testbed();
+    let input = scenario.input(0.3, 8_000);
+    let mut report = run_simulation(
+        &scenario
+            .config(Policy::TfEdf)
+            .with_estimator(EstimatorMode::Online {
+                refresh_every: 5_000,
+                offline_samples: 50_000,
+            })
+            .with_warmup(400),
+        &input,
+    );
+    assert!(
+        report.meets_all_slos(),
+        "online-estimated SaS twin at 30% load:\n{}",
+        report.render_table()
+    );
+}
+
+#[test]
+fn sas_twin_reproduces_cluster_skew() {
+    let scenario = scenarios::sas_testbed();
+    let report = measure_at_load(&scenario, Policy::TfEdf, 0.35, &opts());
+    // 80% of class-A load lands on the Server-room cluster (servers 0..8):
+    // its utilization must exceed every other cluster's.
+    let server_room = report.server_range_load(0..8);
+    for (name, range) in [("Wet-lab", 8..16), ("Faculty", 16..24), ("GTA", 24..32)] {
+        let other = report.server_range_load(range);
+        assert!(
+            server_room > other,
+            "Server-room {server_room:.3} must exceed {name} {other:.3}"
+        );
+    }
+}
+
+#[test]
+fn admission_keeps_accepted_queries_near_slo_under_overload() {
+    let (hi, lo) = scenarios::fig6_slos(TailbenchWorkload::Masstree);
+    let scenario = scenarios::oldi_two_class(TailbenchWorkload::Masstree, hi, lo);
+    let o = opts();
+
+    // 70% offered load is far past this system's capacity (~55%).
+    let input = scenario.input(0.70, o.queries);
+    let window = SimDuration::from_millis_f64(30.0 / scenario.rate_for_load(0.5));
+    let mut with = run_simulation(
+        &scenario
+            .config(Policy::TfEdf)
+            .with_admission(AdmissionConfig::new(window, 0.01).with_resume_threshold(0.003))
+            .with_warmup(o.queries / 20),
+        &input,
+    );
+    let mut without = run_simulation(
+        &scenario.config(Policy::TfEdf).with_warmup(o.queries / 20),
+        &input,
+    );
+
+    assert!(with.rejected_queries > 0, "controller must reject at 70%");
+    let with_tail = with.class_tail(0, 0.99).as_millis_f64();
+    let without_tail = without.class_tail(0, 0.99).as_millis_f64();
+    assert!(
+        with_tail < without_tail * 0.8,
+        "admission must cut the tail: {with_tail:.2} vs {without_tail:.2}"
+    );
+    // Accepted tails stay near the SLO (within 25% at this reduced scale).
+    assert!(
+        with_tail < hi * 1.25,
+        "accepted class-I tail {with_tail:.2} vs SLO {hi}"
+    );
+    // And the accepted load remains substantial, not a collapse.
+    assert!(
+        with.accepted_load() > 0.35,
+        "accepted load collapsed to {:.3}",
+        with.accepted_load()
+    );
+}
+
+#[test]
+fn admission_transparent_below_capacity() {
+    let (hi, lo) = scenarios::fig6_slos(TailbenchWorkload::Masstree);
+    let scenario = scenarios::oldi_two_class(TailbenchWorkload::Masstree, hi, lo);
+    let o = opts();
+    let input = scenario.input(0.35, o.queries);
+    let window = SimDuration::from_millis_f64(30.0 / scenario.rate_for_load(0.5));
+    let report = run_simulation(
+        &scenario
+            .config(Policy::TfEdf)
+            .with_admission(AdmissionConfig::new(window, 0.02))
+            .with_warmup(o.queries / 20),
+        &input,
+    );
+    let reject_frac = report.rejected_queries as f64
+        / (report.rejected_queries + report.completed_queries).max(1) as f64;
+    assert!(
+        reject_frac < 0.02,
+        "controller should be idle at 35% load, rejected {reject_frac:.3}"
+    );
+}

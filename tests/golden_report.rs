@@ -1,0 +1,60 @@
+//! Golden regression pins: exact outputs of fixed-seed runs.
+//!
+//! These values were captured from a verified build; any unintended change
+//! to RNG streams, event ordering, estimator math, or policy behaviour
+//! shows up here as an exact-value mismatch. Update them only after
+//! deliberately changing simulation semantics (and say so in CHANGELOG.md).
+
+use tailguard_repro::policy::Policy;
+use tailguard_repro::tailguard::{measure_at_load, scenarios, MaxLoadOptions};
+use tailguard_repro::workload::TailbenchWorkload;
+
+fn opts() -> MaxLoadOptions {
+    MaxLoadOptions {
+        queries: 10_000,
+        ..MaxLoadOptions::default()
+    }
+}
+
+/// (policy, class-0 p99 in ns, completed queries, pre-dequeue p99 in ns)
+/// at Masstree single-class, N=100, offered load 0.40, scenario seed.
+const GOLDEN: [(&str, u64, u64, u64); 5] = [
+    ("TailGuard", 778762, 9500, 484245),
+    ("FIFO", 719144, 9500, 458604),
+    ("PRIQ", 719144, 9500, 458604),
+    ("T-EDFQ", 719144, 9500, 458604),
+    ("SJF", 964166, 9500, 536566),
+];
+
+#[test]
+fn golden_single_class_masstree() {
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    for (policy, (name, p99_ns, completed, pre_p99_ns)) in
+        Policy::WITH_EXTENSIONS.iter().zip(GOLDEN)
+    {
+        assert_eq!(policy.name(), name);
+        let mut r = measure_at_load(&scenario, *policy, 0.4, &opts());
+        assert_eq!(
+            r.class_tail(0, 0.99).as_nanos(),
+            p99_ns,
+            "{name}: class-0 p99 drifted"
+        );
+        assert_eq!(r.completed_queries, completed, "{name}: completion count");
+        assert_eq!(
+            r.pre_dequeue.percentile(0.99).as_nanos(),
+            pre_p99_ns,
+            "{name}: pre-dequeue p99 drifted"
+        );
+    }
+}
+
+#[test]
+fn golden_single_class_invariants() {
+    // Sanity companions to the exact pins: with one class, FIFO, PRIQ and
+    // T-EDFQ must be *identical* executions (same deadlines or none), and
+    // SJF must differ.
+    assert_eq!(GOLDEN[1].1, GOLDEN[2].1);
+    assert_eq!(GOLDEN[1].1, GOLDEN[3].1);
+    assert_ne!(GOLDEN[0].1, GOLDEN[1].1);
+    assert_ne!(GOLDEN[4].1, GOLDEN[1].1);
+}

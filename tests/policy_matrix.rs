@@ -1,0 +1,122 @@
+//! Systematic policy × workload invariant matrix: properties that must hold
+//! for every combination, at reduced scale.
+
+use tailguard_repro::policy::Policy;
+use tailguard_repro::tailguard::{measure_at_load, scenarios, MaxLoadOptions, Scenario};
+use tailguard_repro::workload::TailbenchWorkload;
+
+fn opts() -> MaxLoadOptions {
+    MaxLoadOptions {
+        queries: 8_000,
+        ..MaxLoadOptions::default()
+    }
+}
+
+fn scenarios_under_test() -> Vec<Scenario> {
+    let mut v = Vec::new();
+    for w in TailbenchWorkload::ALL {
+        v.push(scenarios::single_class(w, w.paper_stats().x99_k100 * 2.0, 100));
+    }
+    let (hi, lo) = scenarios::fig6_slos(TailbenchWorkload::Masstree);
+    v.push(scenarios::oldi_two_class(TailbenchWorkload::Masstree, hi, lo));
+    v.push(scenarios::sas_testbed());
+    v
+}
+
+#[test]
+fn every_policy_completes_every_scenario() {
+    for scenario in scenarios_under_test() {
+        for policy in Policy::WITH_EXTENSIONS {
+            let report = measure_at_load(&scenario, policy, 0.3, &opts());
+            assert!(
+                report.completed_queries > 0,
+                "{policy} on {}: nothing completed",
+                scenario.label
+            );
+            assert_eq!(
+                report.rejected_queries, 0,
+                "{policy} on {}: rejected without admission control",
+                scenario.label
+            );
+            let load = report.accepted_load();
+            assert!(
+                (0.2..=0.45).contains(&load),
+                "{policy} on {}: measured load {load:.3} far from offered 0.30",
+                scenario.label
+            );
+        }
+    }
+}
+
+#[test]
+fn tails_monotone_in_load_for_every_policy() {
+    let scenario = scenarios::single_class(TailbenchWorkload::Shore, 8.0, 100);
+    for policy in Policy::WITH_EXTENSIONS {
+        let mut low = measure_at_load(&scenario, policy, 0.2, &opts());
+        let mut high = measure_at_load(&scenario, policy, 0.7, &opts());
+        let t_low = low.class_tail(0, 0.95);
+        let t_high = high.class_tail(0, 0.95);
+        assert!(
+            t_high >= t_low,
+            "{policy}: p95 must grow with load ({t_low} -> {t_high})"
+        );
+    }
+}
+
+#[test]
+fn miss_accounting_bounded_and_consistent() {
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    for policy in Policy::ALL {
+        for load in [0.2, 0.6] {
+            let report = measure_at_load(&scenario, policy, load, &opts());
+            let r = report.deadline_miss_ratio();
+            assert!((0.0..=1.0).contains(&r), "{policy}@{load}: ratio {r}");
+            assert_eq!(
+                report.load.tasks_dispatched_count(),
+                report.load.tasks_completed_count(),
+                "{policy}@{load}: dispatched != completed"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_mix_type_population_matches_probabilities() {
+    // P(1)=100/111, P(10)=10/111, P(100)=1/111 should show up in the
+    // per-type reservoirs of any policy's report.
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.2, 100);
+    let report = measure_at_load(&scenario, Policy::TfEdf, 0.3, &opts());
+    let count_of = |fanout: u32| -> f64 {
+        report
+            .query_latency_by_type
+            .iter()
+            .find(|(k, _)| k.fanout == fanout)
+            .map(|(_, r)| r.len() as f64)
+            .unwrap_or(0.0)
+    };
+    let total = count_of(1) + count_of(10) + count_of(100);
+    assert!((count_of(1) / total - 100.0 / 111.0).abs() < 0.02);
+    assert!((count_of(10) / total - 10.0 / 111.0).abs() < 0.02);
+    assert!((count_of(100) / total - 1.0 / 111.0).abs() < 0.01);
+}
+
+#[test]
+fn deadline_policies_dominate_on_tight_minority_class() {
+    // Any deadline-aware policy (T-EDFQ, TF-EDFQ) must serve a tight-SLO
+    // class at least as well as FIFO at the same two-class load.
+    let scenario = scenarios::two_class(
+        TailbenchWorkload::Masstree,
+        0.9,
+        tailguard_repro::workload::ArrivalProcess::poisson(1.0),
+    );
+    let mut fifo = measure_at_load(&scenario, Policy::Fifo, 0.4, &opts());
+    let fifo_tail = fifo.class_tail(0, 0.95).as_millis_f64();
+    for policy in [Policy::TEdf, Policy::TfEdf] {
+        let mut r = measure_at_load(&scenario, policy, 0.4, &opts());
+        let tail = r.class_tail(0, 0.95).as_millis_f64();
+        assert!(
+            tail <= fifo_tail * 1.05,
+            "{policy}: class-0 p95 {tail:.3} vs FIFO {fifo_tail:.3}"
+        );
+    }
+}

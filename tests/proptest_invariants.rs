@@ -1,0 +1,181 @@
+//! Property-based invariants of the cluster simulator, checked against
+//! randomized workloads and an independent analytical model.
+
+use proptest::prelude::*;
+use tailguard_repro::dist::Deterministic;
+use tailguard_repro::policy::Policy;
+use tailguard_repro::simcore::{SimDuration, SimTime};
+use tailguard_repro::tailguard::{
+    run_simulation, ClassSpec, ClusterSpec, QuerySpec, RequestInput, SimConfig, SimInput,
+};
+
+fn ms(v: f64) -> SimDuration {
+    SimDuration::from_millis_f64(v)
+}
+
+/// Lindley's recursion for a single FIFO server with deterministic
+/// service: the independent ground truth for the simulator.
+fn lindley_fifo_latencies(arrivals_us: &[u64], service: SimDuration) -> Vec<SimDuration> {
+    let mut free_at = SimTime::ZERO;
+    let mut out = Vec::with_capacity(arrivals_us.len());
+    for &a in arrivals_us {
+        let arrival = SimTime::from_micros(a);
+        let start = if free_at > arrival { free_at } else { arrival };
+        let done = start + service;
+        out.push(done.saturating_since(arrival));
+        free_at = done;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-server FIFO latencies match Lindley's recursion exactly.
+    #[test]
+    fn fifo_matches_lindley(
+        mut arrivals in proptest::collection::vec(0u64..50_000, 1..80),
+        service_us in 100u64..5_000,
+    ) {
+        arrivals.sort_unstable();
+        let service = SimDuration::from_micros(service_us);
+        let cfg = SimConfig::new(
+            ClusterSpec::homogeneous(1, Deterministic::new(service.as_millis_f64())),
+            vec![ClassSpec::p99(ms(10_000.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(0);
+        let input = SimInput {
+            requests: arrivals
+                .iter()
+                .map(|&a| RequestInput {
+                    arrival: SimTime::from_micros(a),
+                    queries: vec![QuerySpec::new(0, 1)],
+                })
+                .collect(),
+        };
+        let mut report = run_simulation(&cfg, &input);
+        let expected = lindley_fifo_latencies(&arrivals, service);
+        let mut expected_sorted: Vec<u64> =
+            expected.iter().map(|d| d.as_nanos()).collect();
+        expected_sorted.sort_unstable();
+        let got = report
+            .query_latency_by_class
+            .get_mut(&0)
+            .expect("latencies recorded")
+            .sorted_samples()
+            .to_vec();
+        prop_assert_eq!(got, expected_sorted);
+    }
+
+    /// Conservation: every admitted query completes, none twice.
+    #[test]
+    fn query_conservation(
+        arrivals in proptest::collection::vec(0u64..20_000, 1..120),
+        fanout in 1u32..8,
+        policy_idx in 0usize..4,
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let n = arrivals.len() as u64;
+        let cfg = SimConfig::new(
+            ClusterSpec::homogeneous(8, Deterministic::new(0.7)),
+            vec![ClassSpec::p99(ms(10_000.0))],
+            Policy::ALL[policy_idx],
+        )
+        .with_warmup(0);
+        let input = SimInput {
+            requests: arrivals
+                .iter()
+                .map(|&a| RequestInput {
+                    arrival: SimTime::from_micros(a),
+                    queries: vec![QuerySpec::new(0, fanout)],
+                })
+                .collect(),
+        };
+        let report = run_simulation(&cfg, &input);
+        prop_assert_eq!(report.completed_queries, n);
+        prop_assert_eq!(report.rejected_queries, 0);
+        prop_assert_eq!(report.load.tasks_dispatched_count(), n * u64::from(fanout));
+        prop_assert_eq!(report.load.tasks_completed_count(), n * u64::from(fanout));
+    }
+
+    /// Busy time equals dispatched work exactly (work conservation), and
+    /// utilization never exceeds 1.
+    #[test]
+    fn work_conservation(
+        arrivals in proptest::collection::vec(0u64..30_000, 1..100),
+        service_us in 50u64..2_000,
+        servers in 1usize..6,
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let service_ms = service_us as f64 / 1_000.0;
+        let cfg = SimConfig::new(
+            ClusterSpec::homogeneous(servers, Deterministic::new(service_ms)),
+            vec![ClassSpec::p99(ms(10_000.0))],
+            Policy::TfEdf,
+        )
+        .with_warmup(0);
+        let fanout = 1u32.max(servers as u32 / 2);
+        let input = SimInput {
+            requests: arrivals
+                .iter()
+                .map(|&a| RequestInput {
+                    arrival: SimTime::from_micros(a),
+                    queries: vec![QuerySpec::new(0, fanout)],
+                })
+                .collect(),
+        };
+        let report = run_simulation(&cfg, &input);
+        let busy_ms: f64 = report
+            .busy_by_server
+            .iter()
+            .map(|d| d.as_millis_f64())
+            .sum();
+        let expected = arrivals.len() as f64 * f64::from(fanout) * service_ms;
+        prop_assert!((busy_ms - expected).abs() < 1e-6);
+        let load = report.accepted_load();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&load), "load {}", load);
+    }
+
+    /// The EDF policies never produce a *worse* tail than FIFO for the
+    /// tightest-budget class when that class is a minority sharing with
+    /// loose background traffic.
+    #[test]
+    fn edf_helps_urgent_minority(seed in 0u64..40) {
+        use tailguard_repro::workload::{ArrivalProcess, FanoutDist, QueryMix, Trace, ClassShare};
+        let mix = QueryMix::new(vec![
+            ClassShare { class: 0, probability: 0.2, fanout: FanoutDist::fixed(4) },
+            ClassShare { class: 1, probability: 0.8, fanout: FanoutDist::fixed(4) },
+        ]);
+        let trace = Trace::generate(
+            "prop",
+            &ArrivalProcess::poisson(1.4),
+            &mix,
+            3_000,
+            seed,
+        );
+        let mk = |policy| {
+            SimConfig::new(
+                ClusterSpec::homogeneous(
+                    8,
+                    tailguard_repro::dist::Exponential::with_mean(1.0),
+                ),
+                vec![ClassSpec::p99(ms(4.0)), ClassSpec::p99(ms(40.0))],
+                policy,
+            )
+            .with_warmup(100)
+        };
+        let input = SimInput::from_trace(&trace);
+        let mut edf = run_simulation(&mk(Policy::TfEdf), &input);
+        let mut fifo = run_simulation(&mk(Policy::Fifo), &input);
+        let edf_tail = edf.class_tail(0, 0.95);
+        let fifo_tail = fifo.class_tail(0, 0.95);
+        // Allow 10% noise margin; the urgent class must not be hurt.
+        prop_assert!(
+            edf_tail.as_millis_f64() <= fifo_tail.as_millis_f64() * 1.10,
+            "EDF {} vs FIFO {}", edf_tail, fifo_tail
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration tests for the tokio SaS testbed against the simulation twin.
+
+use tailguard_repro::policy::Policy;
+use tailguard_repro::tailguard::{measure_at_load, scenarios, MaxLoadOptions};
+use tailguard_repro::testbed::{run_testbed, TestbedConfig, TestbedMode};
+
+fn quick(policy: Policy, load: f64, queries: usize) -> TestbedConfig {
+    TestbedConfig {
+        policy,
+        queries,
+        target_load: load,
+        calibration_probes: 25,
+        store_days: 35,
+        mode: TestbedMode::PausedTime,
+        ..TestbedConfig::default()
+    }
+}
+
+#[test]
+fn testbed_and_sim_twin_agree_on_cluster_profile() {
+    // The tokio testbed and the discrete-event twin model the same system;
+    // their per-cluster post-queuing profiles must agree at light load.
+    let mut tb = run_testbed(&quick(Policy::TfEdf, 0.15, 600));
+    let scenario = scenarios::sas_testbed();
+    let sim = measure_at_load(
+        &scenario,
+        Policy::TfEdf,
+        0.15,
+        &MaxLoadOptions {
+            queries: 4_000,
+            ..MaxLoadOptions::default()
+        },
+    );
+    // Compare cluster utilization ordering and rough magnitude.
+    for (i, cluster) in scenarios::SasCluster::ALL.iter().enumerate() {
+        let sim_load = sim.server_range_load(cluster.server_range());
+        let tb_load = tb.clusters[i].load;
+        assert!(
+            (sim_load - tb_load).abs() < 0.12,
+            "{}: sim {sim_load:.3} vs testbed {tb_load:.3}",
+            cluster.name()
+        );
+    }
+    // Class-A tail: both should be within the SLO and same magnitude.
+    let tb_a = tb.class_p99_ms(0);
+    assert!(tb_a > 100.0 && tb_a < 800.0, "testbed class A p99 {tb_a}");
+}
+
+#[test]
+fn testbed_policies_rank_like_the_paper_at_moderate_load() {
+    // At a load FIFO cannot sustain, TailGuard still meets the SLOs.
+    let mut tg = run_testbed(&quick(Policy::TfEdf, 0.42, 1_200));
+    let mut fifo = run_testbed(&quick(Policy::Fifo, 0.42, 1_200));
+    let tg_ok = tg.meets_all_slos();
+    let fifo_a = fifo.class_p99_ms(0);
+    let tg_a = tg.class_p99_ms(0);
+    assert!(
+        tg_a <= fifo_a * 1.05,
+        "TailGuard class A {tg_a:.0}ms must not lose to FIFO {fifo_a:.0}ms"
+    );
+    assert!(tg_ok, "TailGuard should hold 42% on the testbed");
+}
+
+#[test]
+fn testbed_miss_ratio_small_when_meeting_slos() {
+    // §III.C observation: SLOs hold while a small fraction (<2%) of tasks
+    // misses deadlines.
+    let mut report = run_testbed(&quick(Policy::TfEdf, 0.3, 800));
+    assert!(report.meets_all_slos());
+    assert!(
+        report.miss_ratio < 0.05,
+        "miss ratio {:.3} unexpectedly large",
+        report.miss_ratio
+    );
+}
+
+#[test]
+fn testbed_realtime_mode_smoke() {
+    // A tiny real-clock run (compressed 200x) exercises the RealTime path.
+    let cfg = TestbedConfig {
+        policy: Policy::TfEdf,
+        queries: 60,
+        target_load: 0.2,
+        time_scale: 200.0,
+        calibration_probes: 5,
+        store_days: 35,
+        mode: TestbedMode::RealTime,
+        ..TestbedConfig::default()
+    };
+    let report = run_testbed(&cfg);
+    assert_eq!(report.completed_queries, 60);
+    assert!(report.records_retrieved > 0);
+}
