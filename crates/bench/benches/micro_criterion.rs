@@ -1,6 +1,11 @@
 //! Criterion micro-benchmarks backing the paper's "TailGuard is
 //! lightweight" claim (§III.B.2): queue operations, deadline estimation,
 //! and end-to-end simulator throughput.
+//!
+//! `criterion` here is the offline stand-in under `third_party/criterion`
+//! (version `0.0.0-offline-stub`): it times closures with plain wall-clock
+//! means — no outlier rejection or regression detection — so differences
+//! under ~10 % are noise. See `third_party/README.md`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;

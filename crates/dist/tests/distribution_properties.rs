@@ -1,6 +1,11 @@
 //! Property-based contracts every distribution in the crate must satisfy:
 //! monotone CDFs, inverse consistency, support containment, and agreement
 //! between sampling and the analytic forms.
+//!
+//! `proptest` here is the offline stand-in under `third_party/proptest`
+//! (version `0.0.0-offline-stub`): weaker shrinking and far fewer cases
+//! per run than upstream — randomized smoke coverage of the contracts, not
+//! an exhaustive property search. See `third_party/README.md`.
 
 use proptest::prelude::*;
 use tailguard_dist::{
@@ -29,10 +34,7 @@ fn check_cdf_quantile_contract(d: &dyn Distribution, label: &str) -> Result<(), 
         prop_assert!(q >= lastq - 1e-12, "{label}: quantile not monotone at {p}");
         lastq = q;
         let c = d.cdf(q);
-        prop_assert!(
-            c >= p - 1e-6,
-            "{label}: cdf(quantile({p})) = {c} < p"
-        );
+        prop_assert!(c >= p - 1e-6, "{label}: cdf(quantile({p})) = {c} < p");
     }
     // Samples land inside [quantile(0), quantile(1)] and their mean tracks.
     let mut rng = SimRng::seed(0xD157);

@@ -1,7 +1,7 @@
 //! Deterministic, splittable randomness.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// A seedable random-number generator with deterministic stream splitting.
 ///

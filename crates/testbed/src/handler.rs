@@ -104,9 +104,33 @@ pub(crate) async fn query_handler(
         if out.completed_queries + out.rejected_queries >= cfg.expected_queries {
             break;
         }
-        tokio::select! {
-            biased;
-            Some(result) = results.recv() => {
+        // Biased two-way select, hand-rolled at the poll level: node
+        // results are always drained before new queries (completions free
+        // servers, so this keeps queue depth honest), and the loop ends
+        // when both channels are closed and drained.
+        let event = std::future::poll_fn(|cx| {
+            let mut results_closed = false;
+            match results.poll_recv(cx) {
+                std::task::Poll::Ready(Some(result)) => {
+                    return std::task::Poll::Ready(HandlerEvent::Result(result))
+                }
+                std::task::Poll::Ready(None) => results_closed = true,
+                std::task::Poll::Pending => {}
+            }
+            match queries.poll_recv(cx) {
+                std::task::Poll::Ready(Some(query)) => {
+                    return std::task::Poll::Ready(HandlerEvent::Query(query))
+                }
+                std::task::Poll::Ready(None) if results_closed => {
+                    return std::task::Poll::Ready(HandlerEvent::Closed)
+                }
+                std::task::Poll::Ready(None) | std::task::Poll::Pending => {}
+            }
+            std::task::Poll::Pending
+        })
+        .await;
+        match event {
+            HandlerEvent::Result(result) => {
                 handle_result(
                     result,
                     &mut tasks,
@@ -121,7 +145,7 @@ pub(crate) async fn query_handler(
                     epoch,
                 );
             }
-            Some(query) = queries.recv() => {
+            HandlerEvent::Query(query) => {
                 handle_query(
                     query,
                     &cfg,
@@ -138,12 +162,22 @@ pub(crate) async fn query_handler(
                     to_sim(Instant::now()),
                 );
             }
-            else => break, // both channels closed
+            HandlerEvent::Closed => break, // both channels closed
         }
     }
 
     out.elapsed = SimDuration::from_nanos(epoch.elapsed().as_nanos() as u64);
     out
+}
+
+/// Outcome of one biased poll over the two handler input channels.
+enum HandlerEvent {
+    /// A node completed a task.
+    Result(TaskResult),
+    /// The load generator produced a query.
+    Query(IncomingQuery),
+    /// Both channels closed and drained.
+    Closed,
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -18,12 +18,30 @@ fn opts() -> MaxLoadOptions {
 
 /// (policy, class-0 p99 in ns, completed queries, pre-dequeue p99 in ns)
 /// at Masstree single-class, N=100, offered load 0.40, scenario seed.
+// PROVENANCE — these pins were re-baselined when the workspace moved to the
+// vendored offline RNG (third_party/rand, version 0.0.0-offline-stub). Its
+// xoshiro256++ stream differs from upstream `rand`'s SmallRng, so every
+// fixed-seed draw — and therefore every pin — shifted. The upstream-rand
+// values could not be re-confirmed here because this build environment has
+// no crates.io access (the seed's `rand = "0.10"` does not resolve).
+// What WAS verified, offline:
+//   1. The re-baseline is isolated in its own commit ("vendor offline
+//      stand-ins…"), which contains the dependency swap and these pins but
+//      none of the later hot-path optimizations.
+//   2. The hot-path changes (u128 event key, inlined estimator group key,
+//      scratch buffers) were landed separately and reproduce these exact
+//      pins bit-for-bit — i.e. they are behavior-preserving with respect to
+//      the RNG stream and event ordering.
+//   3. The structural invariants below (FIFO == PRIQ == T-EDFQ with one
+//      class; TailGuard and SJF distinct) held before and after the swap.
+// If the real `rand` ever returns, expect pins to shift again: re-baseline
+// deliberately, in a dedicated commit, and say so in CHANGELOG.md.
 const GOLDEN: [(&str, u64, u64, u64); 5] = [
-    ("TailGuard", 778762, 9500, 484245),
-    ("FIFO", 719144, 9500, 458604),
-    ("PRIQ", 719144, 9500, 458604),
-    ("T-EDFQ", 719144, 9500, 458604),
-    ("SJF", 964166, 9500, 536566),
+    ("TailGuard", 764618, 9500, 493996),
+    ("FIFO", 733903, 9500, 462686),
+    ("PRIQ", 733903, 9500, 462686),
+    ("T-EDFQ", 733903, 9500, 462686),
+    ("SJF", 959037, 9500, 552100),
 ];
 
 #[test]

@@ -1,5 +1,12 @@
 //! Property-based invariants of the cluster simulator, checked against
 //! randomized workloads and an independent analytical model.
+//!
+//! `proptest` here is the offline stand-in under `third_party/proptest`
+//! (version `0.0.0-offline-stub`): inputs are still randomized
+//! deterministically per seed, but shrinking is crude and case coverage is
+//! well below upstream proptest's — treat these as randomized smoke tests
+//! of the invariants, not exhaustive property checks. See
+//! `third_party/README.md`.
 
 use proptest::prelude::*;
 use tailguard_repro::dist::Deterministic;

@@ -1,0 +1,159 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `criterion`.
+//!
+//! A small fixed-iteration wall-clock harness exposing the API slice the
+//! workspace's micro-benchmarks use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`/`finish`),
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Results (mean per
+//! iteration over the measured samples) print to stdout; there is no
+//! statistical analysis, HTML report, or CLI filtering.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API parity, the stub treats
+/// every size identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One routine call per setup output.
+    SmallInput,
+    /// Larger batches (treated as `SmallInput`).
+    LargeInput,
+    /// Per-iteration setup (treated as `SmallInput`).
+    PerIteration,
+}
+
+/// Drives the measured routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    /// Mean measured time per iteration, reported back to the harness.
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` repeatedly and records the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass keeps cold-start effects out of the measurement.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        *self.result = Some(start.elapsed() / self.samples as u32);
+    }
+
+    /// Measures `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        *self.result = Some(total / self.samples as u32);
+    }
+}
+
+fn run_bench(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut result = None;
+    let mut bencher = Bencher {
+        samples,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    match result {
+        Some(mean) => println!("bench {label:<40} {mean:>12.2?}/iter ({samples} iters)"),
+        None => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(&label, self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.samples, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Post-run hook (no-op; kept for API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,292 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io mirror, so the handful of `rand` APIs the workspace actually
+//! uses are vendored here: [`rngs::SmallRng`] (xoshiro256++ seeded through
+//! SplitMix64), [`SeedableRng::seed_from_u64`], the generic
+//! [`Rng::random`]/[`Rng::random_range`] entry points, and
+//! [`seq::index::sample`].
+//!
+//! Only determinism and statistical quality matter to the simulator — any
+//! fixed, well-mixed generator is acceptable — so the implementation favors
+//! clarity over completeness. The streams differ from upstream `rand`; all
+//! in-repo tests assert self-consistency, never specific draws.
+
+/// Seeding support: the one constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 state expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform generation of a primitive from raw 64-bit output.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw<R: RngCore>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn draw<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A type usable as the bound of [`Rng::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                // Debiased multiply-shift (Lemire); span == 0 cannot happen
+                // for the integer widths below because lo < hi.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut l = m as u64;
+                if l < span {
+                    let t = span.wrapping_neg() % span;
+                    while l < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        l = m as u64;
+                    }
+                }
+                lo + (m >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in random_range");
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience generation methods, blanket-implemented for every generator.
+pub trait Rng: RngCore + Sized {
+    /// A uniform draw of `T` (integers over their full range, `f64` in
+    /// `[0, 1)`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// A uniform draw from `range` (half-open).
+    #[inline]
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Extension-trait alias kept for source compatibility with callers that
+/// import it; all methods live on [`Rng`].
+pub trait RngExt: Rng {}
+
+impl<R: Rng> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling.
+
+    pub mod index {
+        //! Index sampling without replacement.
+
+        use crate::{Rng, RngCore};
+
+        /// A sampled set of indices (compatibility shell around `Vec`).
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The indices as a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        /// Samples `amount` distinct indices uniformly from `0..length`, in
+        /// random order.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `amount > length`.
+        pub fn sample<R: RngCore>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from {length}"
+            );
+            if amount == 0 {
+                return IndexVec(Vec::new());
+            }
+            // For dense requests, a partial Fisher-Yates over the full index
+            // set; for sparse requests, rejection off a hash set. Both give
+            // every amount-subset-permutation equal probability.
+            if amount * 3 >= length {
+                let mut pool: Vec<usize> = (0..length).collect();
+                for i in 0..amount {
+                    let j = i + rng.random_range(0..length - i);
+                    pool.swap(i, j);
+                }
+                pool.truncate(amount);
+                IndexVec(pool)
+            } else {
+                let mut seen = std::collections::HashSet::with_capacity(amount * 2);
+                let mut out = Vec::with_capacity(amount);
+                while out.len() < amount {
+                    let idx = rng.random_range(0..length);
+                    if seen.insert(idx) {
+                        out.push(idx);
+                    }
+                }
+                IndexVec(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = r.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_distinct() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for &(n, k) in &[(10usize, 10usize), (100, 3), (50, 25)] {
+            let mut v = super::seq::index::sample(&mut r, n, k).into_vec();
+            assert_eq!(v.len(), k);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), k, "duplicates for n={n} k={k}");
+        }
+    }
+}

@@ -1,0 +1,548 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! minimal serialization machinery the workspace needs. Instead of serde's
+//! visitor architecture, values convert to and from a small JSON-like tree
+//! ([`Node`]); `serde_json` (the sibling stub) renders and parses that tree.
+//!
+//! The derive macros (re-exported from `serde_derive`) support the shapes
+//! used in this repository: structs with named fields, tuple structs, and
+//! enums whose variants are units or carry named fields. Field attributes
+//! (`#[serde(...)]`) are intentionally unsupported — none are used here.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree — the interchange format between [`Serialize`],
+/// [`Deserialize`], and the `serde_json` stub.
+///
+/// Integers keep full 64-bit precision (`U64`/`I64`) rather than flowing
+/// through `f64`, so nanosecond timestamps round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Node>),
+    /// Objects, in insertion order.
+    Map(Vec<(String, Node)>),
+}
+
+impl Node {
+    /// Looks up `key` in a [`Node::Map`].
+    pub fn get(&self, key: &str) -> Option<&Node> {
+        match self {
+            Node::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Node::U64(v) => Some(v as f64),
+            Node::I64(v) => Some(v as f64),
+            Node::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Node::U64(v) => Some(v),
+            Node::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Node::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Node::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Node::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Node::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Node>> {
+        match self {
+            Node::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True when the node is a boolean.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Node::Bool(_))
+    }
+
+    /// True when the node is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Node::Null)
+    }
+
+    /// True when the node is any number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Node::U64(_) | Node::I64(_) | Node::F64(_))
+    }
+
+    /// True when the node is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Node::Str(_))
+    }
+
+    /// True when the node is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Node::Seq(_))
+    }
+
+    /// True when the node is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Node::Map(_))
+    }
+
+    /// A one-word description of the node's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Node::Null => "null",
+            Node::Bool(_) => "bool",
+            Node::U64(_) | Node::I64(_) => "integer",
+            Node::F64(_) => "number",
+            Node::Str(_) => "string",
+            Node::Seq(_) => "array",
+            Node::Map(_) => "object",
+        }
+    }
+}
+
+/// Shared sentinel for out-of-range [`Node`] indexing, mirroring
+/// `serde_json::Value`'s panic-free index semantics.
+static NULL_NODE: Node = Node::Null;
+
+impl core::ops::Index<&str> for Node {
+    type Output = Node;
+
+    /// Object lookup; missing keys and non-objects yield `Null`.
+    fn index(&self, key: &str) -> &Node {
+        self.get(key).unwrap_or(&NULL_NODE)
+    }
+}
+
+impl core::ops::Index<usize> for Node {
+    type Output = Node;
+
+    /// Array indexing; out-of-bounds and non-arrays yield `Null`.
+    fn index(&self, idx: usize) -> &Node {
+        match self {
+            Node::Seq(items) => items.get(idx).unwrap_or(&NULL_NODE),
+            _ => &NULL_NODE,
+        }
+    }
+}
+
+impl PartialEq<&str> for Node {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Node {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Node> for &str {
+    fn eq(&self, other: &Node) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// A deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds an error describing an unexpected node kind.
+    pub fn expected(what: &str, got: &Node) -> DeError {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+/// Conversion into the [`Node`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a tree.
+    fn to_node(&self) -> Node;
+}
+
+/// Conversion out of the [`Node`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a tree.
+    fn from_node(node: &Node) -> Result<Self, DeError>;
+}
+
+/// Fetches a required object field (support routine for derived impls).
+pub fn field<'a>(node: &'a Node, name: &str) -> Result<&'a Node, DeError> {
+    match node {
+        Node::Map(_) => node
+            .get(name)
+            .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+        other => Err(DeError::expected("object", other)),
+    }
+}
+
+// --- primitive impls -----------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Node { Node::U64(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_node(node: &Node) -> Result<Self, DeError> {
+                let v = node.as_u64().ok_or_else(|| DeError::expected("unsigned integer", node))?;
+                <$t>::try_from(v).map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_node(&self) -> Node {
+        Node::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        let v = node
+            .as_u64()
+            .ok_or_else(|| DeError::expected("unsigned integer", node))?;
+        usize::try_from(v).map_err(|_| DeError(format!("{v} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Node {
+                let v = i64::from(*self);
+                if v >= 0 { Node::U64(v as u64) } else { Node::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_node(node: &Node) -> Result<Self, DeError> {
+                let v = node.as_i64().ok_or_else(|| DeError::expected("integer", node))?;
+                <$t>::try_from(v).map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for u128 {
+    fn to_node(&self) -> Node {
+        // JSON numbers cap at u64 here; wider values serialize as decimal
+        // strings (they round-trip through Deserialize below).
+        match u64::try_from(*self) {
+            Ok(v) => Node::U64(v),
+            Err(_) => Node::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        if let Some(v) = node.as_u64() {
+            return Ok(u128::from(v));
+        }
+        node.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| DeError::expected("unsigned integer", node))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_node(&self) -> Node {
+        Node::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        node.as_f64()
+            .ok_or_else(|| DeError::expected("number", node))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_node(&self) -> Node {
+        Node::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        Ok(f64::from_node(node)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_node(&self) -> Node {
+        Node::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        node.as_bool()
+            .ok_or_else(|| DeError::expected("bool", node))
+    }
+}
+
+impl Serialize for String {
+    fn to_node(&self) -> Node {
+        Node::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        node.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", node))
+    }
+}
+
+impl Serialize for str {
+    fn to_node(&self) -> Node {
+        Node::Str(self.to_string())
+    }
+}
+
+impl Serialize for Node {
+    fn to_node(&self) -> Node {
+        self.clone()
+    }
+}
+
+impl Deserialize for Node {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        Ok(node.clone())
+    }
+}
+
+// --- containers ----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Seq(items) => items.iter().map(T::from_node).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Seq(items) => items.iter().map(T::from_node).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_node(&self) -> Node {
+        match self {
+            Some(v) => v.to_node(),
+            None => Node::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Null => Ok(None),
+            other => Ok(Some(T::from_node(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_node(&self) -> Node {
+        (**self).to_node()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_node(&self) -> Node {
+        Node::Seq(vec![self.0.to_node(), self.1.to_node()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Seq(items) if items.len() == 2 => {
+                Ok((A::from_node(&items[0])?, B::from_node(&items[1])?))
+            }
+            other => Err(DeError::expected("2-element array", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_node(&self) -> Node {
+        Node::Seq(vec![self.0.to_node(), self.1.to_node(), self.2.to_node()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Seq(items) if items.len() == 3 => Ok((
+                A::from_node(&items[0])?,
+                B::from_node(&items[1])?,
+                C::from_node(&items[2])?,
+            )),
+            other => Err(DeError::expected("3-element array", other)),
+        }
+    }
+}
+
+/// Map keys must render as JSON strings.
+pub trait SerializeKey {
+    /// The key's string form.
+    fn key_string(&self) -> String;
+}
+
+impl SerializeKey for String {
+    fn key_string(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeKey for &str {
+    fn key_string(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+macro_rules! impl_key_int {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn key_string(&self) -> String { self.to_string() }
+        }
+    )*};
+}
+
+impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl<K: SerializeKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_node(&self) -> Node {
+        Node::Map(
+            self.iter()
+                .map(|(k, v)| (k.key_string(), v.to_node()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_node(&42u64.to_node()).unwrap(), 42);
+        assert_eq!(i32::from_node(&(-7i32).to_node()).unwrap(), -7);
+        assert_eq!(f64::from_node(&1.5f64.to_node()).unwrap(), 1.5);
+        assert_eq!(bool::from_node(&true.to_node()).unwrap(), true);
+        assert_eq!(
+            String::from_node(&"hi".to_string().to_node()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn big_u64_keeps_precision() {
+        let v = u64::MAX - 3;
+        assert_eq!(u64::from_node(&v.to_node()).unwrap(), v);
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let v = vec![Some(1u32), None, Some(3)];
+        let node = v.to_node();
+        assert_eq!(Vec::<Option<u32>>::from_node(&node).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_from_integer_node() {
+        assert_eq!(f64::from_node(&Node::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u8::from_node(&Node::U64(300)).is_err());
+    }
+}

@@ -1,0 +1,464 @@
+#![allow(clippy::all)]
+//! Derive macros for the offline `serde` stub.
+//!
+//! `syn`/`quote` are unavailable without a crates.io mirror, so parsing is a
+//! small hand-rolled token scan and code generation is string assembly fed
+//! back through `TokenStream::parse`. Supported shapes — the only ones used
+//! in this workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs (any arity; arity 1 serializes transparently),
+//! * unit structs,
+//! * enums whose variants are unit, newtype, or carry named fields
+//!   (externally tagged, as in real serde).
+//!
+//! Generics, `where` clauses, and `#[serde(...)]` attributes are rejected
+//! with a compile-time panic rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input turned out to be.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(vec![])`-incompatible shapes are
+    /// rejected during parsing; newtype variants use `fields: None` with
+    /// `newtype: true`.
+    fields: Option<Vec<String>>,
+    newtype: bool,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute or doc comment: skip the bracket group.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility; swallow a `(crate)`-style qualifier if present.
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut toks);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut toks);
+            }
+            Some(other) => {
+                panic!("serde stub derive: unexpected token `{other}` before item keyword")
+            }
+            None => panic!("serde stub derive: empty input"),
+        }
+    }
+}
+
+fn parse_struct(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Shape {
+    let name = expect_ident(toks, "struct name");
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+            name,
+            fields: parse_named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stub derive: generic type `{name}` is not supported")
+        }
+        other => panic!("serde stub derive: unexpected token after struct name: {other:?}"),
+    }
+}
+
+fn parse_enum(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Shape {
+    let name = expect_ident(toks, "enum name");
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stub derive: generic type `{name}` is not supported")
+        }
+        other => panic!("serde stub derive: expected enum body, got {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Ident(id)) => {
+                let vname = id.to_string();
+                match toks.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        toks.next();
+                        variants.push(Variant {
+                            name: vname,
+                            fields: Some(fields),
+                            newtype: false,
+                        });
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        assert!(
+                            arity == 1,
+                            "serde stub derive: tuple variant `{vname}` with {arity} fields unsupported"
+                        );
+                        toks.next();
+                        variants.push(Variant {
+                            name: vname,
+                            fields: None,
+                            newtype: true,
+                        });
+                    }
+                    _ => variants.push(Variant {
+                        name: vname,
+                        fields: None,
+                        newtype: false,
+                    }),
+                }
+            }
+            Some(other) => panic!("serde stub derive: unexpected token in enum body: {other}"),
+        }
+    }
+    Shape::Enum { name, variants }
+}
+
+/// Field names from a `{ ... }` struct/variant body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Leading attributes / visibility before the field name.
+        let name = loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        toks.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde stub derive: unexpected token in field list: {other}")
+                }
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+}
+
+/// Number of fields in a tuple-struct/variant `( ... )` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    let mut any = false;
+    for tt in body {
+        any = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn expect_ident(
+    toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected {what}, got {other:?}"),
+    }
+}
+
+// --- codegen -------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_node(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_node(&self) -> ::serde::Node {{\n\
+                         ::serde::Node::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_node(&self) -> ::serde::Node {{ ::serde::Serialize::to_node(&self.0) }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_node(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_node(&self) -> ::serde::Node {{ ::serde::Node::Seq(::std::vec![{items}]) }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_node(&self) -> ::serde::Node {{ ::serde::Node::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match (&v.fields, v.newtype) {
+                        (None, false) => format!(
+                            "{name}::{vname} => ::serde::Node::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        (None, true) => format!(
+                            "{name}::{vname}(inner) => ::serde::Node::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Serialize::to_node(inner))]),"
+                        ),
+                        (Some(fields), _) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_node({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Node::Map(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Node::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_node(&self) -> ::serde::Node {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_node(::serde::field(node, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_node(node: &::serde::Node) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_node(node: &::serde::Node) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_node(node)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_node(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_node(node: &::serde::Node) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match node {{\n\
+                             ::serde::Node::Seq(items) if items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}({items})),\n\
+                             other => ::std::result::Result::Err(::serde::DeError::expected(\"{arity}-element array\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_node(_node: &::serde::Node) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none() && !v.newtype)
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_some() || v.newtype)
+                .map(|v| {
+                    let vname = &v.name;
+                    if v.newtype {
+                        format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_node(inner)?)),"
+                        )
+                    } else {
+                        let inits: String = v
+                            .fields
+                            .as_ref()
+                            .unwrap()
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_node(::serde::field(inner, \"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_node(node: &::serde::Node) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match node {{\n\
+                             ::serde::Node::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Node::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError(\
+                                         ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

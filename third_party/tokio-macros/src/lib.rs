@@ -1,0 +1,65 @@
+#![allow(clippy::all)]
+//! The `#[tokio::test]` attribute for the offline tokio stub.
+//!
+//! Rewrites `async fn name() { body }` into a synchronous `#[test]` that
+//! builds a current-thread runtime and `block_on`s the body, pausing the
+//! virtual clock first when `start_paused = true` is given.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_attribute]
+pub fn tokio_test(attr: TokenStream, item: TokenStream) -> TokenStream {
+    let attr_text = attr.to_string();
+    let start_paused = attr_text.contains("start_paused") && attr_text.contains("true");
+
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Split: [attributes...] [qualifiers... `fn` name ...] { body }
+    let fn_idx = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "fn"))
+        .expect("tokio stub: #[tokio::test] requires a function item");
+    let name = match tokens.get(fn_idx + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("tokio stub: expected function name, got {other:?}"),
+    };
+    let body = match tokens.last() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.to_string(),
+        other => panic!("tokio stub: expected function body, got {other:?}"),
+    };
+
+    // Preserve any attributes written above the function (e.g. #[ignore]).
+    let mut attrs = String::new();
+    let mut i = 0;
+    while i < fn_idx {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                attrs.push_str(&tokens[i].to_string());
+                if let Some(group) = tokens.get(i + 1) {
+                    attrs.push_str(&group.to_string());
+                    attrs.push('\n');
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // `async`, visibility, etc. — dropped; the wrapper is sync and
+        // test functions are never public.
+        i += 1;
+    }
+
+    let pause = if start_paused {
+        "::tokio::time::pause();"
+    } else {
+        ""
+    };
+    let out = format!(
+        "{attrs}#[test]\n\
+         fn {name}() {{\n\
+             let mut builder = ::tokio::runtime::Builder::new_current_thread();\n\
+             let rt = builder.enable_time().build().expect(\"tokio stub runtime\");\n\
+             rt.block_on(async move {{ {pause} async move {body}.await }});\n\
+         }}"
+    );
+    out.parse().expect("tokio stub: generated test must parse")
+}

@@ -1,0 +1,263 @@
+//! The executor core: a thread-local task table, a shared ready queue, and
+//! the virtual clock.
+
+use std::cell::RefCell;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Task id of the `block_on` root future.
+pub(crate) const MAIN_TASK: u64 = 0;
+
+/// Nanoseconds per timer-wheel tick (tokio's coarse 1 ms resolution).
+pub(crate) const TICK_NS: u64 = 1_000_000;
+
+/// FIFO of task ids whose wakers fired. Shared (`Send + Sync`) so wakers
+/// satisfy [`Wake`]'s bounds even though the runtime is single-threaded.
+#[derive(Default)]
+pub(crate) struct ReadyQueue {
+    queue: Mutex<VecDeque<u64>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: u64) {
+        let mut q = self.queue.lock().expect("ready queue poisoned");
+        if !q.contains(&id) {
+            q.push_back(id);
+        }
+    }
+
+    fn pop(&self) -> Option<u64> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: u64,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A registered timer: min-heap on `(wake_ns, seq)`.
+struct TimerEntry {
+    wake_ns: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.wake_ns, self.seq) == (other.wake_ns, other.seq)
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
+        (other.wake_ns, other.seq).cmp(&(self.wake_ns, self.seq))
+    }
+}
+
+pub(crate) struct Clock {
+    paused: bool,
+    /// Authoritative current time while paused (ns since `base`).
+    frozen_ns: u64,
+    base: std::time::Instant,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+}
+
+impl Clock {
+    fn new() -> Clock {
+        Clock {
+            paused: false,
+            frozen_ns: 0,
+            base: std::time::Instant::now(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+        }
+    }
+
+    pub(crate) fn now_ns(&self) -> u64 {
+        if self.paused {
+            self.frozen_ns
+        } else {
+            self.base.elapsed().as_nanos() as u64
+        }
+    }
+
+    pub(crate) fn pause(&mut self) {
+        if !self.paused {
+            self.frozen_ns = self.base.elapsed().as_nanos() as u64;
+            self.paused = true;
+        }
+    }
+
+    pub(crate) fn register_timer(&mut self, wake_ns: u64, waker: Waker) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(TimerEntry {
+            wake_ns,
+            seq,
+            waker,
+        });
+    }
+
+    /// Advances to the earliest pending timer (jumping the paused clock, or
+    /// parking the thread in real time) and returns the fired wakers.
+    /// `None` when no timers are pending.
+    fn advance_to_next_timer(&mut self) -> Option<Vec<Waker>> {
+        let earliest = self.timers.peek()?.wake_ns;
+        if self.paused {
+            self.frozen_ns = self.frozen_ns.max(earliest);
+        } else {
+            let now = self.base.elapsed().as_nanos() as u64;
+            if earliest > now {
+                std::thread::sleep(std::time::Duration::from_nanos(earliest - now));
+            }
+        }
+        let now = self.now_ns();
+        let mut fired = Vec::new();
+        while let Some(e) = self.timers.peek() {
+            if e.wake_ns > now {
+                break;
+            }
+            fired.push(self.timers.pop().expect("peeked").waker);
+        }
+        Some(fired)
+    }
+}
+
+/// Marks task `id` runnable (used by `spawn`, which holds the queue handle
+/// outside the executor borrow).
+pub(crate) fn wake_task(ready: &Arc<ReadyQueue>, id: u64) {
+    ready.push(id);
+}
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+pub(crate) struct Executor {
+    pub(crate) tasks: HashMap<u64, TaskFuture>,
+    pub(crate) next_id: u64,
+    pub(crate) ready: Arc<ReadyQueue>,
+    pub(crate) clock: Clock,
+}
+
+thread_local! {
+    static EXECUTOR: RefCell<Option<Executor>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current executor; panics outside `block_on`.
+pub(crate) fn with_executor<R>(what: &str, f: impl FnOnce(&mut Executor) -> R) -> R {
+    EXECUTOR.with(|e| {
+        let mut slot = e.borrow_mut();
+        let ex = slot
+            .as_mut()
+            .unwrap_or_else(|| panic!("tokio stub: {what} requires a running runtime"));
+        f(ex)
+    })
+}
+
+/// Like [`with_executor`] but tolerates running outside a runtime.
+pub(crate) fn try_with_executor<R>(f: impl FnOnce(&mut Executor) -> R) -> Option<R> {
+    EXECUTOR.with(|e| e.borrow_mut().as_mut().map(f))
+}
+
+/// Drives `fut` (and every spawned task) to completion.
+pub(crate) fn block_on<F: Future>(fut: F) -> F::Output {
+    let ready = Arc::new(ReadyQueue::default());
+    let installed = EXECUTOR.with(|e| {
+        let mut slot = e.borrow_mut();
+        if slot.is_some() {
+            panic!("tokio stub: nested block_on is not supported");
+        }
+        *slot = Some(Executor {
+            tasks: HashMap::new(),
+            next_id: MAIN_TASK + 1,
+            ready: ready.clone(),
+            clock: Clock::new(),
+        });
+    });
+    let _ = installed;
+
+    let mut main_fut = Box::pin(fut);
+    let main_waker = Waker::from(Arc::new(TaskWaker {
+        id: MAIN_TASK,
+        ready: ready.clone(),
+    }));
+    ready.push(MAIN_TASK);
+
+    let output = loop {
+        match ready.pop() {
+            Some(MAIN_TASK) => {
+                let mut cx = Context::from_waker(&main_waker);
+                if let Poll::Ready(v) = main_fut.as_mut().poll(&mut cx) {
+                    break v;
+                }
+            }
+            Some(id) => {
+                // Take the task out of the table so the poll itself can
+                // spawn/sleep (both re-enter the executor cell).
+                let task =
+                    EXECUTOR.with(|e| e.borrow_mut().as_mut().and_then(|ex| ex.tasks.remove(&id)));
+                if let Some(mut task) = task {
+                    let waker = Waker::from(Arc::new(TaskWaker {
+                        id,
+                        ready: ready.clone(),
+                    }));
+                    let mut cx = Context::from_waker(&waker);
+                    if task.as_mut().poll(&mut cx).is_pending() {
+                        EXECUTOR.with(|e| {
+                            if let Some(ex) = e.borrow_mut().as_mut() {
+                                ex.tasks.insert(id, task);
+                            }
+                        });
+                    }
+                }
+            }
+            None => {
+                // Nothing runnable: advance the clock to the next timer.
+                let fired = EXECUTOR
+                    .with(|e| {
+                        e.borrow_mut()
+                            .as_mut()
+                            .map(|ex| ex.clock.advance_to_next_timer())
+                    })
+                    .flatten();
+                match fired {
+                    Some(wakers) => {
+                        for w in wakers {
+                            w.wake();
+                        }
+                    }
+                    None => panic!("tokio stub: deadlock — no runnable task and no pending timer"),
+                }
+            }
+        }
+    };
+
+    // Tear down: drop leftover tasks outside the executor borrow, since
+    // their destructors may fire channel wakers.
+    let leftovers = EXECUTOR.with(|e| e.borrow_mut().take());
+    drop(leftovers);
+    output
+}

@@ -1,0 +1,29 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `tokio`.
+//!
+//! A deliberately small, single-threaded async runtime covering the surface
+//! the testbed crate uses:
+//!
+//! * [`runtime::Builder::new_current_thread`] / [`runtime::Runtime::block_on`],
+//! * [`spawn`] with [`JoinHandle`] (awaitable, abortable),
+//! * [`sync::mpsc`] unbounded channels with `poll_recv`,
+//! * [`time`]: a pausable virtual clock with tokio's millisecond timer-wheel
+//!   semantics — a sleep wakes at the first whole-millisecond tick *strictly
+//!   after* its deadline (the testbed's stochastic-rounding logic and its
+//!   timing tests depend on this exact rule),
+//! * the `#[tokio::test]` attribute (re-exported from `tokio-macros`).
+//!
+//! In paused mode the clock jumps to the earliest pending timer whenever no
+//! task is runnable, so paused tests run at full speed and fully
+//! deterministically. In real-time mode the executor parks the thread until
+//! the next timer is due.
+
+mod exec;
+
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::{spawn, JoinError, JoinHandle};
+pub use tokio_macros::tokio_test as test;

@@ -1,0 +1,48 @@
+//! Runtime construction — current-thread only.
+
+use crate::exec;
+use std::future::Future;
+
+/// Builds a [`Runtime`]. Only the current-thread flavor exists; the
+/// enable-`*` switches are accepted and ignored (time is always on).
+pub struct Builder {
+    _private: (),
+}
+
+impl Builder {
+    /// A single-threaded runtime builder.
+    pub fn new_current_thread() -> Builder {
+        Builder { _private: () }
+    }
+
+    /// Accepted for API compatibility; the stub clock is always enabled.
+    pub fn enable_time(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Creates the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors tokio's signature.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Ok(Runtime { _private: () })
+    }
+}
+
+/// A handle to the single-threaded executor.
+pub struct Runtime {
+    _private: (),
+}
+
+impl Runtime {
+    /// Runs `future` (and everything it spawns) to completion.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        exec::block_on(future)
+    }
+}

@@ -1,0 +1,128 @@
+//! Synchronization primitives: unbounded mpsc channels.
+
+pub mod mpsc {
+    //! Multi-producer single-consumer channels (unbounded flavor only).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct Chan<T> {
+        queue: VecDeque<T>,
+        recv_waker: Option<Waker>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    /// Error returned by [`UnboundedSender::send`] when the receiver is
+    /// gone; carries the unsent value.
+    pub struct SendError<T>(pub T);
+
+    impl<T> core::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> core::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("channel closed")
+        }
+    }
+
+    /// The sending half; clonable.
+    pub struct UnboundedSender<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    /// The receiving half.
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = Arc::new(Mutex::new(Chan {
+            queue: VecDeque::new(),
+            recv_waker: None,
+            senders: 1,
+            receiver_alive: true,
+        }));
+        (
+            UnboundedSender { chan: chan.clone() },
+            UnboundedReceiver { chan },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Queues `value`; fails (returning the value) when the receiver
+        /// was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let waker = {
+                let mut c = self.chan.lock().expect("channel poisoned");
+                if !c.receiver_alive {
+                    return Err(SendError(value));
+                }
+                c.queue.push_back(value);
+                c.recv_waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().expect("channel poisoned").senders += 1;
+            UnboundedSender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            let waker = {
+                let mut c = self.chan.lock().expect("channel poisoned");
+                c.senders -= 1;
+                if c.senders == 0 {
+                    c.recv_waker.take()
+                } else {
+                    None
+                }
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Receives the next value; `None` once every sender is dropped and
+        /// the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            std::future::poll_fn(|cx| self.poll_recv(cx)).await
+        }
+
+        /// Poll-level receive, for hand-rolled select loops.
+        pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut c = self.chan.lock().expect("channel poisoned");
+            if let Some(v) = c.queue.pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            if c.senders == 0 {
+                return Poll::Ready(None);
+            }
+            c.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.chan.lock().expect("channel poisoned").receiver_alive = false;
+        }
+    }
+}

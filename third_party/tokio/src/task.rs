@@ -1,0 +1,126 @@
+//! Task spawning and join handles.
+
+use crate::exec;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct JoinState<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+/// Error returned when a task was aborted before completing.
+#[derive(Debug, Clone)]
+pub struct JoinError {
+    cancelled: bool,
+}
+
+impl JoinError {
+    fn cancelled_err() -> JoinError {
+        JoinError { cancelled: true }
+    }
+
+    /// True when the task was cancelled via [`JoinHandle::abort`].
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+impl core::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(if self.cancelled {
+            "task was cancelled"
+        } else {
+            "task failed"
+        })
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// An owned handle to a spawned task: awaitable, abortable.
+pub struct JoinHandle<T> {
+    id: u64,
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Cancels the task. Idempotent; a completed task keeps its result.
+    pub fn abort(&self) {
+        // Drop the future outside the executor borrow — its destructor may
+        // close channels and fire wakers that re-enter the runtime.
+        let task = exec::try_with_executor(|ex| ex.tasks.remove(&self.id)).flatten();
+        drop(task);
+        let waker = {
+            let mut st = self.state.lock().expect("join state poisoned");
+            if st.result.is_none() {
+                st.result = Some(Err(JoinError::cancelled_err()));
+                st.waker.take()
+            } else {
+                None
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.state.lock().expect("join state poisoned");
+        match st.result.take() {
+            Some(r) => Poll::Ready(r),
+            None => {
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Spawns `future` onto the current runtime.
+///
+/// Unlike real tokio this runtime is single-threaded, so no `Send` bound is
+/// required.
+///
+/// # Panics
+///
+/// Panics when called outside [`crate::runtime::Runtime::block_on`].
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState {
+        result: None,
+        waker: None,
+    }));
+    let completion = state.clone();
+    let wrapped = async move {
+        let out = future.await;
+        let waker = {
+            let mut st = completion.lock().expect("join state poisoned");
+            // An abort that raced completion wins; keep the first result.
+            if st.result.is_none() {
+                st.result = Some(Ok(out));
+            }
+            st.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    };
+    let (id, ready) = exec::with_executor("spawn", |ex| {
+        let id = ex.next_id;
+        ex.next_id += 1;
+        ex.tasks.insert(id, Box::pin(wrapped));
+        (id, ex.ready.clone())
+    });
+    exec::wake_task(&ready, id);
+    JoinHandle { id, state }
+}

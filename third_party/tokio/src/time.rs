@@ -1,0 +1,122 @@
+//! The virtual clock: `Instant`, `sleep`/`sleep_until`, `pause`.
+//!
+//! Timer-wheel semantics match what the testbed calibrated against in real
+//! tokio: the wheel ticks once per millisecond, and a sleep completes at the
+//! first tick *strictly after* its deadline. `sleep(Duration::ZERO)` thus
+//! consumes exactly one tick, and an aligned n-ms target needs
+//! `sleep(n-1 ms)`.
+
+use crate::exec::{self, TICK_NS};
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+/// A measurement of the runtime clock: frozen-virtual while paused,
+/// wall-clock otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    /// Nanoseconds since the runtime's clock base.
+    ns: u64,
+}
+
+impl Instant {
+    /// The current instant on the runtime clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a runtime.
+    pub fn now() -> Instant {
+        let ns = exec::with_executor("Instant::now", |ex| ex.clock.now_ns());
+        Instant { ns }
+    }
+
+    /// Time elapsed from `earlier` to `self` (saturating at zero).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.ns.saturating_sub(earlier.ns))
+    }
+
+    /// Time elapsed since this instant.
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().duration_since(*self)
+    }
+}
+
+impl core::ops::Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, rhs: Duration) -> Instant {
+        Instant {
+            ns: self.ns + rhs.as_nanos() as u64,
+        }
+    }
+}
+
+impl core::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.ns += rhs.as_nanos() as u64;
+    }
+}
+
+impl core::ops::Sub<Duration> for Instant {
+    type Output = Instant;
+
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant {
+            ns: self.ns.saturating_sub(rhs.as_nanos() as u64),
+        }
+    }
+}
+
+impl core::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+/// Freezes the clock at its current reading; from here on time only moves
+/// when the executor has nothing runnable, jumping straight to the next
+/// pending timer (tokio's `start_paused` auto-advance).
+pub fn pause() {
+    exec::with_executor("time::pause", |ex| ex.clock.pause());
+}
+
+/// A future that completes at the first millisecond tick strictly after its
+/// deadline.
+pub struct Sleep {
+    wake_ns: u64,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let now = exec::with_executor("sleep", |ex| ex.clock.now_ns());
+        if now >= self.wake_ns {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let wake_ns = self.wake_ns;
+            let waker = cx.waker().clone();
+            exec::with_executor("sleep", |ex| ex.clock.register_timer(wake_ns, waker));
+        }
+        Poll::Pending
+    }
+}
+
+/// Sleeps for `duration` (tick-quantized; see module docs).
+pub fn sleep(duration: Duration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+/// Sleeps until the first tick strictly after `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep {
+        wake_ns: (deadline.ns / TICK_NS + 1) * TICK_NS,
+        registered: false,
+    }
+}
