@@ -6,8 +6,8 @@
 //! ~40 %, and T-EDFQ by up to ~22 % (Poisson); Pareto arrivals cost every
 //! policy ~2–6 % of load but preserve the ranking.
 
-use tailguard::{max_load, scenarios};
-use tailguard_bench::{gain_pct, header, maxload_opts};
+use tailguard::{max_load_many, scenarios};
+use tailguard_bench::{gain_pct, header, jobs, maxload_opts};
 use tailguard_policy::Policy;
 use tailguard_workload::{ArrivalProcess, TailbenchWorkload};
 
@@ -18,6 +18,7 @@ fn main() {
         "Max load, two classes (1.5x SLO ratio), Masstree, 4 policies, Poisson & Pareto",
     );
     let opts = maxload_opts(120_000);
+    let jobs = jobs();
 
     for arrival in [ArrivalProcess::poisson(1.0), ArrivalProcess::pareto(1.0)] {
         println!("\n--- {} arrivals ---", arrival.label());
@@ -27,9 +28,11 @@ fn main() {
         );
         for slo in [0.8, 1.0, 1.2, 1.4] {
             let scenario = scenarios::two_class(TailbenchWorkload::Masstree, slo, arrival.clone());
-            let loads: Vec<f64> = Policy::ALL
-                .iter()
-                .map(|&p| max_load(&scenario, p, &opts))
+            // All four bisections run concurrently; result order follows
+            // Policy::ALL regardless of completion order.
+            let loads: Vec<f64> = max_load_many(&scenario, &Policy::ALL, &opts, jobs)
+                .into_iter()
+                .map(|(_, load)| load)
                 .collect();
             let (tg, fifo, priq, tedf) = (loads[0], loads[1], loads[2], loads[3]);
             println!(

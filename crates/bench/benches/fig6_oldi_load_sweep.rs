@@ -7,8 +7,8 @@
 //! Masstree/Shore/Xapian; TailGuard's two classes saturate within ~5 % of
 //! each other (balanced allocation).
 
-use tailguard::{scenarios, sweep_loads};
-use tailguard_bench::{header, maxload_opts, FigureCsv};
+use tailguard::{scenarios, sweep_loads_parallel};
+use tailguard_bench::{header, jobs, maxload_opts, FigureCsv};
 use tailguard_policy::Policy;
 use tailguard_workload::TailbenchWorkload;
 
@@ -19,6 +19,7 @@ fn main() {
         "p99 vs load per class; OLDI fanout 100; FIFO vs PRIQ vs TailGuard",
     );
     let opts = maxload_opts(40_000);
+    let jobs = jobs();
     let loads: Vec<f64> = (4..=12).map(|i| i as f64 * 0.05).collect(); // 20%..60%
     let mut csv = FigureCsv::create(
         "fig6_oldi_load_sweep",
@@ -30,7 +31,7 @@ fn main() {
         let scenario = scenarios::oldi_two_class(w, hi, lo);
         println!("\n--- {w}: SLOs {hi}/{lo} ms (class I/II) ---");
         for policy in [Policy::TfEdf, Policy::Fifo, Policy::Priq] {
-            let pts = sweep_loads(&scenario, policy, &loads, &opts);
+            let pts = sweep_loads_parallel(&scenario, policy, &loads, &opts, jobs);
             for p in &pts {
                 csv.labeled_row(
                     &format!("{w}/{}", policy.name()),

@@ -10,8 +10,8 @@
 //! acceptable load (within a few percent, dipping ~6 % deep into overload).
 
 use tailguard::run_simulation;
-use tailguard::{max_load, measure_at_load, scenarios, AdmissionConfig, SimConfig};
-use tailguard_bench::{header, maxload_opts, scaled};
+use tailguard::{max_load, measure_at_load, run_indexed, scenarios, AdmissionConfig, SimConfig};
+use tailguard_bench::{header, jobs, maxload_opts, scaled};
 use tailguard_policy::Policy;
 use tailguard_workload::TailbenchWorkload;
 
@@ -67,21 +67,33 @@ fn main() {
         "\n{:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
         "offered (%)", "accepted (%)", "rejected (%)", "I p99 (ms)", "II p99 (ms)", "SLOs ok"
     );
-    for offered in [0.45, 0.50, 0.54, 0.58, 0.62, 0.66, 0.70] {
+    // Every offered-load cell is independent: run them concurrently and
+    // print rows in offered-load order (run_indexed preserves input order).
+    let offered_loads = [0.45, 0.50, 0.54, 0.58, 0.62, 0.66, 0.70];
+    let rows = run_indexed(&offered_loads, jobs(), |_, &offered| {
         let input = scenario.input(offered, scaled(40_000));
         let config: SimConfig = scenario
             .config(Policy::TfEdf)
             .with_admission(admission)
             .with_warmup(scaled(40_000) / 20);
         let mut r = run_simulation(&config, &input);
-        let ok = r.meets_all_slos();
+        (
+            offered,
+            r.accepted_load(),
+            r.rejected_load(),
+            r.class_tail(0, 0.99).as_millis_f64(),
+            r.class_tail(1, 0.99).as_millis_f64(),
+            r.meets_all_slos(),
+        )
+    });
+    for (offered, accepted, rejected, p99_hi, p99_lo, ok) in rows {
         println!(
             "{:>12.1} {:>12.1} {:>12.1} {:>12.3} {:>12.3} {:>8}",
             offered * 100.0,
-            r.accepted_load() * 100.0,
-            r.rejected_load() * 100.0,
-            r.class_tail(0, 0.99).as_millis_f64(),
-            r.class_tail(1, 0.99).as_millis_f64(),
+            accepted * 100.0,
+            rejected * 100.0,
+            p99_hi,
+            p99_lo,
             if ok { "yes" } else { "NO" }
         );
     }

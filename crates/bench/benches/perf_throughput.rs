@@ -1,0 +1,216 @@
+//! Machine-readable performance baseline: simulator throughput in
+//! events/sec and queries/sec, serial and with the parallel runner, written
+//! to `BENCH_throughput.json` at the repository root.
+//!
+//! Run with `cargo bench --bench perf_throughput`. Knobs: `TG_BENCH_SCALE`
+//! scales the query count, `TG_JOBS` caps the parallel worker count. The
+//! JSON records the thread count alongside each measurement so numbers from
+//! different machines stay comparable.
+//!
+//! All `queries_per_sec` rows use **completed** queries as the denominator
+//! (offered counts are recorded separately as `queries_offered`), so serial
+//! and sweep rows are directly comparable.
+//!
+//! If `BENCH_baseline_prechange.json` exists at the repo root (a committed
+//! record of the same single-sim measurement taken at the pre-optimization
+//! tree), the bench reports the single-thread improvement against it.
+
+use std::time::Instant;
+use tailguard::{run_simulation, scenarios, sweep_loads_parallel, MaxLoadOptions};
+use tailguard_bench::{header, jobs, scaled};
+use tailguard_policy::Policy;
+use tailguard_workload::TailbenchWorkload;
+
+struct Measurement {
+    label: String,
+    jobs: usize,
+    wall_secs: f64,
+    events: u64,
+    queries_offered: u64,
+    queries_completed: u64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+    fn queries_per_sec(&self) -> f64 {
+        self.queries_completed as f64 / self.wall_secs
+    }
+}
+
+/// The single-thread hot-path measurement: one warm run, then the best
+/// wall time of 5 timed repetitions (best-of-N filters scheduler noise on
+/// small hosts). Parameters and methodology match the pre-change baseline
+/// recorded in `BENCH_baseline_prechange.json` and reproduced by
+/// `examples/hotpath_baseline.rs` — comparability is the point.
+fn measure_serial(queries: usize) -> Measurement {
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    let input = scenario.input(0.5, queries);
+    let config = scenario.config(Policy::TfEdf).with_warmup(queries / 20);
+    let _ = run_simulation(&config, &input); // warm
+    let mut best: Option<Measurement> = None;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let report = run_simulation(&config, &input);
+        let wall_secs = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
+            best = Some(Measurement {
+                label: "single_sim_serial".to_string(),
+                jobs: 1,
+                wall_secs,
+                events: report.events_processed,
+                queries_offered: queries as u64,
+                queries_completed: report.completed_queries,
+            });
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+/// A load sweep fanned out over `jobs` workers, timed end to end.
+fn measure_sweep(queries: usize, jobs: usize) -> Measurement {
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    let loads: Vec<f64> = (2..=10).map(|i| i as f64 * 0.08).collect();
+    let opts = MaxLoadOptions {
+        queries,
+        ..MaxLoadOptions::default()
+    };
+    let start = Instant::now();
+    let points = sweep_loads_parallel(&scenario, Policy::TfEdf, &loads, &opts, jobs);
+    let wall_secs = start.elapsed().as_secs_f64();
+    Measurement {
+        label: format!("sweep_9_loads_jobs{jobs}"),
+        jobs,
+        wall_secs,
+        events: points.iter().map(|p| p.events_processed).sum(),
+        queries_offered: (points.len() * queries) as u64,
+        queries_completed: points.iter().map(|p| p.completed_queries).sum(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Pulls a numeric field out of the (flat, trusted, committed) baseline
+/// JSON without a full parser: finds `"<key>":` and reads the number.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn repo_root() -> std::path::PathBuf {
+    // Same root-finding anchor as FigureCsv: walk up to the workspace root.
+    let cwd = std::env::current_dir().unwrap_or_default();
+    cwd.ancestors()
+        .find(|a| a.join("Cargo.toml").exists() && a.join("crates").exists())
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(cwd)
+}
+
+fn main() {
+    header(
+        "perf_throughput",
+        "perf baseline",
+        "events/sec and queries/sec (completed-query denominator), serial vs parallel runner",
+    );
+    let queries = scaled(60_000);
+    let par_jobs = jobs();
+
+    let serial = measure_serial(queries);
+    println!(
+        "{:<24} {:>10.0} events/s {:>10.0} queries/s  ({:.2}s wall, {} events)",
+        serial.label,
+        serial.events_per_sec(),
+        serial.queries_per_sec(),
+        serial.wall_secs,
+        serial.events
+    );
+
+    let sweep_serial = measure_sweep(queries / 4, 1);
+    let sweep_parallel = measure_sweep(queries / 4, par_jobs);
+    for m in [&sweep_serial, &sweep_parallel] {
+        println!(
+            "{:<24} {:>10.0} events/s {:>10.0} queries/s  ({:.2}s wall)",
+            m.label,
+            m.events_per_sec(),
+            m.queries_per_sec(),
+            m.wall_secs
+        );
+    }
+    let speedup = sweep_serial.wall_secs / sweep_parallel.wall_secs;
+    println!("parallel sweep speedup at jobs={par_jobs}: {speedup:.2}x");
+
+    let root = repo_root();
+
+    // Pre-change baseline, if one is committed: same single-sim measurement
+    // taken at the tree *before* the hot-path optimizations.
+    let baseline = std::fs::read_to_string(root.join("BENCH_baseline_prechange.json"))
+        .ok()
+        .as_deref()
+        .and_then(|text| {
+            let qps = json_number(text, "queries_per_sec")?;
+            let q = json_number(text, "queries_offered")?;
+            Some((qps, q as u64))
+        });
+    let improvement = baseline.and_then(|(base_qps, base_offered)| {
+        if base_offered != serial.queries_offered {
+            println!(
+                "prechange baseline used {base_offered} offered queries (this run: {}); \
+                 not comparable — skipping improvement figure",
+                serial.queries_offered
+            );
+            return None;
+        }
+        let pct = (serial.queries_per_sec() / base_qps - 1.0) * 100.0;
+        println!(
+            "single-thread vs prechange baseline: {:.0} vs {base_qps:.0} queries/s ({pct:+.1}%)",
+            serial.queries_per_sec()
+        );
+        Some(pct)
+    });
+
+    // Machine-readable record at the repo root.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut rows = String::new();
+    for m in [&serial, &sweep_serial, &sweep_parallel] {
+        rows.push_str(&format!(
+            "    {{\"label\": \"{}\", \"jobs\": {}, \"wall_secs\": {:.4}, \"events\": {}, \"queries_offered\": {}, \"queries_completed\": {}, \"events_per_sec\": {:.0}, \"queries_per_sec\": {:.0}}},\n",
+            json_escape(&m.label),
+            m.jobs,
+            m.wall_secs,
+            m.events,
+            m.queries_offered,
+            m.queries_completed,
+            m.events_per_sec(),
+            m.queries_per_sec()
+        ));
+    }
+    rows.pop();
+    rows.pop(); // trailing ",\n"
+    let note = if cores < 4 {
+        "machine has fewer than 4 cores; parallel speedup is bounded by available_cores — re-run on a multi-core host for the scaling numbers"
+    } else {
+        "cells share no state, so sweep speedup should approach min(jobs, cells)"
+    };
+    let improvement_row = improvement
+        .map(|pct| format!("  \"singlethread_improvement_pct\": {pct:.1},\n"))
+        .unwrap_or_default();
+    let json = format!(
+        "{{\n  \"bench\": \"perf_throughput\",\n  \"hardware\": {{\"available_cores\": {cores}}},\n  \"queries_per_cell\": {queries},\n  \"parallel_jobs\": {par_jobs},\n  \"sweep_speedup\": {speedup:.3},\n{improvement_row}  \"notes\": \"{}\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n",
+        json_escape(note)
+    );
+    let path = root.join("BENCH_throughput.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

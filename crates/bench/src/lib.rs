@@ -10,6 +10,10 @@
 //! Set `TG_BENCH_SCALE` (a float, default `1.0`) to scale every run's query
 //! count: `TG_BENCH_SCALE=0.2 cargo bench` for a quick smoke pass,
 //! `TG_BENCH_SCALE=4` for publication-grade tails.
+//!
+//! Set `TG_JOBS` (an integer ≥ 1) to cap the worker threads the parallel
+//! bench targets use; the default is the machine's available parallelism.
+//! Results are bit-identical for any `TG_JOBS` value.
 
 use tailguard::MaxLoadOptions;
 
@@ -23,9 +27,21 @@ pub fn bench_scale() -> f64 {
         .unwrap_or(1.0)
 }
 
-/// Scales a base query count by [`bench_scale`].
+/// Scales a base query count by [`bench_scale`], never below 1 (a zero
+/// query count would make a simulation run meaningless and can divide by
+/// zero in warm-up arithmetic).
 pub fn scaled(base: usize) -> usize {
-    ((base as f64) * bench_scale()) as usize
+    (((base as f64) * bench_scale()) as usize).max(1)
+}
+
+/// Worker-thread count for the parallel bench targets: `TG_JOBS` when set
+/// (clamped to ≥ 1), else the machine's available parallelism.
+pub fn jobs() -> usize {
+    std::env::var("TG_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|v| v.max(1))
+        .unwrap_or_else(tailguard::default_jobs)
 }
 
 /// Standard max-load options for paper-mix scenarios.
@@ -93,7 +109,9 @@ impl FigureCsv {
                 ws.join("target")
             });
         let dir = target.join("paper_figures");
-        let _ = std::fs::create_dir_all(&dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        }
         FigureCsv {
             path: dir.join(format!("{name}.csv")),
             content: format!("{}\n", header.join(",")),
@@ -127,8 +145,12 @@ impl FigureCsv {
     }
 
     /// Writes the file and returns its path (also printed by callers).
+    /// A failed write is reported on stderr — losing a figure's data
+    /// silently would defeat the point of the bench run.
     pub fn finish(self) -> String {
-        let _ = std::fs::write(&self.path, self.content);
+        if let Err(e) = std::fs::write(&self.path, self.content) {
+            eprintln!("warning: cannot write {}: {e}", self.path.display());
+        }
         self.path.display().to_string()
     }
 }
@@ -151,7 +173,15 @@ mod tests {
         // the clamping logic via scaled().
         let s = bench_scale();
         assert!((0.01..=100.0).contains(&s));
-        assert_eq!(scaled(100), (100.0 * s) as usize);
+        assert_eq!(scaled(100), ((100.0 * s) as usize).max(1));
+    }
+
+    #[test]
+    fn scaled_never_returns_zero() {
+        // Even a tiny base times a small TG_BENCH_SCALE must keep at least
+        // one query, or runs degenerate to empty simulations.
+        assert_eq!(scaled(0), 1);
+        assert!(scaled(1) >= 1);
     }
 
     #[test]

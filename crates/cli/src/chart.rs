@@ -101,7 +101,9 @@ pub fn ascii_chart(
         "{:>10}{}{}\n",
         "",
         legend.join("   "),
-        threshold.map(|t| format!("   - SLO {t:.2}")).unwrap_or_default()
+        threshold
+            .map(|t| format!("   - SLO {t:.2}"))
+            .unwrap_or_default()
     ));
     out
 }

@@ -7,8 +7,8 @@
 use crate::args::{ArgError, Args};
 use serde::Serialize;
 use tailguard::{
-    max_load, measure_at_load, run_simulation, scenarios, AdmissionConfig, ClassSpec, ClusterSpec,
-    EstimatorMode, MaxLoadOptions, Scenario, SimReport,
+    default_jobs, max_load_many, run_simulation, scenarios, sweep_loads_parallel, AdmissionConfig,
+    ClassSpec, ClusterSpec, EstimatorMode, MaxLoadOptions, Scenario, SimReport,
 };
 use tailguard_policy::Policy;
 use tailguard_simcore::SimDuration;
@@ -17,6 +17,17 @@ use tailguard_workload::{ArrivalProcess, FanoutDist, QueryMix, TailbenchWorkload
 
 fn err(msg: impl Into<String>) -> ArgError {
     ArgError(msg.into())
+}
+
+/// Worker-thread count for parallel commands: `--jobs N`, defaulting to the
+/// machine's available parallelism. `--jobs 1` forces the serial path
+/// (results are bit-identical either way).
+fn jobs_from(args: &Args) -> Result<usize, ArgError> {
+    let jobs = args.usize_or("jobs", default_jobs())?;
+    if jobs == 0 {
+        return Err(err("--jobs must be at least 1"));
+    }
+    Ok(jobs)
 }
 
 pub(crate) fn workload_from(name: &str) -> Result<TailbenchWorkload, ArgError> {
@@ -228,24 +239,28 @@ const MAXLOAD_KEYS: &[&str] = &[
     "arrival",
     "seed",
     "tolerance",
+    "jobs",
     "json",
 ];
 
 /// `tailguard maxload` — bisect for the max load meeting all SLOs.
+///
+/// With `--jobs N` (default: available parallelism) the per-policy
+/// bisections run concurrently; results are identical to `--jobs 1`.
 pub fn cmd_maxload(args: &Args) -> Result<String, ArgError> {
     args.check_known(MAXLOAD_KEYS)?;
     let scenario = scenario_from(args)?;
     let policies = policies_from(args.get("policies"))?;
+    let jobs = jobs_from(args)?;
     let opts = MaxLoadOptions {
         queries: args.usize_or("queries", 100_000)?,
         tolerance: args.f64_or("tolerance", 0.01)?,
         ..MaxLoadOptions::default()
     };
-    let mut rows = Vec::new();
-    for policy in &policies {
-        let load = max_load(&scenario, *policy, &opts);
-        rows.push((policy.name().to_string(), load));
-    }
+    let rows: Vec<(String, f64)> = max_load_many(&scenario, &policies, &opts, jobs)
+        .into_iter()
+        .map(|(policy, load)| (policy.name().to_string(), load))
+        .collect();
     if args.flag("json") {
         let map: std::collections::BTreeMap<_, _> = rows.into_iter().collect();
         serde_json::to_string_pretty(&map).map_err(|e| err(e.to_string()))
@@ -259,15 +274,20 @@ pub fn cmd_maxload(args: &Args) -> Result<String, ArgError> {
 }
 
 const SWEEP_KEYS: &[&str] = &[
-    "workload", "policy", "loads", "queries", "slo", "slos", "fanout", "servers", "arrival", "seed",
+    "workload", "policy", "loads", "queries", "slo", "slos", "fanout", "servers", "arrival",
+    "seed", "jobs",
 ];
 
 /// `tailguard sweep` — per-class p99 at a list of loads (Fig. 6 style),
 /// with an ASCII chart of the curves against the tightest SLO.
+///
+/// With `--jobs N` (default: available parallelism) the load points run
+/// concurrently; output is identical to `--jobs 1`.
 pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     args.check_known(SWEEP_KEYS)?;
     let scenario = scenario_from(args)?;
     let policy = policy_from(args.get("policy").unwrap_or("tfedf"))?;
+    let jobs = jobs_from(args)?;
     let loads = args
         .f64_list("loads")?
         .unwrap_or_else(|| (4..=12).map(|i| i as f64 * 0.05).collect());
@@ -275,27 +295,30 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
         queries: args.usize_or("queries", 40_000)?,
         ..MaxLoadOptions::default()
     };
+    let points = sweep_loads_parallel(&scenario, policy, &loads, &opts, jobs);
     let mut out = format!("{} under {policy}\n{:>8}", scenario.label, "load");
     for c in 0..scenario.classes.len() {
         out.push_str(&format!(" {:>14}", format!("class{c} p99(ms)")));
     }
     out.push_str("   SLOs\n");
     let mut per_class_series: Vec<Vec<f64>> = vec![Vec::new(); scenario.classes.len()];
-    for &load in &loads {
-        let mut r = measure_at_load(&scenario, policy, load, &opts);
-        out.push_str(&format!("{:>7.0}%", load * 100.0));
+    for point in &points {
+        out.push_str(&format!("{:>7.0}%", point.load * 100.0));
         for c in 0..scenario.classes.len() as u8 {
-            out.push_str(&format!(" {:>14.3}", r.class_tail(c, 0.99).as_millis_f64()));
+            out.push_str(&format!(
+                " {:>14.3}",
+                point.tails_by_class[&c].as_millis_f64()
+            ));
         }
         out.push_str(&format!(
             "   {}\n",
-            if r.meets_all_slos() { "ok" } else { "VIOLATED" }
+            if point.meets { "ok" } else { "VIOLATED" }
         ));
         per_class_series
             .iter_mut()
             .zip(0..scenario.classes.len() as u8)
             .for_each(|(series, c)| {
-                series.push(r.class_tail(c, 0.99).as_millis_f64());
+                series.push(point.tails_by_class[&c].as_millis_f64());
             });
     }
     let named: Vec<(String, Vec<f64>)> = per_class_series
@@ -676,6 +699,43 @@ mod tests {
         assert!(out.contains("20%"));
         assert!(out.contains("40%"));
         assert!(out.contains("class1 p99"));
+    }
+
+    #[test]
+    fn sweep_jobs_output_is_identical_to_serial() {
+        let base = &[
+            "--loads",
+            "0.2,0.4,0.6",
+            "--queries",
+            "2000",
+            "--slos",
+            "1.0,1.5",
+        ];
+        let serial = cmd_sweep(&args(&[base as &[&str], &["--jobs", "1"]].concat())).expect("j1");
+        let parallel = cmd_sweep(&args(&[base as &[&str], &["--jobs", "4"]].concat())).expect("j4");
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn maxload_jobs_output_is_identical_to_serial() {
+        let base = &[
+            "--policies",
+            "tfedf,fifo",
+            "--queries",
+            "3000",
+            "--tolerance",
+            "0.1",
+        ];
+        let serial = cmd_maxload(&args(&[base as &[&str], &["--jobs", "1"]].concat())).expect("j1");
+        let parallel =
+            cmd_maxload(&args(&[base as &[&str], &["--jobs", "3"]].concat())).expect("j3");
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn jobs_zero_is_rejected() {
+        let e = cmd_sweep(&args(&["--jobs", "0", "--queries", "1000"])).unwrap_err();
+        assert!(e.0.contains("--jobs"));
     }
 
     #[test]

@@ -33,8 +33,9 @@ COMMANDS:
                --online  --warmup <n>  --seed <n>  --json
     maxload    Bisect for the maximum load meeting all SLOs
                --policies all|<p,p,...> plus the sim workload options
-               --tolerance <frac>
+               --tolerance <frac>  --jobs <n> (policies in parallel)
     sweep      Per-class p99 at each load in --loads <f,f,...>
+               --jobs <n> (load points in parallel; default: all cores)
     testbed    Run the tokio SaS testbed (32 nodes, 4 clusters)
                --policy ... --load ... --queries ... --scale <x>
                --probes <n> --store-days <n> --realtime

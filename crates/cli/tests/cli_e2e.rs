@@ -24,7 +24,14 @@ fn help_lists_all_commands() {
     assert!(o.status.success());
     let out = stdout(&o);
     for cmd in [
-        "sim", "maxload", "sweep", "testbed", "trace", "workloads", "budgets", "calibrate",
+        "sim",
+        "maxload",
+        "sweep",
+        "testbed",
+        "trace",
+        "workloads",
+        "budgets",
+        "calibrate",
         "scenarios",
     ] {
         assert!(out.contains(cmd), "help missing `{cmd}`");
@@ -56,7 +63,13 @@ fn budgets_match_paper_worked_example() {
 #[test]
 fn sim_small_run_reports_types() {
     let o = run(&[
-        "sim", "--queries", "3000", "--load", "0.3", "--policy", "tailguard",
+        "sim",
+        "--queries",
+        "3000",
+        "--load",
+        "0.3",
+        "--policy",
+        "tailguard",
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     let out = stdout(&o);

@@ -91,6 +91,8 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
             .collect(),
         tasks: Vec::with_capacity(input.query_count() * 2),
         queries: Vec::new(),
+        targets_scratch: Vec::new(),
+        services_scratch: Vec::new(),
         request_progress: vec![0; input.requests.len()],
         request_started: vec![SimTime::ZERO; input.requests.len()],
         issued_queries: 0,
@@ -108,6 +110,7 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
             elapsed: SimTime::ZERO,
             completed_queries: 0,
             rejected_queries: 0,
+            events_processed: 0,
         },
     };
 
@@ -119,8 +122,10 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
     }
     engine.run_to_completion();
     let elapsed = engine.now();
+    let events = engine.processed();
     let mut state = engine.into_state();
     state.report.elapsed = elapsed;
+    state.report.events_processed = events;
     state.report
 }
 
@@ -160,6 +165,10 @@ struct ClusterSim {
     servers: Vec<ServerState>,
     tasks: Vec<TaskState>,
     queries: Vec<QueryRuntime>,
+    // Per-query scratch, reused across issue_query calls so the hot path
+    // does not allocate per query.
+    targets_scratch: Vec<u32>,
+    services_scratch: Vec<SimDuration>,
     request_progress: Vec<usize>, // next query index per request
     request_started: Vec<SimTime>,
     issued_queries: u64,
@@ -190,7 +199,7 @@ impl ClusterSim {
         }
     }
 
-    fn choose_servers(&mut self, spec: &QuerySpec) -> Vec<u32> {
+    fn choose_servers_into(&mut self, spec: &QuerySpec, out: &mut Vec<u32>) {
         let n = self.servers.len();
         match &spec.servers {
             Some(s) => {
@@ -203,7 +212,7 @@ impl ClusterSim {
                     s.iter().all(|&i| (i as usize) < n),
                     "placement server index out of range"
                 );
-                s.clone()
+                out.extend_from_slice(s);
             }
             None => {
                 assert!(
@@ -211,11 +220,12 @@ impl ClusterSim {
                     "fanout {} exceeds cluster size {n}",
                     spec.fanout
                 );
-                self.placement_rng
-                    .sample_distinct(n, spec.fanout as usize)
-                    .into_iter()
-                    .map(|i| i as u32)
-                    .collect()
+                out.extend(
+                    self.placement_rng
+                        .sample_distinct(n, spec.fanout as usize)
+                        .into_iter()
+                        .map(|i| i as u32),
+                );
             }
         }
     }
@@ -228,31 +238,37 @@ impl ClusterSim {
             spec.class
         );
         self.report.load.query_offered();
-        let targets = self.choose_servers(&spec);
+        // Scratch buffers are moved out for the duration of the call (and
+        // restored on every exit path) so the hot path reuses their
+        // capacity instead of allocating per query.
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        targets.clear();
+        self.choose_servers_into(&spec, &mut targets);
         // Service times drawn now, in issue order, for cross-policy
         // alignment — and so rejected work can be accounted.
-        let services: Vec<SimDuration> = targets
-            .iter()
-            .map(|&s| {
-                let mut ms = self
-                    .config
-                    .cluster
-                    .service_of(s as usize)
-                    .sample(&mut self.service_rng);
-                for sd in &self.config.slowdowns {
-                    if now >= sd.at && sd.servers.contains(&s) {
-                        ms *= sd.factor;
-                    }
+        let mut services = std::mem::take(&mut self.services_scratch);
+        services.clear();
+        for &s in &targets {
+            let mut ms = self
+                .config
+                .cluster
+                .service_of(s as usize)
+                .sample(&mut self.service_rng);
+            for sd in &self.config.slowdowns {
+                if now >= sd.at && sd.servers.contains(&s) {
+                    ms *= sd.factor;
                 }
-                SimDuration::from_millis_f64(ms)
-            })
-            .collect();
+            }
+            services.push(SimDuration::from_millis_f64(ms));
+        }
 
         if self.admission_rejects(now) {
             self.report.rejected_queries += 1;
-            for svc in services {
+            for &svc in &services {
                 self.report.load.record_rejected_work(svc);
             }
+            self.targets_scratch = targets;
+            self.services_scratch = services;
             // A rejected query terminates its request (no successors).
             return;
         }
@@ -292,7 +308,7 @@ impl ClusterSim {
             record,
         });
 
-        for (idx, (&server, service)) in targets.iter().zip(services).enumerate() {
+        for (idx, (&server, &service)) in targets.iter().zip(&services).enumerate() {
             let task_id = self.tasks.len() as u32;
             self.tasks.push(TaskState {
                 query: query_id,
@@ -319,6 +335,8 @@ impl ClusterSim {
                 state.queue.push(entry);
             }
         }
+        self.targets_scratch = targets;
+        self.services_scratch = services;
     }
 
     fn start_task(

@@ -62,9 +62,62 @@ impl EstimatorMode {
     }
 }
 
-/// A multiset of server groups, canonicalized as sorted `(group, count)`
-/// pairs — the cache key for budgets.
-type GroupKey = Vec<(u32, u32)>;
+/// Distinct groups stored inline in a [`GroupKey`] before spilling to the
+/// heap. Every homogeneous scenario uses one group and the SaS testbed
+/// uses three, so steady-state budget lookups allocate nothing.
+const INLINE_GROUPS: usize = 4;
+
+/// A multiset of server groups, canonicalized as `(group, count)` pairs
+/// sorted by group id — the cache key for budgets.
+///
+/// Construction is canonical: keys with at most [`INLINE_GROUPS`] distinct
+/// groups are always `Inline` (with zeroed padding), larger ones always
+/// `Heap`, so derived `Eq`/`Hash` never have to compare across variants.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum GroupKey {
+    Inline {
+        len: u8,
+        pairs: [(u32, u32); INLINE_GROUPS],
+    },
+    Heap(Vec<(u32, u32)>),
+}
+
+impl GroupKey {
+    /// A single-group key — the homogeneous-cluster fast path.
+    fn single(group: u32, count: u32) -> GroupKey {
+        let mut pairs = [(0u32, 0u32); INLINE_GROUPS];
+        pairs[0] = (group, count);
+        GroupKey::Inline { len: 1, pairs }
+    }
+
+    /// Builds a key from pairs already sorted by group id.
+    fn from_sorted_pairs<I: Iterator<Item = (u32, u32)>>(mut iter: I) -> GroupKey {
+        let mut pairs = [(0u32, 0u32); INLINE_GROUPS];
+        let mut len = 0usize;
+        for p in iter.by_ref() {
+            if len == INLINE_GROUPS {
+                let mut v = pairs.to_vec();
+                v.push(p);
+                v.extend(iter);
+                return GroupKey::Heap(v);
+            }
+            pairs[len] = p;
+            len += 1;
+        }
+        GroupKey::Inline {
+            len: len as u8,
+            pairs,
+        }
+    }
+
+    /// The `(group, count)` pairs, sorted by group id.
+    fn as_pairs(&self) -> &[(u32, u32)] {
+        match self {
+            GroupKey::Inline { len, pairs } => &pairs[..*len as usize],
+            GroupKey::Heap(v) => v,
+        }
+    }
+}
 
 enum CdfSource {
     Analytic(Vec<DynDistribution>), // one per group
@@ -90,12 +143,15 @@ enum CdfSource {
 /// ```
 pub struct DeadlineEstimator {
     classes: Vec<ClassSpec>,
-    group_of: Vec<u32>, // server -> group
+    group_of: Vec<u32>,    // server -> group
+    group_sizes: Vec<u32>, // group -> member count
     group_count: usize,
     source: CdfSource,
     hists: Vec<LogHistogram>, // per group; empty in analytic mode
     budget_cache: HashMap<(u8, GroupKey), SimDuration>,
     tail_cache: HashMap<(u8, GroupKey), SimDuration>,
+    counts_scratch: Vec<u32>, // group -> count, reused across group_key calls
+    budget_lookups: u64,
     refresh_every: u64,
     since_refresh: u64,
     refreshes: u64,
@@ -143,6 +199,10 @@ impl DeadlineEstimator {
             group_of.push(gid as u32);
         }
         let group_count = reps.len();
+        let mut group_sizes = vec![0u32; group_count];
+        for &g in &group_of {
+            group_sizes[g as usize] += 1;
+        }
         let (source, hists, refresh_every) = match mode {
             EstimatorMode::Analytic => (CdfSource::Analytic(reps), Vec::new(), u64::MAX),
             EstimatorMode::Online { refresh_every, .. } => (
@@ -154,11 +214,14 @@ impl DeadlineEstimator {
         DeadlineEstimator {
             classes,
             group_of,
+            group_sizes,
             group_count,
             source,
             hists,
             budget_cache: HashMap::new(),
             tail_cache: HashMap::new(),
+            counts_scratch: vec![0; group_count],
+            budget_lookups: 0,
             refresh_every,
             since_refresh: 0,
             refreshes: 0,
@@ -177,8 +240,7 @@ impl DeadlineEstimator {
         for server in 0..cluster.servers() {
             let g = self.group_of[server] as usize;
             // Spread samples evenly across the group's servers.
-            let members = self.group_of.iter().filter(|&&x| x == g as u32).count();
-            let per_server = samples.div_ceil(members);
+            let per_server = samples.div_ceil(self.group_sizes[g] as usize);
             let d = cluster.service_of(server);
             for _ in 0..per_server {
                 self.hists[g].record(d.sample(rng));
@@ -239,36 +301,38 @@ impl DeadlineEstimator {
         &self.classes
     }
 
-    fn group_key(&self, fanout: u32, servers: &[u32]) -> GroupKey {
+    fn group_key(&mut self, fanout: u32, servers: &[u32]) -> GroupKey {
         if servers.is_empty() || self.group_count == 1 {
             // Uniform placement over a homogeneous cluster (or unknown
             // placement): all tasks belong to group 0's CDF.
             if self.group_count == 1 {
-                return vec![(0, fanout)];
+                return GroupKey::single(0, fanout);
             }
             // Unknown placement on a heterogeneous cluster: approximate by
             // spreading tasks across groups proportionally to group size.
-            let mut counts = vec![0u32; self.group_count];
             let n = self.group_of.len() as u32;
-            for (g, c) in counts.iter_mut().enumerate() {
-                let members = self.group_of.iter().filter(|&&x| x == g as u32).count() as u32;
-                *c = (fanout * members).div_ceil(n);
-            }
-            return counts
-                .into_iter()
-                .enumerate()
-                .filter(|&(_, c)| c > 0)
-                .map(|(g, c)| (g as u32, c))
-                .collect();
+            let sizes = &self.group_sizes;
+            return GroupKey::from_sorted_pairs(
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &members)| (g as u32, (fanout * members).div_ceil(n)))
+                    .filter(|&(_, c)| c > 0),
+            );
         }
-        let mut counts: HashMap<u32, u32> = HashMap::new();
+        // Explicit placement: count tasks per group into the reusable
+        // scratch (indexed by group id, hence already sorted).
+        self.counts_scratch.iter_mut().for_each(|c| *c = 0);
         for &s in servers {
-            let g = self.group_of[s as usize];
-            *counts.entry(g).or_insert(0) += 1;
+            self.counts_scratch[self.group_of[s as usize] as usize] += 1;
         }
-        let mut key: GroupKey = counts.into_iter().collect();
-        key.sort_unstable();
-        key
+        GroupKey::from_sorted_pairs(
+            self.counts_scratch
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(g, &c)| (g as u32, c)),
+        )
     }
 
     /// The unloaded `p`-th percentile query tail latency `x_p^u(k_f)`
@@ -283,13 +347,13 @@ impl DeadlineEstimator {
     pub fn unloaded_query_tail(&mut self, class: u8, fanout: u32, servers: &[u32]) -> SimDuration {
         assert!(fanout >= 1, "fanout must be at least 1");
         let spec = self.classes[class as usize];
-        let key = self.group_key(fanout, servers);
-        if let Some(&t) = self.tail_cache.get(&(class, key.clone())) {
+        let ck = (class, self.group_key(fanout, servers));
+        if let Some(&t) = self.tail_cache.get(&ck) {
             return t;
         }
-        let ms = self.solve_tail(&key, spec.percentile);
+        let ms = self.solve_tail(&ck.1, spec.percentile);
         let t = SimDuration::from_millis_f64(ms);
-        self.tail_cache.insert((class, key), t);
+        self.tail_cache.insert(ck, t);
         t
     }
 
@@ -297,6 +361,7 @@ impl DeadlineEstimator {
         match &self.source {
             CdfSource::Analytic(reps) => {
                 let pairs: Vec<(&dyn Cdf, u32)> = key
+                    .as_pairs()
                     .iter()
                     .map(|&(g, c)| (reps[g as usize].as_ref() as &dyn Cdf, c))
                     .collect();
@@ -304,6 +369,7 @@ impl DeadlineEstimator {
             }
             CdfSource::Online(snaps) => {
                 let pairs: Vec<(&dyn Cdf, u32)> = key
+                    .as_pairs()
                     .iter()
                     .map(|&(g, c)| (snaps[g as usize].as_ref() as &dyn Cdf, c))
                     .collect();
@@ -321,20 +387,29 @@ impl DeadlineEstimator {
     /// Panics when `class` is out of range or `fanout` is zero.
     pub fn budget(&mut self, class: u8, fanout: u32, servers: &[u32]) -> SimDuration {
         assert!(fanout >= 1, "fanout must be at least 1");
+        self.budget_lookups += 1;
         let spec = self.classes[class as usize];
-        let key = self.group_key(fanout, servers);
-        if let Some(&b) = self.budget_cache.get(&(class, key.clone())) {
+        let ck = (class, self.group_key(fanout, servers));
+        if let Some(&b) = self.budget_cache.get(&ck) {
             return b;
         }
-        let tail = SimDuration::from_millis_f64(self.solve_tail(&key, spec.percentile));
+        let tail = SimDuration::from_millis_f64(self.solve_tail(&ck.1, spec.percentile));
         let b = spec.slo.saturating_sub(tail);
-        self.budget_cache.insert((class, key), b);
+        self.budget_cache.insert(ck, b);
         b
     }
 
     /// Number of distinct `(class, placement)` budgets currently cached.
     pub fn cached_budget_count(&self) -> usize {
         self.budget_cache.len()
+    }
+
+    /// Total [`DeadlineEstimator::budget`] calls over the estimator's
+    /// lifetime (hits and misses alike). `budget_lookup_count() −
+    /// cached_budget_count()` lower-bounds the cache hits since the last
+    /// refresh — the steady-state "one hash lookup per deadline" property.
+    pub fn budget_lookup_count(&self) -> u64 {
+        self.budget_lookups
     }
 }
 
@@ -502,6 +577,45 @@ mod tests {
             "budget must tighten after slowdown: {before} -> {after}"
         );
         assert!(est.refresh_count() > 10);
+    }
+
+    #[test]
+    fn budget_lookup_counter_counts_hits_and_misses() {
+        let cluster = masstree_cluster(100);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(1.0))],
+            EstimatorMode::Analytic,
+        );
+        for _ in 0..100 {
+            let _ = est.budget(0, 100, &[]);
+        }
+        assert_eq!(est.budget_lookup_count(), 100);
+        assert_eq!(est.cached_budget_count(), 1);
+    }
+
+    #[test]
+    fn group_key_spills_past_inline_capacity() {
+        // More distinct groups than the inline key holds: the heap spill
+        // path must stay canonical (same multiset, same cache entry).
+        let dists: Vec<DynDistribution> = (1..=6)
+            .map(|i| Arc::new(Exponential::with_mean(0.1 * i as f64)) as DynDistribution)
+            .collect();
+        let cluster = ClusterSpec::heterogeneous(dists);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(50.0))],
+            EstimatorMode::Analytic,
+        );
+        let a = est.budget(0, 6, &[0, 1, 2, 3, 4, 5]);
+        let b = est.budget(0, 6, &[5, 4, 3, 2, 1, 0]);
+        assert_eq!(a, b);
+        assert_eq!(est.cached_budget_count(), 1);
+        assert!(a > SimDuration::ZERO);
+        // A genuinely different multiset gets its own entry.
+        let c = est.budget(0, 6, &[0, 0, 1, 2, 3, 4]);
+        assert_ne!(a, c);
+        assert_eq!(est.cached_budget_count(), 2);
     }
 
     #[test]

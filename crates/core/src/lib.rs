@@ -51,6 +51,7 @@ mod estimator;
 mod maxload;
 mod report;
 mod request;
+mod runner;
 pub mod scenarios;
 mod spec;
 
@@ -59,6 +60,10 @@ pub use estimator::{DeadlineEstimator, EstimatorMode};
 pub use maxload::{max_load, measure_at_load, sweep_loads, LoadPoint, MaxLoadOptions};
 pub use report::{QueryTypeKey, SimReport};
 pub use request::{BudgetSplit, RequestBudgets, RequestPlanner};
+pub use runner::{
+    default_jobs, max_load_many, replicate, replicate_seeds, run_indexed, sweep_loads_parallel,
+    ClassStat, Replication,
+};
 pub use spec::{
     AdmissionConfig, ClassSpec, ClusterSpec, QuerySpec, RequestInput, Scenario, SimConfig,
     SimInput, Slowdown,

@@ -55,6 +55,13 @@ pub struct LoadPoint {
     pub miss_ratio: f64,
     /// Measured (accepted) load.
     pub measured_load: f64,
+    /// Discrete events processed by this point's simulation run (for
+    /// throughput accounting).
+    pub events_processed: u64,
+    /// Queries that completed (after warm-up trimming and admission
+    /// control) in this point's run — the denominator for queries/sec
+    /// throughput, distinct from the offered `opts.queries`.
+    pub completed_queries: u64,
 }
 
 /// Runs the scenario once at offered load `load` under `policy`.
@@ -117,6 +124,32 @@ pub fn max_load(scenario: &Scenario, policy: Policy, opts: &MaxLoadOptions) -> f
     lo
 }
 
+/// Measures one sweep point — the unit of work shared by the serial
+/// [`sweep_loads`] and the parallel
+/// [`sweep_loads_parallel`](crate::sweep_loads_parallel), so the two paths
+/// are bit-identical by construction.
+pub(crate) fn sweep_point(
+    scenario: &Scenario,
+    policy: Policy,
+    load: f64,
+    opts: &MaxLoadOptions,
+) -> LoadPoint {
+    let mut report = measure_at_load(scenario, policy, load, opts);
+    let mut tails = BTreeMap::new();
+    for (class, spec) in scenario.classes.iter().enumerate() {
+        tails.insert(class as u8, report.class_tail(class as u8, spec.percentile));
+    }
+    LoadPoint {
+        load,
+        tails_by_class: tails,
+        meets: report.meets_all_slos(),
+        miss_ratio: report.deadline_miss_ratio(),
+        measured_load: report.accepted_load(),
+        events_processed: report.events_processed,
+        completed_queries: report.completed_queries,
+    }
+}
+
 /// Measures per-class tails at each load in `loads` (the Fig. 6 curves).
 pub fn sweep_loads(
     scenario: &Scenario,
@@ -126,20 +159,7 @@ pub fn sweep_loads(
 ) -> Vec<LoadPoint> {
     loads
         .iter()
-        .map(|&load| {
-            let mut report = measure_at_load(scenario, policy, load, opts);
-            let mut tails = BTreeMap::new();
-            for (class, spec) in scenario.classes.iter().enumerate() {
-                tails.insert(class as u8, report.class_tail(class as u8, spec.percentile));
-            }
-            LoadPoint {
-                load,
-                tails_by_class: tails,
-                meets: report.meets_all_slos(),
-                miss_ratio: report.deadline_miss_ratio(),
-                measured_load: report.accepted_load(),
-            }
-        })
+        .map(|&load| sweep_point(scenario, policy, load, opts))
         .collect()
 }
 

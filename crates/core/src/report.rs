@@ -48,6 +48,9 @@ pub struct SimReport {
     pub completed_queries: u64,
     /// Queries rejected by admission control.
     pub rejected_queries: u64,
+    /// Total discrete events the engine processed during the run (the
+    /// denominator-free basis for events/sec throughput reporting).
+    pub events_processed: u64,
 }
 
 impl SimReport {
@@ -204,6 +207,7 @@ mod tests {
             elapsed: SimTime::from_millis(1000),
             completed_queries: samples.len() as u64,
             rejected_queries: 0,
+            events_processed: 0,
         }
     }
 

@@ -103,12 +103,12 @@ impl<S: Simulation> Engine<S> {
         match self.scheduler.pop() {
             Some(scheduled) => {
                 debug_assert!(
-                    scheduled.at >= self.now,
+                    scheduled.at() >= self.now,
                     "event scheduled in the past: {} < {}",
-                    scheduled.at,
+                    scheduled.at(),
                     self.now
                 );
-                self.now = scheduled.at;
+                self.now = scheduled.at();
                 self.processed += 1;
                 self.state
                     .handle(self.now, scheduled.event, &mut self.scheduler);

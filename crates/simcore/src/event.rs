@@ -8,18 +8,37 @@ use std::collections::BinaryHeap;
 ///
 /// Events at equal times are delivered in insertion order (FIFO among ties),
 /// which makes simulations deterministic regardless of heap internals.
+///
+/// Internally the `(time, sequence)` ordering pair is packed into a single
+/// `u128` (time in the high 64 bits, insertion sequence in the low 64), so
+/// every heap sift-up/down comparison is one integer compare instead of
+/// two — the event heap is the innermost loop of the simulator.
 #[derive(Debug)]
 pub struct Scheduled<E> {
-    /// When the event fires.
-    pub at: SimTime,
-    seq: u64,
+    /// `(at.as_nanos() << 64) | seq`; lexicographic `(at, seq)` order and
+    /// numeric `u128` order coincide.
+    key: u128,
     /// The event payload.
     pub event: E,
 }
 
+impl<E> Scheduled<E> {
+    fn new(at: SimTime, seq: u64, event: E) -> Self {
+        Scheduled {
+            key: (u128::from(at.as_nanos()) << 64) | u128::from(seq),
+            event,
+        }
+    }
+
+    /// When the event fires.
+    pub fn at(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
+    }
+}
+
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 
@@ -34,10 +53,7 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -99,7 +115,7 @@ impl<E> Scheduler<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.heap.push(Scheduled::new(at, seq, event));
     }
 
     /// Schedules `event` to fire `delay` after `now`.
@@ -114,7 +130,7 @@ impl<E> Scheduler<E> {
 
     /// The instant of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.peek().map(Scheduled::at)
     }
 
     /// Number of pending events.

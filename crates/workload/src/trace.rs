@@ -330,11 +330,16 @@ impl Trace {
     /// per line) — the interchange format for external tooling. Metadata is
     /// not carried; use JSON for loss-free round-trips.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("arrival_ns,class,fanout
-");
+        let mut out = String::from(
+            "arrival_ns,class,fanout
+",
+        );
         for r in &self.records {
-            out.push_str(&format!("{},{},{}
-", r.arrival_ns, r.class, r.fanout));
+            out.push_str(&format!(
+                "{},{},{}
+",
+                r.arrival_ns, r.class, r.fanout
+            ));
         }
         out
     }
@@ -382,13 +387,16 @@ impl Trace {
                 fanout,
             });
         }
-        if records.windows(2).any(|w| w[1].arrival_ns < w[0].arrival_ns) {
+        if records
+            .windows(2)
+            .any(|w| w[1].arrival_ns < w[0].arrival_ns)
+        {
             return Err(TraceError::NotSorted);
         }
         let rate = if records.len() >= 2 {
-            let span_ms =
-                (records.last().expect("non-empty").arrival_ns - records[0].arrival_ns) as f64
-                    / 1e6;
+            let span_ms = (records.last().expect("non-empty").arrival_ns - records[0].arrival_ns)
+                as f64
+                / 1e6;
             if span_ms > 0.0 {
                 (records.len() - 1) as f64 / span_ms
             } else {
@@ -493,38 +501,44 @@ mod tests {
 
     #[test]
     fn csv_rejects_garbage() {
+        assert!(matches!(Trace::from_csv("nope"), Err(TraceError::Csv(_))));
         assert!(matches!(
-            Trace::from_csv("nope"),
-            Err(TraceError::Csv(_))
-        ));
-        assert!(matches!(
-            Trace::from_csv("arrival_ns,class,fanout
+            Trace::from_csv(
+                "arrival_ns,class,fanout
 1,2
-"),
+"
+            ),
             Err(TraceError::Csv(_))
         ));
         assert!(matches!(
-            Trace::from_csv("arrival_ns,class,fanout
+            Trace::from_csv(
+                "arrival_ns,class,fanout
 1,0,0
-"),
+"
+            ),
             Err(TraceError::Csv(_))
         ));
         assert!(matches!(
-            Trace::from_csv("arrival_ns,class,fanout
+            Trace::from_csv(
+                "arrival_ns,class,fanout
 5,0,1
 1,0,1
-"),
+"
+            ),
             Err(TraceError::NotSorted)
         ));
     }
 
     #[test]
     fn csv_tolerates_blank_lines() {
-        let t = Trace::from_csv("arrival_ns,class,fanout
+        let t = Trace::from_csv(
+            "arrival_ns,class,fanout
 1,0,1
 
 2,1,4
-").expect("parse");
+",
+        )
+        .expect("parse");
         assert_eq!(t.len(), 2);
         assert_eq!(t.records[1].fanout, 4);
     }

@@ -1,0 +1,31 @@
+//! Single-thread hot-path measurement with identical parameters to
+//! `measure_serial` in crates/bench/benches/perf_throughput.rs, so the
+//! printed queries/sec is directly comparable across trees. This is the
+//! methodology behind `BENCH_baseline_prechange.json`: run this binary at
+//! the tree under comparison, take the best of the 15 repetitions, and
+//! interleave runs when comparing two trees on a shared host.
+
+use std::time::Instant;
+use tailguard_repro::policy::Policy;
+use tailguard_repro::tailguard::{run_simulation, scenarios};
+use tailguard_repro::workload::TailbenchWorkload;
+
+fn main() {
+    let queries = 60_000usize;
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    let input = scenario.input(0.5, queries);
+    let config = scenario.config(Policy::TfEdf).with_warmup(queries / 20);
+    // Warm once, then report each of 15 timed repetitions.
+    let _ = run_simulation(&config, &input);
+    for rep in 0..15 {
+        let start = Instant::now();
+        let report = run_simulation(&config, &input);
+        let wall = start.elapsed().as_secs_f64();
+        println!(
+            "rep {rep}: wall_secs {:.4} completed {} queries_per_sec {:.0}",
+            wall,
+            report.completed_queries,
+            report.completed_queries as f64 / wall
+        );
+    }
+}

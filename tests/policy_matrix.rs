@@ -15,10 +15,18 @@ fn opts() -> MaxLoadOptions {
 fn scenarios_under_test() -> Vec<Scenario> {
     let mut v = Vec::new();
     for w in TailbenchWorkload::ALL {
-        v.push(scenarios::single_class(w, w.paper_stats().x99_k100 * 2.0, 100));
+        v.push(scenarios::single_class(
+            w,
+            w.paper_stats().x99_k100 * 2.0,
+            100,
+        ));
     }
     let (hi, lo) = scenarios::fig6_slos(TailbenchWorkload::Masstree);
-    v.push(scenarios::oldi_two_class(TailbenchWorkload::Masstree, hi, lo));
+    v.push(scenarios::oldi_two_class(
+        TailbenchWorkload::Masstree,
+        hi,
+        lo,
+    ));
     v.push(scenarios::sas_testbed());
     v
 }
