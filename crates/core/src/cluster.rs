@@ -1,22 +1,21 @@
 //! The discrete-event cluster simulator.
 //!
-//! Implements the TailGuard query processing model of Fig. 2: a query
-//! handler receives requests, spawns `k_f` tasks per query, computes the
-//! task queuing deadline `t_D = t_0 + T_b` (Eq. 6), and dispatches the tasks
-//! to per-server queues managed by the configured policy. Each task server
-//! serves one task at a time, work-conserving: whenever a task finishes, the
-//! task at the head of the queue enters service immediately.
-//!
-//! Deadline misses are detected at *dequeue* time (`t_dequeue > t_D`) and
-//! feed both the load statistics and the admission controller's moving
-//! window (§III.C).
+//! A thin driver over the shared scheduling core
+//! ([`tailguard_sched::QueryHandler`]), which implements the TailGuard
+//! query processing model of Fig. 2: deadline stamping (`t_D = t_0 + T_b`,
+//! Eq. 6), per-server policy queues, dequeue-time deadline-miss detection
+//! (§III.C), window-based admission, and fanout aggregation. This module
+//! owns only what is genuinely simulation: the event heap, the RNG streams
+//! that draw placements and service times, failure injection (slowdowns),
+//! warm-up accounting, and the sequential request chaining of Fig. 1.
 
-use crate::estimator::{DeadlineEstimator, EstimatorMode};
-use crate::report::{QueryTypeKey, SimReport};
+use crate::report::SimReport;
 use crate::spec::{QuerySpec, SimConfig, SimInput};
 use std::collections::BTreeMap;
-use tailguard_metrics::{LatencyReservoir, LoadStats, TimedRatio};
-use tailguard_policy::{DeadlineRule, QueuedTask, ServiceClass, TaskQueue};
+use tailguard_metrics::LatencyReservoir;
+use tailguard_sched::{
+    AdmitDecision, DeadlineEstimator, DispatchedTask, EstimatorMode, QueryArrival, QueryHandler,
+};
 use tailguard_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, Simulation};
 
 /// Runs one simulation to completion and returns the measurements.
@@ -77,41 +76,28 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
     }
 
     let servers = config.cluster.servers();
+    let handler = QueryHandler::new(
+        config.policy,
+        config.classes.clone(),
+        servers,
+        estimator,
+        config.admission,
+    );
     let sim = ClusterSim {
         config: config.clone(),
         input: input.clone(),
-        estimator,
+        handler,
         placement_rng,
         service_rng,
-        servers: (0..servers)
-            .map(|_| ServerState {
-                queue: config.policy.new_queue(),
-                in_service: None,
-            })
-            .collect(),
-        tasks: Vec::with_capacity(input.query_count() * 2),
-        queries: Vec::new(),
+        services: Vec::with_capacity(input.query_count() * 2),
+        query_request: Vec::new(),
         targets_scratch: Vec::new(),
         services_scratch: Vec::new(),
+        started_scratch: Vec::new(),
         request_progress: vec![0; input.requests.len()],
         request_started: vec![SimTime::ZERO; input.requests.len()],
         issued_queries: 0,
-        admission_window: config.admission.map(|a| TimedRatio::new(a.window)),
-        rejecting: false,
-        report: SimReport {
-            policy: config.policy,
-            classes: config.classes.clone(),
-            query_latency_by_class: BTreeMap::new(),
-            query_latency_by_type: BTreeMap::new(),
-            request_latency_by_class: BTreeMap::new(),
-            pre_dequeue: LatencyReservoir::new(),
-            load: LoadStats::new(servers),
-            busy_by_server: vec![SimDuration::ZERO; servers],
-            elapsed: SimTime::ZERO,
-            completed_queries: 0,
-            rejected_queries: 0,
-            events_processed: 0,
-        },
+        request_latency_by_class: BTreeMap::new(),
     };
 
     let mut engine = Engine::new(sim);
@@ -123,10 +109,22 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
     engine.run_to_completion();
     let elapsed = engine.now();
     let events = engine.processed();
-    let mut state = engine.into_state();
-    state.report.elapsed = elapsed;
-    state.report.events_processed = events;
-    state.report
+    let state = engine.into_state();
+    let stats = state.handler.into_stats();
+    SimReport {
+        policy: config.policy,
+        classes: config.classes.clone(),
+        query_latency_by_class: stats.query_latency_by_class,
+        query_latency_by_type: stats.query_latency_by_type,
+        request_latency_by_class: state.request_latency_by_class,
+        pre_dequeue: stats.pre_dequeue,
+        load: stats.load,
+        busy_by_server: stats.busy_by_server,
+        elapsed,
+        completed_queries: stats.completed_queries,
+        rejected_queries: stats.rejected_queries,
+        events_processed: events,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -137,70 +135,31 @@ enum Ev {
     Finish(u32),
 }
 
-struct TaskState {
-    query: u32,
-    service: SimDuration,
-}
-
-struct QueryRuntime {
-    request: u32,
-    class: u8,
-    fanout: u32,
-    started_at: SimTime,
-    outstanding: u32,
-    record: bool,
-}
-
-struct ServerState {
-    queue: Box<dyn TaskQueue>,
-    in_service: Option<u32>, // task id
-}
-
 struct ClusterSim {
     config: SimConfig,
     input: SimInput,
-    estimator: DeadlineEstimator,
+    handler: QueryHandler,
     placement_rng: SimRng,
     service_rng: SimRng,
-    servers: Vec<ServerState>,
-    tasks: Vec<TaskState>,
-    queries: Vec<QueryRuntime>,
+    /// Drawn service time per handler task id — the simulator's oracle for
+    /// when a started task's `Finish` event fires.
+    services: Vec<SimDuration>,
+    /// Owning request per handler query id (for Fig. 1 chaining).
+    query_request: Vec<u32>,
     // Per-query scratch, reused across issue_query calls so the hot path
     // does not allocate per query.
     targets_scratch: Vec<u32>,
     services_scratch: Vec<SimDuration>,
+    started_scratch: Vec<DispatchedTask>,
     request_progress: Vec<usize>, // next query index per request
     request_started: Vec<SimTime>,
     issued_queries: u64,
-    admission_window: Option<TimedRatio>,
-    rejecting: bool,
-    report: SimReport,
+    request_latency_by_class: BTreeMap<u8, LatencyReservoir>,
 }
 
 impl ClusterSim {
-    fn admission_rejects(&mut self, now: SimTime) -> bool {
-        match (&self.config.admission, &mut self.admission_window) {
-            (Some(adm), Some(win)) => {
-                if win.len(now) < adm.min_samples {
-                    self.rejecting = false;
-                    return false;
-                }
-                let ratio = win.ratio(now);
-                if self.rejecting {
-                    if ratio < adm.resume_threshold {
-                        self.rejecting = false;
-                    }
-                } else if ratio > adm.threshold {
-                    self.rejecting = true;
-                }
-                self.rejecting
-            }
-            _ => false,
-        }
-    }
-
     fn choose_servers_into(&mut self, spec: &QuerySpec, out: &mut Vec<u32>) {
-        let n = self.servers.len();
+        let n = self.config.cluster.servers();
         match &spec.servers {
             Some(s) => {
                 assert_eq!(
@@ -232,12 +191,6 @@ impl ClusterSim {
 
     fn issue_query(&mut self, now: SimTime, request: usize, sched: &mut Scheduler<Ev>) {
         let spec = self.input.requests[request].queries[self.request_progress[request]].clone();
-        assert!(
-            (spec.class as usize) < self.config.classes.len(),
-            "query class {} out of range",
-            spec.class
-        );
-        self.report.load.query_offered();
         // Scratch buffers are moved out for the duration of the call (and
         // restored on every exit path) so the hot path reuses their
         // capacity instead of allocating per query.
@@ -262,148 +215,59 @@ impl ClusterSim {
             services.push(SimDuration::from_millis_f64(ms));
         }
 
-        if self.admission_rejects(now) {
-            self.report.rejected_queries += 1;
-            for &svc in &services {
-                self.report.load.record_rejected_work(svc);
-            }
-            self.targets_scratch = targets;
-            self.services_scratch = services;
-            // A rejected query terminates its request (no successors).
-            return;
-        }
-        self.report.load.query_accepted();
-
         let record = self.issued_queries >= self.config.warmup_queries as u64;
-        self.issued_queries += 1;
-
-        // Eq. 6 (or the baseline's rule): the shared queuing deadline.
-        let budget = match spec.budget_override {
-            Some(b) => b,
-            None => match self.config.policy.deadline_rule() {
-                DeadlineRule::SloOnly => self.config.classes[spec.class as usize].slo,
-                // FIFO/PRIQ ignore deadlines for ordering; we still stamp
-                // the TailGuard deadline so miss accounting is comparable.
-                DeadlineRule::SloAndFanout | DeadlineRule::Unused => {
-                    self.estimator.budget(spec.class, spec.fanout, &targets)
-                }
+        let mut started = std::mem::take(&mut self.started_scratch);
+        let decision = self.handler.on_query_arrival(
+            now,
+            QueryArrival {
+                class: spec.class,
+                targets: &targets,
+                // The drawn services double as size hints so size-aware
+                // policies (SJF) can order on them.
+                sizes: Some(&services),
+                budget_override: spec.budget_override,
+                task_budgets: spec.task_budgets.as_deref(),
+                record,
             },
-        };
-        let deadline = now + budget;
-        if let Some(tb) = &spec.task_budgets {
-            assert_eq!(
-                tb.len(),
-                spec.fanout as usize,
-                "task budget count must equal fanout"
-            );
-        }
-
-        let query_id = self.queries.len() as u32;
-        self.queries.push(QueryRuntime {
-            request: request as u32,
-            class: spec.class,
-            fanout: spec.fanout,
-            started_at: now,
-            outstanding: spec.fanout,
-            record,
-        });
-
-        for (idx, (&server, &service)) in targets.iter().zip(&services).enumerate() {
-            let task_id = self.tasks.len() as u32;
-            self.tasks.push(TaskState {
-                query: query_id,
-                service,
-            });
-            self.report.load.task_dispatched();
-            // Footnote-4 ablation hook: per-task deadlines when provided.
-            let task_deadline = match &spec.task_budgets {
-                Some(tb) => now + tb[idx],
-                None => deadline,
-            };
-            let entry = QueuedTask::new(
-                u64::from(task_id),
-                ServiceClass(spec.class),
-                task_deadline,
-                now,
-            )
-            .with_size_hint(service);
-            let state = &mut self.servers[server as usize];
-            if state.in_service.is_none() {
-                // Idle server: immediate dequeue, by definition on time.
-                self.start_task(now, server, entry, sched);
-            } else {
-                state.queue.push(entry);
+            &mut started,
+        );
+        if let AdmitDecision::Admitted { .. } = decision {
+            self.issued_queries += 1;
+            self.services.extend_from_slice(&services);
+            self.query_request.push(request as u32);
+            for d in &started {
+                sched.schedule_in(now, self.services[d.task as usize], Ev::Finish(d.server));
             }
         }
+        // On rejection no state is created: the query terminates its
+        // request (no successors).
         self.targets_scratch = targets;
         self.services_scratch = services;
-    }
-
-    fn start_task(
-        &mut self,
-        now: SimTime,
-        server: u32,
-        entry: QueuedTask,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let missed = now > entry.deadline;
-        self.report.load.task_completed(missed);
-        if let Some(win) = &mut self.admission_window {
-            win.record(now, missed);
-        }
-        let waited = now.saturating_since(entry.enqueued_at);
-        let query = self.tasks[entry.task_id as usize].query;
-        if self.queries[query as usize].record {
-            self.report.pre_dequeue.record(waited);
-        }
-        let task_id = entry.task_id as u32;
-        self.servers[server as usize].in_service = Some(task_id);
-        let service = self.tasks[task_id as usize].service;
-        sched.schedule_in(now, service, Ev::Finish(server));
+        self.started_scratch = started;
     }
 
     fn finish_task(&mut self, now: SimTime, server: u32, sched: &mut Scheduler<Ev>) {
-        let task_id = self.servers[server as usize]
-            .in_service
-            .take()
+        let task = self
+            .handler
+            .task_in_service(server)
             .expect("finish event implies a task in service");
-        let task = &self.tasks[task_id as usize];
-        self.report.load.record_busy(task.service);
-        self.report.busy_by_server[server as usize] += task.service;
-        self.estimator
-            .record_post_queuing(server as usize, task.service);
+        let busy = self.services[task as usize];
+        let completion = self.handler.on_task_complete(now, task, busy);
 
-        // Work conservation: the freed server pulls its next task *before*
-        // any successor query is issued, so a chained query cannot jump the
-        // queue (and cannot double-start the server).
-        let query_id = task.query;
-        if let Some(next) = self.servers[server as usize].queue.pop() {
-            self.start_task(now, server, next, sched);
+        // Work conservation: the freed server's next task is scheduled
+        // *before* any successor query is issued, so a chained query cannot
+        // jump the queue (and cannot double-start the server).
+        if let Some(next) = completion.next {
+            sched.schedule_in(
+                now,
+                self.services[next.task as usize],
+                Ev::Finish(next.server),
+            );
         }
 
-        // Query bookkeeping.
-        let query = &mut self.queries[query_id as usize];
-        query.outstanding -= 1;
-        if query.outstanding == 0 {
-            let latency = now.saturating_since(query.started_at);
-            let class = query.class;
-            let fanout = query.fanout;
-            let record = query.record;
-            let request = query.request as usize;
-            if record {
-                self.report
-                    .query_latency_by_class
-                    .entry(class)
-                    .or_default()
-                    .record(latency);
-                self.report
-                    .query_latency_by_type
-                    .entry(QueryTypeKey { class, fanout })
-                    .or_default()
-                    .record(latency);
-                self.report.completed_queries += 1;
-            }
+        if let Some(done) = completion.done {
             // Sequential request chaining (Fig. 1): issue the next query.
+            let request = self.query_request[done.query as usize] as usize;
             self.request_progress[request] += 1;
             let req_input = &self.input.requests[request];
             if self.request_progress[request] < req_input.queries.len() {
@@ -411,8 +275,7 @@ impl ClusterSim {
             } else if req_input.queries.len() > 1 {
                 let req_latency = now.saturating_since(self.request_started[request]);
                 let first_class = req_input.queries[0].class;
-                self.report
-                    .request_latency_by_class
+                self.request_latency_by_class
                     .entry(first_class)
                     .or_default()
                     .record(req_latency);
@@ -654,6 +517,35 @@ mod tests {
         );
         assert!(report.rejected_load() > 0.0);
         assert!(report.offered_load() > report.accepted_load());
+    }
+
+    #[test]
+    fn count_window_admission_rejects_under_overload() {
+        // Same overload through the count-window admission variant: the
+        // miss ratio over the most recent dequeues must trip rejection too.
+        let cfg = SimConfig::new(
+            det_cluster(1, 5.0),
+            vec![ClassSpec::p99(ms(6.0))],
+            Policy::TfEdf,
+        )
+        .with_admission(
+            AdmissionConfig::new(SimDuration::from_millis(100), 0.05)
+                .with_min_samples(5)
+                .with_count_window(20),
+        )
+        .with_warmup(0);
+        let arrivals: Vec<u64> = (0..200).collect();
+        let input = one_query_input(&arrivals, 0, 1);
+        let report = run_simulation(&cfg, &input);
+        assert!(
+            report.rejected_queries > 80,
+            "rejected only {}",
+            report.rejected_queries
+        );
+        assert_eq!(
+            report.load.queries_offered_count(),
+            report.rejected_queries + report.load.queries_accepted_count()
+        );
     }
 
     #[test]

@@ -47,7 +47,6 @@
 #![warn(missing_docs)]
 
 mod cluster;
-mod estimator;
 mod maxload;
 mod report;
 mod request;
@@ -56,7 +55,6 @@ pub mod scenarios;
 mod spec;
 
 pub use cluster::run_simulation;
-pub use estimator::{DeadlineEstimator, EstimatorMode};
 pub use maxload::{max_load, measure_at_load, sweep_loads, LoadPoint, MaxLoadOptions};
 pub use report::{QueryTypeKey, SimReport};
 pub use request::{BudgetSplit, RequestBudgets, RequestPlanner};
@@ -68,3 +66,8 @@ pub use spec::{
     AdmissionConfig, ClassSpec, ClusterSpec, QuerySpec, RequestInput, Scenario, SimConfig,
     SimInput, Slowdown,
 };
+pub use tailguard_sched::{DeadlineEstimator, EstimatorMode};
+
+/// The runtime-agnostic scheduling core ([`tailguard_sched`]) this
+/// simulator drives; also driven by the tokio testbed.
+pub use tailguard_sched as sched;

@@ -7,17 +7,10 @@ use tailguard_metrics::{LatencyReservoir, LoadStats};
 use tailguard_policy::Policy;
 use tailguard_simcore::{SimDuration, SimTime};
 
-/// A query *type*: the paper measures tail latency separately per
-/// `(class, fanout)` pair, because meeting the SLO "for queries as a whole
-/// does not guarantee that queries of individual types can meet" it
-/// (§IV.B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct QueryTypeKey {
-    /// Service class index.
-    pub class: u8,
-    /// Query fanout.
-    pub fanout: u32,
-}
+// The per-type key lives in the shared scheduling core (which does the
+// per-type accounting); re-exported so `tailguard::QueryTypeKey` keeps
+// working.
+pub use tailguard_sched::QueryTypeKey;
 
 /// Everything measured during one simulation run.
 #[derive(Debug)]

@@ -2,141 +2,16 @@
 
 use std::fmt;
 use std::sync::Arc;
-use tailguard_dist::{Distribution, DynDistribution};
 use tailguard_policy::Policy;
+use tailguard_sched::EstimatorMode;
 use tailguard_simcore::{SimDuration, SimRng, SimTime};
 use tailguard_workload::{ArrivalProcess, QueryMix, Trace};
 
-use crate::estimator::EstimatorMode;
-
-/// A service class: a tail-latency SLO at a percentile.
-///
-/// The paper expresses SLOs as "the `p`-th percentile query latency must not
-/// exceed `x_p^SLO`"; the evaluation uses `p = 99` throughout.
-///
-/// # Example
-///
-/// ```
-/// use tailguard::ClassSpec;
-/// use tailguard_simcore::SimDuration;
-///
-/// let class = ClassSpec::p99(SimDuration::from_millis_f64(1.0));
-/// assert_eq!(class.percentile, 0.99);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ClassSpec {
-    /// The tail latency SLO `x_p^SLO`.
-    pub slo: SimDuration,
-    /// The percentile `p` as a fraction in (0, 1), e.g. `0.99`.
-    pub percentile: f64,
-}
-
-impl ClassSpec {
-    /// Creates a class SLO.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `percentile ∈ (0, 1)` and the SLO is positive.
-    pub fn new(slo: SimDuration, percentile: f64) -> Self {
-        assert!(
-            percentile > 0.0 && percentile < 1.0,
-            "percentile must lie in (0,1)"
-        );
-        assert!(!slo.is_zero(), "SLO must be positive");
-        ClassSpec { slo, percentile }
-    }
-
-    /// A 99th-percentile SLO — the paper's standard setting.
-    pub fn p99(slo: SimDuration) -> Self {
-        ClassSpec::new(slo, 0.99)
-    }
-
-    /// This class's SLO scaled by `factor` (e.g. the paper's lower class at
-    /// `1.5 × x99`).
-    pub fn scaled(&self, factor: f64) -> Self {
-        ClassSpec::new(self.slo.mul_f64(factor), self.percentile)
-    }
-}
-
-/// The task-server cluster: size and per-server unloaded service-time
-/// distributions.
-#[derive(Clone)]
-pub struct ClusterSpec {
-    servers: usize,
-    service: Vec<DynDistribution>,
-}
-
-impl fmt::Debug for ClusterSpec {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ClusterSpec")
-            .field("servers", &self.servers)
-            .field("heterogeneous", &(self.service.len() > 1))
-            .finish()
-    }
-}
-
-impl ClusterSpec {
-    /// A homogeneous cluster: `n` servers sharing one service distribution
-    /// (the paper's simulation setting, §IV.A).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `n` is zero.
-    pub fn homogeneous(n: usize, service: impl Distribution + 'static) -> Self {
-        assert!(n > 0, "cluster needs at least one server");
-        ClusterSpec {
-            servers: n,
-            service: vec![Arc::new(service)],
-        }
-    }
-
-    /// A heterogeneous cluster with one distribution per server (the SaS
-    /// testbed setting, §IV.E).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `dists` is empty.
-    pub fn heterogeneous(dists: Vec<DynDistribution>) -> Self {
-        assert!(!dists.is_empty(), "cluster needs at least one server");
-        ClusterSpec {
-            servers: dists.len(),
-            service: dists,
-        }
-    }
-
-    /// Number of task servers `N`.
-    pub fn servers(&self) -> usize {
-        self.servers
-    }
-
-    /// The service distribution of server `i`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `i >= servers()`.
-    pub fn service_of(&self, i: usize) -> &DynDistribution {
-        assert!(i < self.servers, "server index out of range");
-        if self.service.len() == 1 {
-            &self.service[0]
-        } else {
-            &self.service[i]
-        }
-    }
-
-    /// True when all servers share one distribution.
-    pub fn is_homogeneous(&self) -> bool {
-        self.service.len() == 1
-    }
-
-    /// Mean task service time averaged over servers, in ms.
-    pub fn mean_service_ms(&self) -> f64 {
-        if self.service.len() == 1 {
-            self.service[0].mean()
-        } else {
-            self.service.iter().map(|d| d.mean()).sum::<f64>() / self.service.len() as f64
-        }
-    }
-}
+// Service classes, clusters, and admission control moved into the shared
+// scheduling core so the simulator and the testbed configure the same
+// `QueryHandler`; re-exported here to keep `tailguard::ClassSpec` et al.
+// working.
+pub use tailguard_sched::{AdmissionConfig, ClassSpec, ClusterSpec};
 
 /// One query inside a request: class, fanout and optional pre-computed
 /// placement / budget.
@@ -260,74 +135,6 @@ impl Slowdown {
             servers,
             factor,
         }
-    }
-}
-
-/// Query admission control parameters (§III.C).
-///
-/// The paper: "The query handler can update the task deadline violation
-/// ratio in a given moving time window. When the ratio exceeds R_th,
-/// upcoming queries are rejected, till the ratio falls back below R_th
-/// again. The moving time window can be set to be the same as the time
-/// window in which the tail latency SLOs should be guaranteed."
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AdmissionConfig {
-    /// Moving *time* window over task-dequeue outcomes (the paper sizes it
-    /// as 1 000 queries' worth of time for the Masstree OLDI case).
-    pub window: SimDuration,
-    /// Deadline-violation ratio threshold `R_th` above which new queries
-    /// are rejected (the paper finds 1.7 % at the maximum acceptable load).
-    pub threshold: f64,
-    /// Minimum dequeue events inside the window before the controller may
-    /// reject (guards against noise right after start-up or idle spells).
-    pub min_samples: usize,
-    /// Hysteresis: once rejecting, admission resumes only when the ratio
-    /// falls below `resume_threshold` (≤ `threshold`), letting the backlog
-    /// drain before new load is accepted. Defaults to `threshold` (no
-    /// hysteresis).
-    pub resume_threshold: f64,
-}
-
-impl AdmissionConfig {
-    /// Creates an admission-control configuration with a default
-    /// `min_samples` of 50.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the window is positive and the threshold lies in
-    /// `(0, 1)`.
-    pub fn new(window: SimDuration, threshold: f64) -> Self {
-        assert!(!window.is_zero(), "window must be positive");
-        assert!(
-            threshold > 0.0 && threshold < 1.0,
-            "threshold must lie in (0,1)"
-        );
-        AdmissionConfig {
-            window,
-            threshold,
-            min_samples: 50,
-            resume_threshold: threshold,
-        }
-    }
-
-    /// Overrides the minimum sample count (builder-style).
-    pub fn with_min_samples(mut self, min_samples: usize) -> Self {
-        self.min_samples = min_samples;
-        self
-    }
-
-    /// Enables hysteresis (builder-style).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < resume_threshold <= threshold`.
-    pub fn with_resume_threshold(mut self, resume_threshold: f64) -> Self {
-        assert!(
-            resume_threshold > 0.0 && resume_threshold <= self.threshold,
-            "resume threshold must lie in (0, threshold]"
-        );
-        self.resume_threshold = resume_threshold;
-        self
     }
 }
 
@@ -514,47 +321,6 @@ mod tests {
     use tailguard_workload::FanoutDist;
 
     #[test]
-    fn class_spec_validation() {
-        let c = ClassSpec::p99(SimDuration::from_millis(1));
-        assert_eq!(c.percentile, 0.99);
-        let low = c.scaled(1.5);
-        assert_eq!(low.slo, SimDuration::from_micros(1500));
-    }
-
-    #[test]
-    #[should_panic(expected = "percentile must lie in (0,1)")]
-    fn class_spec_rejects_bad_percentile() {
-        let _ = ClassSpec::new(SimDuration::from_millis(1), 1.0);
-    }
-
-    #[test]
-    fn homogeneous_cluster_shares_distribution() {
-        let c = ClusterSpec::homogeneous(10, Deterministic::new(0.5));
-        assert_eq!(c.servers(), 10);
-        assert!(c.is_homogeneous());
-        assert_eq!(c.mean_service_ms(), 0.5);
-        assert_eq!(c.service_of(9).mean(), 0.5);
-    }
-
-    #[test]
-    fn heterogeneous_cluster_per_server() {
-        let c = ClusterSpec::heterogeneous(vec![
-            Arc::new(Deterministic::new(1.0)) as DynDistribution,
-            Arc::new(Deterministic::new(3.0)),
-        ]);
-        assert!(!c.is_homogeneous());
-        assert_eq!(c.mean_service_ms(), 2.0);
-        assert_eq!(c.service_of(1).mean(), 3.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "server index out of range")]
-    fn service_of_bounds() {
-        let c = ClusterSpec::homogeneous(2, Deterministic::new(1.0));
-        let _ = c.service_of(2);
-    }
-
-    #[test]
     fn scenario_rate_for_load() {
         let scenario = Scenario {
             label: "t".into(),
@@ -622,19 +388,6 @@ mod tests {
         assert_eq!(input.len(), 50);
         assert_eq!(input.query_count(), 50);
         assert_eq!(input.requests[0].queries[0].fanout, 3);
-    }
-
-    #[test]
-    fn admission_config_validation() {
-        let a = AdmissionConfig::new(SimDuration::from_millis(10), 0.017).with_min_samples(10);
-        assert_eq!(a.window, SimDuration::from_millis(10));
-        assert_eq!(a.min_samples, 10);
-    }
-
-    #[test]
-    #[should_panic(expected = "threshold must lie in (0,1)")]
-    fn admission_rejects_bad_threshold() {
-        let _ = AdmissionConfig::new(SimDuration::from_millis(10), 1.5);
     }
 
     #[test]

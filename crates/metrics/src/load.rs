@@ -152,6 +152,11 @@ impl LoadStats {
         self.tasks_completed
     }
 
+    /// Completed tasks that missed their queuing deadline.
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.deadline_misses
+    }
+
     /// Fraction of completed tasks that missed their queuing deadline.
     pub fn deadline_miss_ratio(&self) -> f64 {
         if self.tasks_completed == 0 {
@@ -222,6 +227,8 @@ mod tests {
         ls.task_completed(false);
         ls.task_completed(false);
         assert_eq!(ls.deadline_miss_ratio(), 0.25);
+        assert_eq!(ls.deadline_miss_count(), 1);
+        assert_eq!(ls.tasks_completed_count(), 4);
     }
 
     #[test]

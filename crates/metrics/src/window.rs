@@ -12,6 +12,14 @@ use std::collections::VecDeque;
 /// Masstree OLDI case). When [`MovingRatio::ratio`] exceeds the threshold
 /// `R_th`, new queries are rejected until it falls back below.
 ///
+/// The scheduling core (`tailguard-sched`) uses this count-window form as
+/// the opt-in admission variant (`AdmissionConfig::with_count_window`);
+/// its default is the time-based `TimedRatio`. The count form carries a
+/// hazard worth knowing: under *total* rejection no new tasks are
+/// dequeued, so the window freezes at its last ratio and only recovers
+/// while backlog dequeues keep feeding it — the time window instead ages
+/// events out on its own.
+///
 /// # Example
 ///
 /// ```

@@ -28,7 +28,7 @@
 //! cost of a deadline is one hash lookup — the "lightweight" property the
 //! paper claims.
 
-use crate::spec::{ClassSpec, ClusterSpec};
+use crate::config::{ClassSpec, ClusterSpec};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tailguard_dist::{order_stats, Cdf, CdfSnapshot, DynDistribution, LogHistogram};
@@ -129,7 +129,7 @@ enum CdfSource {
 /// # Example
 ///
 /// ```
-/// use tailguard::{ClassSpec, ClusterSpec, DeadlineEstimator, EstimatorMode};
+/// use tailguard_sched::{ClassSpec, ClusterSpec, DeadlineEstimator, EstimatorMode};
 /// use tailguard_simcore::SimDuration;
 /// use tailguard_workload::TailbenchWorkload;
 ///

@@ -1,0 +1,728 @@
+//! The runtime-agnostic query-handler state machine.
+//!
+//! [`QueryHandler`] owns everything the TailGuard query handler of Fig. 2
+//! does between "a query arrives" and "its slowest task returns": deadline
+//! stamping (`t_D = t_0 + T_b`, Eq. 6) via the [`DeadlineEstimator`],
+//! per-server [`TaskQueue`]s under the configured [`Policy`], window-based
+//! admission with hysteresis (§III.C), dequeue-time deadline-miss detection
+//! feeding the admission window, fanout aggregation (slowest-task-wins),
+//! and per-class latency/load accounting.
+//!
+//! It is a pure event-driven core: every method takes `now` as an argument
+//! and the handler holds no clock, RNG, or I/O. The discrete-event
+//! simulator drives it from its event heap; the tokio testbed drives it
+//! from channel events under a real or paused clock. Drivers own what is
+//! genuinely theirs — the sim draws placements/service times and schedules
+//! `Finish` events; the testbed sends task assignments to edge-node tasks
+//! and measures real post-queuing times.
+
+use crate::admission::AdmissionController;
+use crate::config::{AdmissionConfig, ClassSpec};
+use crate::estimator::DeadlineEstimator;
+use std::collections::BTreeMap;
+use tailguard_metrics::{LatencyReservoir, LoadStats};
+use tailguard_policy::{DeadlineRule, Policy, QueuedTask, ServiceClass, TaskQueue};
+use tailguard_simcore::{SimDuration, SimTime};
+
+/// Handler-local query identifier, assigned sequentially from 0.
+pub type QueryId = u32;
+
+/// Handler-local task identifier, assigned sequentially from 0 across all
+/// queries (fanout tasks of one query get consecutive ids in target order).
+pub type TaskId = u32;
+
+/// A query *type*: the paper measures tail latency separately per
+/// `(class, fanout)` pair, because meeting the SLO "for queries as a whole
+/// does not guarantee that queries of individual types can meet" it
+/// (§IV.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryTypeKey {
+    /// Service class index.
+    pub class: u8,
+    /// Query fanout.
+    pub fanout: u32,
+}
+
+/// One query arrival, as the driver presents it to the handler.
+///
+/// Placement (and, for the simulator, pre-drawn service times) stay with
+/// the driver: the handler never touches an RNG.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryArrival<'a> {
+    /// Service class index.
+    pub class: u8,
+    /// Target servers, one per task (`len()` = fanout `k_f`).
+    pub targets: &'a [u32],
+    /// Optional per-task size hints aligned with `targets` — the simulator
+    /// passes its pre-drawn service times so size-aware policies (SJF) can
+    /// order on them; the testbed has no oracle and passes `None`.
+    pub sizes: Option<&'a [SimDuration]>,
+    /// Overrides the estimator-derived pre-dequeuing budget `T_b` (request
+    /// decomposition, Eq. 7).
+    pub budget_override: Option<SimDuration>,
+    /// Per-task budget overrides aligned with `targets` (footnote-4
+    /// ablation). Takes precedence over `budget_override`.
+    pub task_budgets: Option<&'a [SimDuration]>,
+    /// Whether this query's latencies count toward the report (false during
+    /// the simulator's warm-up prefix).
+    pub record: bool,
+}
+
+/// The admission verdict for one query arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// The query was admitted and its tasks enqueued; tasks that landed on
+    /// idle servers were started immediately (reported via the `started`
+    /// out-parameter of [`QueryHandler::on_query_arrival`]).
+    Admitted {
+        /// The id assigned to the admitted query.
+        query: QueryId,
+    },
+    /// The query was rejected by admission control; no state was created.
+    Rejected,
+}
+
+/// A task entering service on a server — the driver's cue to begin the
+/// actual work (schedule a `Finish` event; send the node an assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchedTask {
+    /// The task now in service.
+    pub task: TaskId,
+    /// The server serving it.
+    pub server: u32,
+}
+
+/// A fully aggregated query (its slowest task just completed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryDone {
+    /// The completed query.
+    pub query: QueryId,
+    /// Its service class.
+    pub class: u8,
+    /// Its fanout.
+    pub fanout: u32,
+    /// Arrival-to-last-task latency.
+    pub latency: SimDuration,
+    /// Whether the latency was recorded into the handler's reservoirs.
+    pub recorded: bool,
+}
+
+/// Everything that follows from one task completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCompletion {
+    /// The freed server's next task, if its queue was non-empty (work
+    /// conservation: popped *before* any successor query is issued).
+    pub next: Option<DispatchedTask>,
+    /// The completed query, when this was its last outstanding task.
+    pub done: Option<QueryDone>,
+}
+
+/// Measurements the handler accumulates; extracted with
+/// [`QueryHandler::into_stats`] when the run completes.
+#[derive(Debug)]
+pub struct SchedStats {
+    /// Query latencies per class (recorded queries only).
+    pub query_latency_by_class: BTreeMap<u8, LatencyReservoir>,
+    /// Query latencies per `(class, fanout)` type (recorded queries only).
+    pub query_latency_by_type: BTreeMap<QueryTypeKey, LatencyReservoir>,
+    /// Task pre-dequeuing times (queuing delay before entering service).
+    pub pre_dequeue: LatencyReservoir,
+    /// Load accounting (busy time, accepted/rejected work, miss counts).
+    pub load: LoadStats,
+    /// Executed service time per server.
+    pub busy_by_server: Vec<SimDuration>,
+    /// Queries completed with `record` set.
+    pub completed_queries: u64,
+    /// Queries rejected by admission control.
+    pub rejected_queries: u64,
+    /// Admission reject→admit transitions (rejection *stopped* after the
+    /// window recovered or drained).
+    pub admission_resumes: u64,
+}
+
+struct TaskMeta {
+    query: QueryId,
+    server: u32,
+}
+
+struct QueryMeta {
+    class: u8,
+    fanout: u32,
+    started_at: SimTime,
+    outstanding: u32,
+    record: bool,
+}
+
+struct ServerSlot {
+    queue: Box<dyn TaskQueue>,
+    in_service: Option<TaskId>,
+}
+
+/// The TailGuard scheduling core shared by the simulator and the testbed.
+///
+/// # Example
+///
+/// A driver is three calls: present arrivals, start the dispatched tasks,
+/// report completions.
+///
+/// ```
+/// use tailguard_policy::Policy;
+/// use tailguard_sched::{
+///     AdmitDecision, ClassSpec, ClusterSpec, DeadlineEstimator, EstimatorMode, QueryArrival,
+///     QueryHandler,
+/// };
+/// use tailguard_dist::Deterministic;
+/// use tailguard_simcore::{SimDuration, SimTime};
+///
+/// let cluster = ClusterSpec::homogeneous(2, Deterministic::new(1.0));
+/// let classes = vec![ClassSpec::p99(SimDuration::from_millis(10))];
+/// let estimator = DeadlineEstimator::new(&cluster, classes.clone(), EstimatorMode::Analytic);
+/// let mut handler = QueryHandler::new(Policy::TfEdf, classes, 2, estimator, None);
+///
+/// let mut started = Vec::new();
+/// let decision = handler.on_query_arrival(
+///     SimTime::ZERO,
+///     QueryArrival {
+///         class: 0,
+///         targets: &[0, 1],
+///         sizes: None,
+///         budget_override: None,
+///         task_budgets: None,
+///         record: true,
+///     },
+///     &mut started,
+/// );
+/// assert!(matches!(decision, AdmitDecision::Admitted { .. }));
+/// assert_eq!(started.len(), 2); // both servers were idle
+///
+/// // The slowest task completes the query.
+/// let ms = SimDuration::from_millis(1);
+/// let first = handler.on_task_complete(SimTime::ZERO + ms, started[0].task, ms);
+/// assert!(first.done.is_none());
+/// let last = handler.on_task_complete(SimTime::ZERO + ms, started[1].task, ms);
+/// assert_eq!(last.done.expect("query aggregated").latency, ms);
+/// ```
+pub struct QueryHandler {
+    policy: Policy,
+    classes: Vec<ClassSpec>,
+    estimator: DeadlineEstimator,
+    servers: Vec<ServerSlot>,
+    tasks: Vec<TaskMeta>,
+    queries: Vec<QueryMeta>,
+    admission: Option<AdmissionController>,
+    stats: SchedStats,
+}
+
+impl std::fmt::Debug for QueryHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandler")
+            .field("policy", &self.policy)
+            .field("servers", &self.servers.len())
+            .field("queries", &self.queries.len())
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl QueryHandler {
+    /// Creates a handler for `servers` task servers under `policy`.
+    ///
+    /// The estimator is built by the driver (the simulator seeds it from
+    /// analytic CDFs or an offline RNG pass; the testbed calibrates it with
+    /// live probes) and handed over here; from then on the handler feeds it
+    /// observed post-queuing times (§III.B.2's online updating process).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes` is empty or `servers` is zero.
+    pub fn new(
+        policy: Policy,
+        classes: Vec<ClassSpec>,
+        servers: usize,
+        estimator: DeadlineEstimator,
+        admission: Option<AdmissionConfig>,
+    ) -> Self {
+        assert!(!classes.is_empty(), "need at least one class");
+        QueryHandler {
+            policy,
+            classes,
+            estimator,
+            servers: (0..servers)
+                .map(|_| ServerSlot {
+                    queue: policy.new_queue(),
+                    in_service: None,
+                })
+                .collect(),
+            tasks: Vec::new(),
+            queries: Vec::new(),
+            admission: admission.map(AdmissionController::new),
+            stats: SchedStats {
+                query_latency_by_class: BTreeMap::new(),
+                query_latency_by_type: BTreeMap::new(),
+                pre_dequeue: LatencyReservoir::new(),
+                load: LoadStats::new(servers),
+                busy_by_server: vec![SimDuration::ZERO; servers],
+                completed_queries: 0,
+                rejected_queries: 0,
+                admission_resumes: 0,
+            },
+        }
+    }
+
+    /// Handles one query arrival at `now`: admission (§III.C), deadline
+    /// stamping (Eq. 6), and task enqueue/dispatch.
+    ///
+    /// Tasks landing on idle servers enter service immediately and are
+    /// appended to `started` (cleared first; reusing one buffer across calls
+    /// keeps the hot path allocation-free) in target order — the driver must
+    /// begin their actual work. On rejection no state is created and the
+    /// query's would-be work (from `sizes`, if given) is accounted as
+    /// rejected load.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range, a target server index is out of
+    /// range, or `sizes`/`task_budgets` lengths disagree with `targets`.
+    pub fn on_query_arrival(
+        &mut self,
+        now: SimTime,
+        arrival: QueryArrival<'_>,
+        started: &mut Vec<DispatchedTask>,
+    ) -> AdmitDecision {
+        started.clear();
+        assert!(
+            (arrival.class as usize) < self.classes.len(),
+            "query class {} out of range",
+            arrival.class
+        );
+        if let Some(sizes) = arrival.sizes {
+            assert_eq!(
+                sizes.len(),
+                arrival.targets.len(),
+                "size hint count must equal fanout"
+            );
+        }
+        self.stats.load.query_offered();
+
+        if self.admission_rejects(now) {
+            self.stats.rejected_queries += 1;
+            if let Some(sizes) = arrival.sizes {
+                for &svc in sizes {
+                    self.stats.load.record_rejected_work(svc);
+                }
+            }
+            return AdmitDecision::Rejected;
+        }
+        self.stats.load.query_accepted();
+
+        // Eq. 6 (or the baseline's rule): the shared queuing deadline.
+        let fanout = arrival.targets.len() as u32;
+        let budget = match arrival.budget_override {
+            Some(b) => b,
+            None => match self.policy.deadline_rule() {
+                DeadlineRule::SloOnly => self.classes[arrival.class as usize].slo,
+                // FIFO/PRIQ ignore deadlines for ordering; we still stamp
+                // the TailGuard deadline so miss accounting is comparable.
+                DeadlineRule::SloAndFanout | DeadlineRule::Unused => {
+                    self.estimator
+                        .budget(arrival.class, fanout, arrival.targets)
+                }
+            },
+        };
+        let deadline = now + budget;
+        if let Some(tb) = arrival.task_budgets {
+            assert_eq!(
+                tb.len(),
+                arrival.targets.len(),
+                "task budget count must equal fanout"
+            );
+        }
+
+        let query = self.queries.len() as QueryId;
+        self.queries.push(QueryMeta {
+            class: arrival.class,
+            fanout,
+            started_at: now,
+            outstanding: fanout,
+            record: arrival.record,
+        });
+
+        for (idx, &server) in arrival.targets.iter().enumerate() {
+            let task = self.tasks.len() as TaskId;
+            self.tasks.push(TaskMeta { query, server });
+            self.stats.load.task_dispatched();
+            // Footnote-4 ablation hook: per-task deadlines when provided.
+            let task_deadline = match arrival.task_budgets {
+                Some(tb) => now + tb[idx],
+                None => deadline,
+            };
+            let mut entry = QueuedTask::new(
+                u64::from(task),
+                ServiceClass(arrival.class),
+                task_deadline,
+                now,
+            );
+            if let Some(sizes) = arrival.sizes {
+                entry = entry.with_size_hint(sizes[idx]);
+            }
+            if self.servers[server as usize].in_service.is_none() {
+                // Idle server: immediate dequeue, by definition on time.
+                let dispatched = self.start(now, server, entry);
+                started.push(dispatched);
+            } else {
+                self.servers[server as usize].queue.push(entry);
+            }
+        }
+        AdmitDecision::Admitted { query }
+    }
+
+    /// Handles the completion of `task` at `now`, where `busy` is the
+    /// service time the server actually spent on it (the simulator's drawn
+    /// service; the testbed's measured dispatch→result time).
+    ///
+    /// In order: busy/estimator accounting, work conservation (the freed
+    /// server pulls its next task — reported in
+    /// [`TaskCompletion::next`] *before* any successor work, so a chained
+    /// query cannot jump the queue), then fanout aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `task` is unknown; debug-asserts it is the task in
+    /// service at its server.
+    pub fn on_task_complete(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        busy: SimDuration,
+    ) -> TaskCompletion {
+        let TaskMeta { query, server } = self.tasks[task as usize];
+        debug_assert_eq!(
+            self.servers[server as usize].in_service,
+            Some(task),
+            "completion implies the task is in service at its server"
+        );
+        self.stats.load.record_busy(busy);
+        self.stats.busy_by_server[server as usize] += busy;
+        // Online updating process (§III.B.2): the handler learns the
+        // server's post-queuing time distribution from returned results.
+        self.estimator.record_post_queuing(server as usize, busy);
+
+        let next = self.on_server_free(now, server);
+        let done = self.aggregate(now, query);
+        TaskCompletion { next, done }
+    }
+
+    /// Releases `server` and pulls its next queued task into service, if
+    /// any. [`QueryHandler::on_task_complete`] calls this internally;
+    /// drivers only need it when a server frees up without completing a
+    /// task (e.g. a cancelled assignment).
+    pub fn on_server_free(&mut self, now: SimTime, server: u32) -> Option<DispatchedTask> {
+        self.servers[server as usize].in_service = None;
+        let entry = self.servers[server as usize].queue.pop()?;
+        Some(self.start(now, server, entry))
+    }
+
+    /// Dequeues `entry` into service on `server`: miss detection at dequeue
+    /// time (`t_dequeue > t_D`), window/load accounting, pre-dequeue wait
+    /// recording.
+    fn start(&mut self, now: SimTime, server: u32, entry: QueuedTask) -> DispatchedTask {
+        let missed = now > entry.deadline;
+        self.stats.load.task_completed(missed);
+        if let Some(adm) = &mut self.admission {
+            adm.record(now, missed);
+        }
+        let waited = now.saturating_since(entry.enqueued_at);
+        let task = entry.task_id as TaskId;
+        let query = self.tasks[task as usize].query;
+        if self.queries[query as usize].record {
+            self.stats.pre_dequeue.record(waited);
+        }
+        self.servers[server as usize].in_service = Some(task);
+        DispatchedTask { task, server }
+    }
+
+    fn aggregate(&mut self, now: SimTime, query: QueryId) -> Option<QueryDone> {
+        let meta = &mut self.queries[query as usize];
+        meta.outstanding -= 1;
+        if meta.outstanding > 0 {
+            return None;
+        }
+        let latency = now.saturating_since(meta.started_at);
+        let (class, fanout, recorded) = (meta.class, meta.fanout, meta.record);
+        if recorded {
+            self.stats
+                .query_latency_by_class
+                .entry(class)
+                .or_default()
+                .record(latency);
+            self.stats
+                .query_latency_by_type
+                .entry(QueryTypeKey { class, fanout })
+                .or_default()
+                .record(latency);
+            self.stats.completed_queries += 1;
+        }
+        Some(QueryDone {
+            query,
+            class,
+            fanout,
+            latency,
+            recorded,
+        })
+    }
+
+    fn admission_rejects(&mut self, now: SimTime) -> bool {
+        match &mut self.admission {
+            Some(adm) => {
+                let rejects = adm.rejects(now);
+                self.stats.admission_resumes = adm.resumes();
+                rejects
+            }
+            None => false,
+        }
+    }
+
+    /// The task currently in service at `server`, if any.
+    pub fn task_in_service(&self, server: u32) -> Option<TaskId> {
+        self.servers[server as usize].in_service
+    }
+
+    /// Total tasks created so far (task ids are `0..task_count()`).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total queries admitted so far (query ids are `0..query_count()`).
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The accumulated measurements, live.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// The class table.
+    pub fn classes(&self) -> &[ClassSpec] {
+        &self.classes
+    }
+
+    /// The policy the per-server queues run.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The deadline estimator (e.g. to inspect cache statistics).
+    pub fn estimator(&self) -> &DeadlineEstimator {
+        &self.estimator
+    }
+
+    /// Consumes the handler, returning its measurements.
+    pub fn into_stats(self) -> SchedStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterSpec;
+    use crate::estimator::EstimatorMode;
+    use tailguard_dist::Deterministic;
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis_f64(v)
+    }
+
+    fn handler(n: usize, policy: Policy, admission: Option<AdmissionConfig>) -> QueryHandler {
+        let cluster = ClusterSpec::homogeneous(n, Deterministic::new(1.0));
+        let classes = vec![ClassSpec::p99(ms(10.0))];
+        let estimator = DeadlineEstimator::new(&cluster, classes.clone(), EstimatorMode::Analytic);
+        QueryHandler::new(policy, classes, n, estimator, admission)
+    }
+
+    fn arrival<'a>(targets: &'a [u32], record: bool) -> QueryArrival<'a> {
+        QueryArrival {
+            class: 0,
+            targets,
+            sizes: None,
+            budget_override: None,
+            task_budgets: None,
+            record,
+        }
+    }
+
+    #[test]
+    fn idle_servers_start_immediately_in_target_order() {
+        let mut h = handler(3, Policy::TfEdf, None);
+        let mut started = Vec::new();
+        let d = h.on_query_arrival(SimTime::ZERO, arrival(&[2, 0], true), &mut started);
+        assert_eq!(d, AdmitDecision::Admitted { query: 0 });
+        assert_eq!(
+            started,
+            vec![
+                DispatchedTask { task: 0, server: 2 },
+                DispatchedTask { task: 1, server: 0 }
+            ]
+        );
+        assert_eq!(h.task_in_service(2), Some(0));
+        assert_eq!(h.task_in_service(1), None);
+    }
+
+    #[test]
+    fn busy_server_queues_then_work_conserves() {
+        let mut h = handler(1, Policy::Fifo, None);
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        assert_eq!(started.len(), 1);
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        assert!(started.is_empty(), "server busy: task must queue");
+
+        let done = h.on_task_complete(SimTime::from_millis(3), 0, ms(3.0));
+        // Work conservation: the queued task enters service...
+        assert_eq!(done.next, Some(DispatchedTask { task: 1, server: 0 }));
+        // ...and the first query aggregates.
+        let q = done.done.expect("fanout-1 query done");
+        assert_eq!(q.query, 0);
+        assert_eq!(q.latency, ms(3.0));
+        // The second task waited 3ms in queue.
+        assert_eq!(h.stats().pre_dequeue.clone().percentile(1.0), ms(3.0));
+    }
+
+    #[test]
+    fn aggregation_is_slowest_task_wins() {
+        let mut h = handler(2, Policy::TfEdf, None);
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0, 1], true), &mut started);
+        let first = h.on_task_complete(SimTime::from_millis(1), started[0].task, ms(1.0));
+        assert!(first.done.is_none(), "one task still outstanding");
+        let last = h.on_task_complete(SimTime::from_millis(7), started[1].task, ms(7.0));
+        let q = last.done.expect("all tasks returned");
+        assert_eq!(q.latency, ms(7.0), "query latency = slowest task");
+        assert_eq!(h.stats().completed_queries, 1);
+    }
+
+    #[test]
+    fn unrecorded_queries_complete_without_counting() {
+        let mut h = handler(1, Policy::Fifo, None);
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], false), &mut started);
+        let done = h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0));
+        let q = done.done.expect("aggregates regardless");
+        assert!(!q.recorded);
+        assert_eq!(h.stats().completed_queries, 0);
+        assert!(h.stats().query_latency_by_class.is_empty());
+        assert_eq!(h.stats().pre_dequeue.len(), 0);
+    }
+
+    #[test]
+    fn admission_rejects_and_accounts_rejected_work() {
+        let adm = AdmissionConfig::new(ms(100.0), 0.1).with_min_samples(1);
+        let mut h = handler(1, Policy::TfEdf, Some(adm));
+        let mut started = Vec::new();
+        // Occupy the server, then queue a query with an already-expired
+        // deadline: its dequeue at t=1ms is a detected miss.
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        h.on_query_arrival(
+            SimTime::ZERO,
+            QueryArrival {
+                budget_override: Some(SimDuration::ZERO),
+                ..arrival(&[0], true)
+            },
+            &mut started,
+        );
+        let next = h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0)).next;
+        assert_eq!(next, Some(DispatchedTask { task: 1, server: 0 }));
+
+        // Miss ratio 1/2 > 0.1 → the next arrival is rejected.
+        let sizes = [ms(4.0)];
+        let d = h.on_query_arrival(
+            SimTime::from_millis(1),
+            QueryArrival {
+                sizes: Some(&sizes),
+                ..arrival(&[0], true)
+            },
+            &mut started,
+        );
+        assert_eq!(d, AdmitDecision::Rejected);
+        assert!(started.is_empty());
+        assert_eq!(h.stats().rejected_queries, 1);
+        assert_eq!(h.stats().load.queries_rejected_count(), 1);
+        assert!(h.stats().load.rejected_load(SimTime::from_millis(100)) > 0.0);
+        assert_eq!(h.query_count(), 2, "rejected query creates no state");
+    }
+
+    #[test]
+    fn busy_and_estimator_accounting_per_server() {
+        let mut h = handler(2, Policy::TfEdf, None);
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[1], true), &mut started);
+        h.on_task_complete(SimTime::from_millis(5), 0, ms(5.0));
+        assert_eq!(h.stats().busy_by_server[0], SimDuration::ZERO);
+        assert_eq!(h.stats().busy_by_server[1], ms(5.0));
+        assert_eq!(h.stats().load.tasks_completed_count(), 1);
+    }
+
+    #[test]
+    fn sjf_orders_queue_by_size_hint() {
+        let mut h = handler(1, Policy::Sjf, None);
+        let mut started = Vec::new();
+        // Occupy the server, then queue a long and a short task.
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let long = [ms(9.0)];
+        let short = [ms(2.0)];
+        h.on_query_arrival(
+            SimTime::ZERO,
+            QueryArrival {
+                sizes: Some(&long),
+                ..arrival(&[0], true)
+            },
+            &mut started,
+        );
+        h.on_query_arrival(
+            SimTime::ZERO,
+            QueryArrival {
+                sizes: Some(&short),
+                ..arrival(&[0], true)
+            },
+            &mut started,
+        );
+        let next = h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0)).next;
+        assert_eq!(
+            next,
+            Some(DispatchedTask { task: 2, server: 0 }),
+            "SJF must pick the short task first"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "query class 3 out of range")]
+    fn class_out_of_range_panics() {
+        let mut h = handler(1, Policy::Fifo, None);
+        let mut started = Vec::new();
+        h.on_query_arrival(
+            SimTime::ZERO,
+            QueryArrival {
+                class: 3,
+                ..arrival(&[0], true)
+            },
+            &mut started,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "task budget count must equal fanout")]
+    fn task_budget_mismatch_panics() {
+        let mut h = handler(2, Policy::TfEdf, None);
+        let mut started = Vec::new();
+        let budgets = [ms(1.0)];
+        h.on_query_arrival(
+            SimTime::ZERO,
+            QueryArrival {
+                task_budgets: Some(&budgets),
+                ..arrival(&[0, 1], true)
+            },
+            &mut started,
+        );
+    }
+}

@@ -1,12 +1,21 @@
-//! The query handler: central queuing, deadline stamping, dispatch,
-//! aggregation, and admission control.
+//! The query handler: a tokio driver over the shared scheduling core.
+//!
+//! Deadline stamping, per-node queuing, admission control, dequeue-time
+//! miss detection, and fanout aggregation all live in
+//! [`tailguard_sched::QueryHandler`] — the same state machine the
+//! discrete-event simulator drives. This module owns only what is
+//! genuinely testbed: the channel event loop, wall-clock timestamps, the
+//! per-task record ranges sent to edge nodes, and the sensing aggregates
+//! (records, temperature, humidity).
 
 use crate::node::{TaskAssignment, TaskResult};
 use std::collections::BTreeMap;
-use tailguard::AdmissionConfig;
-use tailguard::DeadlineEstimator;
-use tailguard_metrics::{LatencyReservoir, TimedRatio};
-use tailguard_policy::{DeadlineRule, Policy, QueuedTask, ServiceClass, TaskQueue};
+use tailguard_metrics::LatencyReservoir;
+use tailguard_policy::Policy;
+use tailguard_sched::{
+    AdmissionConfig, AdmitDecision, ClassSpec, DeadlineEstimator, DispatchedTask, QueryArrival,
+    QueryHandler, TaskCompletion,
+};
 use tailguard_simcore::{SimDuration, SimTime};
 use tokio::sync::mpsc;
 use tokio::time::Instant;
@@ -33,6 +42,7 @@ pub(crate) struct HandlerOutput {
     pub rejected_queries: u64,
     pub tasks_dequeued: u64,
     pub deadline_misses: u64,
+    pub admission_resumes: u64,
     pub records_retrieved: u64,
     /// Sum of per-task mean temperatures — the aggregator's running merge
     /// (used to report a fleet-wide mean reading).
@@ -41,20 +51,9 @@ pub(crate) struct HandlerOutput {
     pub task_results: u64,
 }
 
-struct TaskInfo {
-    query: u32,
-    dispatched: Option<Instant>,
-}
-
-struct QueryInfo {
-    class: u8,
-    arrived: Instant,
-    outstanding: u32,
-}
-
 pub(crate) struct HandlerConfig {
     pub policy: Policy,
-    pub scaled_slos: Vec<SimDuration>, // per class, wall-scaled
+    pub scaled_classes: Vec<ClassSpec>, // per class, wall-scaled SLOs
     pub admission: Option<AdmissionConfig>, // window in the scaled domain
     pub expected_queries: u64,
 }
@@ -68,41 +67,42 @@ pub(crate) struct HandlerConfig {
 /// wall-clock millisecond domain.
 pub(crate) async fn query_handler(
     cfg: HandlerConfig,
-    mut estimator: DeadlineEstimator,
+    estimator: DeadlineEstimator,
     mut queries: mpsc::UnboundedReceiver<IncomingQuery>,
     mut results: mpsc::UnboundedReceiver<TaskResult>,
     node_txs: Vec<mpsc::UnboundedSender<TaskAssignment>>,
 ) -> HandlerOutput {
     let n = node_txs.len();
-    let mut node_queues: Vec<Box<dyn TaskQueue>> = (0..n).map(|_| cfg.policy.new_queue()).collect();
-    let mut node_busy: Vec<bool> = vec![false; n];
-    let mut tasks: Vec<TaskInfo> = Vec::new();
+    let mut core = QueryHandler::new(
+        cfg.policy,
+        cfg.scaled_classes.clone(),
+        n,
+        estimator,
+        cfg.admission,
+    );
+    // Driver-side per-task state, indexed by the core's sequential task id:
+    // what to fetch, and when the node started on it.
     let mut task_ranges: Vec<(u32, u32)> = Vec::new();
-    let mut queries_info: Vec<QueryInfo> = Vec::new();
-    let mut admission_window = cfg.admission.map(|a| TimedRatio::new(a.window));
+    let mut dispatched_at: Vec<Option<Instant>> = Vec::new();
+    let mut started: Vec<DispatchedTask> = Vec::new();
 
     let epoch = Instant::now();
-    let mut out = HandlerOutput {
-        latency_by_class: BTreeMap::new(),
-        post_queuing_by_node: (0..n).map(|_| LatencyReservoir::new()).collect(),
-        busy_by_node: vec![SimDuration::ZERO; n],
-        elapsed: SimDuration::ZERO,
-        completed_queries: 0,
-        rejected_queries: 0,
-        tasks_dequeued: 0,
-        deadline_misses: 0,
-        records_retrieved: 0,
-        temperature_sum: 0.0,
-        humidity_sum: 0.0,
-        task_results: 0,
-    };
+    let mut post_queuing_by_node: Vec<LatencyReservoir> =
+        (0..n).map(|_| LatencyReservoir::new()).collect();
+    let mut records_retrieved = 0u64;
+    let mut temperature_sum = 0.0f64;
+    let mut humidity_sum = 0.0f64;
+    let mut task_results = 0u64;
 
     let to_sim =
         |i: Instant| -> SimTime { SimTime::from_nanos(i.duration_since(epoch).as_nanos() as u64) };
 
     loop {
-        if out.completed_queries + out.rejected_queries >= cfg.expected_queries {
-            break;
+        {
+            let stats = core.stats();
+            if stats.completed_queries + stats.rejected_queries >= cfg.expected_queries {
+                break;
+            }
         }
         // Biased two-way select, hand-rolled at the poll level: node
         // results are always drained before new queries (completions free
@@ -131,43 +131,90 @@ pub(crate) async fn query_handler(
         .await;
         match event {
             HandlerEvent::Result(result) => {
-                handle_result(
-                    result,
-                    &mut tasks,
-                    &mut queries_info,
-                    &mut node_busy,
-                    &mut node_queues,
-                    &node_txs,
-                    &task_ranges,
-                    &mut estimator,
-                    &mut admission_window,
-                    &mut out,
-                    epoch,
+                let node = result.node as usize;
+                let task = result.task_id as u32;
+                let now = Instant::now();
+                let post_queuing = SimDuration::from_nanos(
+                    now.duration_since(
+                        dispatched_at[task as usize].expect("result implies dispatch"),
+                    )
+                    .as_nanos() as u64,
                 );
+                post_queuing_by_node[node].record(post_queuing);
+                records_retrieved += result.records as u64;
+                temperature_sum += f64::from(result.mean_temperature);
+                humidity_sum += f64::from(result.mean_humidity);
+                task_results += 1;
+                // Busy accounting, estimator updates (§III.B.2), work
+                // conservation, and aggregation happen in the core.
+                let TaskCompletion { next, done: _ } =
+                    core.on_task_complete(to_sim(now), task, post_queuing);
+                if let Some(d) = next {
+                    dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                }
             }
             HandlerEvent::Query(query) => {
-                handle_query(
-                    query,
-                    &cfg,
-                    &mut estimator,
-                    &mut tasks,
-                    &mut task_ranges,
-                    &mut queries_info,
-                    &mut node_busy,
-                    &mut node_queues,
-                    &node_txs,
-                    &mut admission_window,
-                    &mut out,
-                    epoch,
+                let decision = core.on_query_arrival(
                     to_sim(Instant::now()),
+                    QueryArrival {
+                        class: query.class,
+                        targets: &query.servers,
+                        // No size oracle on a live testbed: nodes measure
+                        // their own service times.
+                        sizes: None,
+                        budget_override: None,
+                        task_budgets: None,
+                        record: true,
+                    },
+                    &mut started,
                 );
+                if let AdmitDecision::Admitted { .. } = decision {
+                    task_ranges.extend(&query.ranges);
+                    dispatched_at.resize(task_ranges.len(), None);
+                    for &d in &started {
+                        dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                    }
+                }
             }
             HandlerEvent::Closed => break, // both channels closed
         }
     }
 
-    out.elapsed = SimDuration::from_nanos(epoch.elapsed().as_nanos() as u64);
-    out
+    let elapsed = SimDuration::from_nanos(epoch.elapsed().as_nanos() as u64);
+    let stats = core.into_stats();
+    HandlerOutput {
+        latency_by_class: stats.query_latency_by_class,
+        post_queuing_by_node,
+        busy_by_node: stats.busy_by_server,
+        elapsed,
+        completed_queries: stats.completed_queries,
+        rejected_queries: stats.rejected_queries,
+        tasks_dequeued: stats.load.tasks_completed_count(),
+        deadline_misses: stats.load.deadline_miss_count(),
+        admission_resumes: stats.admission_resumes,
+        records_retrieved,
+        temperature_sum,
+        humidity_sum,
+        task_results,
+    }
+}
+
+/// Sends a task the core just moved into service to its edge node.
+fn dispatch(
+    d: DispatchedTask,
+    dispatched_at: &mut [Option<Instant>],
+    task_ranges: &[(u32, u32)],
+    node_txs: &[mpsc::UnboundedSender<TaskAssignment>],
+) {
+    dispatched_at[d.task as usize] = Some(Instant::now());
+    let (start_day, days) = task_ranges[d.task as usize];
+    // A closed node channel means shutdown is racing completion; the
+    // expected-queries accounting still terminates the loop.
+    let _ = node_txs[d.server as usize].send(TaskAssignment {
+        task_id: u64::from(d.task),
+        start_day,
+        days,
+    });
 }
 
 /// Outcome of one biased poll over the two handler input channels.
@@ -178,164 +225,4 @@ enum HandlerEvent {
     Query(IncomingQuery),
     /// Both channels closed and drained.
     Closed,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_query(
-    query: IncomingQuery,
-    cfg: &HandlerConfig,
-    estimator: &mut DeadlineEstimator,
-    tasks: &mut Vec<TaskInfo>,
-    task_ranges: &mut Vec<(u32, u32)>,
-    queries_info: &mut Vec<QueryInfo>,
-    node_busy: &mut [bool],
-    node_queues: &mut [Box<dyn TaskQueue>],
-    node_txs: &[mpsc::UnboundedSender<TaskAssignment>],
-    admission_window: &mut Option<TimedRatio>,
-    out: &mut HandlerOutput,
-    epoch: Instant,
-    now_sim: SimTime,
-) {
-    // Admission control (§III.C).
-    if let (Some(adm), Some(win)) = (cfg.admission, admission_window.as_mut()) {
-        if win.len(now_sim) >= adm.min_samples && win.ratio(now_sim) > adm.threshold {
-            out.rejected_queries += 1;
-            return;
-        }
-    }
-
-    let fanout = query.servers.len() as u32;
-    let budget = match cfg.policy.deadline_rule() {
-        DeadlineRule::SloOnly => cfg.scaled_slos[query.class as usize],
-        DeadlineRule::SloAndFanout | DeadlineRule::Unused => {
-            estimator.budget(query.class, fanout, &query.servers)
-        }
-    };
-    let deadline = now_sim + budget;
-
-    let query_id = queries_info.len() as u32;
-    queries_info.push(QueryInfo {
-        class: query.class,
-        arrived: Instant::now(),
-        outstanding: fanout,
-    });
-
-    for (&node, &range) in query.servers.iter().zip(&query.ranges) {
-        let task_id = tasks.len() as u64;
-        let _ = node; // placement recorded implicitly by the queue it joins
-        tasks.push(TaskInfo {
-            query: query_id,
-            dispatched: None,
-        });
-        task_ranges.push(range);
-        let entry = QueuedTask::new(task_id, ServiceClass(query.class), deadline, now_sim);
-        if node_busy[node as usize] {
-            node_queues[node as usize].push(entry);
-        } else {
-            dispatch(
-                entry,
-                node,
-                tasks,
-                task_ranges,
-                node_busy,
-                node_txs,
-                admission_window,
-                out,
-                epoch,
-            );
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
-    entry: QueuedTask,
-    node: u32,
-    tasks: &mut [TaskInfo],
-    task_ranges: &[(u32, u32)],
-    node_busy: &mut [bool],
-    node_txs: &[mpsc::UnboundedSender<TaskAssignment>],
-    admission_window: &mut Option<TimedRatio>,
-    out: &mut HandlerOutput,
-    epoch: Instant,
-) {
-    let now = Instant::now();
-    let now_sim = SimTime::from_nanos(now.duration_since(epoch).as_nanos() as u64);
-    let missed = now_sim > entry.deadline;
-    out.tasks_dequeued += 1;
-    if missed {
-        out.deadline_misses += 1;
-    }
-    if let Some(win) = admission_window.as_mut() {
-        win.record(now_sim, missed);
-    }
-    let task_id = entry.task_id as usize;
-    tasks[task_id].dispatched = Some(now);
-    node_busy[node as usize] = true;
-    let (start_day, days) = task_ranges[task_id];
-    // A closed node channel means shutdown is racing completion; the
-    // expected-queries accounting still terminates the loop.
-    let _ = node_txs[node as usize].send(TaskAssignment {
-        task_id: entry.task_id,
-        start_day,
-        days,
-    });
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_result(
-    result: TaskResult,
-    tasks: &mut [TaskInfo],
-    queries_info: &mut [QueryInfo],
-    node_busy: &mut [bool],
-    node_queues: &mut [Box<dyn TaskQueue>],
-    node_txs: &[mpsc::UnboundedSender<TaskAssignment>],
-    task_ranges: &[(u32, u32)],
-    estimator: &mut DeadlineEstimator,
-    admission_window: &mut Option<TimedRatio>,
-    out: &mut HandlerOutput,
-    epoch: Instant,
-) {
-    let node = result.node as usize;
-    let info = &tasks[result.task_id as usize];
-    let dispatched = info.dispatched.expect("result implies dispatch");
-    let post_queuing = SimDuration::from_nanos(dispatched.elapsed().as_nanos() as u64);
-    out.post_queuing_by_node[node].record(post_queuing);
-    out.busy_by_node[node] += post_queuing;
-    out.records_retrieved += result.records as u64;
-    out.temperature_sum += f64::from(result.mean_temperature);
-    out.humidity_sum += f64::from(result.mean_humidity);
-    out.task_results += 1;
-    // Online updating process (§III.B.2): the handler learns the node's
-    // post-queuing time distribution from returned results.
-    estimator.record_post_queuing(node, post_queuing);
-
-    // Aggregate into the query.
-    let qid = info.query as usize;
-    queries_info[qid].outstanding -= 1;
-    if queries_info[qid].outstanding == 0 {
-        let latency =
-            SimDuration::from_nanos(queries_info[qid].arrived.elapsed().as_nanos() as u64);
-        out.latency_by_class
-            .entry(queries_info[qid].class)
-            .or_default()
-            .record(latency);
-        out.completed_queries += 1;
-    }
-
-    // Work conservation: hand the node its next task.
-    node_busy[node] = false;
-    if let Some(next) = node_queues[node].pop() {
-        dispatch(
-            next,
-            result.node,
-            tasks,
-            task_ranges,
-            node_busy,
-            node_txs,
-            admission_window,
-            out,
-            epoch,
-        );
-    }
 }

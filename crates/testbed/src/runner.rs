@@ -99,6 +99,9 @@ pub struct TestbedReport {
     pub completed_queries: u64,
     /// Queries rejected by admission control.
     pub rejected_queries: u64,
+    /// Admission reject→admit transitions: how many times rejection
+    /// *stopped* after the miss window recovered or drained.
+    pub admission_resumes: u64,
     /// Fraction of dequeued tasks that missed their deadline.
     pub miss_ratio: f64,
     /// Overall measured load.
@@ -193,20 +196,18 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
 
     // --- The workload plan comes from the simulation twin scenario. ------
     let scenario = scenarios::sas_testbed();
-    let scaled_slos: Vec<SimDuration> = scenario
+    let scaled_classes: Vec<tailguard::ClassSpec> = scenario
         .classes
         .iter()
-        .map(|c| SimDuration::from_millis_f64(c.slo.as_millis_f64() / scale))
-        .collect();
-    let scaled_classes: Vec<tailguard::ClassSpec> = scaled_slos
-        .iter()
-        .map(|&slo| tailguard::ClassSpec::p99(slo))
+        .map(|c| {
+            tailguard::ClassSpec::p99(SimDuration::from_millis_f64(c.slo.as_millis_f64() / scale))
+        })
         .collect();
 
     // --- Offline calibration (§III.B.2). ----------------------------------
     let mut estimator = DeadlineEstimator::new(
         &scaled_cluster,
-        scaled_classes,
+        scaled_classes.clone(),
         EstimatorMode::Online {
             refresh_every: 2_000,
             offline_samples: 0,
@@ -276,13 +277,12 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
     let out = query_handler(
         HandlerConfig {
             policy: config.policy,
-            scaled_slos: scaled_slos.clone(),
-            admission: config.admission.map(|a| {
-                AdmissionConfig::new(
-                    SimDuration::from_millis_f64(a.window.as_millis_f64() / scale),
-                    a.threshold,
-                )
-                .with_min_samples(a.min_samples)
+            scaled_classes,
+            // Compress the time window like every other duration; the
+            // thresholds, hysteresis, and window variant pass through.
+            admission: config.admission.map(|a| AdmissionConfig {
+                window: SimDuration::from_millis_f64(a.window.as_millis_f64() / scale),
+                ..a
             }),
             expected_queries: config.queries as u64,
         },
@@ -340,6 +340,7 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
         clusters,
         completed_queries: out.completed_queries,
         rejected_queries: out.rejected_queries,
+        admission_resumes: out.admission_resumes,
         miss_ratio: if out.tasks_dequeued == 0 {
             0.0
         } else {
@@ -452,6 +453,31 @@ mod tests {
             "expected rejections at 140% load"
         );
         assert_eq!(report.completed_queries + report.rejected_queries, 600);
+    }
+
+    #[test]
+    fn admission_rejection_stops_after_window_drains() {
+        // Hysteresis recovery: at 140% load the controller must start
+        // rejecting, and — because rejected queries add no work while the
+        // backlog drains and misses age out of the time window — it must
+        // also *stop* rejecting at least once before the run ends.
+        let mut cfg = quick(Policy::TfEdf, 1.3, 1_500);
+        // Mild overload and a short window: rejection trips once the queue
+        // builds, the rejection pause then drains the backlog well before
+        // the arrivals run out, misses age out of the window, and admission
+        // must resume at least once.
+        cfg.admission = Some(
+            AdmissionConfig::new(tailguard_simcore::SimDuration::from_millis(2_000), 0.02)
+                .with_resume_threshold(0.01),
+        );
+        let report = run_testbed(&cfg);
+        assert!(report.rejected_queries > 0, "expected rejections");
+        assert!(
+            report.admission_resumes >= 1,
+            "rejection never stopped: {} resumes",
+            report.admission_resumes
+        );
+        assert_eq!(report.completed_queries + report.rejected_queries, 1_500);
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub use tailguard;
 pub use tailguard_dist as dist;
 pub use tailguard_metrics as metrics;
 pub use tailguard_policy as policy;
+pub use tailguard_sched as sched;
 pub use tailguard_simcore as simcore;
 pub use tailguard_testbed as testbed;
 pub use tailguard_workload as workload;
