@@ -7,11 +7,12 @@
 use crate::args::{ArgError, Args};
 use serde::Serialize;
 use tailguard::{
-    default_jobs, max_load_many, run_simulation, scenarios, sweep_loads_parallel, AdmissionConfig,
-    ClassSpec, ClusterSpec, EstimatorMode, MaxLoadOptions, Scenario, SimReport,
+    default_jobs, max_load_many, run_indexed, run_simulation, scenarios, sweep_loads_parallel,
+    AdmissionConfig, ClassSpec, ClusterSpec, EstimatorMode, FaultEpisode, FaultKind, FaultPlan,
+    MaxLoadOptions, MitigationConfig, Scenario, SimReport,
 };
 use tailguard_policy::Policy;
-use tailguard_simcore::SimDuration;
+use tailguard_simcore::{SimDuration, SimTime};
 use tailguard_testbed::{run_testbed, TestbedConfig, TestbedMode};
 use tailguard_workload::{ArrivalProcess, FanoutDist, QueryMix, TailbenchWorkload, Trace};
 
@@ -406,6 +407,243 @@ pub fn cmd_testbed(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+const FAULTS_KEYS: &[&str] = &[
+    "workload",
+    "policies",
+    "load",
+    "queries",
+    "slo",
+    "slos",
+    "fanout",
+    "servers",
+    "arrival",
+    "seed",
+    "fault",
+    "factor",
+    "fault-servers",
+    "fault-from",
+    "fault-to",
+    "episodes",
+    "hedge",
+    "attempts",
+    "quorum",
+    "jobs",
+    "json",
+];
+
+/// One `(policy, fault mode)` cell of the fault matrix.
+#[derive(Serialize)]
+struct FaultCell {
+    policy: String,
+    mode: &'static str,
+    p99_ms: f64,
+    miss_ratio: f64,
+    completed: u64,
+    rejected: u64,
+    partial: u64,
+    failed: u64,
+    tasks_lost: u64,
+    hedges_issued: u64,
+    hedge_wins: u64,
+    retries: u64,
+}
+
+/// Builds the injected fault plan from `--fault`/`--factor`/
+/// `--fault-servers`/`--fault-from`/`--fault-to` (ms) or, for
+/// `--fault random`, from `FaultPlan::generate` with `--episodes`.
+fn fault_plan_from(args: &Args, servers: usize) -> Result<FaultPlan, ArgError> {
+    let from_ms = args.f64_or("fault-from", 0.0)?;
+    let to_ms = args.f64_or("fault-to", 3_600_000.0)?;
+    if from_ms < 0.0 || to_ms <= from_ms {
+        return Err(err("--fault-from/--fault-to need 0 <= from < to (ms)"));
+    }
+    let kind_name = args.get("fault").unwrap_or("slowdown");
+    if kind_name == "random" {
+        let episodes = args.usize_or("episodes", 10)?;
+        if episodes == 0 {
+            return Err(err("--episodes must be positive"));
+        }
+        let mean_len = ((to_ms - from_ms) / episodes as f64).max(1.0);
+        return Ok(FaultPlan::generate(
+            args.u64_or("seed", 1)? ^ 0xFA17,
+            servers as u32,
+            SimDuration::from_millis_f64(to_ms),
+            episodes,
+            mean_len,
+        ));
+    }
+    let factor = args.f64_or("factor", 8.0)?;
+    if !factor.is_finite() || factor <= 1.0 {
+        return Err(err("--factor must be a finite slowdown factor > 1"));
+    }
+    let affected = args.usize_or("fault-servers", (servers / 10).max(1))?;
+    if affected == 0 || affected > servers {
+        return Err(err(format!(
+            "--fault-servers must lie in 1..={servers} for --servers {servers}"
+        )));
+    }
+    let kind = match kind_name {
+        "slowdown" => FaultKind::Slowdown { factor },
+        "stall" => FaultKind::Stall,
+        "drop" => FaultKind::Drop,
+        other => {
+            return Err(err(format!(
+                "unknown fault kind `{other}` (expected slowdown|stall|drop|random)"
+            )))
+        }
+    };
+    let start = SimTime::from_millis_f64(from_ms);
+    let end = SimTime::from_millis_f64(to_ms);
+    let mut plan = FaultPlan::new();
+    for server in 0..affected as u32 {
+        plan = plan.with_episode(FaultEpisode::new(server, start, end, kind));
+    }
+    Ok(plan)
+}
+
+/// `tailguard faults` — fault matrix × policy sweep: each policy runs
+/// healthy, under the injected faults, and under faults + mitigation
+/// (hedging/retry/optional partial quorum). Cells run `--jobs`-parallel;
+/// output is bit-identical for any `--jobs` value. Also writes a
+/// `FigureCsv` (`target/paper_figures/fault_matrix_cli.csv`).
+pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
+    args.check_known(FAULTS_KEYS)?;
+    let scenario = scenario_from(args)?;
+    let servers = args.usize_or("servers", 100)?;
+    let policies = policies_from(args.get("policies"))?;
+    let jobs = jobs_from(args)?;
+    let load = args.f64_or("load", 0.4)?;
+    if !(0.0..=1.5).contains(&load) || load <= 0.0 {
+        return Err(err("--load must lie in (0, 1.5]"));
+    }
+    let queries = args.usize_or("queries", 10_000)?;
+    let plan = fault_plan_from(args, servers)?;
+    let hedge = args.f64_or("hedge", 0.5)?;
+    if !hedge.is_finite() || hedge <= 0.0 {
+        return Err(err("--hedge must be a positive budget fraction"));
+    }
+    let attempts = args.usize_or("attempts", 2)?;
+    if attempts == 0 {
+        return Err(err("--attempts must be at least 1"));
+    }
+    let mut mitigation = MitigationConfig::new()
+        .with_hedge_after(hedge)
+        .with_max_attempts(attempts as u32);
+    if let Some(q) = args.get("quorum") {
+        let q: f64 = q
+            .parse()
+            .map_err(|_| err(format!("--quorum `{q}` is not a number")))?;
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(err("--quorum must lie in (0, 1]"));
+        }
+        mitigation = mitigation.with_partial_quorum(q);
+    }
+
+    const MODES: [&str; 3] = ["healthy", "faulty", "mitigated"];
+    let cells: Vec<(Policy, usize)> = policies
+        .iter()
+        .flat_map(|&p| (0..MODES.len()).map(move |m| (p, m)))
+        .collect();
+    let warmup = queries / 20;
+    let results: Vec<FaultCell> = run_indexed(&cells, jobs, |_, &(policy, mode)| {
+        let input = scenario.input(load, queries);
+        let mut config = scenario.config(policy).with_warmup(warmup);
+        if mode >= 1 {
+            config = config.with_faults(plan.clone());
+        }
+        if mode == 2 {
+            config = config.with_mitigation(mitigation);
+        }
+        let mut report = run_simulation(&config, &input);
+        let p99_ms = report.class_tail(0, 0.99).as_millis_f64();
+        let r = &report.robustness;
+        FaultCell {
+            policy: policy.name().to_string(),
+            mode: MODES[mode],
+            p99_ms,
+            miss_ratio: report.deadline_miss_ratio(),
+            completed: report.completed_queries,
+            rejected: report.rejected_queries,
+            partial: r.partial_completions,
+            failed: r.failed_queries,
+            tasks_lost: r.tasks_lost_to_faults,
+            hedges_issued: r.hedges_issued,
+            hedge_wins: r.hedge_wins,
+            retries: r.retries,
+        }
+    });
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&results).map_err(|e| err(e.to_string()));
+    }
+    let mut csv = tailguard_bench::FigureCsv::create(
+        "fault_matrix_cli",
+        &[
+            "cell",
+            "p99_ms",
+            "miss_pct",
+            "completed",
+            "partial",
+            "failed",
+            "lost_tasks",
+            "hedges",
+            "hedge_wins",
+            "retries",
+        ],
+    );
+    let mut out = format!(
+        "{} @ load {:.0}% — fault matrix ({} × healthy/faulty/mitigated)\n",
+        scenario.label,
+        load * 100.0,
+        policies.len()
+    );
+    out.push_str(&format!(
+        "{:<10} {:<9} {:>10} {:>7} {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8}\n",
+        "policy",
+        "mode",
+        "p99(ms)",
+        "miss%",
+        "completed",
+        "partial",
+        "failed",
+        "lost",
+        "hedges",
+        "wins",
+        "retries"
+    ));
+    for c in &results {
+        out.push_str(&format!(
+            "{:<10} {:<9} {:>10.3} {:>6.2}% {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8}\n",
+            c.policy,
+            c.mode,
+            c.p99_ms,
+            c.miss_ratio * 100.0,
+            c.completed,
+            c.partial,
+            c.failed,
+            c.tasks_lost,
+            c.hedges_issued,
+            c.hedge_wins,
+            c.retries
+        ));
+        csv.labeled_row(
+            &format!("{}/{}", c.policy, c.mode),
+            &[
+                c.p99_ms,
+                c.miss_ratio * 100.0,
+                c.completed as f64,
+                c.partial as f64,
+                c.failed as f64,
+                c.tasks_lost as f64,
+                c.hedges_issued as f64,
+                c.hedge_wins as f64,
+                c.retries as f64,
+            ],
+        );
+    }
+    out.push_str(&format!("\ncsv: {}\n", csv.finish()));
+    Ok(out)
+}
+
 const TRACE_KEYS: &[&str] = &[
     "workload", "rate", "queries", "classes", "fanout", "servers", "seed", "arrival", "format",
 ];
@@ -736,6 +974,94 @@ mod tests {
     fn jobs_zero_is_rejected() {
         let e = cmd_sweep(&args(&["--jobs", "0", "--queries", "1000"])).unwrap_err();
         assert!(e.0.contains("--jobs"));
+    }
+
+    #[test]
+    fn faults_matrix_runs_and_counts_are_consistent() {
+        let out = cmd_faults(&args(&[
+            "--policies",
+            "tfedf",
+            "--queries",
+            "3000",
+            "--fault",
+            "drop",
+            "--fault-servers",
+            "5",
+            "--json",
+        ]))
+        .expect("faults");
+        let cells: serde_json::Value = serde_json::from_str(&out).expect("json");
+        let cells = cells.as_array().unwrap();
+        assert_eq!(cells.len(), 3); // healthy / faulty / mitigated
+        let healthy = &cells[0];
+        let faulty = &cells[1];
+        let mitigated = &cells[2];
+        assert_eq!(healthy["tasks_lost"].as_u64(), Some(0));
+        assert_eq!(healthy["hedges_issued"].as_u64(), Some(0));
+        assert!(faulty["tasks_lost"].as_u64().unwrap() > 0);
+        assert!(mitigated["retries"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn faults_jobs_output_is_identical_to_serial() {
+        let base = &[
+            "--policies",
+            "tfedf,fifo",
+            "--queries",
+            "2000",
+            "--fault",
+            "slowdown",
+            "--factor",
+            "6",
+        ];
+        let serial = cmd_faults(&args(&[base as &[&str], &["--jobs", "1"]].concat())).expect("j1");
+        let parallel =
+            cmd_faults(&args(&[base as &[&str], &["--jobs", "8"]].concat())).expect("j8");
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn faults_rejects_bad_specs() {
+        assert!(cmd_faults(&args(&["--fault", "meteor"]))
+            .unwrap_err()
+            .0
+            .contains("meteor"));
+        assert!(cmd_faults(&args(&["--factor", "0.5"]))
+            .unwrap_err()
+            .0
+            .contains("--factor"));
+        assert!(cmd_faults(&args(&["--fault-servers", "500"]))
+            .unwrap_err()
+            .0
+            .contains("--fault-servers"));
+        assert!(cmd_faults(&args(&["--fault-to", "0"]))
+            .unwrap_err()
+            .0
+            .contains("--fault-to"));
+        assert!(cmd_faults(&args(&["--quorum", "1.5"]))
+            .unwrap_err()
+            .0
+            .contains("--quorum"));
+    }
+
+    #[test]
+    fn faults_random_plan_runs() {
+        let out = cmd_faults(&args(&[
+            "--policies",
+            "tfedf",
+            "--queries",
+            "2000",
+            "--fault",
+            "random",
+            "--episodes",
+            "6",
+            "--fault-to",
+            "2000",
+        ]))
+        .expect("faults");
+        assert!(out.contains("healthy"));
+        assert!(out.contains("mitigated"));
+        assert!(out.contains("csv:"));
     }
 
     #[test]

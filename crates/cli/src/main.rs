@@ -4,6 +4,7 @@
 //! tailguard sim       run one cluster simulation
 //! tailguard maxload   bisect for the max load meeting all SLOs
 //! tailguard sweep     per-class p99 across a list of loads
+//! tailguard faults    fault matrix × policy sweep with mitigation
 //! tailguard testbed   run the tokio Sensing-as-a-Service testbed
 //! tailguard trace     generate a JSON query trace on stdout
 //! tailguard workloads print the calibrated Table II statistics
@@ -36,6 +37,11 @@ COMMANDS:
                --tolerance <frac>  --jobs <n> (policies in parallel)
     sweep      Per-class p99 at each load in --loads <f,f,...>
                --jobs <n> (load points in parallel; default: all cores)
+    faults     Fault matrix: each policy healthy / faulty / mitigated
+               --fault slowdown|stall|drop|random  --factor <x>
+               --fault-servers <n>  --fault-from <ms>  --fault-to <ms>
+               --episodes <n> (random)  --hedge <frac>  --attempts <n>
+               --quorum <frac>  --policies ...  --jobs <n>  --json
     testbed    Run the tokio SaS testbed (32 nodes, 4 clusters)
                --policy ... --load ... --queries ... --scale <x>
                --probes <n> --store-days <n> --realtime
@@ -49,6 +55,7 @@ COMMANDS:
 
 EXAMPLES:
     tailguard sim --workload masstree --policy tfedf --load 0.38
+    tailguard faults --fault slowdown --factor 8 --policies tfedf,fifo
     tailguard maxload --workload xapian --slos 10,15 --fanout oldi --policies all
     tailguard testbed --policy tfedf --load 0.42
     tailguard trace --rate 2 --queries 100000 > trace.json
@@ -76,6 +83,7 @@ fn main() -> ExitCode {
         "sim" => commands::cmd_sim(&parsed),
         "maxload" => commands::cmd_maxload(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
+        "faults" => commands::cmd_faults(&parsed),
         "testbed" => commands::cmd_testbed(&parsed),
         "trace" => commands::cmd_trace(&parsed),
         "workloads" => commands::cmd_workloads(&parsed),

@@ -12,9 +12,11 @@
 use crate::report::SimReport;
 use crate::spec::{QuerySpec, SimConfig, SimInput};
 use std::collections::BTreeMap;
+use tailguard_faults::FaultPlan;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_sched::{
-    AdmitDecision, DeadlineEstimator, DispatchedTask, EstimatorMode, QueryArrival, QueryHandler,
+    AdmitDecision, AttemptKind, DeadlineEstimator, DispatchedTask, EstimatorMode, LostTask,
+    QueryArrival, QueryDone, QueryHandler,
 };
 use tailguard_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, Simulation};
 
@@ -76,17 +78,23 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
     }
 
     let servers = config.cluster.servers();
-    let handler = QueryHandler::new(
+    let mut handler = QueryHandler::new(
         config.policy,
         config.classes.clone(),
         servers,
         estimator,
         config.admission,
     );
+    if let Some(mitigation) = config.mitigation {
+        handler = handler.with_mitigation(mitigation);
+    }
     let sim = ClusterSim {
         config: config.clone(),
         input: input.clone(),
         handler,
+        // An empty plan is normalized to "no plan" so the hot path stays
+        // the config-gated single schedule_in either way.
+        faults: config.faults.clone().filter(|p| !p.is_empty()),
         placement_rng,
         service_rng,
         services: Vec::with_capacity(input.query_count() * 2),
@@ -124,6 +132,8 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
         completed_queries: stats.completed_queries,
         rejected_queries: stats.rejected_queries,
         events_processed: events,
+        robustness: stats.robustness,
+        partial_latency: stats.partial_latency,
     }
 }
 
@@ -133,12 +143,17 @@ enum Ev {
     Arrive(usize),
     /// The task in service at server `s` finishes.
     Finish(u32),
+    /// Time to consider hedging original task `t` (its budget-fraction
+    /// threshold passed without a completion).
+    HedgeCheck(u32),
 }
 
 struct ClusterSim {
     config: SimConfig,
     input: SimInput,
     handler: QueryHandler,
+    /// Interval fault episodes, if configured (empty plans normalized away).
+    faults: Option<FaultPlan>,
     placement_rng: SimRng,
     service_rng: SimRng,
     /// Drawn service time per handler task id — the simulator's oracle for
@@ -202,17 +217,8 @@ impl ClusterSim {
         let mut services = std::mem::take(&mut self.services_scratch);
         services.clear();
         for &s in &targets {
-            let mut ms = self
-                .config
-                .cluster
-                .service_of(s as usize)
-                .sample(&mut self.service_rng);
-            for sd in &self.config.slowdowns {
-                if now >= sd.at && sd.servers.contains(&s) {
-                    ms *= sd.factor;
-                }
-            }
-            services.push(SimDuration::from_millis_f64(ms));
+            let svc = self.draw_service(s, now);
+            services.push(svc);
         }
 
         let record = self.issued_queries >= self.config.warmup_queries as u64;
@@ -235,8 +241,23 @@ impl ClusterSim {
             self.issued_queries += 1;
             self.services.extend_from_slice(&services);
             self.query_request.push(request as u32);
-            for d in &started {
-                sched.schedule_in(now, self.services[d.task as usize], Ev::Finish(d.server));
+            // Deadline-aware hedging: schedule a check at each original
+            // task's hedge threshold (before dispatch, so a dispatch-time
+            // fault retry cannot shift the new tasks' id range).
+            if self
+                .handler
+                .mitigation()
+                .is_some_and(|m| m.hedge_after.is_some())
+            {
+                let first_task = self.handler.task_count() - targets.len();
+                for t in first_task..self.handler.task_count() {
+                    if let Some(at) = self.handler.hedge_deadline(t as u32) {
+                        sched.schedule_at(at, Ev::HedgeCheck(t as u32));
+                    }
+                }
+            }
+            for &d in &started {
+                self.dispatch(now, d, sched);
             }
         }
         // On rejection no state is created: the query terminates its
@@ -246,11 +267,104 @@ impl ClusterSim {
         self.started_scratch = started;
     }
 
+    /// Draws one service time for `server` at `now`: the cluster's service
+    /// distribution, inflated by any active step [`crate::spec::Slowdown`]s
+    /// (interval fault episodes apply later, at dispatch time).
+    fn draw_service(&mut self, server: u32, now: SimTime) -> SimDuration {
+        let mut ms = self
+            .config
+            .cluster
+            .service_of(server as usize)
+            .sample(&mut self.service_rng);
+        for sd in &self.config.slowdowns {
+            if now >= sd.at && sd.servers.contains(&server) {
+                ms *= sd.factor;
+            }
+        }
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// Begins the actual work of a task the handler just moved into
+    /// service. Without a fault plan this is exactly the one `schedule_in`
+    /// the pre-fault simulator did; with one, the task can be dropped by an
+    /// active blackout (lost, possibly retried) or its completion deferred
+    /// by stall/slowdown episodes.
+    fn dispatch(&mut self, now: SimTime, d: DispatchedTask, sched: &mut Scheduler<Ev>) {
+        let Some(faults) = &self.faults else {
+            sched.schedule_in(now, self.services[d.task as usize], Ev::Finish(d.server));
+            return;
+        };
+        if faults.drops(d.server, now) {
+            let lost = self.handler.on_task_lost(now, d.task);
+            self.apply_lost(now, lost, sched);
+            return;
+        }
+        let delay = faults.completion_delay(d.server, now, self.services[d.task as usize]);
+        // The effective dispatch→finish delay replaces the drawn service so
+        // busy/estimator accounting at completion observes the fault.
+        self.services[d.task as usize] = delay;
+        sched.schedule_in(now, delay, Ev::Finish(d.server));
+    }
+
+    /// Applies the fallout of a lost task: the freed server's next task is
+    /// dispatched first (work conservation), then the retry the handler
+    /// planned (with a fresh service draw for the backup server), then any
+    /// query resolution the loss caused.
+    fn apply_lost(&mut self, now: SimTime, lost: LostTask, sched: &mut Scheduler<Ev>) {
+        if let Some(next) = lost.next {
+            self.dispatch(now, next, sched);
+        }
+        if let Some(retry) = lost.retry {
+            let svc = self.draw_service(retry.server, now);
+            let (task, dispatched) = self.handler.issue_duplicate(
+                now,
+                retry.slot,
+                retry.server,
+                Some(svc),
+                AttemptKind::Retry,
+            );
+            debug_assert_eq!(task as usize, self.services.len());
+            self.services.push(svc);
+            if let Some(d) = dispatched {
+                self.dispatch(now, d, sched);
+            }
+        }
+        if let Some(done) = lost.done {
+            self.handle_done(now, done, sched);
+        }
+    }
+
+    /// A hedge threshold fired: if the slot is still unresolved and under
+    /// its attempt cap, issue a hedge copy on the least-loaded backup.
+    fn hedge_check(&mut self, now: SimTime, task: u32, sched: &mut Scheduler<Ev>) {
+        let Some(server) = self.handler.hedge_target(task) else {
+            return;
+        };
+        let svc = self.draw_service(server, now);
+        let (id, dispatched) =
+            self.handler
+                .issue_duplicate(now, task, server, Some(svc), AttemptKind::Hedge);
+        debug_assert_eq!(id as usize, self.services.len());
+        self.services.push(svc);
+        if let Some(d) = dispatched {
+            self.dispatch(now, d, sched);
+        }
+    }
+
     fn finish_task(&mut self, now: SimTime, server: u32, sched: &mut Scheduler<Ev>) {
         let task = self
             .handler
             .task_in_service(server)
             .expect("finish event implies a task in service");
+        if let Some(faults) = &self.faults {
+            // The result lands inside a blackout: it is lost with the
+            // server's work (the sim analog of a node failing mid-reply).
+            if faults.drops(server, now) {
+                let lost = self.handler.on_task_lost(now, task);
+                self.apply_lost(now, lost, sched);
+                return;
+            }
+        }
         let busy = self.services[task as usize];
         let completion = self.handler.on_task_complete(now, task, busy);
 
@@ -258,28 +372,31 @@ impl ClusterSim {
         // *before* any successor query is issued, so a chained query cannot
         // jump the queue (and cannot double-start the server).
         if let Some(next) = completion.next {
-            sched.schedule_in(
-                now,
-                self.services[next.task as usize],
-                Ev::Finish(next.server),
-            );
+            self.dispatch(now, next, sched);
         }
 
         if let Some(done) = completion.done {
-            // Sequential request chaining (Fig. 1): issue the next query.
-            let request = self.query_request[done.query as usize] as usize;
-            self.request_progress[request] += 1;
-            let req_input = &self.input.requests[request];
-            if self.request_progress[request] < req_input.queries.len() {
-                self.issue_query(now, request, sched);
-            } else if req_input.queries.len() > 1 {
-                let req_latency = now.saturating_since(self.request_started[request]);
-                let first_class = req_input.queries[0].class;
-                self.request_latency_by_class
-                    .entry(first_class)
-                    .or_default()
-                    .record(req_latency);
-            }
+            self.handle_done(now, done, sched);
+        }
+    }
+
+    /// Sequential request chaining (Fig. 1): a finished query issues its
+    /// request's next query, or records the request latency when it was the
+    /// last (partial and failed completions advance the chain too — the
+    /// request does not stall on a degraded answer).
+    fn handle_done(&mut self, now: SimTime, done: QueryDone, sched: &mut Scheduler<Ev>) {
+        let request = self.query_request[done.query as usize] as usize;
+        self.request_progress[request] += 1;
+        let req_input = &self.input.requests[request];
+        if self.request_progress[request] < req_input.queries.len() {
+            self.issue_query(now, request, sched);
+        } else if req_input.queries.len() > 1 {
+            let req_latency = now.saturating_since(self.request_started[request]);
+            let first_class = req_input.queries[0].class;
+            self.request_latency_by_class
+                .entry(first_class)
+                .or_default()
+                .record(req_latency);
         }
     }
 }
@@ -299,6 +416,7 @@ impl Simulation for ClusterSim {
                 self.issue_query(now, i, sched);
             }
             Ev::Finish(server) => self.finish_task(now, server, sched),
+            Ev::HedgeCheck(task) => self.hedge_check(now, task, sched),
         }
     }
 }

@@ -66,7 +66,8 @@ pub use spec::{
     AdmissionConfig, ClassSpec, ClusterSpec, QuerySpec, RequestInput, Scenario, SimConfig,
     SimInput, Slowdown,
 };
-pub use tailguard_sched::{DeadlineEstimator, EstimatorMode};
+pub use tailguard_faults::{FaultEpisode, FaultKind, FaultPlan};
+pub use tailguard_sched::{DeadlineEstimator, EstimatorMode, MitigationConfig, RobustnessStats};
 
 /// The runtime-agnostic scheduling core ([`tailguard_sched`]) this
 /// simulator drives; also driven by the tokio testbed.

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use tailguard_metrics::{LatencyReservoir, LoadStats};
 use tailguard_policy::Policy;
+use tailguard_sched::RobustnessStats;
 use tailguard_simcore::{SimDuration, SimTime};
 
 // The per-type key lives in the shared scheduling core (which does the
@@ -44,6 +45,12 @@ pub struct SimReport {
     /// Total discrete events the engine processed during the run (the
     /// denominator-free basis for events/sec throughput reporting).
     pub events_processed: u64,
+    /// Fault/hedge/partial counters (all zero without a fault plan or
+    /// mitigation config).
+    pub robustness: RobustnessStats,
+    /// Latencies of partially completed queries, kept out of the per-class
+    /// SLO reservoirs so graceful degradation cannot flatter the tail.
+    pub partial_latency: LatencyReservoir,
 }
 
 impl SimReport {
@@ -201,6 +208,8 @@ mod tests {
             completed_queries: samples.len() as u64,
             rejected_queries: 0,
             events_processed: 0,
+            robustness: RobustnessStats::default(),
+            partial_latency: LatencyReservoir::new(),
         }
     }
 

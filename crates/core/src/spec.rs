@@ -2,8 +2,9 @@
 
 use std::fmt;
 use std::sync::Arc;
+use tailguard_faults::FaultPlan;
 use tailguard_policy::Policy;
-use tailguard_sched::EstimatorMode;
+use tailguard_sched::{EstimatorMode, MitigationConfig};
 use tailguard_simcore::{SimDuration, SimRng, SimTime};
 use tailguard_workload::{ArrivalProcess, QueryMix, Trace};
 
@@ -158,6 +159,13 @@ pub struct SimConfig {
     pub seed: u64,
     /// Mid-run server speed changes (failure injection); empty by default.
     pub slowdowns: Vec<Slowdown>,
+    /// Interval fault episodes (slowdowns, stalls, blackouts) applied at
+    /// task dispatch/completion time. `None` (the default) injects nothing
+    /// and leaves the hot path untouched.
+    pub faults: Option<FaultPlan>,
+    /// Straggler/fault mitigation (hedging, retries, partial quorum) in the
+    /// shared scheduling core. `None` (the default) disables it.
+    pub mitigation: Option<MitigationConfig>,
 }
 
 impl SimConfig {
@@ -174,6 +182,8 @@ impl SimConfig {
             warmup_queries: 5_000,
             seed: 1,
             slowdowns: Vec::new(),
+            faults: None,
+            mitigation: None,
         }
     }
 
@@ -210,6 +220,19 @@ impl SimConfig {
     /// Adds a mid-run server speed change (builder-style).
     pub fn with_slowdown(mut self, slowdown: Slowdown) -> Self {
         self.slowdowns.push(slowdown);
+        self
+    }
+
+    /// Sets the interval fault plan (builder-style). An empty plan behaves
+    /// exactly like no plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables straggler/fault mitigation (builder-style).
+    pub fn with_mitigation(mut self, mitigation: MitigationConfig) -> Self {
+        self.mitigation = Some(mitigation);
         self
     }
 }

@@ -1,0 +1,485 @@
+//! Deterministic, seed-driven fault injection shared by both runtimes.
+//!
+//! TailGuard's budget `T_b = x_p^SLO − x_p^u(k_f)` (Eq. 6) is computed from
+//! *unloaded* per-server CDFs, so a single degraded or blacked-out task
+//! server silently invalidates the deadline math and blows the query tail.
+//! This crate describes misbehaving servers as data: a [`FaultPlan`] is a
+//! set of per-server [`FaultEpisode`]s — service-time inflation over an
+//! interval, transient stalls (tasks held but not served), and blackouts
+//! that drop tasks outright — that both drivers consume identically. The
+//! discrete-event simulator queries the plan in virtual time
+//! (`crates/core/src/cluster.rs`); the tokio testbed compresses the same
+//! plan onto its wall clock (`crates/testbed/src/node.rs`), so a shared
+//! plan produces comparable fault counters on both runtimes.
+//!
+//! Everything here is pure data + arithmetic: no clock, no I/O, and the
+//! only randomness is the caller-seeded [`SimRng`] behind
+//! [`FaultPlan::generate`], keeping runs bit-reproducible across `--jobs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tailguard_simcore::{SimDuration, SimRng, SimTime};
+
+/// What a fault episode does to the tasks its server handles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Service times of tasks dispatched during the episode are multiplied
+    /// by `factor` (interference / thermal throttling / noisy neighbor).
+    Slowdown {
+        /// Multiplicative service-time inflation (must be finite and > 0).
+        factor: f64,
+    },
+    /// The server freezes: tasks dispatched during the episode are held and
+    /// only begin service when the episode ends (transient crash with the
+    /// queue preserved — a fail/recover cycle).
+    Stall,
+    /// Blackout: tasks dispatched during the episode — and results that
+    /// would land inside it — are lost and must be retried elsewhere.
+    Drop,
+}
+
+/// One contiguous fault on one server over `[start, end)`.
+///
+/// Episodes are finite by construction: an unbounded stall would hold
+/// tasks forever and no simulation (or testbed run) could terminate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEpisode {
+    /// The afflicted server.
+    pub server: u32,
+    /// Episode start (inclusive).
+    pub start: SimTime,
+    /// Episode end (exclusive).
+    pub end: SimTime,
+    /// What the episode does.
+    pub kind: FaultKind,
+}
+
+impl FaultEpisode {
+    /// Creates an episode, validating its interval and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start >= end`, or a slowdown factor is not finite and
+    /// positive.
+    pub fn new(server: u32, start: SimTime, end: SimTime, kind: FaultKind) -> Self {
+        assert!(start < end, "fault episode needs start < end");
+        if let FaultKind::Slowdown { factor } = kind {
+            assert!(
+                factor.is_finite() && factor > 0.0,
+                "slowdown factor must be finite and positive, got {factor}"
+            );
+        }
+        FaultEpisode {
+            server,
+            start,
+            end,
+            kind,
+        }
+    }
+
+    /// Whether the episode is active at `now` (`start <= now < end`).
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// A deterministic schedule of fault episodes across the cluster.
+///
+/// The plan is plain data: drivers query it (`drops`, `slowdown_factor`,
+/// `completion_delay`) at dispatch/completion time. Episodes affect tasks
+/// *dispatched during* them — a deliberate approximation that keeps both
+/// drivers' semantics identical (the testbed cannot retroactively inflate
+/// a sleep already underway).
+///
+/// # Example
+///
+/// ```
+/// use tailguard_faults::{FaultEpisode, FaultKind, FaultPlan};
+/// use tailguard_simcore::{SimDuration, SimTime};
+///
+/// let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+///     0,
+///     SimTime::from_millis(10),
+///     SimTime::from_millis(20),
+///     FaultKind::Slowdown { factor: 4.0 },
+/// ));
+/// let svc = SimDuration::from_millis(2);
+/// assert_eq!(plan.completion_delay(0, SimTime::from_millis(5), svc), svc);
+/// assert_eq!(
+///     plan.completion_delay(0, SimTime::from_millis(12), svc),
+///     SimDuration::from_millis(8)
+/// );
+/// assert!(!plan.drops(0, SimTime::from_millis(12)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    episodes: Vec<FaultEpisode>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; drivers treat it like no plan).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an episode, keeping the episode list sorted by start time.
+    pub fn with_episode(mut self, episode: FaultEpisode) -> Self {
+        let at = self.episodes.partition_point(|e| e.start <= episode.start);
+        self.episodes.insert(at, episode);
+        self
+    }
+
+    /// Generates a seed-driven plan of fail/recover cycles: `n_episodes`
+    /// episodes of mean length `mean_len_ms`, uniformly placed over
+    /// `[0, horizon)` on uniformly drawn servers from `0..servers`, cycling
+    /// through slowdown (factor 2–10×), stall, and drop kinds.
+    ///
+    /// The same `(seed, servers, horizon, n_episodes, mean_len_ms)` always
+    /// yields the same plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `servers` is zero, `horizon` is zero, or `mean_len_ms`
+    /// is not finite and positive.
+    pub fn generate(
+        seed: u64,
+        servers: u32,
+        horizon: SimDuration,
+        n_episodes: usize,
+        mean_len_ms: f64,
+    ) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(!horizon.is_zero(), "horizon must be positive");
+        assert!(
+            mean_len_ms.is_finite() && mean_len_ms > 0.0,
+            "mean episode length must be finite and positive"
+        );
+        let mut rng = SimRng::seed(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_episodes {
+            let server = rng.index(servers as usize) as u32;
+            // Length ~ Exp(mean) truncated below at 10% of the mean so an
+            // episode is never degenerate; start uniform over the horizon.
+            let len_ms = (mean_len_ms * -rng.open01().ln()).max(mean_len_ms * 0.1);
+            let start_ns = (horizon.as_nanos() as f64 * rng.f64()) as u64;
+            let start = SimTime::from_nanos(start_ns);
+            let end = start + SimDuration::from_millis_f64(len_ms);
+            let kind = match rng.index(3) {
+                0 => FaultKind::Slowdown {
+                    factor: 2.0 + rng.f64() * 8.0,
+                },
+                1 => FaultKind::Stall,
+                _ => FaultKind::Drop,
+            };
+            plan = plan.with_episode(FaultEpisode::new(server, start, end, kind));
+        }
+        plan
+    }
+
+    /// Whether a task dispatched to (or completing at) `server` at `now`
+    /// is lost to an active [`FaultKind::Drop`] episode.
+    pub fn drops(&self, server: u32, now: SimTime) -> bool {
+        self.episodes
+            .iter()
+            .any(|e| e.server == server && e.active_at(now) && e.kind == FaultKind::Drop)
+    }
+
+    /// Product of all slowdown factors active on `server` at `now`
+    /// (overlapping episodes compose multiplicatively; 1.0 when healthy).
+    pub fn slowdown_factor(&self, server: u32, now: SimTime) -> f64 {
+        self.episodes
+            .iter()
+            .filter(|e| e.server == server && e.active_at(now))
+            .fold(1.0, |acc, e| match e.kind {
+                FaultKind::Slowdown { factor } => acc * factor,
+                _ => acc,
+            })
+    }
+
+    /// Total dispatch→completion delay for a task of nominal service time
+    /// `service` dispatched to `server` at `now`.
+    ///
+    /// Active [`FaultKind::Stall`] episodes push the service start to the
+    /// episode end (chained stalls compose: if another stall is active at
+    /// that instant, it pushes further); the service itself is then
+    /// inflated by the slowdown factors active at the (possibly deferred)
+    /// start instant.
+    pub fn completion_delay(&self, server: u32, now: SimTime, service: SimDuration) -> SimDuration {
+        let mut start = now;
+        loop {
+            let stalled_until = self
+                .episodes
+                .iter()
+                .filter(|e| e.server == server && e.active_at(start) && e.kind == FaultKind::Stall)
+                .map(|e| e.end)
+                .max();
+            match stalled_until {
+                Some(end) if end > start => start = end,
+                _ => break,
+            }
+        }
+        let factor = self.slowdown_factor(server, start);
+        start.saturating_since(now) + service.mul_f64(factor)
+    }
+
+    /// Returns the plan with every episode's times divided by `scale` —
+    /// the testbed maps Pi-scale plans onto its compressed wall clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is not finite and positive.
+    pub fn compressed(&self, scale: f64) -> FaultPlan {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time scale must be finite and positive"
+        );
+        FaultPlan {
+            episodes: self
+                .episodes
+                .iter()
+                .map(|e| FaultEpisode {
+                    server: e.server,
+                    start: SimTime::from_nanos((e.start.as_nanos() as f64 / scale) as u64),
+                    end: SimTime::from_nanos(
+                        ((e.end.as_nanos() as f64 / scale) as u64)
+                            .max((e.start.as_nanos() as f64 / scale) as u64 + 1),
+                    ),
+                    kind: e.kind,
+                })
+                .collect(),
+        }
+    }
+
+    /// The episodes, sorted by start time.
+    pub fn episodes(&self) -> &[FaultEpisode] {
+        &self.episodes
+    }
+
+    /// Number of episodes in the plan.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// The plan's start/end transitions in time order — the form event-loop
+    /// consumers (CLI display, tests) iterate.
+    pub fn schedule(&self) -> FaultSchedule {
+        let mut transitions: Vec<FaultTransition> = self
+            .episodes
+            .iter()
+            .flat_map(|&e| {
+                [
+                    FaultTransition {
+                        at: e.start,
+                        episode: e,
+                        edge: FaultEdge::Start,
+                    },
+                    FaultTransition {
+                        at: e.end,
+                        episode: e,
+                        edge: FaultEdge::End,
+                    },
+                ]
+            })
+            .collect();
+        transitions.sort_by_key(|t| (t.at, t.edge as u8, t.episode.server));
+        FaultSchedule {
+            transitions,
+            next: 0,
+        }
+    }
+}
+
+/// Whether a transition begins or ends its episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEdge {
+    /// The episode becomes active.
+    Start,
+    /// The episode ends (the server recovers from it).
+    End,
+}
+
+/// One edge of one episode, as yielded by [`FaultSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTransition {
+    /// When the transition happens.
+    pub at: SimTime,
+    /// The episode transitioning.
+    pub episode: FaultEpisode,
+    /// Start or end.
+    pub edge: FaultEdge,
+}
+
+/// Time-ordered iterator over a plan's episode start/end transitions.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    transitions: Vec<FaultTransition>,
+    next: usize,
+}
+
+impl Iterator for FaultSchedule {
+    type Item = FaultTransition;
+
+    fn next(&mut self) -> Option<FaultTransition> {
+        let t = self.transitions.get(self.next).copied()?;
+        self.next += 1;
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn healthy_server_passes_through() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.drops(0, ms(0)));
+        assert_eq!(plan.slowdown_factor(0, ms(0)), 1.0);
+        assert_eq!(plan.completion_delay(0, ms(0), dms(3)), dms(3));
+    }
+
+    #[test]
+    fn slowdown_inflates_only_inside_interval() {
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            1,
+            ms(10),
+            ms(20),
+            FaultKind::Slowdown { factor: 3.0 },
+        ));
+        assert_eq!(plan.completion_delay(1, ms(9), dms(2)), dms(2));
+        assert_eq!(plan.completion_delay(1, ms(10), dms(2)), dms(6));
+        assert_eq!(plan.completion_delay(1, ms(19), dms(2)), dms(6));
+        assert_eq!(plan.completion_delay(1, ms(20), dms(2)), dms(2));
+        // Other servers are unaffected.
+        assert_eq!(plan.completion_delay(0, ms(12), dms(2)), dms(2));
+    }
+
+    #[test]
+    fn overlapping_slowdowns_compose() {
+        let plan = FaultPlan::new()
+            .with_episode(FaultEpisode::new(
+                0,
+                ms(0),
+                ms(100),
+                FaultKind::Slowdown { factor: 2.0 },
+            ))
+            .with_episode(FaultEpisode::new(
+                0,
+                ms(50),
+                ms(100),
+                FaultKind::Slowdown { factor: 3.0 },
+            ));
+        assert_eq!(plan.slowdown_factor(0, ms(10)), 2.0);
+        assert_eq!(plan.slowdown_factor(0, ms(60)), 6.0);
+    }
+
+    #[test]
+    fn stall_defers_service_to_episode_end() {
+        let plan =
+            FaultPlan::new().with_episode(FaultEpisode::new(0, ms(10), ms(30), FaultKind::Stall));
+        // Dispatched mid-stall at t=15: waits 15ms, then serves 2ms.
+        assert_eq!(plan.completion_delay(0, ms(15), dms(2)), dms(17));
+        assert_eq!(plan.completion_delay(0, ms(30), dms(2)), dms(2));
+    }
+
+    #[test]
+    fn chained_stalls_and_slowdown_at_deferred_start() {
+        let plan = FaultPlan::new()
+            .with_episode(FaultEpisode::new(0, ms(0), ms(10), FaultKind::Stall))
+            .with_episode(FaultEpisode::new(0, ms(5), ms(20), FaultKind::Stall))
+            .with_episode(FaultEpisode::new(
+                0,
+                ms(20),
+                ms(40),
+                FaultKind::Slowdown { factor: 5.0 },
+            ));
+        // Dispatched at t=2: first stall pushes to 10, second to 20, where
+        // the slowdown is active: 18ms wait + 5×2ms service.
+        assert_eq!(plan.completion_delay(0, ms(2), dms(2)), dms(28));
+    }
+
+    #[test]
+    fn drop_is_scoped_to_server_and_interval() {
+        let plan =
+            FaultPlan::new().with_episode(FaultEpisode::new(2, ms(5), ms(8), FaultKind::Drop));
+        assert!(!plan.drops(2, ms(4)));
+        assert!(plan.drops(2, ms(5)));
+        assert!(plan.drops(2, ms(7)));
+        assert!(!plan.drops(2, ms(8)), "end is exclusive");
+        assert!(!plan.drops(1, ms(6)));
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_bounded() {
+        let a = FaultPlan::generate(7, 16, dms(10_000), 12, 50.0);
+        let b = FaultPlan::generate(7, 16, dms(10_000), 12, 50.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert!(a.episodes().iter().all(|e| e.server < 16));
+        assert!(a.episodes().iter().all(|e| e.start < e.end));
+        assert!(a
+            .episodes()
+            .iter()
+            .all(|e| e.start < SimTime::ZERO + dms(10_000)));
+        let c = FaultPlan::generate(8, 16, dms(10_000), 12, 50.0);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn compressed_divides_times() {
+        let plan =
+            FaultPlan::new().with_episode(FaultEpisode::new(0, ms(100), ms(300), FaultKind::Stall));
+        let c = plan.compressed(10.0);
+        assert_eq!(c.episodes()[0].start, ms(10));
+        assert_eq!(c.episodes()[0].end, ms(30));
+    }
+
+    #[test]
+    fn schedule_yields_time_ordered_transitions() {
+        let plan = FaultPlan::new()
+            .with_episode(FaultEpisode::new(0, ms(10), ms(30), FaultKind::Stall))
+            .with_episode(FaultEpisode::new(1, ms(5), ms(15), FaultKind::Drop));
+        let times: Vec<u64> = plan
+            .schedule()
+            .map(|t| t.at.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(times, vec![5, 10, 15, 30]);
+        let edges: Vec<FaultEdge> = plan.schedule().map(|t| t.edge).collect();
+        assert_eq!(
+            edges,
+            vec![
+                FaultEdge::Start,
+                FaultEdge::Start,
+                FaultEdge::End,
+                FaultEdge::End
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start < end")]
+    fn inverted_interval_panics() {
+        let _ = FaultEpisode::new(0, ms(10), ms(10), FaultKind::Stall);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_factor_panics() {
+        let _ = FaultEpisode::new(0, ms(0), ms(1), FaultKind::Slowdown { factor: 0.0 });
+    }
+}

@@ -14,11 +14,13 @@ use std::collections::VecDeque;
 ///
 /// The scheduling core (`tailguard-sched`) uses this count-window form as
 /// the opt-in admission variant (`AdmissionConfig::with_count_window`);
-/// its default is the time-based `TimedRatio`. The count form carries a
-/// hazard worth knowing: under *total* rejection no new tasks are
-/// dequeued, so the window freezes at its last ratio and only recovers
-/// while backlog dequeues keep feeding it — the time window instead ages
-/// events out on its own.
+/// its default is the time-based `TimedRatio`. The count form cannot age
+/// events out by itself: under *total* rejection no new tasks are dequeued
+/// and the window freezes at its last ratio. The admission controller
+/// therefore bounds the freeze — after a full admission-window duration
+/// with no dequeue event it calls [`MovingRatio::clear`] and resumes
+/// admitting, so rejection can never persist on stale data alone (the time
+/// window instead ages events out on its own).
 ///
 /// # Example
 ///

@@ -9,10 +9,12 @@ use tailguard_simcore::SimTime;
 /// moving *time* window by default, or a count window over the most recent
 /// dequeues when [`AdmissionConfig::count_window`] is set.
 ///
-/// The time window is the safer reading: under total rejection no new tasks
-/// are dequeued, so a count window freezes at its last ratio and (absent
-/// hysteresis and fresh dequeues from the draining backlog) would reject
-/// forever, whereas time-window events age out and the controller re-admits.
+/// Time-window events age out on their own, so the controller re-admits
+/// under total rejection. The count window cannot age events out, so the
+/// controller guards it with a max-freeze timeout ([`AdmissionConfig`]'s
+/// `window` duration): once a windowful of time passes with no dequeue at
+/// all, the frozen ratio is treated as stale, the window is cleared (which
+/// re-arms the `min_samples` gate), and admission resumes.
 #[derive(Debug, Clone)]
 enum MissWindow {
     Timed(TimedRatio),
@@ -53,6 +55,9 @@ pub(crate) struct AdmissionController {
     window: MissWindow,
     rejecting: bool,
     resumes: u64,
+    /// Last dequeue outcome fed into the window — the count window's
+    /// staleness reference.
+    last_event_at: SimTime,
 }
 
 impl AdmissionController {
@@ -66,17 +71,31 @@ impl AdmissionController {
             window,
             rejecting: false,
             resumes: 0,
+            last_event_at: SimTime::ZERO,
         }
     }
 
     /// Records one dequeue outcome into the window.
     pub(crate) fn record(&mut self, now: SimTime, missed: bool) {
+        self.last_event_at = now;
         self.window.record(now, missed);
     }
 
     /// Whether a query arriving at `now` must be rejected. Updates the
     /// `rejecting` state (hysteresis) as a side effect.
     pub(crate) fn rejects(&mut self, now: SimTime) -> bool {
+        // Max-freeze guard for the count window: under total rejection no
+        // new tasks are dequeued, so the count ratio would stay frozen above
+        // the threshold forever. After a full `window` duration with no
+        // dequeue the frozen measurement is stale — drop it and re-admit
+        // (the cleared window re-arms the `min_samples` gate).
+        if let MissWindow::Counted(w) = &mut self.window {
+            if now.saturating_since(self.last_event_at) > self.config.window {
+                w.clear();
+                self.resume_if_rejecting();
+                return false;
+            }
+        }
         if self.window.len(now) < self.config.min_samples {
             self.resume_if_rejecting();
             return false;
@@ -187,22 +206,30 @@ mod tests {
     }
 
     #[test]
-    fn count_window_freezes_without_new_dequeues() {
-        // The documented hazard of the count variant: with no new events the
-        // ratio never changes, so rejection persists at any later time...
+    fn count_window_recovers_after_max_freeze() {
+        // Regression for the count-window freeze hazard: under total
+        // rejection no new tasks are dequeued, the ratio never changes, and
+        // the controller used to reject forever. A windowful of silence now
+        // marks the measurement stale and re-admits.
         let config = cfg(0.1).with_count_window(8);
         let mut c = AdmissionController::new(config);
         for i in 0..8 {
             c.record(ms(i), true);
         }
         assert!(c.rejects(ms(8)));
-        assert!(c.rejects(ms(500_000)), "count window does not age out");
-        // ...until dequeues from the draining backlog push misses out.
-        for i in 0..8 {
-            c.record(ms(500_000 + i), false);
-        }
-        assert!(!c.rejects(ms(500_010)));
+        assert!(
+            c.rejects(ms(50)),
+            "within the freeze window the miss burst still rejects"
+        );
+        assert!(
+            !c.rejects(ms(500_000)),
+            "a stale count window must not reject forever"
+        );
         assert_eq!(c.resumes(), 1);
+        // The cleared window re-arms the min-samples gate.
+        assert!(!c.rejects(ms(500_001)));
+        c.record(ms(500_002), true);
+        assert!(!c.rejects(ms(500_003)), "one miss is below min_samples");
     }
 
     #[test]

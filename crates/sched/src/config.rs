@@ -149,14 +149,17 @@ impl ClusterSpec {
 /// [`AdmissionConfig::with_count_window`] switches to a count-based window
 /// over the most recent dequeue outcomes instead (the paper describes the
 /// window abstractly; both readings are implemented). A count window never
-/// ages events out, so under total rejection it freezes above the threshold
-/// until hysteresis or fresh dequeues clear it — prefer the time window
-/// unless an experiment needs the count semantics.
+/// ages events out on its own, so under total rejection it would freeze
+/// above the threshold; the controller therefore also treats `window` as a
+/// max-freeze duration — after that long with no dequeue at all, the stale
+/// count window is cleared and admission resumes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionConfig {
     /// Moving *time* window over task-dequeue outcomes (the paper sizes it
-    /// as 1 000 queries' worth of time for the Masstree OLDI case). Ignored
-    /// when `count_window` is set.
+    /// as 1 000 queries' worth of time for the Masstree OLDI case). When
+    /// `count_window` is set it is reused as the count window's max-freeze
+    /// duration: after `window` with no dequeue event, the frozen ratio is
+    /// discarded and admission resumes.
     pub window: SimDuration,
     /// Deadline-violation ratio threshold `R_th` above which new queries
     /// are rejected (the paper finds 1.7 % at the maximum acceptable load).

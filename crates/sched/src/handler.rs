@@ -19,6 +19,7 @@
 use crate::admission::AdmissionController;
 use crate::config::{AdmissionConfig, ClassSpec};
 use crate::estimator::DeadlineEstimator;
+use crate::mitigation::{MitigationConfig, RobustnessStats};
 use std::collections::BTreeMap;
 use tailguard_metrics::{LatencyReservoir, LoadStats};
 use tailguard_policy::{DeadlineRule, Policy, QueuedTask, ServiceClass, TaskQueue};
@@ -105,6 +106,10 @@ pub struct QueryDone {
     pub latency: SimDuration,
     /// Whether the latency was recorded into the handler's reservoirs.
     pub recorded: bool,
+    /// Whether the query completed gracefully degraded — at its partial
+    /// quorum, with fewer than `fanout` task results (its latency then goes
+    /// to [`SchedStats::partial_latency`], not the SLO reservoirs).
+    pub partial: bool,
 }
 
 /// Everything that follows from one task completion.
@@ -114,6 +119,42 @@ pub struct TaskCompletion {
     /// conservation: popped *before* any successor query is issued).
     pub next: Option<DispatchedTask>,
     /// The completed query, when this was its last outstanding task.
+    pub done: Option<QueryDone>,
+}
+
+/// Which attempt of a logical task an issued copy is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptKind {
+    /// The first copy, issued at query arrival.
+    Original,
+    /// A hedge copy, issued when the remaining budget crossed the
+    /// [`MitigationConfig::hedge_after`] threshold.
+    Hedge,
+    /// A retry copy, issued after an attempt was lost to a fault.
+    Retry,
+}
+
+/// The driver's cue to reissue a fault-lost task on a backup server: call
+/// [`QueryHandler::issue_duplicate`] with this slot and server (the
+/// simulator first draws a fresh service time for the backup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPlan {
+    /// The logical task (slot) to reissue.
+    pub slot: TaskId,
+    /// The chosen backup server.
+    pub server: u32,
+}
+
+/// Everything that follows from one task being lost to a fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LostTask {
+    /// The freed server's next task, if any (a lost task still frees its
+    /// server — blackout drops are failures of the *task*, and the sim's
+    /// server keeps draining; the testbed node likewise moves on).
+    pub next: Option<DispatchedTask>,
+    /// A retry to issue, when the mitigation config allows one.
+    pub retry: Option<RetryPlan>,
+    /// The query, when this loss resolved its last outstanding slot.
     pub done: Option<QueryDone>,
 }
 
@@ -138,19 +179,71 @@ pub struct SchedStats {
     /// Admission reject→admit transitions (rejection *stopped* after the
     /// window recovered or drained).
     pub admission_resumes: u64,
+    /// Fault/hedge/partial counters (all zero without faults/mitigation).
+    pub robustness: RobustnessStats,
+    /// Latencies of partially completed queries (recorded separately from
+    /// the per-class SLO reservoirs so degradation cannot flatter the tail).
+    pub partial_latency: LatencyReservoir,
 }
 
 struct TaskMeta {
     query: QueryId,
     server: u32,
+    /// The logical task this attempt serves: originals point at themselves,
+    /// hedge/retry copies at the original's id.
+    slot: TaskId,
+    kind: AttemptKind,
+}
+
+/// Per-logical-task (slot) mitigation state, indexed like `tasks`; entries
+/// for hedge/retry copies are inert placeholders (their state lives at the
+/// original's index).
+struct SlotState {
+    /// A completion (or exhaustion) already resolved this slot; any other
+    /// in-flight attempt is a loser to cancel at dequeue or completion.
+    resolved: bool,
+    /// Attempts issued so far (original + hedges + retries).
+    attempts: u32,
+    /// Attempts currently queued or in service.
+    live: u32,
+    /// The slot's queuing deadline (duplicates inherit it).
+    deadline: SimTime,
+    /// When a hedge copy becomes due, if hedging is configured.
+    hedge_at: Option<SimTime>,
+    /// Servers already tried by duplicates (excluded from backup choice).
+    extra_servers: Vec<u32>,
+}
+
+impl SlotState {
+    fn placeholder() -> Self {
+        SlotState {
+            resolved: true,
+            attempts: 0,
+            live: 0,
+            deadline: SimTime::ZERO,
+            hedge_at: None,
+            extra_servers: Vec::new(),
+        }
+    }
 }
 
 struct QueryMeta {
     class: u8,
     fanout: u32,
     started_at: SimTime,
+    /// Unresolved slots (not tasks: hedge copies do not inflate it).
     outstanding: u32,
     record: bool,
+    /// First slot id; the query's slots are `first_task..first_task+fanout`.
+    first_task: TaskId,
+    /// Slots resolved by a completed attempt.
+    completed_slots: u32,
+    /// Slots resolved by exhausting every attempt to faults.
+    lost_slots: u32,
+    /// Completed slots needed to finish (equals `fanout` without a
+    /// [`MitigationConfig::partial_quorum`]).
+    quorum: u32,
+    done: bool,
 }
 
 struct ServerSlot {
@@ -208,8 +301,10 @@ pub struct QueryHandler {
     estimator: DeadlineEstimator,
     servers: Vec<ServerSlot>,
     tasks: Vec<TaskMeta>,
+    slots: Vec<SlotState>,
     queries: Vec<QueryMeta>,
     admission: Option<AdmissionController>,
+    mitigation: Option<MitigationConfig>,
     stats: SchedStats,
 }
 
@@ -254,8 +349,10 @@ impl QueryHandler {
                 })
                 .collect(),
             tasks: Vec::new(),
+            slots: Vec::new(),
             queries: Vec::new(),
             admission: admission.map(AdmissionController::new),
+            mitigation: None,
             stats: SchedStats {
                 query_latency_by_class: BTreeMap::new(),
                 query_latency_by_type: BTreeMap::new(),
@@ -265,8 +362,23 @@ impl QueryHandler {
                 completed_queries: 0,
                 rejected_queries: 0,
                 admission_resumes: 0,
+                robustness: RobustnessStats::default(),
+                partial_latency: LatencyReservoir::new(),
             },
         }
+    }
+
+    /// Enables straggler/fault mitigation (hedging, retries, partial
+    /// quorum). Without it the handler behaves exactly as before: one
+    /// attempt per task, queries complete when every task returns.
+    pub fn with_mitigation(mut self, mitigation: MitigationConfig) -> Self {
+        self.mitigation = Some(mitigation);
+        self
+    }
+
+    /// The mitigation config, when one was set.
+    pub fn mitigation(&self) -> Option<&MitigationConfig> {
+        self.mitigation.as_ref()
     }
 
     /// Handles one query arrival at `now`: admission (§III.C), deadline
@@ -338,6 +450,14 @@ impl QueryHandler {
             );
         }
 
+        // Graceful degradation (when configured): the query may complete
+        // "partial" once a quorum of its slots has a result.
+        let quorum = match self.mitigation.as_ref().and_then(|m| m.partial_quorum) {
+            Some(f) => ((f64::from(fanout) * f).ceil() as u32).clamp(1, fanout),
+            None => fanout,
+        };
+        let hedge_after = self.mitigation.as_ref().and_then(|m| m.hedge_after);
+
         let query = self.queries.len() as QueryId;
         self.queries.push(QueryMeta {
             class: arrival.class,
@@ -345,17 +465,38 @@ impl QueryHandler {
             started_at: now,
             outstanding: fanout,
             record: arrival.record,
+            first_task: self.tasks.len() as TaskId,
+            completed_slots: 0,
+            lost_slots: 0,
+            quorum,
+            done: false,
         });
 
         for (idx, &server) in arrival.targets.iter().enumerate() {
             let task = self.tasks.len() as TaskId;
-            self.tasks.push(TaskMeta { query, server });
+            self.tasks.push(TaskMeta {
+                query,
+                server,
+                slot: task,
+                kind: AttemptKind::Original,
+            });
             self.stats.load.task_dispatched();
             // Footnote-4 ablation hook: per-task deadlines when provided.
-            let task_deadline = match arrival.task_budgets {
-                Some(tb) => now + tb[idx],
-                None => deadline,
+            let (task_budget, task_deadline) = match arrival.task_budgets {
+                Some(tb) => (tb[idx], now + tb[idx]),
+                None => (budget, deadline),
             };
+            self.slots.push(SlotState {
+                resolved: false,
+                attempts: 1,
+                live: 1,
+                deadline: task_deadline,
+                // Deadline-aware hedge trigger: a fraction of the queuing
+                // budget after arrival (the remaining budget has crossed
+                // the threshold once it fires).
+                hedge_at: hedge_after.map(|f| now + task_budget.mul_f64(f)),
+                extra_servers: Vec::new(),
+            });
             let mut entry = QueuedTask::new(
                 u64::from(task),
                 ServiceClass(arrival.class),
@@ -395,7 +536,12 @@ impl QueryHandler {
         task: TaskId,
         busy: SimDuration,
     ) -> TaskCompletion {
-        let TaskMeta { query, server } = self.tasks[task as usize];
+        let TaskMeta {
+            query,
+            server,
+            slot,
+            kind,
+        } = self.tasks[task as usize];
         debug_assert_eq!(
             self.servers[server as usize].in_service,
             Some(task),
@@ -408,18 +554,200 @@ impl QueryHandler {
         self.estimator.record_post_queuing(server as usize, busy);
 
         let next = self.on_server_free(now, server);
-        let done = self.aggregate(now, query);
+        let slot_state = &mut self.slots[slot as usize];
+        slot_state.live -= 1;
+        let done = if slot_state.resolved {
+            // A duplicate already resolved this slot: the completion is a
+            // loser — its work was done (busy accounting stands) but its
+            // result is ignored.
+            self.stats.robustness.cancelled_tasks += 1;
+            None
+        } else {
+            // First completion wins the slot.
+            slot_state.resolved = true;
+            self.stats.robustness.task_wins += 1;
+            if kind == AttemptKind::Hedge {
+                self.stats.robustness.hedge_wins += 1;
+            }
+            self.resolve_slot(now, query, false)
+        };
         TaskCompletion { next, done }
     }
 
+    /// Handles the loss of `task` — in service at its server — to an
+    /// injected fault (blackout drop) or a worker failure. The server is
+    /// freed (no busy time is recorded: the work produced nothing the
+    /// estimator should learn from), and the slot either retries on a
+    /// backup server (see [`LostTask::retry`]), keeps waiting for another
+    /// live attempt, or — with every attempt exhausted — resolves as lost,
+    /// possibly finishing the query as partial or failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `task` is unknown; debug-asserts it is in service.
+    pub fn on_task_lost(&mut self, now: SimTime, task: TaskId) -> LostTask {
+        let TaskMeta {
+            query,
+            server,
+            slot,
+            kind: _,
+        } = self.tasks[task as usize];
+        debug_assert_eq!(
+            self.servers[server as usize].in_service,
+            Some(task),
+            "loss implies the task is in service at its server"
+        );
+        let next = self.on_server_free(now, server);
+        let slot_state = &mut self.slots[slot as usize];
+        slot_state.live -= 1;
+        if slot_state.resolved {
+            // The slot already has a winner; losing a loser is a wash.
+            self.stats.robustness.cancelled_tasks += 1;
+            return LostTask {
+                next,
+                retry: None,
+                done: None,
+            };
+        }
+        self.stats.robustness.tasks_lost_to_faults += 1;
+        let can_retry = self
+            .mitigation
+            .as_ref()
+            .map(|m| m.retry_lost && self.slots[slot as usize].attempts < m.max_attempts)
+            .unwrap_or(false);
+        let retry = if can_retry {
+            self.backup_server(slot)
+                .map(|server| RetryPlan { slot, server })
+        } else {
+            None
+        };
+        let done = if retry.is_none() && self.slots[slot as usize].live == 0 {
+            // Every attempt is gone: the slot resolves as lost.
+            self.slots[slot as usize].resolved = true;
+            self.resolve_slot(now, query, true)
+        } else {
+            None
+        };
+        LostTask { next, retry, done }
+    }
+
     /// Releases `server` and pulls its next queued task into service, if
-    /// any. [`QueryHandler::on_task_complete`] calls this internally;
+    /// any. Queued attempts whose slot was already resolved (hedge losers,
+    /// stragglers of early-quorum queries) are discarded here — the
+    /// cancel-at-dequeue that a [`TaskQueue`] without arbitrary removal
+    /// supports. [`QueryHandler::on_task_complete`] calls this internally;
     /// drivers only need it when a server frees up without completing a
     /// task (e.g. a cancelled assignment).
     pub fn on_server_free(&mut self, now: SimTime, server: u32) -> Option<DispatchedTask> {
         self.servers[server as usize].in_service = None;
-        let entry = self.servers[server as usize].queue.pop()?;
-        Some(self.start(now, server, entry))
+        loop {
+            let entry = self.servers[server as usize].queue.pop()?;
+            let task = entry.task_id as TaskId;
+            let slot = self.tasks[task as usize].slot;
+            if self.slots[slot as usize].resolved {
+                self.slots[slot as usize].live -= 1;
+                self.stats.robustness.cancelled_tasks += 1;
+                continue;
+            }
+            return Some(self.start(now, server, entry));
+        }
+    }
+
+    /// When the hedge copy of `task` (an original attempt) becomes due, if
+    /// hedging is configured — the driver schedules its hedge check here.
+    pub fn hedge_deadline(&self, task: TaskId) -> Option<SimTime> {
+        self.slots[task as usize].hedge_at
+    }
+
+    /// Picks a backup server for the slot of `task` when a hedge is still
+    /// worthwhile: the slot is unresolved, attempts remain under
+    /// [`MitigationConfig::max_attempts`], and an untried server exists.
+    /// The driver follows up with [`QueryHandler::issue_duplicate`].
+    pub fn hedge_target(&self, task: TaskId) -> Option<u32> {
+        let m = self.mitigation.as_ref()?;
+        let slot_state = &self.slots[task as usize];
+        if slot_state.resolved || slot_state.attempts >= m.max_attempts {
+            return None;
+        }
+        self.backup_server(task)
+    }
+
+    /// The least-loaded server (queue depth + in-service occupancy, lowest
+    /// index breaking ties — deterministic) that this slot has not yet
+    /// tried. `None` when every server was tried.
+    fn backup_server(&self, slot: TaskId) -> Option<u32> {
+        let origin = self.tasks[slot as usize].server;
+        let tried = &self.slots[slot as usize].extra_servers;
+        let mut best: Option<(usize, u32)> = None;
+        for (i, s) in self.servers.iter().enumerate() {
+            let i = i as u32;
+            if i == origin || tried.contains(&i) {
+                continue;
+            }
+            let depth = s.queue.len() + usize::from(s.in_service.is_some());
+            if best.is_none_or(|(d, _)| depth < d) {
+                best = Some((depth, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Issues a hedge or retry copy of `slot` (an original task id) on
+    /// `server`, with an optional size hint (the simulator's fresh service
+    /// draw for the backup). Returns the new attempt's task id and, when
+    /// the backup server was idle, the dispatch the driver must begin.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the slot is unresolved and `kind` is not
+    /// [`AttemptKind::Original`].
+    pub fn issue_duplicate(
+        &mut self,
+        now: SimTime,
+        slot: TaskId,
+        server: u32,
+        size: Option<SimDuration>,
+        kind: AttemptKind,
+    ) -> (TaskId, Option<DispatchedTask>) {
+        debug_assert_ne!(kind, AttemptKind::Original, "duplicates are not originals");
+        debug_assert!(
+            !self.slots[slot as usize].resolved,
+            "cannot duplicate a resolved slot"
+        );
+        let query = self.tasks[slot as usize].query;
+        let class = self.queries[query as usize].class;
+        let deadline = self.slots[slot as usize].deadline;
+        let task = self.tasks.len() as TaskId;
+        self.tasks.push(TaskMeta {
+            query,
+            server,
+            slot,
+            kind,
+        });
+        self.slots.push(SlotState::placeholder());
+        {
+            let slot_state = &mut self.slots[slot as usize];
+            slot_state.attempts += 1;
+            slot_state.live += 1;
+            slot_state.extra_servers.push(server);
+        }
+        match kind {
+            AttemptKind::Hedge => self.stats.robustness.hedges_issued += 1,
+            AttemptKind::Retry => self.stats.robustness.retries += 1,
+            AttemptKind::Original => {}
+        }
+        self.stats.load.task_dispatched();
+        let mut entry = QueuedTask::new(u64::from(task), ServiceClass(class), deadline, now);
+        if let Some(size) = size {
+            entry = entry.with_size_hint(size);
+        }
+        let dispatched = if self.servers[server as usize].in_service.is_none() {
+            Some(self.start(now, server, entry))
+        } else {
+            self.servers[server as usize].queue.push(entry);
+            None
+        };
+        (task, dispatched)
     }
 
     /// Dequeues `entry` into service on `server`: miss detection at dequeue
@@ -441,26 +769,56 @@ impl QueryHandler {
         DispatchedTask { task, server }
     }
 
-    fn aggregate(&mut self, now: SimTime, query: QueryId) -> Option<QueryDone> {
+    /// Accounts one resolved slot of `query` (won by a completion, or lost
+    /// with every attempt exhausted) and finishes the query when its quorum
+    /// is met or no slots remain — the generalized slowest-task-wins
+    /// aggregation (quorum = fanout without a partial-quorum config).
+    fn resolve_slot(&mut self, now: SimTime, query: QueryId, lost: bool) -> Option<QueryDone> {
         let meta = &mut self.queries[query as usize];
-        meta.outstanding -= 1;
-        if meta.outstanding > 0 {
+        if meta.done {
             return None;
         }
+        meta.outstanding -= 1;
+        if lost {
+            meta.lost_slots += 1;
+        } else {
+            meta.completed_slots += 1;
+        }
+        if meta.completed_slots < meta.quorum && meta.outstanding > 0 {
+            return None;
+        }
+        meta.done = true;
         let latency = now.saturating_since(meta.started_at);
         let (class, fanout, recorded) = (meta.class, meta.fanout, meta.record);
+        let completed = meta.completed_slots;
+        let partial = completed < fanout;
+        let (first, last) = (meta.first_task, meta.first_task + fanout);
+        // Early quorum: the query is done, so any unresolved straggler
+        // slots resolve now — their in-flight attempts become losers,
+        // cancelled at completion or dequeue.
+        for slot in first..last {
+            self.slots[slot as usize].resolved = true;
+        }
         if recorded {
-            self.stats
-                .query_latency_by_class
-                .entry(class)
-                .or_default()
-                .record(latency);
-            self.stats
-                .query_latency_by_type
-                .entry(QueryTypeKey { class, fanout })
-                .or_default()
-                .record(latency);
-            self.stats.completed_queries += 1;
+            if completed == 0 {
+                // Nothing came back: the query failed outright.
+                self.stats.robustness.failed_queries += 1;
+            } else if partial {
+                self.stats.robustness.partial_completions += 1;
+                self.stats.partial_latency.record(latency);
+            } else {
+                self.stats
+                    .query_latency_by_class
+                    .entry(class)
+                    .or_default()
+                    .record(latency);
+                self.stats
+                    .query_latency_by_type
+                    .entry(QueryTypeKey { class, fanout })
+                    .or_default()
+                    .record(latency);
+                self.stats.completed_queries += 1;
+            }
         }
         Some(QueryDone {
             query,
@@ -468,6 +826,7 @@ impl QueryHandler {
             fanout,
             latency,
             recorded,
+            partial,
         })
     }
 
@@ -692,6 +1051,130 @@ mod tests {
             next,
             Some(DispatchedTask { task: 2, server: 0 }),
             "SJF must pick the short task first"
+        );
+    }
+
+    #[test]
+    fn hedge_copy_wins_and_original_is_cancelled() {
+        let mut h = handler(2, Policy::TfEdf, None)
+            .with_mitigation(MitigationConfig::new().with_hedge_after(0.5));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let due = h.hedge_deadline(0).expect("original has a hedge deadline");
+        assert!(due > SimTime::ZERO);
+        assert_eq!(h.hedge_target(0), Some(1), "idle server 1 is the backup");
+
+        let (hedge, dispatched) = h.issue_duplicate(due, 0, 1, None, AttemptKind::Hedge);
+        assert_eq!(dispatched, Some(DispatchedTask { task: 1, server: 1 }));
+        assert_eq!(h.hedge_target(0), None, "attempt cap reached");
+
+        // The hedge returns first: it wins and completes the query.
+        let win = h.on_task_complete(due + ms(1.0), hedge, ms(1.0));
+        let q = win.done.expect("hedge completion finishes the query");
+        assert!(!q.partial);
+        assert_eq!(h.stats().robustness.hedges_issued, 1);
+        assert_eq!(h.stats().robustness.hedge_wins, 1);
+        assert_eq!(h.stats().completed_queries, 1);
+
+        // The straggling original is a loser: no double aggregation.
+        let lose = h.on_task_complete(due + ms(5.0), 0, ms(5.0));
+        assert!(lose.done.is_none());
+        assert_eq!(h.stats().robustness.cancelled_tasks, 1);
+        assert_eq!(h.stats().completed_queries, 1);
+    }
+
+    #[test]
+    fn partial_quorum_completes_early_and_separately() {
+        let mut h = handler(3, Policy::TfEdf, None)
+            .with_mitigation(MitigationConfig::new().with_partial_quorum(0.5));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0, 1, 2], true), &mut started);
+        // ceil(0.5 × 3) = 2 of 3 tasks suffice.
+        assert!(h
+            .on_task_complete(SimTime::from_millis(1), 0, ms(1.0))
+            .done
+            .is_none());
+        let q = h
+            .on_task_complete(SimTime::from_millis(2), 1, ms(2.0))
+            .done
+            .expect("quorum reached");
+        assert!(q.partial);
+        assert_eq!(q.latency, ms(2.0));
+        assert_eq!(h.stats().robustness.partial_completions, 1);
+        assert_eq!(h.stats().partial_latency.len(), 1);
+        assert_eq!(
+            h.stats().completed_queries,
+            0,
+            "partial is not a full SLO hit"
+        );
+        // The straggler resolves as a loser.
+        assert!(h
+            .on_task_complete(SimTime::from_millis(9), 2, ms(9.0))
+            .done
+            .is_none());
+        assert_eq!(h.stats().robustness.cancelled_tasks, 1);
+    }
+
+    #[test]
+    fn lost_task_retries_on_backup_and_completes() {
+        let mut h = handler(2, Policy::TfEdf, None).with_mitigation(MitigationConfig::new());
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let lost = h.on_task_lost(SimTime::from_millis(1), 0);
+        assert_eq!(lost.retry, Some(RetryPlan { slot: 0, server: 1 }));
+        assert!(lost.done.is_none());
+        assert_eq!(h.stats().robustness.tasks_lost_to_faults, 1);
+
+        let (retry, dispatched) =
+            h.issue_duplicate(SimTime::from_millis(1), 0, 1, None, AttemptKind::Retry);
+        assert!(dispatched.is_some());
+        let q = h
+            .on_task_complete(SimTime::from_millis(3), retry, ms(2.0))
+            .done
+            .expect("retry completes the query");
+        assert!(!q.partial, "all slots have results");
+        assert_eq!(q.latency, ms(3.0), "latency counts from arrival");
+        assert_eq!(h.stats().robustness.retries, 1);
+        assert_eq!(h.stats().completed_queries, 1);
+    }
+
+    #[test]
+    fn lost_task_without_mitigation_fails_the_query() {
+        let mut h = handler(2, Policy::TfEdf, None);
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let lost = h.on_task_lost(SimTime::from_millis(1), 0);
+        assert_eq!(lost.retry, None, "no mitigation → no retry");
+        let q = lost.done.expect("sole slot resolved as lost");
+        assert!(q.partial);
+        assert_eq!(h.stats().robustness.failed_queries, 1);
+        assert_eq!(h.stats().robustness.tasks_lost_to_faults, 1);
+        assert_eq!(h.stats().completed_queries, 0);
+        assert_eq!(h.stats().partial_latency.len(), 0, "no result, no latency");
+    }
+
+    #[test]
+    fn queued_loser_is_cancelled_at_dequeue() {
+        let mut h = handler(2, Policy::TfEdf, None)
+            .with_mitigation(MitigationConfig::new().with_hedge_after(0.1));
+        let mut started = Vec::new();
+        // Filler occupies server 1 so the hedge has to queue behind it.
+        h.on_query_arrival(SimTime::ZERO, arrival(&[1], true), &mut started);
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let (_, dispatched) =
+            h.issue_duplicate(SimTime::from_millis(1), 1, 1, None, AttemptKind::Hedge);
+        assert_eq!(dispatched, None, "server 1 busy: hedge queues");
+
+        // The original wins; then server 1 frees and must discard the
+        // queued hedge instead of starting it.
+        h.on_task_complete(SimTime::from_millis(2), 1, ms(2.0));
+        let filler = h.on_task_complete(SimTime::from_millis(3), 0, ms(3.0));
+        assert_eq!(filler.next, None, "queued loser discarded, queue empty");
+        assert_eq!(h.stats().robustness.cancelled_tasks, 1);
+        assert_eq!(
+            h.stats().load.tasks_completed_count(),
+            2,
+            "the cancelled hedge never counts as a dequeue"
         );
     }
 

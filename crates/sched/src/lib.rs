@@ -27,10 +27,12 @@ mod admission;
 mod config;
 mod estimator;
 mod handler;
+mod mitigation;
 
 pub use config::{AdmissionConfig, ClassSpec, ClusterSpec};
 pub use estimator::{DeadlineEstimator, EstimatorMode};
 pub use handler::{
-    AdmitDecision, DispatchedTask, QueryArrival, QueryDone, QueryHandler, QueryId, QueryTypeKey,
-    SchedStats, TaskCompletion, TaskId,
+    AdmitDecision, AttemptKind, DispatchedTask, LostTask, QueryArrival, QueryDone, QueryHandler,
+    QueryId, QueryTypeKey, RetryPlan, SchedStats, TaskCompletion, TaskId,
 };
+pub use mitigation::{MitigationConfig, RobustnessStats};

@@ -1,0 +1,156 @@
+//! Straggler/fault mitigation knobs and counters.
+//!
+//! The mitigation layer lives in the shared [`crate::QueryHandler`] so both
+//! runtimes get identical semantics: deadline-aware hedging (reissue a task
+//! to a backup server when its remaining budget crosses a threshold, first
+//! completion wins), fault-driven retries (a task lost to a blackout is
+//! reissued elsewhere), and graceful degradation (a query may complete
+//! "partial" once a quorum of `m ≤ k_f` tasks has finished, accounted
+//! separately so SLO reporting stays honest).
+
+/// Mitigation configuration, all knobs expressed as *fractions* of
+/// per-query quantities so the same config works in the simulator's
+/// virtual-time domain and the testbed's compressed wall-clock domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationConfig {
+    /// Hedge threshold as a fraction of the task's queuing budget `T_b`:
+    /// when a task has not completed by `t_0 + hedge_after × T_b`, a hedge
+    /// copy is issued to a backup server. `None` disables hedging.
+    pub hedge_after: Option<f64>,
+    /// Maximum attempts per logical task, counting the original (so 2 =
+    /// original + at most one hedge/retry). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Whether tasks lost to faults (blackouts, worker failures) are
+    /// retried on a backup server while attempts remain.
+    pub retry_lost: bool,
+    /// Graceful degradation: the query completes "partial" once
+    /// `ceil(partial_quorum × k_f)` of its tasks have finished (clamped to
+    /// `1..=k_f`). `None` requires all `k_f` tasks.
+    pub partial_quorum: Option<f64>,
+}
+
+impl Default for MitigationConfig {
+    fn default() -> Self {
+        MitigationConfig {
+            hedge_after: None,
+            max_attempts: 2,
+            retry_lost: true,
+            partial_quorum: None,
+        }
+    }
+}
+
+impl MitigationConfig {
+    /// The default config: no hedging, no quorum, lost tasks retried once.
+    pub fn new() -> Self {
+        MitigationConfig::default()
+    }
+
+    /// Sets the hedge threshold as a fraction of the queuing budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is finite and positive.
+    pub fn with_hedge_after(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && fraction > 0.0,
+            "hedge_after must be finite and positive, got {fraction}"
+        );
+        self.hedge_after = Some(fraction);
+        self
+    }
+
+    /// Sets the per-task attempt cap (original + hedges/retries).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `attempts` is zero.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        assert!(attempts >= 1, "max_attempts must be at least 1");
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Enables or disables retrying fault-lost tasks.
+    pub fn with_retry_lost(mut self, retry: bool) -> Self {
+        self.retry_lost = retry;
+        self
+    }
+
+    /// Sets the partial-completion quorum fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is in `(0, 1]`.
+    pub fn with_partial_quorum(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "partial_quorum must be in (0, 1], got {fraction}"
+        );
+        self.partial_quorum = Some(fraction);
+        self
+    }
+}
+
+/// Fault/hedge/partial counters, accumulated by the handler.
+///
+/// Conservation invariant (checked by the property tests): once all issued
+/// work has drained, `task_wins + cancelled_tasks + tasks_lost_to_faults`
+/// equals the number of task attempts created, and every admitted query is
+/// exactly one of fully completed, partial, or failed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Hedge copies issued (budget threshold crossed).
+    pub hedges_issued: u64,
+    /// Hedge copies that won their slot (beat the original).
+    pub hedge_wins: u64,
+    /// Retry copies issued for tasks lost to faults.
+    pub retries: u64,
+    /// Task attempts that resolved their slot (first completion per slot).
+    pub task_wins: u64,
+    /// Task attempts discarded because their slot was already resolved
+    /// (hedge losers, and stragglers of early-quorum queries).
+    pub cancelled_tasks: u64,
+    /// Task attempts lost to injected faults or worker failures.
+    pub tasks_lost_to_faults: u64,
+    /// Queries that completed at quorum with fewer than `k_f` task results.
+    pub partial_completions: u64,
+    /// Queries whose every task was lost (no result at all).
+    pub failed_queries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let m = MitigationConfig::new()
+            .with_hedge_after(0.5)
+            .with_max_attempts(3)
+            .with_retry_lost(false)
+            .with_partial_quorum(0.8);
+        assert_eq!(m.hedge_after, Some(0.5));
+        assert_eq!(m.max_attempts, 3);
+        assert!(!m.retry_lost);
+        assert_eq!(m.partial_quorum, Some(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "hedge_after")]
+    fn zero_hedge_fraction_panics() {
+        let _ = MitigationConfig::new().with_hedge_after(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempts_panics() {
+        let _ = MitigationConfig::new().with_max_attempts(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partial_quorum")]
+    fn oversized_quorum_panics() {
+        let _ = MitigationConfig::new().with_partial_quorum(1.5);
+    }
+}

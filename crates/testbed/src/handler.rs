@@ -8,13 +8,15 @@
 //! per-task record ranges sent to edge nodes, and the sensing aggregates
 //! (records, temperature, humidity).
 
-use crate::node::{TaskAssignment, TaskResult};
-use std::collections::BTreeMap;
+use crate::node::{TaskAssignment, TaskOutcome, TaskResult};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::future::Future;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_policy::Policy;
 use tailguard_sched::{
-    AdmissionConfig, AdmitDecision, ClassSpec, DeadlineEstimator, DispatchedTask, QueryArrival,
-    QueryHandler, TaskCompletion,
+    AdmissionConfig, AdmitDecision, AttemptKind, ClassSpec, DeadlineEstimator, DispatchedTask,
+    MitigationConfig, QueryArrival, QueryHandler, RobustnessStats, TaskCompletion,
 };
 use tailguard_simcore::{SimDuration, SimTime};
 use tokio::sync::mpsc;
@@ -49,12 +51,17 @@ pub(crate) struct HandlerOutput {
     pub temperature_sum: f64,
     pub humidity_sum: f64,
     pub task_results: u64,
+    /// Fault/hedge/partial counters from the scheduling core.
+    pub robustness: RobustnessStats,
+    /// Tasks whose worker panicked (counted on top of `tasks_lost_to_faults`).
+    pub worker_panics: u64,
 }
 
 pub(crate) struct HandlerConfig {
     pub policy: Policy,
     pub scaled_classes: Vec<ClassSpec>, // per class, wall-scaled SLOs
     pub admission: Option<AdmissionConfig>, // window in the scaled domain
+    pub mitigation: Option<MitigationConfig>, // hedging/retry/partial quorum
     pub expected_queries: u64,
 }
 
@@ -80,6 +87,9 @@ pub(crate) async fn query_handler(
         estimator,
         cfg.admission,
     );
+    if let Some(mitigation) = cfg.mitigation {
+        core = core.with_mitigation(mitigation);
+    }
     // Driver-side per-task state, indexed by the core's sequential task id:
     // what to fetch, and when the node started on it.
     let mut task_ranges: Vec<(u32, u32)> = Vec::new();
@@ -93,6 +103,10 @@ pub(crate) async fn query_handler(
     let mut temperature_sum = 0.0f64;
     let mut humidity_sum = 0.0f64;
     let mut task_results = 0u64;
+    let mut worker_panics = 0u64;
+    // Pending hedge thresholds: (wall deadline, slot task id), earliest
+    // first. Stale entries (slot already resolved) are dropped when due.
+    let mut hedge_heap: BinaryHeap<Reverse<(Instant, u32)>> = BinaryHeap::new();
 
     let to_sim =
         |i: Instant| -> SimTime { SimTime::from_nanos(i.duration_since(epoch).as_nanos() as u64) };
@@ -100,14 +114,22 @@ pub(crate) async fn query_handler(
     loop {
         {
             let stats = core.stats();
-            if stats.completed_queries + stats.rejected_queries >= cfg.expected_queries {
+            let finished = stats.completed_queries
+                + stats.rejected_queries
+                + stats.robustness.partial_completions
+                + stats.robustness.failed_queries;
+            if finished >= cfg.expected_queries {
                 break;
             }
         }
-        // Biased two-way select, hand-rolled at the poll level: node
-        // results are always drained before new queries (completions free
-        // servers, so this keeps queue depth honest), and the loop ends
+        // Biased three-way select, hand-rolled at the poll level: node
+        // results are always drained before hedge timers (a completion can
+        // make a pending hedge moot) and before new queries (completions
+        // free servers, so this keeps queue depth honest); the loop ends
         // when both channels are closed and drained.
+        let mut hedge_sleep = hedge_heap
+            .peek()
+            .map(|Reverse((at, _))| Box::pin(tokio::time::sleep_until(*at)));
         let event = std::future::poll_fn(|cx| {
             let mut results_closed = false;
             match results.poll_recv(cx) {
@@ -116,6 +138,11 @@ pub(crate) async fn query_handler(
                 }
                 std::task::Poll::Ready(None) => results_closed = true,
                 std::task::Poll::Pending => {}
+            }
+            if let Some(sleep) = hedge_sleep.as_mut() {
+                if sleep.as_mut().poll(cx).is_ready() {
+                    return std::task::Poll::Ready(HandlerEvent::HedgeDue);
+                }
             }
             match queries.poll_recv(cx) {
                 std::task::Poll::Ready(Some(query)) => {
@@ -130,7 +157,7 @@ pub(crate) async fn query_handler(
         })
         .await;
         match event {
-            HandlerEvent::Result(result) => {
+            HandlerEvent::Result(result) if result.outcome == TaskOutcome::Ok => {
                 let node = result.node as usize;
                 let task = result.task_id as u32;
                 let now = Instant::now();
@@ -153,7 +180,66 @@ pub(crate) async fn query_handler(
                     dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
                 }
             }
+            HandlerEvent::Result(result) => {
+                // Lost (fault episode) or Failed (worker panic): no
+                // payload, no busy/estimator update — the core frees the
+                // server, plans a retry if configured, and resolves the
+                // query as failed when no live attempt remains.
+                if result.outcome == TaskOutcome::Failed {
+                    worker_panics += 1;
+                }
+                let task = result.task_id as u32;
+                let now = to_sim(Instant::now());
+                let lost = core.on_task_lost(now, task);
+                if let Some(d) = lost.next {
+                    dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                }
+                if let Some(retry) = lost.retry {
+                    let (dup, dispatched) = core.issue_duplicate(
+                        now,
+                        retry.slot,
+                        retry.server,
+                        None,
+                        AttemptKind::Retry,
+                    );
+                    debug_assert_eq!(dup as usize, task_ranges.len());
+                    task_ranges.push(task_ranges[retry.slot as usize]);
+                    dispatched_at.push(None);
+                    if let Some(d) = dispatched {
+                        dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                    }
+                }
+                // lost.done needs no driving here: the sas workload has no
+                // request chaining, and the failed/partial accounting
+                // already happened in the core.
+            }
+            HandlerEvent::HedgeDue => {
+                let wall = Instant::now();
+                let now = to_sim(wall);
+                while let Some(Reverse((at, _))) = hedge_heap.peek() {
+                    if *at > wall {
+                        break;
+                    }
+                    let Some(Reverse((_, slot))) = hedge_heap.pop() else {
+                        break;
+                    };
+                    // Slot already resolved or at its attempt cap → the
+                    // timer is stale; drop it.
+                    let Some(server) = core.hedge_target(slot) else {
+                        continue;
+                    };
+                    let (dup, dispatched) =
+                        core.issue_duplicate(now, slot, server, None, AttemptKind::Hedge);
+                    debug_assert_eq!(dup as usize, task_ranges.len());
+                    task_ranges.push(task_ranges[slot as usize]);
+                    dispatched_at.push(None);
+                    if let Some(d) = dispatched {
+                        dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                    }
+                }
+            }
             HandlerEvent::Query(query) => {
+                let first_task = core.task_count();
                 let decision = core.on_query_arrival(
                     to_sim(Instant::now()),
                     QueryArrival {
@@ -171,6 +257,14 @@ pub(crate) async fn query_handler(
                 if let AdmitDecision::Admitted { .. } = decision {
                     task_ranges.extend(&query.ranges);
                     dispatched_at.resize(task_ranges.len(), None);
+                    for t in first_task..core.task_count() {
+                        if let Some(at) = core.hedge_deadline(t as u32) {
+                            hedge_heap.push(Reverse((
+                                epoch + std::time::Duration::from_nanos(at.as_nanos()),
+                                t as u32,
+                            )));
+                        }
+                    }
                     for &d in &started {
                         dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
                     }
@@ -196,6 +290,8 @@ pub(crate) async fn query_handler(
         temperature_sum,
         humidity_sum,
         task_results,
+        robustness: stats.robustness,
+        worker_panics,
     }
 }
 
@@ -217,10 +313,12 @@ fn dispatch(
     });
 }
 
-/// Outcome of one biased poll over the two handler input channels.
+/// Outcome of one biased poll over the handler's inputs.
 enum HandlerEvent {
-    /// A node completed a task.
+    /// A node completed (or lost) a task.
     Result(TaskResult),
+    /// The earliest pending hedge threshold elapsed.
+    HedgeDue,
     /// The load generator produced a query.
     Query(IncomingQuery),
     /// Both channels closed and drained.

@@ -1,10 +1,13 @@
 //! The emulated edge node.
 
 use crate::sensor::SensorStore;
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, OnceLock};
 use tailguard_dist::DynDistribution;
-use tailguard_simcore::SimRng;
+use tailguard_faults::FaultPlan;
+use tailguard_simcore::{SimDuration, SimRng, SimTime};
 use tokio::sync::mpsc;
+use tokio::time::Instant;
 
 /// A task sent from the query handler to an edge node.
 #[derive(Debug, Clone, Copy)]
@@ -15,6 +18,18 @@ pub(crate) struct TaskAssignment {
     pub start_day: u32,
     /// Number of consecutive days requested.
     pub days: u32,
+}
+
+/// What happened to a task at the edge node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskOutcome {
+    /// The retrieval completed and the payload is valid.
+    Ok,
+    /// A fault episode swallowed the task (at dispatch) or its result (at
+    /// completion); no payload.
+    Lost,
+    /// The worker panicked while serving the task; no payload.
+    Failed,
 }
 
 /// A completed task returned to the handler/aggregator.
@@ -30,6 +45,20 @@ pub(crate) struct TaskResult {
     pub mean_temperature: f32,
     /// Mean humidity over the range.
     pub mean_humidity: f32,
+    /// Whether the payload is valid, or how the task was lost.
+    pub outcome: TaskOutcome,
+}
+
+/// A payload-free result for a task the node could not serve.
+fn empty_result(node: u32, task_id: u64, outcome: TaskOutcome) -> TaskResult {
+    TaskResult {
+        node,
+        task_id,
+        records: 0,
+        mean_temperature: 0.0,
+        mean_humidity: 0.0,
+        outcome,
+    }
 }
 
 /// Runs one edge node: serves tasks one at a time — emulating the Pi's
@@ -37,18 +66,60 @@ pub(crate) struct TaskResult {
 /// distribution (compressed by `time_scale`) — then performs the actual
 /// record retrieval and returns the aggregate.
 ///
+/// `faults` (already compressed into the wall domain) injects per-node
+/// episodes measured from the instant `fault_epoch` is set; until then the
+/// node is healthy, so offline calibration always probes the fault-free
+/// cluster. Worker panics (in the service draw or the retrieval) are caught
+/// and reported as [`TaskOutcome::Failed`] instead of killing the node.
+///
 /// Exits when the assignment channel closes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) async fn edge_node(
     node_id: u32,
     store: Arc<SensorStore>,
     service: DynDistribution,
     time_scale: f64,
+    faults: Option<Arc<FaultPlan>>,
+    fault_epoch: Arc<OnceLock<Instant>>,
     mut rng: SimRng,
     mut tasks: mpsc::UnboundedReceiver<TaskAssignment>,
     results: mpsc::UnboundedSender<TaskResult>,
 ) {
     while let Some(task) = tasks.recv().await {
-        let service_ms = service.sample(&mut rng) / time_scale;
+        let fault_now = || -> Option<SimTime> {
+            let epoch = fault_epoch.get()?;
+            Some(SimTime::from_nanos(epoch.elapsed().as_nanos() as u64))
+        };
+        // A pathological service distribution can panic; treat that like
+        // any other worker fault so the node survives.
+        let drawn = std::panic::catch_unwind(AssertUnwindSafe(|| service.sample(&mut rng)));
+        let Ok(sample_ms) = drawn else {
+            if results
+                .send(empty_result(node_id, task.task_id, TaskOutcome::Failed))
+                .is_err()
+            {
+                return;
+            }
+            continue;
+        };
+        let mut service_ms = sample_ms / time_scale;
+        if let (Some(plan), Some(now)) = (faults.as_deref(), fault_now()) {
+            if plan.drops(node_id, now) {
+                // Blackout at dispatch: the task is swallowed, no work done.
+                if results
+                    .send(empty_result(node_id, task.task_id, TaskOutcome::Lost))
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            // Stall episodes defer the start; slowdown episodes inflate the
+            // service — both fold into one effective dispatch→result delay.
+            service_ms = plan
+                .completion_delay(node_id, now, SimDuration::from_millis_f64(service_ms))
+                .as_millis_f64();
+        }
         // tokio's timer wheel rounds sleeps *up* to 1 ms, which would bias
         // every service time (+0.5 ms mean — 20% at a 25x compression).
         // Stochastic rounding to whole milliseconds keeps the mean exact:
@@ -65,14 +136,34 @@ pub(crate) async fn edge_node(
         if quantized_ms >= 1 {
             tokio::time::sleep(std::time::Duration::from_millis(quantized_ms - 1)).await;
         }
-        let slice = store.range_query(task.start_day, task.days);
-        let (mean_temperature, mean_humidity) = SensorStore::aggregate(slice);
-        let result = TaskResult {
-            node: node_id,
-            task_id: task.task_id,
-            records: slice.len(),
-            mean_temperature,
-            mean_humidity,
+        if let (Some(plan), Some(now)) = (faults.as_deref(), fault_now()) {
+            if plan.drops(node_id, now) {
+                // The result lands inside a blackout: the reply is lost
+                // with the node's in-flight state.
+                if results
+                    .send(empty_result(node_id, task.task_id, TaskOutcome::Lost))
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        }
+        let retrieved = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let slice = store.range_query(task.start_day, task.days);
+            let (mean_temperature, mean_humidity) = SensorStore::aggregate(slice);
+            (slice.len(), mean_temperature, mean_humidity)
+        }));
+        let result = match retrieved {
+            Ok((records, mean_temperature, mean_humidity)) => TaskResult {
+                node: node_id,
+                task_id: task.task_id,
+                records,
+                mean_temperature,
+                mean_humidity,
+                outcome: TaskOutcome::Ok,
+            },
+            Err(_) => empty_result(node_id, task.task_id, TaskOutcome::Failed),
         };
         if results.send(result).is_err() {
             return; // handler gone; shut down quietly
@@ -83,7 +174,12 @@ pub(crate) async fn edge_node(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tailguard_dist::Deterministic;
+    use tailguard_dist::{Cdf, Deterministic, Distribution};
+    use tailguard_faults::{FaultEpisode, FaultKind};
+
+    fn healthy() -> (Option<Arc<FaultPlan>>, Arc<OnceLock<Instant>>) {
+        (None, Arc::new(OnceLock::new()))
+    }
 
     #[tokio::test(start_paused = true)]
     async fn node_serves_tasks_in_order() {
@@ -91,11 +187,14 @@ mod tests {
         let (task_tx, task_rx) = mpsc::unbounded_channel();
         let (res_tx, mut res_rx) = mpsc::unbounded_channel();
         let service: DynDistribution = Arc::new(Deterministic::new(5.0));
+        let (faults, epoch) = healthy();
         tokio::spawn(edge_node(
             3,
             store,
             service,
             1.0,
+            faults,
+            epoch,
             SimRng::seed(1),
             task_rx,
             res_tx,
@@ -115,6 +214,7 @@ mod tests {
             assert_eq!(r.task_id, id);
             assert_eq!(r.node, 3);
             assert_eq!(r.records, SensorStore::RECORDS_PER_DAY);
+            assert_eq!(r.outcome, TaskOutcome::Ok);
         }
         // Three sequential ~5ms services (tick-compensated; allow 1-tick
         // misalignment at the start of the run).
@@ -129,11 +229,14 @@ mod tests {
         let (task_tx, task_rx) = mpsc::unbounded_channel();
         let (res_tx, mut res_rx) = mpsc::unbounded_channel();
         let service: DynDistribution = Arc::new(Deterministic::new(100.0));
+        let (faults, epoch) = healthy();
         tokio::spawn(edge_node(
             0,
             store,
             service,
             10.0, // 100ms of "Pi time" becomes 10ms of wall time
+            faults,
+            epoch,
             SimRng::seed(1),
             task_rx,
             res_tx,
@@ -164,16 +267,166 @@ mod tests {
         let (task_tx, task_rx) = mpsc::unbounded_channel();
         let (res_tx, _res_rx) = mpsc::unbounded_channel();
         let service: DynDistribution = Arc::new(Deterministic::new(1.0));
+        let (faults, epoch) = healthy();
         let h = tokio::spawn(edge_node(
             0,
             store,
             service,
             1.0,
+            faults,
+            epoch,
             SimRng::seed(1),
             task_rx,
             res_tx,
         ));
         drop(task_tx);
         h.await.unwrap(); // must terminate
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn blackout_loses_tasks_until_the_episode_ends() {
+        let store = Arc::new(SensorStore::generate_days(4, 10));
+        let (task_tx, task_rx) = mpsc::unbounded_channel();
+        let (res_tx, mut res_rx) = mpsc::unbounded_channel();
+        let service: DynDistribution = Arc::new(Deterministic::new(2.0));
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            7,
+            SimTime::from_millis(0),
+            SimTime::from_millis(5),
+            FaultKind::Drop,
+        ));
+        let epoch = Arc::new(OnceLock::new());
+        epoch.set(Instant::now()).unwrap();
+        tokio::spawn(edge_node(
+            7,
+            store,
+            service,
+            1.0,
+            Some(Arc::new(plan)),
+            epoch,
+            SimRng::seed(1),
+            task_rx,
+            res_tx,
+        ));
+        let send = |id| {
+            task_tx
+                .send(TaskAssignment {
+                    task_id: id,
+                    start_day: 0,
+                    days: 1,
+                })
+                .unwrap();
+        };
+        send(0);
+        let r = res_rx.recv().await.unwrap();
+        assert_eq!(r.outcome, TaskOutcome::Lost);
+        assert_eq!(r.records, 0);
+        // Past the blackout the node is healthy again.
+        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        send(1);
+        let r = res_rx.recv().await.unwrap();
+        assert_eq!(r.outcome, TaskOutcome::Ok);
+        assert_eq!(r.records, SensorStore::RECORDS_PER_DAY);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn slowdown_inflates_service_time() {
+        let store = Arc::new(SensorStore::generate_days(5, 10));
+        let (task_tx, task_rx) = mpsc::unbounded_channel();
+        let (res_tx, mut res_rx) = mpsc::unbounded_channel();
+        let service: DynDistribution = Arc::new(Deterministic::new(5.0));
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            0,
+            SimTime::from_millis(0),
+            SimTime::from_millis(1_000),
+            FaultKind::Slowdown { factor: 4.0 },
+        ));
+        let epoch = Arc::new(OnceLock::new());
+        epoch.set(Instant::now()).unwrap();
+        tokio::spawn(edge_node(
+            0,
+            store,
+            service,
+            1.0,
+            Some(Arc::new(plan)),
+            epoch,
+            SimRng::seed(1),
+            task_rx,
+            res_tx,
+        ));
+        let t0 = tokio::time::Instant::now();
+        task_tx
+            .send(TaskAssignment {
+                task_id: 0,
+                start_day: 0,
+                days: 1,
+            })
+            .unwrap();
+        let r = res_rx.recv().await.unwrap();
+        assert_eq!(r.outcome, TaskOutcome::Ok);
+        // 5 ms × factor 4 ≈ 20 ms instead of 5 ms.
+        let e = t0.elapsed();
+        assert!(e >= std::time::Duration::from_millis(17), "{e:?}");
+        assert!(e <= std::time::Duration::from_millis(23), "{e:?}");
+    }
+
+    /// A service distribution that panics on every draw — the injection
+    /// point for worker-panic hardening tests.
+    #[derive(Debug)]
+    struct PanickingDist;
+    impl Cdf for PanickingDist {
+        fn cdf(&self, x: f64) -> f64 {
+            if x >= 1.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+    impl Distribution for PanickingDist {
+        fn sample(&self, _rng: &mut SimRng) -> f64 {
+            panic!("injected worker fault")
+        }
+        fn mean(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn worker_panic_reports_failed_and_node_survives() {
+        let store = Arc::new(SensorStore::generate_days(6, 5));
+        let (task_tx, task_rx) = mpsc::unbounded_channel();
+        let (res_tx, mut res_rx) = mpsc::unbounded_channel();
+        let service: DynDistribution = Arc::new(PanickingDist);
+        let (faults, epoch) = healthy();
+        tokio::spawn(edge_node(
+            0,
+            store,
+            service,
+            1.0,
+            faults,
+            epoch,
+            SimRng::seed(1),
+            task_rx,
+            res_tx,
+        ));
+        // Two tasks: both must come back Failed — the panic is contained
+        // per task, so the node keeps serving instead of dying on the
+        // first one.
+        for id in 0..2 {
+            task_tx
+                .send(TaskAssignment {
+                    task_id: id,
+                    start_day: 0,
+                    days: 1,
+                })
+                .unwrap();
+        }
+        for id in 0..2 {
+            let r = res_rx.recv().await.unwrap();
+            assert_eq!(r.task_id, id);
+            assert_eq!(r.outcome, TaskOutcome::Failed);
+            assert_eq!(r.records, 0);
+        }
     }
 }

@@ -4,12 +4,14 @@ use crate::handler::{query_handler, HandlerConfig, IncomingQuery};
 use crate::node::{edge_node, TaskAssignment, TaskResult};
 use crate::sensor::SensorStore;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tailguard::scenarios::{self, SasCluster};
 use tailguard::{AdmissionConfig, ClusterSpec, DeadlineEstimator, EstimatorMode};
 use tailguard_dist::{DynDistribution, Scaled};
+use tailguard_faults::FaultPlan;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_policy::Policy;
+use tailguard_sched::{MitigationConfig, RobustnessStats};
 use tailguard_simcore::{SimDuration, SimRng};
 use tokio::sync::mpsc;
 
@@ -43,6 +45,13 @@ pub struct TestbedConfig {
     /// Admission control (window expressed in *uncompressed* Pi time), if
     /// any.
     pub admission: Option<AdmissionConfig>,
+    /// Fault episodes to inject at the edge nodes (times in *uncompressed*
+    /// Pi time; compressed alongside everything else). Armed only after
+    /// offline calibration, so probes always see the healthy cluster.
+    pub faults: Option<FaultPlan>,
+    /// Deadline-aware hedging/retry and graceful degradation at the
+    /// handler, if any.
+    pub mitigation: Option<MitigationConfig>,
     /// Clock mode.
     pub mode: TestbedMode,
     /// Master seed.
@@ -61,6 +70,8 @@ impl Default for TestbedConfig {
             time_scale: 25.0,
             calibration_probes: 40,
             admission: None,
+            faults: None,
+            mitigation: None,
             mode: TestbedMode::PausedTime,
             seed: 0x5A5_7E57,
             store_days: 90,
@@ -115,6 +126,10 @@ pub struct TestbedReport {
     pub elapsed_wall_ms: f64,
     /// Total compressed busy time across all nodes, ms.
     pub busy_wall_ms: f64,
+    /// Fault/hedge/partial counters (all zero without faults/mitigation).
+    pub robustness: RobustnessStats,
+    /// Tasks whose worker panicked (the node survived and reported them).
+    pub worker_panics: u64,
 }
 
 impl TestbedReport {
@@ -174,6 +189,15 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
     let scaled_cluster = ClusterSpec::heterogeneous(scaled_dists.clone());
 
     // --- Spawn edge nodes. ----------------------------------------------
+    // The fault plan is compressed into the wall domain like every other
+    // duration; the epoch stays unset until calibration finishes, so the
+    // probes below always measure the healthy cluster.
+    let wall_faults: Option<Arc<FaultPlan>> = config
+        .faults
+        .as_ref()
+        .filter(|p| !p.is_empty())
+        .map(|p| Arc::new(p.compressed(scale)));
+    let fault_epoch: Arc<OnceLock<tokio::time::Instant>> = Arc::new(OnceLock::new());
     let (result_tx, result_rx) = mpsc::unbounded_channel::<TaskResult>();
     let mut node_txs = Vec::with_capacity(32);
     for node_id in 0..32u32 {
@@ -188,6 +212,8 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
             store,
             scaled_dists[node_id as usize].clone(),
             1.0, // dists are already compressed
+            wall_faults.clone(),
+            fault_epoch.clone(),
             master.split(),
             rx,
             result_tx.clone(),
@@ -235,6 +261,9 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
         }
     }
     estimator.refresh_now();
+    // Calibration done: arm the fault plan — episode times are measured
+    // from here, matching the simulator's t = 0.
+    let _ = fault_epoch.set(tokio::time::Instant::now());
 
     // --- Load generator. ---------------------------------------------------
     let input = scenario.input(config.target_load, config.queries);
@@ -284,6 +313,9 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
                 window: SimDuration::from_millis_f64(a.window.as_millis_f64() / scale),
                 ..a
             }),
+            // Hedge threshold and quorum are fractions of budget/fanout —
+            // dimensionless, so no compression needed.
+            mitigation: config.mitigation,
             expected_queries: config.queries as u64,
         },
         estimator,
@@ -358,6 +390,8 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
                 out.humidity_sum / out.task_results as f64,
             )
         },
+        robustness: out.robustness,
+        worker_panics: out.worker_panics,
     }
 }
 
@@ -478,6 +512,95 @@ mod tests {
             report.admission_resumes
         );
         assert_eq!(report.completed_queries + report.rejected_queries, 1_500);
+    }
+
+    #[test]
+    fn blackout_with_retries_still_finishes_and_counts_losses() {
+        use tailguard_faults::{FaultEpisode, FaultKind};
+        use tailguard_simcore::SimTime;
+        let mut cfg = quick(Policy::TfEdf, 0.25, 300);
+        // Nodes 0–3 black out for the whole run (Pi-time horizon far past
+        // the measurement window); retries re-place their tasks.
+        let mut plan = FaultPlan::new();
+        for node in 0..4 {
+            plan = plan.with_episode(FaultEpisode::new(
+                node,
+                SimTime::ZERO,
+                SimTime::from_millis(100_000_000),
+                FaultKind::Drop,
+            ));
+        }
+        cfg.faults = Some(plan);
+        cfg.mitigation = Some(MitigationConfig::new());
+        let report = run_testbed(&cfg);
+        let r = &report.robustness;
+        assert!(r.tasks_lost_to_faults > 0, "no task hit the blackout");
+        assert!(r.retries > 0, "losses must trigger retries");
+        assert_eq!(report.worker_panics, 0);
+        // Every query is accounted for exactly once.
+        assert_eq!(
+            report.completed_queries
+                + report.rejected_queries
+                + r.partial_completions
+                + r.failed_queries,
+            300
+        );
+    }
+
+    #[test]
+    fn unmitigated_blackout_fails_queries_but_terminates() {
+        use tailguard_faults::{FaultEpisode, FaultKind};
+        use tailguard_simcore::SimTime;
+        let mut cfg = quick(Policy::TfEdf, 0.25, 200);
+        let mut plan = FaultPlan::new();
+        for node in 0..4 {
+            plan = plan.with_episode(FaultEpisode::new(
+                node,
+                SimTime::ZERO,
+                SimTime::from_millis(100_000_000),
+                FaultKind::Drop,
+            ));
+        }
+        cfg.faults = Some(plan);
+        let report = run_testbed(&cfg);
+        let r = &report.robustness;
+        assert!(r.tasks_lost_to_faults > 0);
+        assert_eq!(r.retries, 0, "no mitigation, no retries");
+        // Fanout-1 queries on a dead node lose every slot → failed; wider
+        // queries keep their healthy slots → partial.
+        assert!(r.failed_queries > 0, "unmitigated losses must fail queries");
+        assert!(r.partial_completions > 0, "wide queries degrade to partial");
+        assert_eq!(
+            report.completed_queries
+                + report.rejected_queries
+                + r.partial_completions
+                + r.failed_queries,
+            200
+        );
+    }
+
+    #[test]
+    fn hedging_under_faults_issues_hedges() {
+        use tailguard_faults::{FaultEpisode, FaultKind};
+        use tailguard_simcore::SimTime;
+        let mut cfg = quick(Policy::TfEdf, 0.3, 300);
+        // A long stall on one server-room node makes its queue linger past
+        // hedge thresholds without losing tasks outright.
+        cfg.faults = Some(FaultPlan::new().with_episode(FaultEpisode::new(
+            0,
+            SimTime::ZERO,
+            SimTime::from_millis(100_000_000),
+            FaultKind::Slowdown { factor: 20.0 },
+        )));
+        cfg.mitigation = Some(MitigationConfig::new().with_hedge_after(0.5));
+        let report = run_testbed(&cfg);
+        let r = &report.robustness;
+        assert!(r.hedges_issued > 0, "slow node must trigger hedges");
+        assert!(r.hedge_wins > 0, "some hedge should beat the slow node");
+        assert_eq!(
+            report.completed_queries + report.rejected_queries + r.failed_queries,
+            300
+        );
     }
 
     #[test]

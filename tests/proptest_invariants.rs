@@ -146,6 +146,69 @@ proptest! {
         prop_assert!((0.0..=1.0 + 1e-9).contains(&load), "load {}", load);
     }
 
+    /// Conservation under arbitrary fault plans and mitigation settings:
+    /// every dispatched task attempt resolves exactly one way (wins its
+    /// slot, is cancelled as a duplicate/straggler, or is lost to a
+    /// fault), and every admitted query resolves exactly once (full,
+    /// partial, or failed).
+    #[test]
+    fn fault_conservation(
+        arrivals in proptest::collection::vec(0u64..20_000, 1..100),
+        fanout in 1u32..8,
+        n_episodes in 0usize..6,
+        fault_seed in 0u64..1_000,
+        mitigation_mode in 0usize..3,
+        policy_idx in 0usize..4,
+    ) {
+        use tailguard_repro::tailguard::{FaultPlan, MitigationConfig};
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let n = arrivals.len() as u64;
+        let plan = if n_episodes == 0 {
+            FaultPlan::new() // normalised away: exercises the empty-plan path
+        } else {
+            FaultPlan::generate(fault_seed, 8, SimDuration::from_millis(30), n_episodes, 3.0)
+        };
+        let mut cfg = SimConfig::new(
+            ClusterSpec::homogeneous(8, Deterministic::new(0.7)),
+            vec![ClassSpec::p99(ms(10.0))],
+            Policy::ALL[policy_idx],
+        )
+        .with_warmup(0)
+        .with_faults(plan);
+        cfg = match mitigation_mode {
+            0 => cfg, // no mitigation: lost tasks stay lost
+            1 => cfg.with_mitigation(MitigationConfig::new().with_hedge_after(0.5)),
+            _ => cfg.with_mitigation(
+                MitigationConfig::new()
+                    .with_hedge_after(0.3)
+                    .with_partial_quorum(0.75),
+            ),
+        };
+        let input = SimInput {
+            requests: arrivals
+                .iter()
+                .map(|&a| RequestInput {
+                    arrival: SimTime::from_micros(a),
+                    queries: vec![QuerySpec::new(0, fanout)],
+                })
+                .collect(),
+        };
+        let report = run_simulation(&cfg, &input);
+        let r = &report.robustness;
+        // Task-attempt conservation.
+        prop_assert_eq!(
+            r.task_wins + r.cancelled_tasks + r.tasks_lost_to_faults,
+            report.load.tasks_dispatched_count()
+        );
+        // Query conservation: admitted = completed + partial + failed.
+        prop_assert_eq!(
+            report.completed_queries + r.partial_completions + r.failed_queries,
+            n
+        );
+        prop_assert_eq!(report.rejected_queries, 0);
+    }
+
     /// The EDF policies never produce a *worse* tail than FIFO for the
     /// tightest-budget class when that class is a minority sharing with
     /// loose background traffic.
