@@ -6,10 +6,16 @@
 
 use crate::args::{ArgError, Args};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use tailguard::{
-    default_jobs, max_load_many, run_indexed, run_simulation, scenarios, sweep_loads_parallel,
-    AdmissionConfig, ClassSpec, ClusterSpec, EstimatorMode, FaultEpisode, FaultKind, FaultPlan,
-    MaxLoadOptions, MitigationConfig, Scenario, SimReport,
+    default_jobs, max_load_many, run_indexed, run_simulation, run_simulation_observed, scenarios,
+    sweep_loads_parallel, AdmissionConfig, ClassSpec, ClusterSpec, EstimatorMode, FaultEpisode,
+    FaultKind, FaultPlan, MaxLoadOptions, MitigationConfig, ObsOptions, Scenario, SimReport,
+};
+use tailguard_dist::{Cdf, LogHistogram};
+use tailguard_obs::{
+    build_timelines, events_to_csv, events_to_jsonl, miss_ratio_timeline, slack_by_type,
+    slowest_queries, QueryTimeline, Registry,
 };
 use tailguard_policy::Policy;
 use tailguard_simcore::{SimDuration, SimTime};
@@ -177,6 +183,12 @@ struct SimSummary {
     rejected_queries: u64,
     meets_all_slos: bool,
     class_p99_ms: Vec<f64>,
+    /// Uniformly named observability metrics — the same `tailguard_*`
+    /// names the testbed serves on `/metrics` (counters as integers,
+    /// gauges as floats); DESIGN.md §12 documents the naming scheme.
+    /// Includes the estimator counters (`tailguard_estimator_*`) and the
+    /// mitigation counters (`tailguard_mitigation_*`).
+    metrics: BTreeMap<String, serde_json::Value>,
 }
 
 fn summarize(report: &mut SimReport, offered: f64) -> SimSummary {
@@ -193,7 +205,23 @@ fn summarize(report: &mut SimReport, offered: f64) -> SimSummary {
         rejected_queries: report.rejected_queries,
         meets_all_slos: report.meets_all_slos(),
         class_p99_ms,
+        metrics: BTreeMap::new(),
     }
+}
+
+/// Flattens a registry's counters and gauges into one `name -> value`
+/// map under the exact names `/metrics` exposes, so JSON consumers and
+/// Prometheus scrapers read the same schema.
+fn uniform_metrics(registry: &Registry) -> BTreeMap<String, serde_json::Value> {
+    let snap = registry.snapshot();
+    let mut map = BTreeMap::new();
+    for c in snap.counters {
+        map.insert(c.name, serde_json::Value::U64(c.value));
+    }
+    for g in snap.gauges {
+        map.insert(g.name, serde_json::Value::F64(g.value));
+    }
+    map
 }
 
 /// `tailguard sim` — run one simulation and report per-type tails.
@@ -215,11 +243,17 @@ pub fn cmd_sim(args: &Args) -> Result<String, ArgError> {
     if args.flag("online") {
         config = config.with_estimator(EstimatorMode::online_default());
     }
-    let mut report = run_simulation(&config, &input);
     if args.flag("json") {
-        let summary = summarize(&mut report, load);
+        // Observed run: same report (snapshot sampling only adds engine
+        // events), plus the registry whose counters/gauges fill the
+        // uniformly named `metrics` object.
+        let run = run_simulation_observed(&config, &input, &ObsOptions::default());
+        let mut report = run.report;
+        let mut summary = summarize(&mut report, load);
+        summary.metrics = uniform_metrics(&run.registry);
         serde_json::to_string_pretty(&summary).map_err(|e| err(e.to_string()))
     } else {
+        let mut report = run_simulation(&config, &input);
         Ok(format!(
             "{} @ offered load {:.1}%\n{}",
             scenario.label,
@@ -438,6 +472,11 @@ struct FaultCell {
     mode: &'static str,
     p99_ms: f64,
     miss_ratio: f64,
+    /// Median of the dequeue-slack histogram (on-time attempts, ms),
+    /// from the cell's flight recording.
+    slack_p50_ms: f64,
+    /// 99th percentile of the same histogram (ms).
+    slack_p99_ms: f64,
     completed: u64,
     rejected: u64,
     partial: u64,
@@ -554,14 +593,34 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
         if mode == 2 {
             config = config.with_mitigation(mitigation);
         }
-        let mut report = run_simulation(&config, &input);
+        // Observed run: the report is identical to an unobserved one
+        // (only `events_processed` differs), and the registry's per-class
+        // `tailguard_dequeue_slack_ms` histograms feed the slack column.
+        let run = run_simulation_observed(&config, &input, &ObsOptions::default());
+        let mut report = run.report;
         let p99_ms = report.class_tail(0, 0.99).as_millis_f64();
+        let mut slack = LogHistogram::new();
+        for c in 0..report.classes.len() as u8 {
+            if let Some(h) = run
+                .registry
+                .histogram(&format!("tailguard_dequeue_slack_ms{{class=\"{c}\"}}"))
+            {
+                slack.merge(h);
+            }
+        }
+        let (slack_p50_ms, slack_p99_ms) = if slack.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (slack.quantile(0.50), slack.quantile(0.99))
+        };
         let r = &report.robustness;
         FaultCell {
             policy: policy.name().to_string(),
             mode: MODES[mode],
             p99_ms,
             miss_ratio: report.deadline_miss_ratio(),
+            slack_p50_ms,
+            slack_p99_ms,
             completed: report.completed_queries,
             rejected: report.rejected_queries,
             partial: r.partial_completions,
@@ -581,6 +640,8 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
             "cell",
             "p99_ms",
             "miss_pct",
+            "slack_p50_ms",
+            "slack_p99_ms",
             "completed",
             "partial",
             "failed",
@@ -597,11 +658,12 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
         policies.len()
     );
     out.push_str(&format!(
-        "{:<10} {:<9} {:>10} {:>7} {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8}\n",
+        "{:<10} {:<9} {:>10} {:>7} {:>15} {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8}\n",
         "policy",
         "mode",
         "p99(ms)",
         "miss%",
+        "slack p50/p99",
         "completed",
         "partial",
         "failed",
@@ -612,11 +674,12 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
     ));
     for c in &results {
         out.push_str(&format!(
-            "{:<10} {:<9} {:>10.3} {:>6.2}% {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8}\n",
+            "{:<10} {:<9} {:>10.3} {:>6.2}% {:>15} {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8}\n",
             c.policy,
             c.mode,
             c.p99_ms,
             c.miss_ratio * 100.0,
+            format!("{:.2}/{:.2}", c.slack_p50_ms, c.slack_p99_ms),
             c.completed,
             c.partial,
             c.failed,
@@ -630,6 +693,8 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
             &[
                 c.p99_ms,
                 c.miss_ratio * 100.0,
+                c.slack_p50_ms,
+                c.slack_p99_ms,
                 c.completed as f64,
                 c.partial as f64,
                 c.failed as f64,
@@ -645,12 +710,273 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
 }
 
 const TRACE_KEYS: &[&str] = &[
+    "workload",
+    "policy",
+    "load",
+    "queries",
+    "slo",
+    "slos",
+    "fanout",
+    "servers",
+    "arrival",
+    "seed",
+    "warmup",
+    "admission",
+    "online",
+    "top",
+    "query",
+    "bin",
+    "ring",
+    "snapshot-every",
+    "export",
+    "metrics",
+    "json",
+];
+
+/// `tailguard trace` — flight-record one simulation and summarize the
+/// recording: top-`k` slowest queries with their full per-task timelines,
+/// the dequeue-slack histogram per `(class, fanout)` query type, and the
+/// miss-ratio timeline. `--query <id>` reconstructs one query's timeline,
+/// `--export jsonl|csv` dumps the raw event stream, `--metrics` prints
+/// the Prometheus text exposition, and `--json` emits the registry
+/// snapshot plus the virtual-time snapshot series.
+pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
+    args.check_known(TRACE_KEYS)?;
+    let scenario = scenario_from(args)?;
+    let policy = policy_from(args.get("policy").unwrap_or("tfedf"))?;
+    let load = args.f64_or("load", 0.4)?;
+    if !(0.0..=1.5).contains(&load) || load <= 0.0 {
+        return Err(err("--load must lie in (0, 1.5]"));
+    }
+    let queries = args.usize_or("queries", 20_000)?;
+    let warmup = args.usize_or("warmup", queries / 20)?;
+    let input = scenario.input(load, queries);
+    let mut config = scenario.config(policy).with_warmup(warmup);
+    if let Some(adm) = admission_from(args.get("admission"))? {
+        config = config.with_admission(adm);
+    }
+    if args.flag("online") {
+        config = config.with_estimator(EstimatorMode::online_default());
+    }
+    let mut opts = ObsOptions {
+        ring_capacity: args.usize_or("ring", tailguard::DEFAULT_RING_CAPACITY)?,
+        snapshot_every: None,
+    };
+    if opts.ring_capacity == 0 {
+        return Err(err("--ring must be positive (events)"));
+    }
+    if args.get("snapshot-every").is_some() {
+        let every = args.f64_or("snapshot-every", 10.0)?;
+        if every <= 0.0 {
+            return Err(err("--snapshot-every must be positive (ms)"));
+        }
+        opts.snapshot_every = Some(SimDuration::from_millis_f64(every));
+    }
+
+    let run = run_simulation_observed(&config, &input, &opts);
+    let events = run.recorder.events();
+
+    match args.get("export") {
+        Some("jsonl") => return Ok(events_to_jsonl(&events)),
+        Some("csv") => return Ok(events_to_csv(&events)),
+        Some(other) => return Err(err(format!("unknown --export `{other}` (jsonl|csv)"))),
+        None => {}
+    }
+    if args.flag("metrics") {
+        return Ok(run.registry.prometheus_text());
+    }
+    if args.flag("json") {
+        use serde::Serialize as _;
+        let doc = serde_json::Value::Map(vec![
+            (
+                "events_recorded".to_string(),
+                serde_json::Value::U64(run.recorder.total_recorded()),
+            ),
+            (
+                "events_retained".to_string(),
+                serde_json::Value::U64(run.recorder.len() as u64),
+            ),
+            (
+                "events_dropped".to_string(),
+                serde_json::Value::U64(run.recorder.dropped()),
+            ),
+            ("registry".to_string(), run.registry.snapshot().to_node()),
+            ("snapshots".to_string(), run.snapshots.to_node()),
+        ]);
+        return serde_json::to_string_pretty(&doc).map_err(|e| err(e.to_string()));
+    }
+
+    let timelines = build_timelines(&events);
+    if let Some(raw) = args.get("query") {
+        let qid: u32 = raw
+            .parse()
+            .map_err(|_| err(format!("--query `{raw}` is not a query id")))?;
+        let tl = timelines.get(&qid).ok_or_else(|| {
+            err(format!(
+                "query {qid} is not in the recording ({} queries recorded; \
+                 a larger --ring retains more of the run)",
+                timelines.len()
+            ))
+        })?;
+        return Ok(render_timeline(tl));
+    }
+
+    let mut out = format!(
+        "{} under {} @ offered load {:.1}% — flight recording\n",
+        scenario.label,
+        policy.name(),
+        load * 100.0
+    );
+    out.push_str(&format!(
+        "events: {} recorded, {} retained ({} dropped); snapshots: {}\n",
+        run.recorder.total_recorded(),
+        run.recorder.len(),
+        run.recorder.dropped(),
+        run.snapshots.len()
+    ));
+    let complete = timelines.values().filter(|t| t.is_complete()).count();
+    out.push_str(&format!(
+        "queries: {} in recording, {} with complete timelines\n",
+        timelines.len(),
+        complete
+    ));
+    if run.recorder.dropped() > 0 {
+        out.push_str(
+            "warning: ring capacity exceeded — this summary covers a suffix of the run \
+             (raise --ring to retain everything)\n",
+        );
+    }
+
+    let top = args.usize_or("top", 5)?;
+    let slowest = slowest_queries(&timelines, top);
+    out.push_str(&format!("\ntop {} slowest queries:\n", slowest.len()));
+    for tl in slowest {
+        for line in render_timeline(tl).lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+
+    out.push_str("\ndequeue slack by query type (class, fanout):\n");
+    out.push_str(&format!(
+        "{:>6} {:>7} {:>9} {:>7} {:>13} {:>13} {:>12}\n",
+        "class", "fanout", "dequeues", "miss%", "slack p50(ms)", "slack p99(ms)", "late p99(ms)"
+    ));
+    for ((class, fanout), s) in slack_by_type(&timelines) {
+        let (p50, p99) = if s.slack.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (s.slack.quantile(0.50), s.slack.quantile(0.99))
+        };
+        let late_p99 = if s.lateness.is_empty() {
+            0.0
+        } else {
+            s.lateness.quantile(0.99)
+        };
+        out.push_str(&format!(
+            "{class:>6} {fanout:>7} {:>9} {:>6.2}% {p50:>13.3} {p99:>13.3} {late_p99:>12.3}\n",
+            s.dequeues,
+            s.miss_ratio() * 100.0
+        ));
+    }
+
+    let bin_ms = args.f64_or("bin", 50.0)?;
+    if bin_ms <= 0.0 {
+        return Err(err("--bin must be positive (ms)"));
+    }
+    let bins = miss_ratio_timeline(&events, SimDuration::from_millis_f64(bin_ms));
+    // Coarsen long timelines so the chart stays readable.
+    let group = bins.len().div_ceil(60).max(1);
+    out.push_str(&format!(
+        "\nmiss-ratio timeline (bin {:.0} ms):\n",
+        bin_ms * group as f64
+    ));
+    for chunk in bins.chunks(group) {
+        let start = chunk[0].start;
+        let dequeues: u64 = chunk.iter().map(|b| b.dequeues).sum();
+        let misses: u64 = chunk.iter().map(|b| b.misses).sum();
+        let ratio = if dequeues == 0 {
+            0.0
+        } else {
+            misses as f64 / dequeues as f64
+        };
+        let bar = "#".repeat((ratio * 40.0).round() as usize);
+        out.push_str(&format!(
+            "  +{:>8.0} ms {:>7.2}% (n={dequeues:<6}) {bar}\n",
+            start.as_millis_f64(),
+            ratio * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+/// Renders one reconstructed query timeline: the admission/deadline line
+/// followed by every attempt's enqueue → dequeue (with signed slack) →
+/// completion/cancellation/loss, all relative to admission time `t_0`.
+fn render_timeline(tl: &QueryTimeline) -> String {
+    let t0 = tl.admitted_at;
+    let rel = |t: SimTime| t.saturating_since(t0).as_millis_f64();
+    let mut out = format!(
+        "query {} class {} fanout {}: admitted t0={:.3} ms, deadline t_D=+{:.3} ms{}\n",
+        tl.query,
+        tl.class,
+        tl.fanout,
+        tl.admitted_at.as_millis_f64(),
+        rel(tl.deadline),
+        match tl.latency() {
+            Some(l) => format!(", completed +{:.3} ms", l.as_millis_f64()),
+            None => ", incomplete".to_string(),
+        }
+    );
+    if tl.duplicate_attempts() > 0 {
+        out.push_str(&format!(
+            "  ({} hedge/retry copies issued)\n",
+            tl.duplicate_attempts()
+        ));
+    }
+    for a in &tl.attempts {
+        out.push_str(&format!(
+            "  task {:>6} srv {:>3} {:<8} enq +{:.3}",
+            a.task,
+            a.server,
+            a.kind.name(),
+            rel(a.enqueued_at)
+        ));
+        if let (Some(d), Some(slack_ns)) = (a.dequeued_at, a.slack_ns) {
+            out.push_str(&format!(
+                "  deq +{:.3} (slack {:+.3} ms{})",
+                rel(d),
+                slack_ns as f64 / 1e6,
+                if a.missed_deadline { " MISS" } else { "" }
+            ));
+        }
+        if let (Some(done), Some(busy)) = (a.completed_at, a.busy) {
+            out.push_str(&format!(
+                "  done +{:.3} (busy {:.3} ms){}",
+                rel(done),
+                busy.as_millis_f64(),
+                if a.won { "" } else { " lost-race" }
+            ));
+        }
+        if let Some(c) = a.cancelled_at {
+            out.push_str(&format!("  cancelled +{:.3}", rel(c)));
+        }
+        if let Some(l) = a.lost_at {
+            out.push_str(&format!("  LOST +{:.3}", rel(l)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+const GENTRACE_KEYS: &[&str] = &[
     "workload", "rate", "queries", "classes", "fanout", "servers", "seed", "arrival", "format",
 ];
 
-/// `tailguard trace` — generate a JSON query trace on stdout.
-pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
-    args.check_known(TRACE_KEYS)?;
+/// `tailguard gentrace` — generate a JSON query trace on stdout.
+pub fn cmd_gentrace(args: &Args) -> Result<String, ArgError> {
+    args.check_known(GENTRACE_KEYS)?;
     let servers = args.usize_or("servers", 100)? as u32;
     let fanout = fanout_from(args.get("fanout"), servers)?;
     let classes = args.usize_or("classes", 1)? as u8;
@@ -1000,6 +1326,12 @@ mod tests {
         assert_eq!(healthy["hedges_issued"].as_u64(), Some(0));
         assert!(faulty["tasks_lost"].as_u64().unwrap() > 0);
         assert!(mitigated["retries"].as_u64().unwrap() > 0);
+        // The deadline-slack histogram column is populated from each
+        // cell's flight recording.
+        assert!(healthy["slack_p50_ms"].as_f64().unwrap() > 0.0);
+        assert!(
+            healthy["slack_p99_ms"].as_f64().unwrap() >= healthy["slack_p50_ms"].as_f64().unwrap()
+        );
     }
 
     #[test]
@@ -1065,19 +1397,167 @@ mod tests {
     }
 
     #[test]
-    fn trace_emits_valid_csv() {
-        let out = cmd_trace(&args(&["--queries", "20", "--format", "csv"])).expect("trace");
+    fn gentrace_emits_valid_csv() {
+        let out = cmd_gentrace(&args(&["--queries", "20", "--format", "csv"])).expect("gentrace");
         let trace = Trace::from_csv(&out).expect("roundtrip");
         assert_eq!(trace.len(), 20);
-        let e = cmd_trace(&args(&["--format", "yaml"])).unwrap_err();
+        let e = cmd_gentrace(&args(&["--format", "yaml"])).unwrap_err();
         assert!(e.0.contains("yaml"));
     }
 
     #[test]
-    fn trace_emits_valid_json() {
-        let out = cmd_trace(&args(&["--queries", "50", "--rate", "2.0"])).expect("trace");
+    fn gentrace_emits_valid_json() {
+        let out = cmd_gentrace(&args(&["--queries", "50", "--rate", "2.0"])).expect("gentrace");
         let trace = Trace::from_json(&out).expect("roundtrip");
         assert_eq!(trace.len(), 50);
+    }
+
+    #[test]
+    fn trace_summarizes_flight_recording() {
+        let out = cmd_trace(&args(&[
+            "--queries",
+            "2000",
+            "--load",
+            "0.5",
+            "--top",
+            "3",
+            "--servers",
+            "20",
+            "--fanout",
+            "fixed:4",
+        ]))
+        .expect("trace");
+        assert!(out.contains("flight recording"));
+        assert!(out.contains("slowest queries"));
+        assert!(out.contains("dequeue slack by query type"));
+        assert!(out.contains("miss-ratio timeline"));
+        assert!(out.contains("deadline t_D=+"));
+    }
+
+    #[test]
+    fn trace_reconstructs_any_query_timeline() {
+        // Admission is off and warmup queries are recorded too, so every
+        // offered query id is reconstructable.
+        for qid in ["0", "7", "499"] {
+            let out = cmd_trace(&args(&[
+                "--queries",
+                "500",
+                "--servers",
+                "20",
+                "--fanout",
+                "fixed:4",
+                "--warmup",
+                "0",
+                "--query",
+                qid,
+            ]))
+            .expect("trace --query");
+            assert!(out.contains(&format!("query {qid} class")));
+            assert!(out.contains("task"));
+            assert!(out.contains("deq +"));
+        }
+        let e = cmd_trace(&args(&[
+            "--queries",
+            "10",
+            "--servers",
+            "20",
+            "--fanout",
+            "fixed:4",
+            "--query",
+            "999999",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("not in the recording"));
+    }
+
+    #[test]
+    fn trace_exports_jsonl_and_csv() {
+        let jsonl = cmd_trace(&args(&[
+            "--queries",
+            "200",
+            "--servers",
+            "20",
+            "--fanout",
+            "fixed:4",
+            "--export",
+            "jsonl",
+        ]))
+        .expect("jsonl");
+        for line in jsonl.lines().take(10) {
+            let v: serde_json::Value = serde_json::from_str(line).expect("json line");
+            assert!(v.get("event").is_some());
+        }
+        let csv = cmd_trace(&args(&[
+            "--queries",
+            "200",
+            "--servers",
+            "20",
+            "--fanout",
+            "fixed:4",
+            "--export",
+            "csv",
+        ]))
+        .expect("csv");
+        assert!(csv.starts_with(tailguard_obs::CSV_HEADER));
+        let e = cmd_trace(&args(&["--export", "parquet"])).unwrap_err();
+        assert!(e.0.contains("parquet"));
+    }
+
+    #[test]
+    fn trace_metrics_and_json_outputs() {
+        let text = cmd_trace(&args(&[
+            "--queries",
+            "500",
+            "--servers",
+            "20",
+            "--fanout",
+            "fixed:4",
+            "--metrics",
+        ]))
+        .expect("metrics");
+        assert!(text.contains("# TYPE tailguard_queries_admitted_total counter"));
+        assert!(text.contains("# TYPE tailguard_queue_wait_ms histogram"));
+        let json = cmd_trace(&args(&[
+            "--queries",
+            "500",
+            "--servers",
+            "20",
+            "--fanout",
+            "fixed:4",
+            "--snapshot-every",
+            "5",
+            "--json",
+        ]))
+        .expect("json");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("parse");
+        assert!(v["events_recorded"].as_u64().unwrap() > 0);
+        assert!(!v["snapshots"].as_array().unwrap().is_empty());
+        assert!(v["registry"]["counters"].as_array().is_some());
+    }
+
+    #[test]
+    fn sim_json_exposes_uniform_metrics() {
+        let json = cmd_sim(&args(&[
+            "--queries",
+            "2000",
+            "--servers",
+            "20",
+            "--fanout",
+            "fixed:4",
+            "--json",
+        ]))
+        .expect("sim --json");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("parse");
+        let metrics = &v["metrics"];
+        assert!(metrics.is_object());
+        for name in [
+            "tailguard_estimator_budget_lookups_total",
+            "tailguard_mitigation_hedges_issued_total",
+            "tailguard_queries_admitted_total",
+            "tailguard_run_deadline_miss_ratio",
+        ] {
+            assert!(metrics.get(name).is_some(), "missing {name}");
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! tailguard sweep     per-class p99 across a list of loads
 //! tailguard faults    fault matrix × policy sweep with mitigation
 //! tailguard testbed   run the tokio Sensing-as-a-Service testbed
-//! tailguard trace     generate a JSON query trace on stdout
+//! tailguard trace     flight-record a run and summarize/export the trace
+//! tailguard gentrace  generate a JSON query trace on stdout
 //! tailguard workloads print the calibrated Table II statistics
 //! tailguard budgets   show Eq. 6 pre-dequeuing budgets
 //! tailguard scenarios list built-in paper scenarios
@@ -45,7 +46,12 @@ COMMANDS:
     testbed    Run the tokio SaS testbed (32 nodes, 4 clusters)
                --policy ... --load ... --queries ... --scale <x>
                --probes <n> --store-days <n> --realtime
-    trace      Generate a JSON query trace on stdout
+    trace      Flight-record one simulation: per-query timelines, slack
+               histograms, miss-ratio timeline, Prometheus/JSON metrics
+               sim options plus --top <k>  --query <id>  --bin <ms>
+               --snapshot-every <ms>  --ring <events>
+               --export jsonl|csv  --metrics  --json
+    gentrace   Generate a JSON query trace on stdout
                --rate <q/ms> --queries <n> --classes <n> --fanout ...
     workloads  Print the calibrated Tailbench statistics (Table II)
     calibrate  Fit a service-time model to measured latencies
@@ -58,7 +64,9 @@ EXAMPLES:
     tailguard faults --fault slowdown --factor 8 --policies tfedf,fifo
     tailguard maxload --workload xapian --slos 10,15 --fanout oldi --policies all
     tailguard testbed --policy tfedf --load 0.42
-    tailguard trace --rate 2 --queries 100000 > trace.json
+    tailguard trace --policy tfedf --load 0.4 --top 5
+    tailguard trace --export jsonl --queries 5000 > events.jsonl
+    tailguard gentrace --rate 2 --queries 100000 > trace.json
 ";
 
 fn main() -> ExitCode {
@@ -86,6 +94,7 @@ fn main() -> ExitCode {
         "faults" => commands::cmd_faults(&parsed),
         "testbed" => commands::cmd_testbed(&parsed),
         "trace" => commands::cmd_trace(&parsed),
+        "gentrace" => commands::cmd_gentrace(&parsed),
         "workloads" => commands::cmd_workloads(&parsed),
         "budgets" => commands::cmd_budgets(&parsed),
         "scenarios" => commands::cmd_scenarios(&parsed),

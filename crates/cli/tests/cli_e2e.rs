@@ -29,6 +29,7 @@ fn help_lists_all_commands() {
         "sweep",
         "testbed",
         "trace",
+        "gentrace",
         "workloads",
         "budgets",
         "calibrate",
@@ -78,15 +79,43 @@ fn sim_small_run_reports_types() {
 }
 
 #[test]
-fn trace_pipes_json_and_csv() {
-    let json = run(&["trace", "--queries", "30", "--seed", "9"]);
+fn gentrace_pipes_json_and_csv() {
+    let json = run(&["gentrace", "--queries", "30", "--seed", "9"]);
     assert!(json.status.success());
     assert!(stdout(&json).trim_start().starts_with('{'));
 
-    let csv = run(&["trace", "--queries", "30", "--seed", "9", "--format", "csv"]);
+    let csv = run(&[
+        "gentrace",
+        "--queries",
+        "30",
+        "--seed",
+        "9",
+        "--format",
+        "csv",
+    ]);
     assert!(csv.status.success());
     assert!(stdout(&csv).starts_with("arrival_ns,class,fanout"));
     assert_eq!(stdout(&csv).trim().lines().count(), 31); // header + 30 rows
+}
+
+#[test]
+fn trace_smoke_summarizes_a_tiny_scenario() {
+    let o = run(&[
+        "trace",
+        "--queries",
+        "300",
+        "--servers",
+        "10",
+        "--fanout",
+        "fixed:2",
+        "--top",
+        "2",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("flight recording"), "{out}");
+    assert!(out.contains("slowest queries"), "{out}");
+    assert!(out.contains("miss-ratio timeline"), "{out}");
 }
 
 #[test]

@@ -9,6 +9,7 @@
 //! that draw placements and service times, failure injection (slowdowns),
 //! warm-up accounting, and the sequential request chaining of Fig. 1.
 
+use crate::observe::SimSnapshot;
 use crate::report::SimReport;
 use crate::spec::{QuerySpec, SimConfig, SimInput};
 use std::collections::BTreeMap;
@@ -16,9 +17,28 @@ use tailguard_faults::FaultPlan;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_sched::{
     AdmitDecision, AttemptKind, DeadlineEstimator, DispatchedTask, EstimatorMode, LostTask,
-    QueryArrival, QueryDone, QueryHandler,
+    QueryArrival, QueryDone, QueryHandler, TraceSink,
 };
 use tailguard_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, Simulation};
+
+/// What [`run_with_observer`] installs when a run is observed: the trace
+/// sink the handler will emit lifecycle events into, and the virtual-time
+/// cadence for [`SimSnapshot`] sampling.
+pub(crate) struct ObserverSetup {
+    pub sink: Box<dyn TraceSink>,
+    pub snapshot_every: SimDuration,
+}
+
+/// Everything a run produces before the observability layer shapes it:
+/// the report plus the sampled snapshots and the estimator counters that
+/// [`QueryHandler::into_stats`] does not carry.
+pub(crate) struct RawRun {
+    pub report: SimReport,
+    pub snapshots: Vec<SimSnapshot>,
+    pub budget_lookups: u64,
+    pub estimator_refreshes: u64,
+    pub cached_budgets: u64,
+}
 
 /// Runs one simulation to completion and returns the measurements.
 ///
@@ -60,6 +80,20 @@ use tailguard_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, Simulat
 /// assert!(report.meets_all_slos());
 /// ```
 pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
+    run_with_observer(config, input, None).report
+}
+
+/// The shared run loop behind [`run_simulation`] and
+/// [`crate::run_simulation_observed`]. Without an observer this is
+/// byte-for-byte the unobserved simulation: no sink is installed (the
+/// handler keeps its allocation-free [`tailguard_sched::NullSink`]) and no
+/// snapshot events enter the heap, so reports — including
+/// `events_processed` — are identical to the pre-observability ones.
+pub(crate) fn run_with_observer(
+    config: &SimConfig,
+    input: &SimInput,
+    observer: Option<ObserverSetup>,
+) -> RawRun {
     let mut master = SimRng::seed(config.seed);
     let placement_rng = master.split();
     let service_rng = master.split();
@@ -88,6 +122,13 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
     if let Some(mitigation) = config.mitigation {
         handler = handler.with_mitigation(mitigation);
     }
+    let (sink, snapshot_every) = match observer {
+        Some(o) => (Some(o.sink), Some(o.snapshot_every)),
+        None => (None, None),
+    };
+    if let Some(sink) = sink {
+        handler = handler.with_trace_sink(sink);
+    }
     let sim = ClusterSim {
         config: config.clone(),
         input: input.clone(),
@@ -106,6 +147,10 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
         request_started: vec![SimTime::ZERO; input.requests.len()],
         issued_queries: 0,
         request_latency_by_class: BTreeMap::new(),
+        snapshot_every,
+        snapshot_pending: false,
+        snapshots: Vec::new(),
+        last_activity: SimTime::ZERO,
     };
 
     let mut engine = Engine::new(sim);
@@ -115,25 +160,45 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
             .schedule_at(input.requests[0].arrival, Ev::Arrive(0));
     }
     engine.run_to_completion();
-    let elapsed = engine.now();
     let events = engine.processed();
-    let state = engine.into_state();
+    let mut state = engine.into_state();
+    // `last_activity` equals `engine.now()` on unobserved runs (every
+    // event updates it); on observed runs it excludes any snapshot that
+    // fired after the final completion, keeping `elapsed` — and with it
+    // every load ratio — identical to the unobserved run.
+    let elapsed = state.last_activity;
+    // Observed runs always end with one final snapshot at the last event
+    // time, so even an empty or snapshot-free run yields ≥ 1 snapshot.
+    // Trailing idle samples past `elapsed` are superseded by it.
+    if state.snapshot_every.is_some() {
+        state.snapshots.retain(|s| s.at_ns <= elapsed.as_nanos());
+        state.take_snapshot(elapsed);
+    }
+    let budget_lookups = state.handler.estimator().budget_lookup_count();
+    let estimator_refreshes = state.handler.estimator().refresh_count();
+    let cached_budgets = state.handler.estimator().cached_budget_count() as u64;
     let stats = state.handler.into_stats();
-    SimReport {
-        policy: config.policy,
-        classes: config.classes.clone(),
-        query_latency_by_class: stats.query_latency_by_class,
-        query_latency_by_type: stats.query_latency_by_type,
-        request_latency_by_class: state.request_latency_by_class,
-        pre_dequeue: stats.pre_dequeue,
-        load: stats.load,
-        busy_by_server: stats.busy_by_server,
-        elapsed,
-        completed_queries: stats.completed_queries,
-        rejected_queries: stats.rejected_queries,
-        events_processed: events,
-        robustness: stats.robustness,
-        partial_latency: stats.partial_latency,
+    RawRun {
+        report: SimReport {
+            policy: config.policy,
+            classes: config.classes.clone(),
+            query_latency_by_class: stats.query_latency_by_class,
+            query_latency_by_type: stats.query_latency_by_type,
+            request_latency_by_class: state.request_latency_by_class,
+            pre_dequeue: stats.pre_dequeue,
+            load: stats.load,
+            busy_by_server: stats.busy_by_server,
+            elapsed,
+            completed_queries: stats.completed_queries,
+            rejected_queries: stats.rejected_queries,
+            events_processed: events,
+            robustness: stats.robustness,
+            partial_latency: stats.partial_latency,
+        },
+        snapshots: state.snapshots,
+        budget_lookups,
+        estimator_refreshes,
+        cached_budgets,
     }
 }
 
@@ -146,6 +211,8 @@ enum Ev {
     /// Time to consider hedging original task `t` (its budget-fraction
     /// threshold passed without a completion).
     HedgeCheck(u32),
+    /// Observed runs only: sample a [`SimSnapshot`] of the cluster state.
+    Snapshot,
 }
 
 struct ClusterSim {
@@ -170,6 +237,17 @@ struct ClusterSim {
     request_started: Vec<SimTime>,
     issued_queries: u64,
     request_latency_by_class: BTreeMap<u8, LatencyReservoir>,
+    /// Snapshot cadence in virtual time; `None` for unobserved runs (the
+    /// default), which then schedule no `Ev::Snapshot` events at all.
+    snapshot_every: Option<SimDuration>,
+    /// True while an `Ev::Snapshot` sits in the heap — keeps at most one
+    /// pending so a burst of arrivals cannot pile up samplers.
+    snapshot_pending: bool,
+    snapshots: Vec<SimSnapshot>,
+    /// Time of the last *simulation* event (arrival/finish/hedge-check).
+    /// Reported as `elapsed` so a trailing snapshot firing after the
+    /// cluster drained cannot stretch observed runs' load denominators.
+    last_activity: SimTime,
 }
 
 impl ClusterSim {
@@ -380,6 +458,38 @@ impl ClusterSim {
         }
     }
 
+    /// Samples the cluster's instantaneous and cumulative state at `now`.
+    fn take_snapshot(&mut self, now: SimTime) {
+        let load = &self.handler.stats().load;
+        self.snapshots.push(SimSnapshot {
+            at_ns: now.as_nanos(),
+            queued_tasks: self.handler.queued_tasks() as u64,
+            servers_busy: self.handler.servers_busy() as u64,
+            queries_offered: load.queries_offered_count(),
+            queries_accepted: load.queries_accepted_count(),
+            queries_rejected: load.queries_rejected_count(),
+            tasks_dispatched: load.tasks_dispatched_count(),
+            tasks_completed: load.tasks_completed_count(),
+            deadline_misses: load.deadline_miss_count(),
+            deadline_miss_ratio: load.deadline_miss_ratio(),
+        });
+    }
+
+    /// Arms the next `Ev::Snapshot` if the run is observed and none is
+    /// pending. Called from arrivals (so sampling resumes after an idle
+    /// gap) and from the snapshot handler itself while work remains — when
+    /// the cluster drains with no arrivals left, no snapshot is re-armed
+    /// and the event heap can empty.
+    fn schedule_snapshot(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.snapshot_pending {
+            return;
+        }
+        if let Some(every) = self.snapshot_every {
+            self.snapshot_pending = true;
+            sched.schedule_in(now, every, Ev::Snapshot);
+        }
+    }
+
     /// Sequential request chaining (Fig. 1): a finished query issues its
     /// request's next query, or records the request latency when it was the
     /// last (partial and failed completions advance the chain too — the
@@ -405,6 +515,9 @@ impl Simulation for ClusterSim {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        if !matches!(ev, Ev::Snapshot) {
+            self.last_activity = now;
+        }
         match ev {
             Ev::Arrive(i) => {
                 // Chain the next arrival (requests are pre-sorted).
@@ -414,9 +527,17 @@ impl Simulation for ClusterSim {
                 }
                 self.request_started[i] = now;
                 self.issue_query(now, i, sched);
+                self.schedule_snapshot(now, sched);
             }
             Ev::Finish(server) => self.finish_task(now, server, sched),
             Ev::HedgeCheck(task) => self.hedge_check(now, task, sched),
+            Ev::Snapshot => {
+                self.snapshot_pending = false;
+                self.take_snapshot(now);
+                if self.handler.queued_tasks() > 0 || self.handler.servers_busy() > 0 {
+                    self.schedule_snapshot(now, sched);
+                }
+            }
         }
     }
 }

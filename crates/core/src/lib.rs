@@ -48,6 +48,7 @@
 
 mod cluster;
 mod maxload;
+mod observe;
 mod report;
 mod request;
 mod runner;
@@ -56,6 +57,9 @@ mod spec;
 
 pub use cluster::run_simulation;
 pub use maxload::{max_load, measure_at_load, sweep_loads, LoadPoint, MaxLoadOptions};
+pub use observe::{
+    run_simulation_observed, ObsOptions, ObservedRun, SimSnapshot, DEFAULT_RING_CAPACITY,
+};
 pub use report::{QueryTypeKey, SimReport};
 pub use request::{BudgetSplit, RequestBudgets, RequestPlanner};
 pub use runner::{

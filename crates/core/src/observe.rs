@@ -1,0 +1,411 @@
+//! Observed simulation runs: [`run_simulation`](crate::run_simulation)
+//! with the flight recorder on.
+//!
+//! [`run_simulation_observed`] drives the exact same event loop as the
+//! plain entry point, but installs a bounded [`RingRecorder`] as the
+//! handler's [`TraceSink`](tailguard_sched::TraceSink), samples
+//! [`SimSnapshot`]s at a configurable virtual-time cadence, and distills
+//! both into a [`Registry`] — the one place the CLI `--json` output, the
+//! Prometheus exposition, and the JSON snapshot dumps all read from.
+//!
+//! The observed run is still fully deterministic in `(config.seed,
+//! input)`: tracing draws no randomness and snapshot events touch no
+//! handler state. Relative to the unobserved run only `events_processed`
+//! differs (snapshot events are engine events too); every latency,
+//! load, and count in the report is identical.
+
+use crate::cluster::{run_with_observer, ObserverSetup};
+use crate::report::SimReport;
+use crate::spec::{SimConfig, SimInput};
+use serde::Serialize;
+use tailguard_obs::{Registry, RingRecorder};
+use tailguard_simcore::{SimDuration, SimTime};
+
+/// Default [`RingRecorder`] capacity: at roughly 64 bytes per event this
+/// bounds the recording near 64 MiB while still holding every event of the
+/// golden-pin-sized runs (10 000 queries ≈ 60 000 events).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// One sample of the cluster's state at a point in virtual time.
+///
+/// Instantaneous fields (`queued_tasks`, `servers_busy`) describe the
+/// moment; the rest are the handler's cumulative counters, so deltas
+/// between consecutive snapshots give per-interval rates.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimSnapshot {
+    /// Virtual time of the sample in nanoseconds.
+    pub at_ns: u64,
+    /// Tasks queued across all per-server queues (not yet in service).
+    pub queued_tasks: u64,
+    /// Servers with a task in service.
+    pub servers_busy: u64,
+    /// Cumulative queries offered to admission control.
+    pub queries_offered: u64,
+    /// Cumulative queries admitted.
+    pub queries_accepted: u64,
+    /// Cumulative queries rejected.
+    pub queries_rejected: u64,
+    /// Cumulative task attempts moved into service.
+    pub tasks_dispatched: u64,
+    /// Cumulative task attempts that finished service.
+    pub tasks_completed: u64,
+    /// Cumulative dequeue-time deadline misses (§III.C's signal).
+    pub deadline_misses: u64,
+    /// Cumulative deadline-miss ratio over dequeue outcomes.
+    pub deadline_miss_ratio: f64,
+}
+
+/// Tuning knobs for [`run_simulation_observed`].
+#[derive(Debug, Clone)]
+pub struct ObsOptions {
+    /// Most recent events the [`RingRecorder`] retains
+    /// ([`DEFAULT_RING_CAPACITY`] by default).
+    pub ring_capacity: usize,
+    /// Virtual-time interval between [`SimSnapshot`]s. `None` picks the
+    /// admission window when one is configured (so the sampling cadence
+    /// matches the controller's decision cadence) and 10 ms otherwise.
+    pub snapshot_every: Option<SimDuration>,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// A completed observed run: the ordinary report plus everything the
+/// observability layer captured alongside it.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The same measurements an unobserved [`crate::run_simulation`] of
+    /// this config/input produces (only `events_processed` differs, since
+    /// snapshot sampling adds engine events).
+    pub report: SimReport,
+    /// The flight recorder with the retained lifecycle events — feed
+    /// [`RingRecorder::events`] to `tailguard_obs::build_timelines` or the
+    /// exporters.
+    pub recorder: RingRecorder,
+    /// Lifecycle counters, per-phase latency histograms, estimator and
+    /// mitigation counters, and the queue-depth/miss-ratio series, ready
+    /// for `Registry::prometheus_text` or `Registry::to_json`.
+    pub registry: Registry,
+    /// Virtual-time samples, oldest first; never empty (a final snapshot
+    /// is always taken at the last event time).
+    pub snapshots: Vec<SimSnapshot>,
+}
+
+impl ObservedRun {
+    /// The snapshots as pretty-printed JSON (an array of objects).
+    pub fn snapshots_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshots).expect("snapshots serialize")
+    }
+}
+
+/// The snapshot cadence when [`ObsOptions::snapshot_every`] is `None`:
+/// the admission window if admission control is on, else 10 ms.
+fn default_snapshot_interval(config: &SimConfig) -> SimDuration {
+    config
+        .admission
+        .map(|a| a.window)
+        .unwrap_or_else(|| SimDuration::from_millis(10))
+}
+
+/// Runs one simulation with the flight recorder on.
+///
+/// Behaves exactly like [`crate::run_simulation`] — same panics, same
+/// determinism guarantee, same measurements — and additionally returns the
+/// recorded event stream, the snapshot series, and the populated metrics
+/// [`Registry`].
+///
+/// # Example
+///
+/// ```
+/// use tailguard::{run_simulation_observed, ClassSpec, ClusterSpec, ObsOptions, SimConfig, SimInput};
+/// use tailguard_dist::Deterministic;
+/// use tailguard_policy::Policy;
+/// use tailguard_simcore::SimDuration;
+/// use tailguard_workload::{ArrivalProcess, FanoutDist, QueryMix, Trace};
+///
+/// let trace = Trace::generate(
+///     "obs",
+///     &ArrivalProcess::poisson(0.5),
+///     &QueryMix::single(FanoutDist::paper_mix()),
+///     500,
+///     7,
+/// );
+/// let cfg = SimConfig::new(
+///     ClusterSpec::homogeneous(100, Deterministic::new(0.5)),
+///     vec![ClassSpec::p99(SimDuration::from_millis_f64(5.0))],
+///     Policy::TfEdf,
+/// ).with_warmup(0);
+/// let run = run_simulation_observed(&cfg, &SimInput::from_trace(&trace), &ObsOptions::default());
+/// assert!(!run.snapshots.is_empty());
+/// assert!(run.registry.counter("tailguard_queries_admitted_total").unwrap_or(0) > 0);
+/// ```
+pub fn run_simulation_observed(
+    config: &SimConfig,
+    input: &SimInput,
+    opts: &ObsOptions,
+) -> ObservedRun {
+    let recorder = RingRecorder::with_capacity(opts.ring_capacity);
+    let every = opts
+        .snapshot_every
+        .unwrap_or_else(|| default_snapshot_interval(config));
+    let raw = run_with_observer(
+        config,
+        input,
+        Some(ObserverSetup {
+            sink: recorder.sink(),
+            snapshot_every: every,
+        }),
+    );
+    let mut registry = Registry::new();
+    registry.ingest_events(&recorder.events());
+    registry.ingest_robustness(&raw.report.robustness);
+    registry.counter_set(
+        "tailguard_estimator_budget_lookups_total",
+        "Budget-table lookups while stamping deadlines (Eq. 6)",
+        raw.budget_lookups,
+    );
+    registry.counter_set(
+        "tailguard_estimator_refreshes_total",
+        "Online budget-table rebuilds from refreshed CDFs (§III.B.2)",
+        raw.estimator_refreshes,
+    );
+    registry.gauge_set(
+        "tailguard_estimator_cached_budgets",
+        "Distinct (class, fanout) budgets currently cached",
+        raw.cached_budgets as f64,
+    );
+    registry.counter_set(
+        "tailguard_run_queries_completed_total",
+        "Recorded (post-warm-up) queries completed",
+        raw.report.completed_queries,
+    );
+    registry.counter_set(
+        "tailguard_run_events_processed_total",
+        "Discrete events the engine processed (snapshots included)",
+        raw.report.events_processed,
+    );
+    registry.gauge_set(
+        "tailguard_run_elapsed_ms",
+        "Virtual time at the last processed event",
+        raw.report.elapsed.as_millis_f64(),
+    );
+    registry.gauge_set(
+        "tailguard_run_accepted_load",
+        "Executed busy time over cluster capacity",
+        raw.report.accepted_load(),
+    );
+    registry.gauge_set(
+        "tailguard_run_deadline_miss_ratio",
+        "Final dequeue-time deadline-miss ratio",
+        raw.report.deadline_miss_ratio(),
+    );
+    if recorder.dropped() > 0 {
+        registry.counter_set(
+            "tailguard_trace_events_dropped_total",
+            "Events evicted by the ring recorder's capacity bound",
+            recorder.dropped(),
+        );
+    }
+    for s in &raw.snapshots {
+        let at = SimTime::from_nanos(s.at_ns);
+        registry.series_push(
+            "tailguard_queue_depth",
+            "Tasks queued across all per-server queues",
+            at,
+            s.queued_tasks as f64,
+        );
+        registry.series_push(
+            "tailguard_servers_busy",
+            "Servers with a task in service",
+            at,
+            s.servers_busy as f64,
+        );
+        registry.series_push(
+            "tailguard_deadline_miss_ratio",
+            "Cumulative dequeue-time deadline-miss ratio",
+            at,
+            s.deadline_miss_ratio,
+        );
+    }
+    ObservedRun {
+        report: raw.report,
+        recorder,
+        registry,
+        snapshots: raw.snapshots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_simulation;
+    use crate::spec::QuerySpec;
+    use crate::spec::{AdmissionConfig, ClassSpec, ClusterSpec, RequestInput};
+    use tailguard_dist::Deterministic;
+    use tailguard_obs::build_timelines;
+    use tailguard_policy::Policy;
+    use tailguard_workload::{ArrivalProcess, FanoutDist, QueryMix, Trace};
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis_f64(v)
+    }
+
+    fn small_config() -> SimConfig {
+        SimConfig::new(
+            ClusterSpec::homogeneous(8, Deterministic::new(1.0)),
+            vec![ClassSpec::p99(ms(20.0))],
+            Policy::TfEdf,
+        )
+        .with_warmup(0)
+    }
+
+    fn small_input(queries: usize) -> SimInput {
+        let trace = Trace::generate(
+            "observe",
+            &ArrivalProcess::poisson(1.0),
+            &QueryMix::single(FanoutDist::new(vec![(1, 0.4), (2, 0.3), (4, 0.3)])),
+            queries,
+            11,
+        );
+        SimInput::from_trace(&trace)
+    }
+
+    #[test]
+    fn observed_report_matches_unobserved_except_event_count() {
+        let cfg = small_config();
+        let input = small_input(300);
+        let mut plain = run_simulation(&cfg, &input);
+        let observed = run_simulation_observed(&cfg, &input, &ObsOptions::default());
+        let mut obs_report = observed.report;
+        assert_eq!(plain.completed_queries, obs_report.completed_queries);
+        assert_eq!(plain.rejected_queries, obs_report.rejected_queries);
+        assert_eq!(plain.elapsed, obs_report.elapsed);
+        assert_eq!(plain.class_tail(0, 0.99), obs_report.class_tail(0, 0.99));
+        assert_eq!(
+            plain.load.deadline_miss_count(),
+            obs_report.load.deadline_miss_count()
+        );
+        // Snapshot sampling adds events but never removes any.
+        assert!(obs_report.events_processed >= plain.events_processed);
+    }
+
+    #[test]
+    fn observed_run_emits_snapshots_and_metrics() {
+        let cfg = small_config();
+        let input = small_input(300);
+        let run = run_simulation_observed(
+            &cfg,
+            &input,
+            &ObsOptions {
+                snapshot_every: Some(ms(5.0)),
+                ..ObsOptions::default()
+            },
+        );
+        assert!(run.snapshots.len() > 1, "periodic sampling ran");
+        // Snapshots are time-ordered and cumulative counters are monotone.
+        for w in run.snapshots.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+            assert!(w[0].tasks_completed <= w[1].tasks_completed);
+        }
+        let last = run.snapshots.last().unwrap();
+        assert_eq!(last.at_ns, run.report.elapsed.as_nanos());
+        assert_eq!(
+            run.registry.counter("tailguard_queries_admitted_total"),
+            Some(run.report.load.queries_accepted_count())
+        );
+        assert!(run
+            .registry
+            .counter("tailguard_estimator_budget_lookups_total")
+            .is_some());
+        assert!(run.registry.series("tailguard_queue_depth").is_some());
+        let json = run.snapshots_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.as_array().unwrap().len() == run.snapshots.len());
+    }
+
+    #[test]
+    fn empty_input_still_yields_one_snapshot() {
+        let run = run_simulation_observed(
+            &small_config(),
+            &SimInput::default(),
+            &ObsOptions::default(),
+        );
+        assert_eq!(run.snapshots.len(), 1);
+        assert!(run.recorder.is_empty());
+    }
+
+    #[test]
+    fn recorded_timelines_are_complete() {
+        let cfg = small_config();
+        let input = small_input(200);
+        let run = run_simulation_observed(&cfg, &input, &ObsOptions::default());
+        assert_eq!(run.recorder.dropped(), 0, "default capacity holds the run");
+        let timelines = build_timelines(&run.recorder.events());
+        assert_eq!(
+            timelines.len() as u64,
+            run.report.load.queries_accepted_count()
+        );
+        for tl in timelines.values() {
+            assert!(tl.is_complete(), "query {} incomplete", tl.query);
+            assert_eq!(tl.attempts.len(), tl.fanout as usize);
+        }
+    }
+
+    #[test]
+    fn admission_window_is_the_default_cadence() {
+        let window = ms(25.0);
+        let cfg =
+            small_config().with_admission(AdmissionConfig::new(window, 0.5).with_min_samples(1000));
+        assert_eq!(default_snapshot_interval(&cfg), window);
+        assert_eq!(default_snapshot_interval(&small_config()), ms(10.0));
+    }
+
+    #[test]
+    fn snapshot_sampling_resumes_after_idle_gaps() {
+        // Two bursts separated by a long idle gap: sampling stops when the
+        // cluster drains and re-arms on the next arrival.
+        let cfg = SimConfig::new(
+            ClusterSpec::homogeneous(1, Deterministic::new(2.0)),
+            vec![ClassSpec::p99(ms(50.0))],
+            Policy::Fifo,
+        )
+        .with_warmup(0);
+        let input = SimInput {
+            requests: [0u64, 1, 2, 1_000, 1_001]
+                .iter()
+                .map(|&t| RequestInput {
+                    arrival: SimTime::from_millis(t),
+                    queries: vec![QuerySpec::new(0, 1)],
+                })
+                .collect(),
+        };
+        let run = run_simulation_observed(
+            &cfg,
+            &input,
+            &ObsOptions {
+                snapshot_every: Some(ms(1.0)),
+                ..ObsOptions::default()
+            },
+        );
+        let times: Vec<u64> = run.snapshots.iter().map(|s| s.at_ns).collect();
+        assert!(
+            times
+                .iter()
+                .any(|&t| t > SimTime::from_millis(1_000).as_nanos()),
+            "second burst sampled: {times:?}"
+        );
+        // The idle gap is not blanketed with useless samples: far fewer
+        // snapshots than the gap would hold at the 1 ms cadence.
+        assert!(
+            run.snapshots.len() < 100,
+            "idle gap oversampled: {} snapshots",
+            run.snapshots.len()
+        );
+    }
+}

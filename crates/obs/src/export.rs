@@ -1,0 +1,306 @@
+//! Flat-file exporters for recorded event streams (JSONL and CSV).
+//!
+//! Both formats carry the same columns; fields that do not apply to an
+//! event kind are omitted (JSONL) or left empty (CSV). Times are integer
+//! nanoseconds on the producing runtime's clock, so external tooling
+//! never parses floats it has to round-trip.
+
+use tailguard_sched::TraceEvent;
+
+/// The CSV header matching [`event_to_csv_row`].
+pub const CSV_HEADER: &str =
+    "at_ns,event,query,task,slot,class,fanout,server,kind,deadline_ns,waited_ns,slack_ns,busy_ns,late_by_ns,won";
+
+/// Renders one event as a JSON object (one JSONL line, no trailing
+/// newline).
+pub fn event_to_json(ev: &TraceEvent) -> String {
+    let mut fields = vec![
+        format!("\"at_ns\":{}", ev.at().as_nanos()),
+        format!("\"event\":\"{}\"", ev.kind_name()),
+    ];
+    match *ev {
+        TraceEvent::QueryAdmitted {
+            query,
+            class,
+            fanout,
+            deadline,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"class\":{class}"));
+            fields.push(format!("\"fanout\":{fanout}"));
+            fields.push(format!("\"deadline_ns\":{}", deadline.as_nanos()));
+        }
+        TraceEvent::QueryRejected { class, fanout, .. } => {
+            fields.push(format!("\"class\":{class}"));
+            fields.push(format!("\"fanout\":{fanout}"));
+        }
+        TraceEvent::TaskEnqueued {
+            task,
+            query,
+            class,
+            server,
+            kind,
+            deadline,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"class\":{class}"));
+            fields.push(format!("\"server\":{server}"));
+            fields.push(format!("\"kind\":\"{}\"", kind.name()));
+            fields.push(format!("\"deadline_ns\":{}", deadline.as_nanos()));
+        }
+        TraceEvent::TaskDequeued {
+            task,
+            query,
+            class,
+            kind,
+            server,
+            waited,
+            slack_ns,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"class\":{class}"));
+            fields.push(format!("\"server\":{server}"));
+            fields.push(format!("\"kind\":\"{}\"", kind.name()));
+            fields.push(format!("\"waited_ns\":{}", waited.as_nanos()));
+            fields.push(format!("\"slack_ns\":{slack_ns}"));
+        }
+        TraceEvent::DeadlineMissed {
+            task,
+            query,
+            server,
+            late_by,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"server\":{server}"));
+            fields.push(format!("\"late_by_ns\":{}", late_by.as_nanos()));
+        }
+        TraceEvent::HedgeIssued {
+            task,
+            slot,
+            query,
+            server,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"slot\":{slot}"));
+            fields.push(format!("\"server\":{server}"));
+        }
+        TraceEvent::TaskCancelled {
+            task,
+            query,
+            server,
+            ..
+        }
+        | TraceEvent::TaskLost {
+            task,
+            query,
+            server,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"server\":{server}"));
+        }
+        TraceEvent::TaskCompleted {
+            task,
+            query,
+            server,
+            busy,
+            won,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"server\":{server}"));
+            fields.push(format!("\"busy_ns\":{}", busy.as_nanos()));
+            fields.push(format!("\"won\":{won}"));
+        }
+        TraceEvent::AdmissionPause { .. } | TraceEvent::AdmissionResume { .. } => {}
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders an event stream as JSONL (one object per line).
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one event as a CSV row under [`CSV_HEADER`].
+pub fn event_to_csv_row(ev: &TraceEvent) -> String {
+    // Column order: at_ns,event,query,task,slot,class,fanout,server,kind,
+    //               deadline_ns,waited_ns,slack_ns,busy_ns,late_by_ns,won
+    let mut cols: [String; 15] = Default::default();
+    cols[0] = ev.at().as_nanos().to_string();
+    cols[1] = ev.kind_name().to_string();
+    if let Some(q) = ev.query() {
+        cols[2] = q.to_string();
+    }
+    match *ev {
+        TraceEvent::QueryAdmitted {
+            class,
+            fanout,
+            deadline,
+            ..
+        } => {
+            cols[5] = class.to_string();
+            cols[6] = fanout.to_string();
+            cols[9] = deadline.as_nanos().to_string();
+        }
+        TraceEvent::QueryRejected { class, fanout, .. } => {
+            cols[5] = class.to_string();
+            cols[6] = fanout.to_string();
+        }
+        TraceEvent::TaskEnqueued {
+            task,
+            class,
+            server,
+            kind,
+            deadline,
+            ..
+        } => {
+            cols[3] = task.to_string();
+            cols[5] = class.to_string();
+            cols[7] = server.to_string();
+            cols[8] = kind.name().to_string();
+            cols[9] = deadline.as_nanos().to_string();
+        }
+        TraceEvent::TaskDequeued {
+            task,
+            class,
+            kind,
+            server,
+            waited,
+            slack_ns,
+            ..
+        } => {
+            cols[3] = task.to_string();
+            cols[5] = class.to_string();
+            cols[7] = server.to_string();
+            cols[8] = kind.name().to_string();
+            cols[10] = waited.as_nanos().to_string();
+            cols[11] = slack_ns.to_string();
+        }
+        TraceEvent::DeadlineMissed {
+            task,
+            server,
+            late_by,
+            ..
+        } => {
+            cols[3] = task.to_string();
+            cols[7] = server.to_string();
+            cols[13] = late_by.as_nanos().to_string();
+        }
+        TraceEvent::HedgeIssued {
+            task, slot, server, ..
+        } => {
+            cols[3] = task.to_string();
+            cols[4] = slot.to_string();
+            cols[7] = server.to_string();
+        }
+        TraceEvent::TaskCancelled { task, server, .. }
+        | TraceEvent::TaskLost { task, server, .. } => {
+            cols[3] = task.to_string();
+            cols[7] = server.to_string();
+        }
+        TraceEvent::TaskCompleted {
+            task,
+            server,
+            busy,
+            won,
+            ..
+        } => {
+            cols[3] = task.to_string();
+            cols[7] = server.to_string();
+            cols[12] = busy.as_nanos().to_string();
+            cols[14] = won.to_string();
+        }
+        TraceEvent::AdmissionPause { .. } | TraceEvent::AdmissionResume { .. } => {}
+    }
+    cols.join(",")
+}
+
+/// Renders an event stream as CSV with a header row.
+pub fn events_to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 48 + CSV_HEADER.len() + 1);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for ev in events {
+        out.push_str(&event_to_csv_row(ev));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailguard_sched::AttemptKind;
+    use tailguard_simcore::{SimDuration, SimTime};
+
+    #[test]
+    fn jsonl_lines_parse_as_json() {
+        let events = [
+            TraceEvent::QueryAdmitted {
+                at: SimTime::from_millis(1),
+                query: 3,
+                class: 1,
+                fanout: 10,
+                deadline: SimTime::from_millis(4),
+            },
+            TraceEvent::TaskDequeued {
+                at: SimTime::from_millis(2),
+                task: 5,
+                query: 3,
+                class: 1,
+                kind: AttemptKind::Hedge,
+                server: 7,
+                waited: SimDuration::from_millis(1),
+                slack_ns: -250,
+            },
+        ];
+        let jsonl = events_to_jsonl(&events);
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.get("at_ns").unwrap().as_u64().is_some());
+            assert!(v.get("event").unwrap().as_str().is_some());
+        }
+        assert!(jsonl.contains("\"slack_ns\":-250"));
+        assert!(jsonl.contains("\"kind\":\"hedge\""));
+    }
+
+    #[test]
+    fn csv_rows_have_the_header_arity() {
+        let events = [
+            TraceEvent::AdmissionPause {
+                at: SimTime::from_millis(9),
+            },
+            TraceEvent::TaskCompleted {
+                at: SimTime::from_millis(10),
+                task: 1,
+                query: 0,
+                server: 2,
+                busy: SimDuration::from_millis(3),
+                won: true,
+            },
+        ];
+        let csv = events_to_csv(&events);
+        let cols = CSV_HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        assert!(csv.contains("task_completed"));
+    }
+}

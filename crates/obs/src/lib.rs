@@ -1,0 +1,49 @@
+//! Observability for the TailGuard reproduction.
+//!
+//! TailGuard's argument is about *where time goes* — Eq. 6 splits query
+//! latency into pre-dequeuing wait vs. unloaded service, and §III.C
+//! admission reacts to the deadline-miss ratio — so this crate makes that
+//! decomposition observable instead of burying it in end-of-run
+//! aggregates. It builds on the scheduling core's flight-recorder
+//! contract ([`tailguard_sched::TraceSink`]) and provides:
+//!
+//! - [`RingRecorder`] — a bounded, shareable sink retaining the most
+//!   recent N lifecycle events (evictions counted, memory bounded);
+//! - [`Registry`] — counters, gauges, log-bucketed histograms (built on
+//!   [`tailguard_dist::LogHistogram`]) and time series under one naming
+//!   scheme, with Prometheus text exposition
+//!   ([`Registry::prometheus_text`]) and JSON snapshots
+//!   ([`Registry::to_json`]);
+//! - timeline reconstruction ([`build_timelines`]) — per-query
+//!   enqueue→dequeue→completion timelines including hedge/retry attempts,
+//!   top-k slowest queries, per-class/per-type dequeue-slack statistics,
+//!   and the reconstructed miss-ratio timeline;
+//! - exporters ([`events_to_jsonl`], [`events_to_csv`]) for external
+//!   tooling;
+//! - [`MetricsServer`] — a `std::net` `/metrics` endpoint the tokio
+//!   testbed serves scrapes from.
+//!
+//! Everything here is read-side: the scheduling core emits events and
+//! knows nothing about recording, so disabled tracing (the default
+//! [`tailguard_sched::NullSink`]) keeps the golden pins bit-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod recorder;
+mod registry;
+mod server;
+mod timeline;
+
+pub use export::{event_to_csv_row, event_to_json, events_to_csv, events_to_jsonl, CSV_HEADER};
+pub use recorder::RingRecorder;
+pub use registry::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Registry, RegistrySnapshot, SeriesPoint,
+    SeriesSnapshot,
+};
+pub use server::{shared_registry, MetricsServer, SharedRegistry};
+pub use timeline::{
+    build_timelines, miss_ratio_timeline, slack_by_class, slack_by_type, slowest_queries,
+    AttemptRecord, MissBin, QueryTimeline, SlackStats,
+};

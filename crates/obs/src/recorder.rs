@@ -1,0 +1,155 @@
+//! The bounded flight recorder.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use tailguard_sched::{TraceEvent, TraceSink};
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    total: u64,
+    dropped: u64,
+}
+
+/// A bounded, shareable [`TraceSink`]: keeps the most recent `capacity`
+/// events in a ring buffer and counts what it had to evict.
+///
+/// `RingRecorder` is a cheap-to-clone *handle* (`Arc<Mutex<..>>`): the
+/// driver keeps one clone and installs another into the handler with
+/// [`QueryHandler::with_trace_sink`](tailguard_sched::QueryHandler::with_trace_sink),
+/// then reads the recording back after (or during) the run. One
+/// uncontended mutex lock per event is the recorder's entire overhead —
+/// measured by the `obs_overhead` bench and recorded in `BENCH_obs.json`.
+#[derive(Clone)]
+pub struct RingRecorder {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl std::fmt::Debug for RingRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ring = self.inner.lock().unwrap();
+        f.debug_struct("RingRecorder")
+            .field("capacity", &ring.capacity)
+            .field("len", &ring.events.len())
+            .field("total", &ring.total)
+            .field("dropped", &ring.dropped)
+            .finish()
+    }
+}
+
+impl RingRecorder {
+    /// A recorder keeping the most recent `capacity` events (at least 1).
+    ///
+    /// The buffer grows on demand (amortized doubling) up to the bound
+    /// rather than preallocating it, so a generous default capacity costs
+    /// nothing on short runs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingRecorder {
+            inner: Arc::new(Mutex::new(Ring {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                total: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// A boxed clone of this handle, ready for
+    /// [`QueryHandler::with_trace_sink`](tailguard_sched::QueryHandler::with_trace_sink).
+    pub fn sink(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.inner.lock().unwrap();
+        ring.events.iter().copied().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events recorded over the recorder's lifetime (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().unwrap().total
+    }
+
+    /// Events evicted to honor the capacity bound. When this is non-zero,
+    /// summaries built from [`RingRecorder::events`] describe a suffix of
+    /// the run — callers should surface that instead of calling the
+    /// recording complete.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().capacity
+    }
+
+    /// Discards the retained events and resets the counters.
+    pub fn clear(&self) {
+        let mut ring = self.inner.lock().unwrap();
+        ring.events.clear();
+        ring.total = 0;
+        ring.dropped = 0;
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, event: &TraceEvent) {
+        let mut ring = self.inner.lock().unwrap();
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(*event);
+        ring.total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailguard_simcore::SimTime;
+
+    fn pause(n: u64) -> TraceEvent {
+        TraceEvent::AdmissionPause {
+            at: SimTime::from_nanos(n),
+        }
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_evictions() {
+        let rec = RingRecorder::with_capacity(3);
+        let mut sink = rec.sink();
+        for n in 0..5 {
+            sink.record(&pause(n));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.total_recorded(), 5);
+        assert_eq!(rec.dropped(), 2);
+        let kept: Vec<u64> = rec.events().iter().map(|e| e.at().as_nanos()).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest events evicted first");
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn handle_clones_share_one_ring() {
+        let rec = RingRecorder::with_capacity(8);
+        let mut a = rec.sink();
+        let mut b = rec.sink();
+        a.record(&pause(1));
+        b.record(&pause(2));
+        assert_eq!(rec.len(), 2);
+    }
+}

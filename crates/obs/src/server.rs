@@ -1,0 +1,156 @@
+//! A minimal `/metrics` HTTP endpoint over `std::net`.
+//!
+//! The vendored tokio stub has no networking, so the exposition endpoint
+//! runs on a plain `std::net::TcpListener` in its own thread — which is
+//! also the honest architecture: scraping must not contend with the
+//! runtime being measured beyond one registry mutex. The server speaks
+//! just enough HTTP/1.1 for Prometheus (and `curl`): `GET /metrics`
+//! returns the text exposition, everything else a 404.
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A shareable registry handle: the runtime updates it, the
+/// [`MetricsServer`] serves it.
+pub type SharedRegistry = Arc<Mutex<Registry>>;
+
+/// Creates a fresh [`SharedRegistry`].
+pub fn shared_registry() -> SharedRegistry {
+    Arc::new(Mutex::new(Registry::new()))
+}
+
+/// The `/metrics` server; shuts down when dropped.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `127.0.0.1:port` (`port` 0 picks a free port; read the
+    /// actual one from [`MetricsServer::addr`]) and serves `registry`
+    /// until the server is dropped.
+    pub fn serve(registry: SharedRegistry, port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tailguard-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // Serve inline: scrapes are rare and tiny, and a
+                        // single thread keeps the footprint predictable.
+                        let _ = handle_connection(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (e.g. to build the scrape URL in tests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &SharedRegistry) -> std::io::Result<()> {
+    // Read until the end of the request headers (clients may split the
+    // request across writes); cap at the buffer size — a scrape request
+    // is tiny.
+    let mut buf = [0u8; 1024];
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..filled]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("");
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        let body = registry.lock().unwrap().prometheus_text();
+        ("200 OK", body)
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let registry = shared_registry();
+        registry
+            .lock()
+            .unwrap()
+            .counter_add("tailguard_queries_admitted_total", "Admitted", 11);
+        let server = MetricsServer::serve(Arc::clone(&registry), 0).unwrap();
+        let ok = get(server.addr(), "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"));
+        assert!(ok.contains("tailguard_queries_admitted_total 11"));
+        let missing = get(server.addr(), "/other");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        // Scrapes see live updates.
+        registry
+            .lock()
+            .unwrap()
+            .counter_add("tailguard_queries_admitted_total", "Admitted", 1);
+        assert!(get(server.addr(), "/metrics").contains("tailguard_queries_admitted_total 12"));
+    }
+}

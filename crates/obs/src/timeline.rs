@@ -1,0 +1,500 @@
+//! Per-query timeline reconstruction from a trace-event stream.
+//!
+//! The flight recorder stores flat lifecycle events; this module folds
+//! them back into one [`QueryTimeline`] per query — every attempt's
+//! enqueue → dequeue → completion (or cancellation/loss), hedges and
+//! retries included — which is what the `tailguard trace` CLI renders and
+//! what the acceptance test checks for completeness.
+
+use std::collections::BTreeMap;
+use tailguard_dist::LogHistogram;
+use tailguard_sched::{AttemptKind, QueryId, TaskId, TraceEvent};
+use tailguard_simcore::{SimDuration, SimTime};
+
+/// The reconstructed life of one task attempt.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// The attempt's task id.
+    pub task: TaskId,
+    /// Its target server.
+    pub server: u32,
+    /// Original, hedge, or retry.
+    pub kind: AttemptKind,
+    /// When it entered its server's queue.
+    pub enqueued_at: SimTime,
+    /// Its queuing deadline `t_D`.
+    pub deadline: SimTime,
+    /// When it entered service, if it ever did.
+    pub dequeued_at: Option<SimTime>,
+    /// Queue wait (enqueue → dequeue).
+    pub waited: Option<SimDuration>,
+    /// Signed deadline slack at dequeue (ns).
+    pub slack_ns: Option<i64>,
+    /// Whether the dequeue was a detected deadline miss.
+    pub missed_deadline: bool,
+    /// When it finished service.
+    pub completed_at: Option<SimTime>,
+    /// Service time spent on it.
+    pub busy: Option<SimDuration>,
+    /// Whether its completion resolved the slot (false for hedge losers).
+    pub won: bool,
+    /// When it was discarded at dequeue (slot already resolved).
+    pub cancelled_at: Option<SimTime>,
+    /// When it was lost to a fault.
+    pub lost_at: Option<SimTime>,
+}
+
+impl AttemptRecord {
+    /// Whether the attempt reached a terminal state (completed, cancelled,
+    /// or lost) — i.e. its timeline is closed, not truncated.
+    pub fn is_terminal(&self) -> bool {
+        self.completed_at.is_some() || self.cancelled_at.is_some() || self.lost_at.is_some()
+    }
+}
+
+/// The reconstructed life of one query.
+#[derive(Debug, Clone)]
+pub struct QueryTimeline {
+    /// The query id.
+    pub query: QueryId,
+    /// Its service class.
+    pub class: u8,
+    /// Its fanout `k_f`.
+    pub fanout: u32,
+    /// Admission time `t_0`.
+    pub admitted_at: SimTime,
+    /// The stamped queuing deadline `t_D`.
+    pub deadline: SimTime,
+    /// Every attempt issued for it, in task-id order (originals first,
+    /// then hedges/retries as they were issued).
+    pub attempts: Vec<AttemptRecord>,
+}
+
+impl QueryTimeline {
+    /// When the query finished: the latest winning completion (partial
+    /// quorums complete at their last counted win). `None` when no attempt
+    /// won — the query failed or the recording was truncated.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.attempts
+            .iter()
+            .filter(|a| a.won)
+            .filter_map(|a| a.completed_at)
+            .max()
+    }
+
+    /// Arrival-to-completion latency, when the query completed.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completed_at()
+            .map(|done| done.saturating_since(self.admitted_at))
+    }
+
+    /// Whether every attempt reached a terminal state — a complete
+    /// timeline, as opposed to one truncated by the ring bound.
+    pub fn is_complete(&self) -> bool {
+        !self.attempts.is_empty() && self.attempts.iter().all(AttemptRecord::is_terminal)
+    }
+
+    /// Hedge/retry copies issued for this query.
+    pub fn duplicate_attempts(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| a.kind != AttemptKind::Original)
+            .count()
+    }
+}
+
+/// Folds an event stream into per-query timelines, keyed by query id.
+///
+/// Events for queries whose `QueryAdmitted` was evicted from the ring are
+/// dropped (a timeline without its head cannot be anchored); the caller
+/// can compare against [`RingRecorder::dropped`](crate::RingRecorder) to
+/// know whether that happened.
+pub fn build_timelines(events: &[TraceEvent]) -> BTreeMap<QueryId, QueryTimeline> {
+    let mut timelines: BTreeMap<QueryId, QueryTimeline> = BTreeMap::new();
+    let mut task_owner: BTreeMap<TaskId, QueryId> = BTreeMap::new();
+    for ev in events {
+        match *ev {
+            TraceEvent::QueryAdmitted {
+                at,
+                query,
+                class,
+                fanout,
+                deadline,
+            } => {
+                timelines.insert(
+                    query,
+                    QueryTimeline {
+                        query,
+                        class,
+                        fanout,
+                        admitted_at: at,
+                        deadline,
+                        attempts: Vec::with_capacity(fanout as usize),
+                    },
+                );
+            }
+            TraceEvent::TaskEnqueued {
+                at,
+                task,
+                query,
+                class: _,
+                server,
+                kind,
+                deadline,
+            } => {
+                if let Some(tl) = timelines.get_mut(&query) {
+                    task_owner.insert(task, query);
+                    tl.attempts.push(AttemptRecord {
+                        task,
+                        server,
+                        kind,
+                        enqueued_at: at,
+                        deadline,
+                        dequeued_at: None,
+                        waited: None,
+                        slack_ns: None,
+                        missed_deadline: false,
+                        completed_at: None,
+                        busy: None,
+                        won: false,
+                        cancelled_at: None,
+                        lost_at: None,
+                    });
+                }
+            }
+            TraceEvent::TaskDequeued {
+                at,
+                task,
+                query,
+                waited,
+                slack_ns,
+                ..
+            } => {
+                if let Some(a) = attempt_mut(&mut timelines, &task_owner, query, task) {
+                    a.dequeued_at = Some(at);
+                    a.waited = Some(waited);
+                    a.slack_ns = Some(slack_ns);
+                }
+            }
+            TraceEvent::DeadlineMissed { task, query, .. } => {
+                if let Some(a) = attempt_mut(&mut timelines, &task_owner, query, task) {
+                    a.missed_deadline = true;
+                }
+            }
+            TraceEvent::TaskCompleted {
+                at,
+                task,
+                query,
+                busy,
+                won,
+                ..
+            } => {
+                if let Some(a) = attempt_mut(&mut timelines, &task_owner, query, task) {
+                    a.completed_at = Some(at);
+                    a.busy = Some(busy);
+                    a.won = won;
+                }
+            }
+            TraceEvent::TaskCancelled {
+                at, task, query, ..
+            } => {
+                if let Some(a) = attempt_mut(&mut timelines, &task_owner, query, task) {
+                    a.cancelled_at = Some(at);
+                }
+            }
+            TraceEvent::TaskLost {
+                at, task, query, ..
+            } => {
+                if let Some(a) = attempt_mut(&mut timelines, &task_owner, query, task) {
+                    a.lost_at = Some(at);
+                }
+            }
+            TraceEvent::HedgeIssued { .. }
+            | TraceEvent::QueryRejected { .. }
+            | TraceEvent::AdmissionPause { .. }
+            | TraceEvent::AdmissionResume { .. } => {}
+        }
+    }
+    timelines
+}
+
+fn attempt_mut<'a>(
+    timelines: &'a mut BTreeMap<QueryId, QueryTimeline>,
+    task_owner: &BTreeMap<TaskId, QueryId>,
+    query: QueryId,
+    task: TaskId,
+) -> Option<&'a mut AttemptRecord> {
+    debug_assert_eq!(task_owner.get(&task), Some(&query));
+    timelines
+        .get_mut(&query)?
+        .attempts
+        .iter_mut()
+        .find(|a| a.task == task)
+}
+
+/// The `k` slowest completed queries, highest latency first (ties broken
+/// by query id for determinism).
+pub fn slowest_queries(
+    timelines: &BTreeMap<QueryId, QueryTimeline>,
+    k: usize,
+) -> Vec<&QueryTimeline> {
+    let mut done: Vec<(&QueryTimeline, SimDuration)> = timelines
+        .values()
+        .filter_map(|tl| tl.latency().map(|l| (tl, l)))
+        .collect();
+    done.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.query.cmp(&b.0.query)));
+    done.into_iter().take(k).map(|(tl, _)| tl).collect()
+}
+
+/// Dequeue-slack accounting for one group of tasks.
+#[derive(Debug, Default)]
+pub struct SlackStats {
+    /// Dequeues observed.
+    pub dequeues: u64,
+    /// Of which deadline misses (negative slack).
+    pub misses: u64,
+    /// Histogram of non-negative slack (ms).
+    pub slack: LogHistogram,
+    /// Histogram of |slack| for late dequeues (ms).
+    pub lateness: LogHistogram,
+}
+
+impl SlackStats {
+    fn record(&mut self, slack_ns: i64) {
+        self.dequeues += 1;
+        let ms = slack_ns.unsigned_abs() as f64 / 1e6;
+        if slack_ns < 0 {
+            self.misses += 1;
+            self.lateness.record(ms);
+        } else {
+            self.slack.record(ms);
+        }
+    }
+
+    /// Miss fraction among these dequeues.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.dequeues == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.dequeues as f64
+        }
+    }
+}
+
+/// Dequeue slack grouped by service class, straight from the event stream.
+pub fn slack_by_class(events: &[TraceEvent]) -> BTreeMap<u8, SlackStats> {
+    let mut by_class: BTreeMap<u8, SlackStats> = BTreeMap::new();
+    for ev in events {
+        if let TraceEvent::TaskDequeued {
+            class, slack_ns, ..
+        } = *ev
+        {
+            by_class.entry(class).or_default().record(slack_ns);
+        }
+    }
+    by_class
+}
+
+/// Dequeue slack grouped by `(class, fanout)` query type, via timelines
+/// (the dequeue event itself does not carry fanout).
+pub fn slack_by_type(
+    timelines: &BTreeMap<QueryId, QueryTimeline>,
+) -> BTreeMap<(u8, u32), SlackStats> {
+    let mut by_type: BTreeMap<(u8, u32), SlackStats> = BTreeMap::new();
+    for tl in timelines.values() {
+        let stats = by_type.entry((tl.class, tl.fanout)).or_default();
+        for a in &tl.attempts {
+            if let Some(slack_ns) = a.slack_ns {
+                stats.record(slack_ns);
+            }
+        }
+    }
+    by_type
+}
+
+/// One bin of the miss-ratio timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissBin {
+    /// Bin start time.
+    pub start: SimTime,
+    /// Task dequeues in the bin.
+    pub dequeues: u64,
+    /// Of which deadline misses.
+    pub misses: u64,
+}
+
+impl MissBin {
+    /// Miss fraction within the bin.
+    pub fn ratio(&self) -> f64 {
+        if self.dequeues == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.dequeues as f64
+        }
+    }
+}
+
+/// Buckets dequeues into fixed `bin`-wide windows — the miss-ratio
+/// timeline §III.C admission reacts to, reconstructed after the fact.
+/// Empty leading/intermediate bins are retained so the timeline is evenly
+/// spaced.
+///
+/// # Panics
+///
+/// Panics when `bin` is zero.
+pub fn miss_ratio_timeline(events: &[TraceEvent], bin: SimDuration) -> Vec<MissBin> {
+    assert!(!bin.is_zero(), "miss-ratio bin must be positive");
+    let mut bins: Vec<MissBin> = Vec::new();
+    for ev in events {
+        if let TraceEvent::TaskDequeued { at, slack_ns, .. } = *ev {
+            let idx = (at.as_nanos() / bin.as_nanos()) as usize;
+            while bins.len() <= idx {
+                let start = SimTime::from_nanos(bins.len() as u64 * bin.as_nanos());
+                bins.push(MissBin {
+                    start,
+                    dequeues: 0,
+                    misses: 0,
+                });
+            }
+            bins[idx].dequeues += 1;
+            if slack_ns < 0 {
+                bins[idx].misses += 1;
+            }
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let ms = SimDuration::from_millis;
+        let t = SimTime::from_millis;
+        vec![
+            TraceEvent::QueryAdmitted {
+                at: t(0),
+                query: 0,
+                class: 0,
+                fanout: 1,
+                deadline: t(5),
+            },
+            TraceEvent::TaskEnqueued {
+                at: t(0),
+                task: 0,
+                query: 0,
+                class: 0,
+                server: 0,
+                kind: AttemptKind::Original,
+                deadline: t(5),
+            },
+            TraceEvent::TaskDequeued {
+                at: t(1),
+                task: 0,
+                query: 0,
+                class: 0,
+                kind: AttemptKind::Original,
+                server: 0,
+                waited: ms(1),
+                slack_ns: 4_000_000,
+            },
+            TraceEvent::HedgeIssued {
+                at: t(2),
+                task: 1,
+                slot: 0,
+                query: 0,
+                server: 1,
+            },
+            TraceEvent::TaskEnqueued {
+                at: t(2),
+                task: 1,
+                query: 0,
+                class: 0,
+                server: 1,
+                kind: AttemptKind::Hedge,
+                deadline: t(5),
+            },
+            TraceEvent::TaskCompleted {
+                at: t(3),
+                task: 0,
+                query: 0,
+                server: 0,
+                busy: ms(2),
+                won: true,
+            },
+            TraceEvent::TaskCancelled {
+                at: t(3),
+                task: 1,
+                query: 0,
+                server: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn timelines_are_complete_and_latency_matches() {
+        let timelines = build_timelines(&sample_events());
+        let tl = &timelines[&0];
+        assert_eq!(tl.attempts.len(), 2, "original + hedge");
+        assert!(tl.is_complete());
+        assert_eq!(tl.latency(), Some(SimDuration::from_millis(3)));
+        assert_eq!(tl.duplicate_attempts(), 1);
+        let hedge = &tl.attempts[1];
+        assert_eq!(hedge.kind, AttemptKind::Hedge);
+        assert!(hedge.cancelled_at.is_some());
+        assert!(!hedge.won);
+    }
+
+    #[test]
+    fn slack_groupings_and_miss_timeline() {
+        let events = sample_events();
+        let by_class = slack_by_class(&events);
+        assert_eq!(by_class[&0].dequeues, 1);
+        assert_eq!(by_class[&0].misses, 0);
+        let timelines = build_timelines(&events);
+        let by_type = slack_by_type(&timelines);
+        assert_eq!(by_type[&(0, 1)].dequeues, 1);
+        let bins = miss_ratio_timeline(&events, SimDuration::from_millis(1));
+        assert_eq!(bins.len(), 2, "dequeue at 1ms lands in the second bin");
+        assert_eq!(bins[1].dequeues, 1);
+        assert_eq!(bins[1].ratio(), 0.0);
+    }
+
+    #[test]
+    fn slowest_queries_orders_by_latency() {
+        let mut events = sample_events();
+        // A second, slower query.
+        let t = SimTime::from_millis;
+        events.extend([
+            TraceEvent::QueryAdmitted {
+                at: t(0),
+                query: 1,
+                class: 0,
+                fanout: 1,
+                deadline: t(5),
+            },
+            TraceEvent::TaskEnqueued {
+                at: t(0),
+                task: 2,
+                query: 1,
+                class: 0,
+                server: 0,
+                kind: AttemptKind::Original,
+                deadline: t(5),
+            },
+            TraceEvent::TaskCompleted {
+                at: t(9),
+                task: 2,
+                query: 1,
+                server: 0,
+                busy: SimDuration::from_millis(9),
+                won: true,
+            },
+        ]);
+        let timelines = build_timelines(&events);
+        let top = slowest_queries(&timelines, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].query, 1);
+    }
+}

@@ -20,6 +20,7 @@ use crate::admission::AdmissionController;
 use crate::config::{AdmissionConfig, ClassSpec};
 use crate::estimator::DeadlineEstimator;
 use crate::mitigation::{MitigationConfig, RobustnessStats};
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use tailguard_metrics::{LatencyReservoir, LoadStats};
 use tailguard_policy::{DeadlineRule, Policy, QueuedTask, ServiceClass, TaskQueue};
@@ -132,6 +133,18 @@ pub enum AttemptKind {
     Hedge,
     /// A retry copy, issued after an attempt was lost to a fault.
     Retry,
+}
+
+impl AttemptKind {
+    /// Stable lowercase name (`"original"`/`"hedge"`/`"retry"`), used by
+    /// trace exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttemptKind::Original => "original",
+            AttemptKind::Hedge => "hedge",
+            AttemptKind::Retry => "retry",
+        }
+    }
 }
 
 /// The driver's cue to reissue a fault-lost task on a backup server: call
@@ -306,6 +319,16 @@ pub struct QueryHandler {
     admission: Option<AdmissionController>,
     mitigation: Option<MitigationConfig>,
     stats: SchedStats,
+    /// The flight-recorder sink ([`NullSink`] by default — a boxed ZST,
+    /// no allocation).
+    sink: Box<dyn TraceSink>,
+    /// Cached `sink.enabled()`: every emission point is `if self.trace_on`,
+    /// so disabled tracing costs one predictable branch and never builds
+    /// the event.
+    trace_on: bool,
+    /// The admission state after the previous `admission_rejects` call,
+    /// for pause/resume edge detection.
+    admission_was_rejecting: bool,
 }
 
 impl std::fmt::Debug for QueryHandler {
@@ -365,7 +388,20 @@ impl QueryHandler {
                 robustness: RobustnessStats::default(),
                 partial_latency: LatencyReservoir::new(),
             },
+            sink: Box::new(NullSink),
+            trace_on: false,
+            admission_was_rejecting: false,
         }
+    }
+
+    /// Installs a flight-recorder sink (see [`TraceSink`]). The default is
+    /// [`NullSink`]; handing one in explicitly is equivalent to the
+    /// default. `sink.enabled()` is cached here, so a disabled sink keeps
+    /// the hot path free of event construction.
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_on = sink.enabled();
+        self.sink = sink;
+        self
     }
 
     /// Enables straggler/fault mitigation (hedging, retries, partial
@@ -423,6 +459,13 @@ impl QueryHandler {
                     self.stats.load.record_rejected_work(svc);
                 }
             }
+            if self.trace_on {
+                self.sink.record(&TraceEvent::QueryRejected {
+                    at: now,
+                    class: arrival.class,
+                    fanout: arrival.targets.len() as u32,
+                });
+            }
             return AdmitDecision::Rejected;
         }
         self.stats.load.query_accepted();
@@ -471,6 +514,15 @@ impl QueryHandler {
             quorum,
             done: false,
         });
+        if self.trace_on {
+            self.sink.record(&TraceEvent::QueryAdmitted {
+                at: now,
+                query,
+                class: arrival.class,
+                fanout,
+                deadline,
+            });
+        }
 
         for (idx, &server) in arrival.targets.iter().enumerate() {
             let task = self.tasks.len() as TaskId;
@@ -505,6 +557,17 @@ impl QueryHandler {
             );
             if let Some(sizes) = arrival.sizes {
                 entry = entry.with_size_hint(sizes[idx]);
+            }
+            if self.trace_on {
+                self.sink.record(&TraceEvent::TaskEnqueued {
+                    at: now,
+                    task,
+                    query,
+                    class: arrival.class,
+                    server,
+                    kind: AttemptKind::Original,
+                    deadline: task_deadline,
+                });
             }
             if self.servers[server as usize].in_service.is_none() {
                 // Idle server: immediate dequeue, by definition on time.
@@ -552,6 +615,18 @@ impl QueryHandler {
         // Online updating process (§III.B.2): the handler learns the
         // server's post-queuing time distribution from returned results.
         self.estimator.record_post_queuing(server as usize, busy);
+        if self.trace_on {
+            // Emitted before the freed server's next dequeue so the stream
+            // reads completion-then-dequeue at equal timestamps.
+            self.sink.record(&TraceEvent::TaskCompleted {
+                at: now,
+                task,
+                query,
+                server,
+                busy,
+                won: !self.slots[slot as usize].resolved,
+            });
+        }
 
         let next = self.on_server_free(now, server);
         let slot_state = &mut self.slots[slot as usize];
@@ -597,6 +672,14 @@ impl QueryHandler {
             Some(task),
             "loss implies the task is in service at its server"
         );
+        if self.trace_on {
+            self.sink.record(&TraceEvent::TaskLost {
+                at: now,
+                task,
+                query,
+                server,
+            });
+        }
         let next = self.on_server_free(now, server);
         let slot_state = &mut self.slots[slot as usize];
         slot_state.live -= 1;
@@ -647,6 +730,14 @@ impl QueryHandler {
             if self.slots[slot as usize].resolved {
                 self.slots[slot as usize].live -= 1;
                 self.stats.robustness.cancelled_tasks += 1;
+                if self.trace_on {
+                    self.sink.record(&TraceEvent::TaskCancelled {
+                        at: now,
+                        task,
+                        query: self.tasks[task as usize].query,
+                        server,
+                    });
+                }
                 continue;
             }
             return Some(self.start(now, server, entry));
@@ -737,6 +828,26 @@ impl QueryHandler {
             AttemptKind::Original => {}
         }
         self.stats.load.task_dispatched();
+        if self.trace_on {
+            if kind == AttemptKind::Hedge {
+                self.sink.record(&TraceEvent::HedgeIssued {
+                    at: now,
+                    task,
+                    slot,
+                    query,
+                    server,
+                });
+            }
+            self.sink.record(&TraceEvent::TaskEnqueued {
+                at: now,
+                task,
+                query,
+                class,
+                server,
+                kind,
+                deadline,
+            });
+        }
         let mut entry = QueuedTask::new(u64::from(task), ServiceClass(class), deadline, now);
         if let Some(size) = size {
             entry = entry.with_size_hint(size);
@@ -764,6 +875,29 @@ impl QueryHandler {
         let query = self.tasks[task as usize].query;
         if self.queries[query as usize].record {
             self.stats.pre_dequeue.record(waited);
+        }
+        if self.trace_on {
+            // Slack is signed: negative exactly when this dequeue is a miss.
+            let slack_ns = entry.deadline.as_nanos() as i64 - now.as_nanos() as i64;
+            self.sink.record(&TraceEvent::TaskDequeued {
+                at: now,
+                task,
+                query,
+                class: self.queries[query as usize].class,
+                kind: self.tasks[task as usize].kind,
+                server,
+                waited,
+                slack_ns,
+            });
+            if missed {
+                self.sink.record(&TraceEvent::DeadlineMissed {
+                    at: now,
+                    task,
+                    query,
+                    server,
+                    late_by: now.saturating_since(entry.deadline),
+                });
+            }
         }
         self.servers[server as usize].in_service = Some(task);
         DispatchedTask { task, server }
@@ -835,6 +969,14 @@ impl QueryHandler {
             Some(adm) => {
                 let rejects = adm.rejects(now);
                 self.stats.admission_resumes = adm.resumes();
+                if self.trace_on && rejects != self.admission_was_rejecting {
+                    self.sink.record(&if rejects {
+                        TraceEvent::AdmissionPause { at: now }
+                    } else {
+                        TraceEvent::AdmissionResume { at: now }
+                    });
+                }
+                self.admission_was_rejecting = rejects;
                 rejects
             }
             None => false,
@@ -844,6 +986,21 @@ impl QueryHandler {
     /// The task currently in service at `server`, if any.
     pub fn task_in_service(&self, server: u32) -> Option<TaskId> {
         self.servers[server as usize].in_service
+    }
+
+    /// Total tasks waiting in per-server queues right now (excludes tasks
+    /// in service) — the queue-depth gauge the observability snapshots
+    /// sample.
+    pub fn queued_tasks(&self) -> usize {
+        self.servers.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Servers currently serving a task.
+    pub fn servers_busy(&self) -> usize {
+        self.servers
+            .iter()
+            .filter(|s| s.in_service.is_some())
+            .count()
     }
 
     /// Total tasks created so far (task ids are `0..task_count()`).
@@ -1176,6 +1333,149 @@ mod tests {
             2,
             "the cancelled hedge never counts as a dequeue"
         );
+    }
+
+    /// A test sink sharing its event log through an `Arc` so the handler
+    /// can own one clone while the test reads the other.
+    #[derive(Debug, Default, Clone)]
+    struct TestSink(std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>);
+
+    impl TraceSink for TestSink {
+        fn record(&mut self, event: &TraceEvent) {
+            self.0.lock().unwrap().push(*event);
+        }
+    }
+
+    #[test]
+    fn trace_stream_covers_the_basic_lifecycle() {
+        let sink = TestSink::default();
+        let mut h = handler(1, Policy::Fifo, None).with_trace_sink(Box::new(sink.clone()));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        h.on_task_complete(SimTime::from_millis(3), 0, ms(3.0));
+
+        let events = sink.0.lock().unwrap();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind_name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "query_admitted",
+                "task_enqueued",
+                "task_dequeued", // idle server: immediate dequeue
+                "query_admitted",
+                "task_enqueued", // server busy: waits
+                "task_completed",
+                "task_dequeued", // work conservation after the completion
+            ]
+        );
+        // The queued task's dequeue carries its wait and positive slack.
+        match events[6] {
+            TraceEvent::TaskDequeued {
+                task,
+                waited,
+                slack_ns,
+                ..
+            } => {
+                assert_eq!(task, 1);
+                assert_eq!(waited, ms(3.0));
+                assert!(slack_ns > 0, "dequeue within budget has positive slack");
+            }
+            ref other => panic!("expected TaskDequeued, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_records_misses_hedges_and_cancellations() {
+        let sink = TestSink::default();
+        let mut h = handler(2, Policy::TfEdf, None)
+            .with_mitigation(MitigationConfig::new().with_hedge_after(0.5))
+            .with_trace_sink(Box::new(sink.clone()));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let due = h.hedge_deadline(0).unwrap();
+        let (hedge, _) = h.issue_duplicate(due, 0, 1, None, AttemptKind::Hedge);
+        h.on_task_complete(due + ms(1.0), hedge, ms(1.0));
+        h.on_task_complete(due + ms(5.0), 0, ms(5.0));
+
+        let events = sink.0.lock().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::HedgeIssued { slot: 0, .. })));
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::TaskEnqueued {
+                    kind: AttemptKind::Hedge,
+                    ..
+                }
+            )),
+            "the hedge copy gets its own enqueue event"
+        );
+        // The hedge wins; the original's completion is a loser.
+        assert!(events.iter().any(
+            |e| matches!(e, TraceEvent::TaskCompleted { task, won: true, .. } if *task == hedge)
+        ));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::TaskCompleted {
+                task: 0,
+                won: false,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn trace_records_admission_edges() {
+        let adm = AdmissionConfig::new(ms(100.0), 0.1).with_min_samples(1);
+        let sink = TestSink::default();
+        let mut h = handler(1, Policy::TfEdf, Some(adm)).with_trace_sink(Box::new(sink.clone()));
+        let mut started = Vec::new();
+        // Queue a doomed query behind a filler so its dequeue is a miss.
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        h.on_query_arrival(
+            SimTime::ZERO,
+            QueryArrival {
+                budget_override: Some(SimDuration::ZERO),
+                ..arrival(&[0], true)
+            },
+            &mut started,
+        );
+        h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0));
+        // Miss ratio 1/2 > 0.1: this arrival flips admission to rejecting.
+        h.on_query_arrival(SimTime::from_millis(1), arrival(&[0], true), &mut started);
+        // After the window expires, admission resumes and admits again.
+        h.on_query_arrival(SimTime::from_millis(500), arrival(&[0], true), &mut started);
+
+        let events = sink.0.lock().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DeadlineMissed { task: 1, .. })));
+        let pause = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::AdmissionPause { .. }))
+            .expect("admission paused");
+        let resume = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::AdmissionResume { .. }))
+            .expect("admission resumed");
+        assert!(pause < resume);
+        assert!(events[pause..resume]
+            .iter()
+            .any(|e| matches!(e, TraceEvent::QueryRejected { .. })));
+    }
+
+    #[test]
+    fn queue_depth_accessors_track_occupancy() {
+        let mut h = handler(2, Policy::Fifo, None);
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0, 1], true), &mut started);
+        assert_eq!(h.queued_tasks(), 1, "one task waits behind server 0");
+        assert_eq!(h.servers_busy(), 2);
+        h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0));
+        assert_eq!(h.queued_tasks(), 0);
     }
 
     #[test]

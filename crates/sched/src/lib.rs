@@ -28,6 +28,7 @@ mod config;
 mod estimator;
 mod handler;
 mod mitigation;
+mod trace;
 
 pub use config::{AdmissionConfig, ClassSpec, ClusterSpec};
 pub use estimator::{DeadlineEstimator, EstimatorMode};
@@ -36,3 +37,4 @@ pub use handler::{
     QueryId, QueryTypeKey, RetryPlan, SchedStats, TaskCompletion, TaskId,
 };
 pub use mitigation::{MitigationConfig, RobustnessStats};
+pub use trace::{NullSink, TraceEvent, TraceSink, VecSink};

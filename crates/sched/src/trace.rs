@@ -1,0 +1,304 @@
+//! The flight-recorder event taxonomy and sink trait.
+//!
+//! The [`QueryHandler`](crate::QueryHandler) narrates every query and task
+//! lifecycle transition as a [`TraceEvent`] into a [`TraceSink`]. The
+//! default sink is [`NullSink`]: a zero-sized type whose `enabled()` is
+//! `false`, so the handler skips event construction entirely — disabled
+//! tracing adds one predictable branch per emission point, no allocations,
+//! and leaves the golden pins bit-for-bit identical.
+//!
+//! Events carry handler-local ids ([`QueryId`]/[`TaskId`]) and virtual
+//! timestamps; both runtimes emit the same stream for the same input, which
+//! is what makes recorder contents comparable across `--jobs` levels and
+//! across the simulator/testbed pair. Recording sinks (ring buffers,
+//! registries, exporters) live in `tailguard-obs`; this module only defines
+//! the contract so the scheduling core stays dependency-free.
+
+use crate::handler::{QueryId, TaskId};
+use crate::AttemptKind;
+use tailguard_simcore::{SimDuration, SimTime};
+
+/// One scheduling-lifecycle event, emitted at the instant it happens.
+///
+/// All variants are `Copy` and carry no heap data: a sink that drops the
+/// event costs nothing beyond the enum construction, and a ring buffer can
+/// store events inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A query passed admission; its tasks are about to be enqueued with
+    /// the shared queuing deadline `t_D = t_0 + T_b` (Eq. 6).
+    QueryAdmitted {
+        /// Event time (`t_0`).
+        at: SimTime,
+        /// The admitted query.
+        query: QueryId,
+        /// Its service class.
+        class: u8,
+        /// Its fanout `k_f`.
+        fanout: u32,
+        /// The stamped queuing deadline `t_D`.
+        deadline: SimTime,
+    },
+    /// A query was turned away by §III.C admission control.
+    QueryRejected {
+        /// Event time.
+        at: SimTime,
+        /// The rejected query's class.
+        class: u8,
+        /// Its fanout.
+        fanout: u32,
+    },
+    /// A task attempt entered a server's queue (or went straight into
+    /// service — a [`TraceEvent::TaskDequeued`] at the same instant
+    /// follows).
+    TaskEnqueued {
+        /// Event time.
+        at: SimTime,
+        /// The attempt's task id.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The query's class.
+        class: u8,
+        /// The target server.
+        server: u32,
+        /// Original, hedge, or retry.
+        kind: AttemptKind,
+        /// The attempt's queuing deadline.
+        deadline: SimTime,
+    },
+    /// A task attempt left its queue and entered service.
+    TaskDequeued {
+        /// Event time.
+        at: SimTime,
+        /// The attempt's task id.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The query's class.
+        class: u8,
+        /// Original, hedge, or retry.
+        kind: AttemptKind,
+        /// The serving server.
+        server: u32,
+        /// Queue wait (enqueue → dequeue).
+        waited: SimDuration,
+        /// Deadline slack at dequeue in nanoseconds: `t_D − now`, negative
+        /// when the dequeue itself is the miss.
+        slack_ns: i64,
+    },
+    /// A task missed its queuing deadline — detected at dequeue, exactly
+    /// where the admission window counts it.
+    DeadlineMissed {
+        /// Event time (the dequeue instant).
+        at: SimTime,
+        /// The late attempt.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The serving server.
+        server: u32,
+        /// How far past `t_D` the dequeue happened.
+        late_by: SimDuration,
+    },
+    /// A hedge copy was issued because the slot's remaining budget crossed
+    /// the [`MitigationConfig::hedge_after`](crate::MitigationConfig)
+    /// threshold. The copy's own [`TraceEvent::TaskEnqueued`] follows.
+    HedgeIssued {
+        /// Event time.
+        at: SimTime,
+        /// The hedge copy's task id.
+        task: TaskId,
+        /// The logical task (slot) being hedged.
+        slot: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The backup server chosen.
+        server: u32,
+    },
+    /// A queued attempt was discarded at dequeue because its slot had
+    /// already resolved (hedge loser, or straggler of an early-quorum
+    /// query). It never entered service.
+    TaskCancelled {
+        /// Event time.
+        at: SimTime,
+        /// The discarded attempt.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The server whose queue it was discarded from.
+        server: u32,
+    },
+    /// A task attempt finished service. `won` is false for losers whose
+    /// slot another attempt already resolved (their result is ignored but
+    /// the server's busy time stands).
+    TaskCompleted {
+        /// Event time.
+        at: SimTime,
+        /// The completed attempt.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The server that served it.
+        server: u32,
+        /// Service time actually spent.
+        busy: SimDuration,
+        /// Whether this completion resolved its slot.
+        won: bool,
+    },
+    /// A task attempt in service was lost to an injected fault or worker
+    /// failure (no result, no busy time learned).
+    TaskLost {
+        /// Event time.
+        at: SimTime,
+        /// The lost attempt.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The server it was in service at.
+        server: u32,
+    },
+    /// Admission flipped from admitting to rejecting (the window's miss
+    /// ratio crossed the threshold).
+    AdmissionPause {
+        /// Event time.
+        at: SimTime,
+    },
+    /// Admission flipped back to admitting (hysteresis recovery or window
+    /// drain).
+    AdmissionResume {
+        /// Event time.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The instant the event happened.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::QueryAdmitted { at, .. }
+            | TraceEvent::QueryRejected { at, .. }
+            | TraceEvent::TaskEnqueued { at, .. }
+            | TraceEvent::TaskDequeued { at, .. }
+            | TraceEvent::DeadlineMissed { at, .. }
+            | TraceEvent::HedgeIssued { at, .. }
+            | TraceEvent::TaskCancelled { at, .. }
+            | TraceEvent::TaskCompleted { at, .. }
+            | TraceEvent::TaskLost { at, .. }
+            | TraceEvent::AdmissionPause { at }
+            | TraceEvent::AdmissionResume { at } => at,
+        }
+    }
+
+    /// The owning query, for query-scoped events.
+    pub fn query(&self) -> Option<QueryId> {
+        match *self {
+            TraceEvent::QueryAdmitted { query, .. }
+            | TraceEvent::TaskEnqueued { query, .. }
+            | TraceEvent::TaskDequeued { query, .. }
+            | TraceEvent::DeadlineMissed { query, .. }
+            | TraceEvent::HedgeIssued { query, .. }
+            | TraceEvent::TaskCancelled { query, .. }
+            | TraceEvent::TaskCompleted { query, .. }
+            | TraceEvent::TaskLost { query, .. } => Some(query),
+            TraceEvent::QueryRejected { .. }
+            | TraceEvent::AdmissionPause { .. }
+            | TraceEvent::AdmissionResume { .. } => None,
+        }
+    }
+
+    /// The event's short kind name (stable; used by exporters).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::QueryAdmitted { .. } => "query_admitted",
+            TraceEvent::QueryRejected { .. } => "query_rejected",
+            TraceEvent::TaskEnqueued { .. } => "task_enqueued",
+            TraceEvent::TaskDequeued { .. } => "task_dequeued",
+            TraceEvent::DeadlineMissed { .. } => "deadline_missed",
+            TraceEvent::HedgeIssued { .. } => "hedge_issued",
+            TraceEvent::TaskCancelled { .. } => "task_cancelled",
+            TraceEvent::TaskCompleted { .. } => "task_completed",
+            TraceEvent::TaskLost { .. } => "task_lost",
+            TraceEvent::AdmissionPause { .. } => "admission_pause",
+            TraceEvent::AdmissionResume { .. } => "admission_resume",
+        }
+    }
+}
+
+/// Where lifecycle events go.
+///
+/// Sinks receive events strictly in emission order (which, at equal
+/// timestamps, is the handler's deterministic processing order). A sink
+/// must not call back into the handler. Sinks are `Send` so a traced
+/// handler can still move across the parallel runner's worker threads.
+pub trait TraceSink: Send {
+    /// Records one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Whether the handler should construct and deliver events at all.
+    /// The handler caches this once at installation; returning `false`
+    /// (as [`NullSink`] does) makes every emission point a dead branch.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default sink: discards everything, reports itself disabled.
+///
+/// A boxed `NullSink` does not allocate (it is zero-sized), and because
+/// `enabled()` is `false` the handler never even builds the events — the
+/// traced and untraced hot paths are identical apart from one branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that appends every event to a `Vec` — the simplest recording
+/// sink, used by unit tests; bounded recording lives in `tailguard-obs`.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_zero_sized() {
+        assert!(!NullSink.enabled());
+        assert_eq!(std::mem::size_of::<NullSink>(), 0);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let ev = TraceEvent::TaskDequeued {
+            at: SimTime::from_millis(3),
+            task: 7,
+            query: 2,
+            class: 0,
+            kind: AttemptKind::Original,
+            server: 1,
+            waited: SimDuration::from_millis(1),
+            slack_ns: -50,
+        };
+        assert_eq!(ev.at(), SimTime::from_millis(3));
+        assert_eq!(ev.query(), Some(2));
+        assert_eq!(ev.kind_name(), "task_dequeued");
+        let pause = TraceEvent::AdmissionPause { at: SimTime::ZERO };
+        assert_eq!(pause.query(), None);
+    }
+}

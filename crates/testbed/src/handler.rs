@@ -13,6 +13,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::future::Future;
 use tailguard_metrics::LatencyReservoir;
+use tailguard_obs::{RingRecorder, SharedRegistry};
 use tailguard_policy::Policy;
 use tailguard_sched::{
     AdmissionConfig, AdmitDecision, AttemptKind, ClassSpec, DeadlineEstimator, DispatchedTask,
@@ -63,6 +64,12 @@ pub(crate) struct HandlerConfig {
     pub admission: Option<AdmissionConfig>, // window in the scaled domain
     pub mitigation: Option<MitigationConfig>, // hedging/retry/partial quorum
     pub expected_queries: u64,
+    /// When set, the handler records lifecycle events into a
+    /// [`RingRecorder`] and keeps this registry current: queue-depth and
+    /// miss-ratio series during the run (so a live `/metrics` scrape sees
+    /// them), full counters/histograms at the end. All durations are in
+    /// the *compressed* wall domain (`tailguard_run_time_scale` converts).
+    pub registry: Option<SharedRegistry>,
 }
 
 /// Runs the query handler until `expected_queries` queries have completed
@@ -90,6 +97,16 @@ pub(crate) async fn query_handler(
     if let Some(mitigation) = cfg.mitigation {
         core = core.with_mitigation(mitigation);
     }
+    let recorder = cfg
+        .registry
+        .as_ref()
+        .map(|_| RingRecorder::with_capacity(tailguard::DEFAULT_RING_CAPACITY));
+    if let Some(rec) = &recorder {
+        core = core.with_trace_sink(rec.sink());
+    }
+    // Results processed since the last live registry sample; sampling every
+    // 64 keeps the registry mutex off the per-task hot path.
+    let mut results_since_sample = 0u32;
     // Driver-side per-task state, indexed by the core's sequential task id:
     // what to fetch, and when the node started on it.
     let mut task_ranges: Vec<(u32, u32)> = Vec::new();
@@ -178,6 +195,13 @@ pub(crate) async fn query_handler(
                     core.on_task_complete(to_sim(now), task, post_queuing);
                 if let Some(d) = next {
                     dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                }
+                if let Some(reg) = &cfg.registry {
+                    results_since_sample += 1;
+                    if results_since_sample >= 64 {
+                        results_since_sample = 0;
+                        sample_registry(reg, &core, to_sim(Instant::now()));
+                    }
                 }
             }
             HandlerEvent::Result(result) => {
@@ -275,7 +299,55 @@ pub(crate) async fn query_handler(
     }
 
     let elapsed = SimDuration::from_nanos(epoch.elapsed().as_nanos() as u64);
+    if let Some(reg) = &cfg.registry {
+        sample_registry(reg, &core, SimTime::from_nanos(elapsed.as_nanos()));
+    }
+    let budget_lookups = core.estimator().budget_lookup_count();
+    let estimator_refreshes = core.estimator().refresh_count();
+    let cached_budgets = core.estimator().cached_budget_count();
     let stats = core.into_stats();
+    if let (Some(reg), Some(rec)) = (&cfg.registry, &recorder) {
+        let mut reg = reg.lock().unwrap();
+        reg.ingest_events(&rec.events());
+        reg.ingest_robustness(&stats.robustness);
+        reg.counter_set(
+            "tailguard_estimator_budget_lookups_total",
+            "Budget-table lookups while stamping deadlines (Eq. 6)",
+            budget_lookups,
+        );
+        reg.counter_set(
+            "tailguard_estimator_refreshes_total",
+            "Online budget-table rebuilds from refreshed CDFs (§III.B.2)",
+            estimator_refreshes,
+        );
+        reg.gauge_set(
+            "tailguard_estimator_cached_budgets",
+            "Distinct (class, fanout) budgets currently cached",
+            cached_budgets as f64,
+        );
+        reg.counter_set(
+            "tailguard_run_queries_completed_total",
+            "Recorded queries completed",
+            stats.completed_queries,
+        );
+        reg.gauge_set(
+            "tailguard_run_elapsed_ms",
+            "Compressed wall-clock duration of the run",
+            elapsed.as_millis_f64(),
+        );
+        reg.gauge_set(
+            "tailguard_run_deadline_miss_ratio",
+            "Final dequeue-time deadline-miss ratio",
+            stats.load.deadline_miss_ratio(),
+        );
+        if rec.dropped() > 0 {
+            reg.counter_set(
+                "tailguard_trace_events_dropped_total",
+                "Events evicted by the ring recorder's capacity bound",
+                rec.dropped(),
+            );
+        }
+    }
     HandlerOutput {
         latency_by_class: stats.query_latency_by_class,
         post_queuing_by_node,
@@ -293,6 +365,31 @@ pub(crate) async fn query_handler(
         robustness: stats.robustness,
         worker_panics,
     }
+}
+
+/// Pushes one live sample of queue depth, busy nodes, and miss ratio into
+/// the shared registry (as time series, whose latest point the Prometheus
+/// exposition surfaces as a gauge).
+fn sample_registry(reg: &SharedRegistry, core: &QueryHandler, now: SimTime) {
+    let mut reg = reg.lock().unwrap();
+    reg.series_push(
+        "tailguard_queue_depth",
+        "Tasks queued across all per-node queues",
+        now,
+        core.queued_tasks() as f64,
+    );
+    reg.series_push(
+        "tailguard_servers_busy",
+        "Edge nodes with a task in service",
+        now,
+        core.servers_busy() as f64,
+    );
+    reg.series_push(
+        "tailguard_deadline_miss_ratio",
+        "Cumulative dequeue-time deadline-miss ratio",
+        now,
+        core.stats().load.deadline_miss_ratio(),
+    );
 }
 
 /// Sends a task the core just moved into service to its edge node.

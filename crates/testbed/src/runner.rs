@@ -10,6 +10,7 @@ use tailguard::{AdmissionConfig, ClusterSpec, DeadlineEstimator, EstimatorMode};
 use tailguard_dist::{DynDistribution, Scaled};
 use tailguard_faults::FaultPlan;
 use tailguard_metrics::LatencyReservoir;
+use tailguard_obs::SharedRegistry;
 use tailguard_policy::Policy;
 use tailguard_sched::{MitigationConfig, RobustnessStats};
 use tailguard_simcore::{SimDuration, SimRng};
@@ -59,6 +60,13 @@ pub struct TestbedConfig {
     /// Days of sensor history per node (the physical testbed keeps 540;
     /// tests use less to bound memory).
     pub store_days: u32,
+    /// Shared metrics registry, if the run should be observable. The
+    /// handler records lifecycle events and keeps the registry current
+    /// while running, so a [`tailguard_obs::MetricsServer`] serving this
+    /// registry exposes live `/metrics` scrapes. Registry durations are in
+    /// the *compressed* wall domain; the `tailguard_run_time_scale` gauge
+    /// carries the factor to uncompress them.
+    pub registry: Option<SharedRegistry>,
 }
 
 impl Default for TestbedConfig {
@@ -75,6 +83,7 @@ impl Default for TestbedConfig {
             mode: TestbedMode::PausedTime,
             seed: 0x5A5_7E57,
             store_days: 90,
+            registry: None,
         }
     }
 }
@@ -177,6 +186,13 @@ pub fn run_testbed(config: &TestbedConfig) -> TestbedReport {
 async fn run_async(config: &TestbedConfig) -> TestbedReport {
     let scale = config.time_scale;
     let mut master = SimRng::seed(config.seed);
+    if let Some(reg) = &config.registry {
+        reg.lock().unwrap().gauge_set(
+            "tailguard_run_time_scale",
+            "Time compression: multiply registry durations by this to get Pi time",
+            scale,
+        );
+    }
 
     // --- Build the 32-node heterogeneous cluster (scaled domain). -------
     let scaled_dists: Vec<DynDistribution> = SasCluster::ALL
@@ -317,6 +333,7 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
             // dimensionless, so no compression needed.
             mitigation: config.mitigation,
             expected_queries: config.queries as u64,
+            registry: config.registry.clone(),
         },
         estimator,
         query_rx,
@@ -601,6 +618,47 @@ mod tests {
             report.completed_queries + report.rejected_queries + r.failed_queries,
             300
         );
+    }
+
+    #[test]
+    fn observed_run_populates_registry_and_serves_metrics() {
+        use tailguard_obs::{shared_registry, MetricsServer};
+
+        let registry = shared_registry();
+        let mut cfg = quick(Policy::TfEdf, 0.25, 200);
+        cfg.registry = Some(Arc::clone(&registry));
+        let report = run_testbed(&cfg);
+        assert_eq!(report.completed_queries, 200);
+
+        {
+            let reg = registry.lock().unwrap();
+            assert_eq!(
+                reg.counter("tailguard_queries_admitted_total"),
+                Some(200),
+                "every admitted query traced"
+            );
+            assert_eq!(
+                reg.counter("tailguard_estimator_budget_lookups_total"),
+                Some(200),
+                "one budget lookup per arrival"
+            );
+            assert!(reg.histogram("tailguard_queue_wait_ms").is_some());
+            assert!(reg.series("tailguard_queue_depth").is_some());
+            assert_eq!(reg.gauge("tailguard_run_time_scale"), Some(25.0));
+        }
+
+        // The same registry serves live Prometheus scrapes.
+        let server = MetricsServer::serve(Arc::clone(&registry), 0).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        use std::io::{Read as _, Write as _};
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains("# TYPE tailguard_queries_admitted_total counter"));
+        assert!(body.contains("# TYPE tailguard_queue_wait_ms histogram"));
+        assert!(body.contains("tailguard_queries_admitted_total 200"));
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub use tailguard;
 pub use tailguard_dist as dist;
 pub use tailguard_faults as faults;
 pub use tailguard_metrics as metrics;
+pub use tailguard_obs as obs;
 pub use tailguard_policy as policy;
 pub use tailguard_sched as sched;
 pub use tailguard_simcore as simcore;
