@@ -13,6 +13,8 @@
 //! tailguard scenarios list built-in paper scenarios
 //! ```
 
+// Printing reports to stdout is the CLI's job.
+#![allow(clippy::print_stdout)]
 mod args;
 mod chart;
 mod commands;

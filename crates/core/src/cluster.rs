@@ -433,6 +433,7 @@ impl ClusterSim {
         let task = self
             .handler
             .task_in_service(server)
+            // tg-lint: allow(unwrap-in-lib) -- a Finish event is only scheduled after a task enters service; crashing loudly here beats silently corrupting the sim
             .expect("finish event implies a task in service");
         if let Some(faults) = &self.faults {
             // The result lands inside a blackout: it is lost with the

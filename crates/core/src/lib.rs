@@ -43,9 +43,6 @@
 //! assert!(tg >= fifo); // TailGuard sustains at least FIFO's load
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod cluster;
 mod maxload;
 mod observe;

@@ -100,6 +100,7 @@ pub struct ObservedRun {
 impl ObservedRun {
     /// The snapshots as pretty-printed JSON (an array of objects).
     pub fn snapshots_json(&self) -> String {
+        // tg-lint: allow(unwrap-in-lib) -- pure in-memory serialization of plain structs cannot fail
         serde_json::to_string_pretty(&self.snapshots).expect("snapshots serialize")
     }
 }
@@ -109,8 +110,7 @@ impl ObservedRun {
 fn default_snapshot_interval(config: &SimConfig) -> SimDuration {
     config
         .admission
-        .map(|a| a.window)
-        .unwrap_or_else(|| SimDuration::from_millis(10))
+        .map_or_else(|| SimDuration::from_millis(10), |a| a.window)
 }
 
 /// Runs one simulation with the flight recorder on.

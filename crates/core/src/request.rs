@@ -125,7 +125,7 @@ impl RequestPlanner {
         let mut samples: Vec<f64> = (0..self.mc_samples)
             .map(|_| self.draw_unloaded_request_ms(cluster, fanouts, &mut rng))
             .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_by(f64::total_cmp);
         let rank = (self.percentile * samples.len() as f64).ceil() as usize;
         samples[rank.clamp(1, samples.len()) - 1]
     }
@@ -307,7 +307,7 @@ mod tests {
         let mut samples: Vec<f64> = (0..300_000)
             .map(|_| planner.draw_unloaded_request_ms(&c, &[10, 100], &mut rng) + 0.2 + 0.3)
             .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_by(f64::total_cmp);
         let loaded = samples[(0.99 * samples.len() as f64).ceil() as usize - 1];
         assert!(
             (loaded - (unloaded + 0.5)).abs() < 0.03,

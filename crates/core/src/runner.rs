@@ -27,9 +27,7 @@ use tailguard_policy::Policy;
 /// The number of worker threads to use by default: the machine's available
 /// parallelism, or 1 when that cannot be determined.
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Applies `f` to every item on up to `jobs` scoped worker threads and
@@ -70,6 +68,7 @@ where
                     break;
                 }
                 let r = f(i, &items[i]);
+                // tg-lint: allow(unwrap-in-lib) -- each slot is touched by exactly one claiming worker; a poisoned lock means that worker already panicked
                 *slots[i].lock().expect("result slot lock") = Some(r);
             });
         }
@@ -78,7 +77,9 @@ where
         .into_iter()
         .map(|s| {
             s.into_inner()
+                // tg-lint: allow(unwrap-in-lib) -- scope() already propagated any worker panic; the lock cannot be poisoned here
                 .expect("result slot lock")
+                // tg-lint: allow(unwrap-in-lib) -- fetch_add hands every index to exactly one worker, which always fills it
                 .expect("worker filled every claimed slot")
         })
         .collect()

@@ -41,7 +41,7 @@ impl Ecdf {
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| x.is_finite());
         assert!(!samples.is_empty(), "ecdf needs at least one finite sample");
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        samples.sort_by(f64::total_cmp);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         Ecdf {
             sorted: samples,
@@ -71,6 +71,7 @@ impl Ecdf {
 
     /// Largest observed sample.
     pub fn max(&self) -> f64 {
+        // tg-lint: allow(unwrap-in-lib) -- from_samples asserts at least one finite sample
         *self.sorted.last().expect("non-empty")
     }
 
@@ -101,6 +102,7 @@ impl Cdf for Ecdf {
     fn quantile(&self, p: f64) -> f64 {
         let p = p.clamp(0.0, 1.0);
         let n = self.sorted.len();
+        // tg-lint: allow(float-eq) -- exact sentinel after clamp(0, 1): p = 0 means the minimum sample
         if p == 0.0 {
             return self.sorted[0];
         }

@@ -81,6 +81,7 @@ impl PiecewiseQuantile {
         if points.len() < 2 {
             return Err(PiecewiseError::TooFewPoints);
         }
+        // tg-lint: allow(float-eq) -- the endpoints are exactly 0 and 1 by documented contract
         if points[0].0 != 0.0 || points[points.len() - 1].0 != 1.0 {
             return Err(PiecewiseError::BadEndpoints);
         }
@@ -170,10 +171,11 @@ impl PiecewiseQuantile {
         if sorted.is_empty() {
             return Err(PiecewiseError::TooFewPoints);
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(f64::total_cmp);
         if anchors.is_empty()
             || anchors.windows(2).any(|w| w[1] <= w[0])
             || anchors[0] <= 0.0
+            // tg-lint: allow(unwrap-in-lib, float-eq) -- is_empty is checked first in this chain; the 1.0 endpoint is exact by contract
             || *anchors.last().expect("non-empty") != 1.0
         {
             return Err(PiecewiseError::ProbabilitiesNotIncreasing);

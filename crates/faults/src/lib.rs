@@ -16,9 +16,6 @@
 //! only randomness is the caller-seeded [`SimRng`] behind
 //! [`FaultPlan::generate`], keeping runs bit-reproducible across `--jobs`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use tailguard_simcore::{SimDuration, SimRng, SimTime};
 
 /// What a fault episode does to the tasks its server handles.

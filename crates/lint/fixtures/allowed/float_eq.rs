@@ -1,0 +1,6 @@
+//! Fixture: a justified float-equality exemption (must NOT flag).
+
+fn is_sentinel(p: f64) -> bool {
+    // tg-lint: allow(float-eq) -- fixture: 0.0 is an exact sentinel, not a computed value
+    p == 0.0
+}

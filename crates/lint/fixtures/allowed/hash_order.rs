@@ -1,0 +1,8 @@
+//! Fixture: a justified hash-order exemption (must NOT flag).
+
+// tg-lint: allow(hash-order) -- fixture: lookup-only memo, never iterated
+type Memo = std::collections::HashMap<u32, u32>;
+
+fn memo() -> Memo {
+    Memo::new()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a justified OS-entropy exemption (must NOT flag).
+
+fn draw() -> u64 {
+    // tg-lint: allow(os-entropy) -- fixture: this driver seeds from the OS by design
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

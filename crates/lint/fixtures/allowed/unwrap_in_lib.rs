@@ -1,0 +1,5 @@
+//! Fixture: a justified unwrap exemption, trailing-comment form (must NOT flag).
+
+fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // tg-lint: allow(unwrap-in-lib) -- fixture: caller guarantees xs is non-empty
+}

@@ -1,0 +1,7 @@
+//! Fixture: a justified wall-clock exemption (must NOT flag).
+
+fn elapsed_ns() -> u64 {
+    // tg-lint: allow(wall-clock) -- fixture: demonstrates a justified wall-clock site
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

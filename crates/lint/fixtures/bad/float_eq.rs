@@ -1,0 +1,5 @@
+//! Fixture: exact float comparisons (two flags).
+
+fn same(a: f64, b: f64) -> bool {
+    a == 1.0 || b != 0.0
+}

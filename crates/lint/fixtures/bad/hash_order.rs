@@ -1,0 +1,11 @@
+//! Fixture: hash-ordered collections in deterministic code (two flags).
+
+fn tally(xs: &[u32]) -> (usize, usize) {
+    let mut seen = std::collections::HashSet::new();
+    let mut counts = std::collections::HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0u32) += 1;
+    }
+    (seen.len(), counts.len())
+}

@@ -1,0 +1,11 @@
+//! Fixture: broken allow directives (three malformed-allow flags, and the
+//! unjustified allow must NOT suppress the violation under it).
+
+// tg-lint: allow(hash-order)
+type Unjustified = std::collections::HashMap<u32, u32>;
+
+// tg-lint: allow(no-such-rule) -- the rule name does not exist
+fn unknown_rule() {}
+
+// tg-lint: allow(wall-clock) -- stale: nothing on the next line matches
+fn stale() {}

@@ -1,0 +1,8 @@
+//! Fixture: OS entropy in deterministic code (must flag three times).
+
+fn seeds() -> u64 {
+    let _rng = rand::thread_rng();
+    let _small = SmallRng::from_entropy();
+    let _state = std::collections::hash_map::RandomState::new();
+    0
+}

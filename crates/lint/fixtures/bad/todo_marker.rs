@@ -1,0 +1,9 @@
+//! Fixture: incomplete-code markers in shipped code (two flags).
+
+fn later() {
+    todo!()
+}
+
+fn never() {
+    unimplemented!()
+}

@@ -1,0 +1,10 @@
+//! Fixture: panicking shortcuts in library code (three flags).
+
+fn broken(v: Option<u32>) -> u32 {
+    let x = v.unwrap();
+    let y = Some(1).expect("one");
+    if x == 0 {
+        panic!("zero");
+    }
+    x + y
+}

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock time in deterministic code (must flag twice).
+
+fn elapsed_ms() -> u64 {
+    let start = std::time::Instant::now();
+    let _stamp = std::time::SystemTime::now();
+    start.elapsed().as_millis() as u64
+}

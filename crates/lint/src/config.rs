@@ -1,0 +1,159 @@
+//! The embedded workspace model: which crates are deterministic, which are
+//! drivers, and which rules apply where.
+//!
+//! The classification mirrors DESIGN.md: the *deterministic* crates carry
+//! the bit-reproducibility invariant behind every golden pin (virtual time
+//! only, seeded RNG only, ordered collections), while the *driver* crates
+//! (testbed, bench, CLI, and this linter) own wall clocks, I/O, and
+//! threads by design. The table is embedded in the tool rather than read
+//! from a config file so the invariant cannot drift silently out of CI.
+
+use crate::rules::Rule;
+
+/// How a crate participates in the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateClass {
+    /// Pure event-driven code: no wall clock, no OS entropy, no hash-order
+    /// iteration, no panicking shortcuts in library paths.
+    Deterministic,
+    /// Runtime drivers that legitimately touch clocks, threads, and I/O.
+    Driver,
+}
+
+/// Per-crate lint configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CrateConfig {
+    /// Crate directory name under `crates/` (or `"."` for the root lib).
+    pub name: &'static str,
+    /// Determinism class.
+    pub class: CrateClass,
+    /// Whether `float-eq` applies: crates whose float comparisons feed the
+    /// Eq. 6 budget math, CDF inversion, or policy ordering.
+    pub float_strict: bool,
+}
+
+/// The workspace table. Order is the deterministic scan order.
+pub const CRATES: &[CrateConfig] = &[
+    CrateConfig {
+        name: "simcore",
+        class: CrateClass::Deterministic,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "dist",
+        class: CrateClass::Deterministic,
+        float_strict: true,
+    },
+    CrateConfig {
+        name: "metrics",
+        class: CrateClass::Deterministic,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "workload",
+        class: CrateClass::Deterministic,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "policy",
+        class: CrateClass::Deterministic,
+        float_strict: true,
+    },
+    CrateConfig {
+        name: "sched",
+        class: CrateClass::Deterministic,
+        float_strict: true,
+    },
+    CrateConfig {
+        name: "faults",
+        class: CrateClass::Deterministic,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "core",
+        class: CrateClass::Deterministic,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "obs",
+        class: CrateClass::Deterministic,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "testbed",
+        class: CrateClass::Driver,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "bench",
+        class: CrateClass::Driver,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "cli",
+        class: CrateClass::Driver,
+        float_strict: false,
+    },
+    CrateConfig {
+        name: "lint",
+        class: CrateClass::Driver,
+        float_strict: false,
+    },
+    // The workspace-root umbrella lib (`src/lib.rs`): re-exports only, but
+    // it is glue for integration tests, so it is driver-side.
+    CrateConfig {
+        name: ".",
+        class: CrateClass::Driver,
+        float_strict: false,
+    },
+];
+
+/// The synthetic config used in `--paths` mode (fixtures, ad-hoc files):
+/// strictest settings so every rule is exercised.
+pub const STRICT: CrateConfig = CrateConfig {
+    name: "<paths>",
+    class: CrateClass::Deterministic,
+    float_strict: true,
+};
+
+/// Looks up a crate by directory name.
+pub fn crate_config(name: &str) -> Option<&'static CrateConfig> {
+    CRATES.iter().find(|c| c.name == name)
+}
+
+/// Whether `rule` applies to code in `cfg` (test code is always exempt;
+/// that filtering happens in the rule engine, not here).
+pub fn rule_applies(rule: Rule, cfg: &CrateConfig) -> bool {
+    match rule {
+        Rule::WallClock | Rule::OsEntropy | Rule::HashOrder | Rule::UnwrapInLib => {
+            cfg.class == CrateClass::Deterministic
+        }
+        Rule::FloatEq => cfg.float_strict,
+        Rule::TodoMarker | Rule::MalformedAllow => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_crates_get_determinism_rules() {
+        let sched = crate_config("sched").unwrap();
+        assert!(rule_applies(Rule::WallClock, sched));
+        assert!(rule_applies(Rule::FloatEq, sched));
+        let testbed = crate_config("testbed").unwrap();
+        assert!(!rule_applies(Rule::WallClock, testbed));
+        assert!(rule_applies(Rule::TodoMarker, testbed));
+    }
+
+    #[test]
+    fn float_eq_scope_is_sched_dist_policy() {
+        for name in ["sched", "dist", "policy"] {
+            assert!(crate_config(name).unwrap().float_strict, "{name}");
+        }
+        for name in ["simcore", "metrics", "workload", "faults", "core", "obs"] {
+            assert!(!crate_config(name).unwrap().float_strict, "{name}");
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! The rule catalog and the per-file rule engine.
+//!
+//! Each rule is a static pattern check over masked source lines (see
+//! [`crate::scanner`]); all rules skip test-only code, and each can be
+//! suppressed per-line with a justified control comment:
+//!
+//! ```text
+//! // tg-lint: allow(wall-clock) -- metrics server timestamps are cosmetic
+//! ```
+//!
+//! The justification after `--` is mandatory: an allow without one is
+//! itself reported (`malformed-allow`), so every suppression in the tree
+//! documents *why* the invariant does not apply at that site.
+
+use crate::config::{rule_applies, CrateConfig};
+use crate::diagnostics::Diagnostic;
+use crate::scanner::{find_words, ScannedFile};
+
+/// Every rule the analyzer knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `std::time::Instant` / `SystemTime` in deterministic crates.
+    WallClock,
+    /// `thread_rng` / `from_entropy` / `RandomState` outside drivers.
+    OsEntropy,
+    /// `HashMap` / `HashSet` in deterministic crates (iteration order).
+    HashOrder,
+    /// `.unwrap()` / `.expect(` / `panic!` in deterministic library code.
+    UnwrapInLib,
+    /// `==` / `!=` on floating-point operands in budget/CDF/policy crates.
+    FloatEq,
+    /// `todo!` / `unimplemented!` in shipped (non-test) code.
+    TodoMarker,
+    /// A `tg-lint:` comment that does not parse or lacks a justification.
+    MalformedAllow,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::WallClock,
+    Rule::OsEntropy,
+    Rule::HashOrder,
+    Rule::UnwrapInLib,
+    Rule::FloatEq,
+    Rule::TodoMarker,
+    Rule::MalformedAllow,
+];
+
+impl Rule {
+    /// Stable kebab-case identifier (used in `allow(...)` and JSON).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::OsEntropy => "os-entropy",
+            Rule::HashOrder => "hash-order",
+            Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::FloatEq => "float-eq",
+            Rule::TodoMarker => "todo-marker",
+            Rule::MalformedAllow => "malformed-allow",
+        }
+    }
+
+    /// Parses a rule id as written inside `allow(...)`.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// One-line description for `--list-rules` and docs.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "no std::time::Instant/SystemTime in deterministic crates \
+                 (virtual SimTime only; wall clocks belong to drivers)"
+            }
+            Rule::OsEntropy => {
+                "no thread_rng/from_entropy/RandomState outside drivers \
+                 (all randomness flows from caller-seeded SimRng)"
+            }
+            Rule::HashOrder => {
+                "no HashMap/HashSet in deterministic crates \
+                 (iteration order varies per process; use BTreeMap/BTreeSet)"
+            }
+            Rule::UnwrapInLib => {
+                "no unwrap()/expect()/panic! in deterministic library code \
+                 (return Result/Option; a panicking scheduler drops queries)"
+            }
+            Rule::FloatEq => {
+                "no ==/!= against float operands in sched/dist/policy \
+                 (exact float equality breaks budget and CDF math silently)"
+            }
+            Rule::TodoMarker => "no todo!/unimplemented! in shipped code",
+            Rule::MalformedAllow => {
+                "tg-lint allow comments must name known rules and carry a \
+                 `-- justification`"
+            }
+        }
+    }
+}
+
+/// An `allow` that was parsed successfully and suppressed at least zero
+/// diagnostics; reported in `--json` so suppressions stay auditable.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    /// File the allow lives in.
+    pub file: String,
+    /// Line of the control comment.
+    pub line: u32,
+    /// Rule it suppresses.
+    pub rule: Rule,
+    /// The mandatory justification text.
+    pub justification: String,
+    /// Number of diagnostics it actually suppressed.
+    pub used: u32,
+}
+
+struct ParsedAllow {
+    target_line: u32,
+    comment_line: u32,
+    rules: Vec<Rule>,
+    justification: String,
+    used: u32,
+}
+
+/// Runs every applicable rule over one scanned file.
+pub fn check_file(file: &ScannedFile, cfg: &CrateConfig) -> (Vec<Diagnostic>, Vec<AllowRecord>) {
+    let mut diags = Vec::new();
+    let mut allows = Vec::new();
+
+    for d in &file.directives {
+        match parse_allow(&d.text) {
+            Ok((rules, justification)) => allows.push(ParsedAllow {
+                target_line: d.target_line,
+                comment_line: d.line,
+                rules,
+                justification,
+                used: 0,
+            }),
+            Err(msg) => diags.push(Diagnostic::new(
+                Rule::MalformedAllow,
+                &file.path,
+                d.line,
+                1,
+                &d.text,
+                &msg,
+            )),
+        }
+    }
+    let mut allows: Vec<ParsedAllow> = allows;
+
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for &rule in ALL_RULES {
+            if rule == Rule::MalformedAllow || !rule_applies(rule, cfg) {
+                continue;
+            }
+            for (col, what) in matches_on_line(rule, &line.code) {
+                if let Some(allow) = allows
+                    .iter_mut()
+                    .find(|a| a.target_line == line.number && a.rules.contains(&rule))
+                {
+                    allow.used += 1;
+                    continue;
+                }
+                diags.push(Diagnostic::new(
+                    rule,
+                    &file.path,
+                    line.number,
+                    col as u32 + 1,
+                    line.code.trim(),
+                    &message_for(rule, &what),
+                ));
+            }
+        }
+    }
+
+    // An allow that never fired is stale: surface it so suppressions are
+    // removed when the underlying code is fixed.
+    for a in &allows {
+        if a.used == 0 {
+            let ids: Vec<&str> = a.rules.iter().map(|r| r.id()).collect();
+            diags.push(Diagnostic::new(
+                Rule::MalformedAllow,
+                &file.path,
+                a.comment_line,
+                1,
+                "",
+                &format!(
+                    "stale allow({}): no matching violation on its target line",
+                    ids.join(", ")
+                ),
+            ));
+        }
+    }
+
+    let records = allows
+        .iter()
+        .flat_map(|a| {
+            a.rules.iter().map(|&rule| AllowRecord {
+                file: file.path.clone(),
+                line: a.comment_line,
+                rule,
+                justification: a.justification.clone(),
+                used: a.used,
+            })
+        })
+        .collect();
+    (diags, records)
+}
+
+/// Parses the text after `tg-lint:` into rules + justification.
+fn parse_allow(text: &str) -> Result<(Vec<Rule>, String), String> {
+    let text = text.trim();
+    let rest = text
+        .strip_prefix("allow")
+        .ok_or_else(|| {
+            format!(
+                "unknown tg-lint directive `{text}`; expected `allow(<rule>) -- <justification>`"
+            )
+        })?
+        .trim_start();
+    let rest = rest.strip_prefix('(').ok_or("missing `(` after allow")?;
+    let close = rest.find(')').ok_or("missing `)` in allow(...)")?;
+    let (list, tail) = rest.split_at(close);
+    let tail = &tail[1..];
+
+    let mut rules = Vec::new();
+    for raw in list.split(',') {
+        let id = raw.trim();
+        if id.is_empty() {
+            return Err("empty rule name in allow(...)".to_string());
+        }
+        let rule = Rule::from_id(id).ok_or_else(|| format!("unknown rule `{id}` in allow(...)"))?;
+        if rule == Rule::MalformedAllow {
+            return Err("malformed-allow cannot itself be allowed".to_string());
+        }
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err("allow(...) names no rules".to_string());
+    }
+
+    let tail = tail.trim_start();
+    let justification = tail.strip_prefix("--").map_or("", str::trim);
+    if justification.is_empty() {
+        return Err(
+            "allow(...) requires a justification: `-- <why this site is exempt>`".to_string(),
+        );
+    }
+    Ok((rules, justification.to_string()))
+}
+
+/// All matches of `rule` on a masked line: `(column, matched token)`.
+fn matches_on_line(rule: Rule, code: &str) -> Vec<(usize, String)> {
+    match rule {
+        Rule::WallClock => words(code, &["Instant", "SystemTime"]),
+        Rule::OsEntropy => words(code, &["thread_rng", "from_entropy", "RandomState"]),
+        Rule::HashOrder => words(code, &["HashMap", "HashSet"]),
+        Rule::UnwrapInLib => {
+            let mut out = substrings(code, &[".unwrap()", ".expect("]);
+            out.extend(words(code, &["panic!"]));
+            out.sort();
+            out
+        }
+        Rule::FloatEq => float_comparisons(code),
+        Rule::TodoMarker => words(code, &["todo!", "unimplemented!"]),
+        Rule::MalformedAllow => Vec::new(),
+    }
+}
+
+fn words(code: &str, needles: &[&str]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for &needle in needles {
+        // `panic!`/`todo!` end with `!`, which is already a word boundary;
+        // match the identifier part with boundaries, then require the `!`.
+        if let Some(ident) = needle.strip_suffix('!') {
+            for pos in find_words(code, ident) {
+                if code[pos + ident.len()..].starts_with('!') {
+                    out.push((pos, needle.to_string()));
+                }
+            }
+        } else {
+            out.extend(find_words(code, needle).map(|pos| (pos, needle.to_string())));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn substrings(code: &str, needles: &[&str]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for &needle in needles {
+        out.extend(
+            code.match_indices(needle)
+                .map(|(pos, _)| (pos, needle.to_string())),
+        );
+    }
+    out.sort();
+    out
+}
+
+/// Finds `==`/`!=` whose left or right operand is a float literal, an
+/// `as f64`/`as f32` cast, or an `f64::`/`f32::` constant.
+fn float_comparisons(code: &str) -> Vec<(usize, String)> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < chars.len() {
+        let two: String = chars[i..i + 2].iter().collect();
+        let op = match two.as_str() {
+            "==" => {
+                // Skip `<=`, `>=`, `=>`-adjacent and `===`-like sequences.
+                let prev = if i > 0 { chars[i - 1] } else { ' ' };
+                let next = chars.get(i + 2).copied().unwrap_or(' ');
+                if prev == '=' || prev == '<' || prev == '>' || prev == '!' || next == '=' {
+                    None
+                } else {
+                    Some("==")
+                }
+            }
+            "!=" => {
+                let next = chars.get(i + 2).copied().unwrap_or(' ');
+                if next == '=' {
+                    None
+                } else {
+                    Some("!=")
+                }
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            let lhs = operand_before(&chars, i);
+            let rhs = operand_after(&chars, i + 2);
+            if lhs.as_deref().is_some_and(is_float_operand)
+                || rhs.as_deref().is_some_and(is_float_operand)
+            {
+                out.push((i, op.to_string()));
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn operand_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '.' || c == ':'
+}
+
+/// The token immediately left of position `i`, with an `as f64` cast
+/// collapsed to its target type.
+fn operand_before(chars: &[char], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 && chars[j - 1] == ' ' {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && operand_char(chars[j - 1]) {
+        j -= 1;
+    }
+    if j == end {
+        return None;
+    }
+    let tok: String = chars[j..end].iter().collect();
+    if tok == "f64" || tok == "f32" {
+        // Only a cast target if preceded by `as`.
+        let mut k = j;
+        while k > 0 && chars[k - 1] == ' ' {
+            k -= 1;
+        }
+        let end2 = k;
+        while k > 0 && operand_char(chars[k - 1]) {
+            k -= 1;
+        }
+        let prev: String = chars[k..end2].iter().collect();
+        if prev == "as" {
+            return Some(format!("as {tok}"));
+        }
+    }
+    Some(tok)
+}
+
+/// The token immediately right of position `i` (skipping a unary minus).
+fn operand_after(chars: &[char], i: usize) -> Option<String> {
+    let mut j = i;
+    while j < chars.len() && chars[j] == ' ' {
+        j += 1;
+    }
+    if j < chars.len() && chars[j] == '-' {
+        j += 1;
+    }
+    let start = j;
+    while j < chars.len() && operand_char(chars[j]) {
+        j += 1;
+    }
+    (j > start).then(|| chars[start..j].iter().collect())
+}
+
+/// Float literal (`1.0`, `0.`, `1e-9`, `2f64`), cast (`as f64`), or float
+/// associated path (`f64::NAN`).
+fn is_float_operand(tok: &str) -> bool {
+    if tok == "as f64" || tok == "as f32" {
+        return true;
+    }
+    if tok.starts_with("f64::") || tok.starts_with("f32::") {
+        return true;
+    }
+    let Some(first) = tok.chars().next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    if tok.ends_with("f64") || tok.ends_with("f32") {
+        return true;
+    }
+    // Digits followed by a dot: 1.0, 3.14, 0.
+    let mut saw_dot = false;
+    for (k, c) in tok.char_indices() {
+        if c == '.' {
+            if k > 0 && tok[..k].chars().all(|d| d.is_ascii_digit() || d == '_') {
+                saw_dot = true;
+            }
+            break;
+        }
+    }
+    if saw_dot {
+        return true;
+    }
+    // Exponent form without a dot: 1e9.
+    tok.chars()
+        .all(|c| c.is_ascii_digit() || c == '_' || c == 'e' || c == '-')
+        && tok.contains('e')
+}
+
+fn message_for(rule: Rule, what: &str) -> String {
+    match rule {
+        Rule::WallClock => format!(
+            "`{what}` is a wall clock; deterministic crates must take `now` \
+             as SimTime from the driver"
+        ),
+        Rule::OsEntropy => format!(
+            "`{what}` draws OS entropy; use a caller-seeded SimRng so runs \
+             replay bit-identically"
+        ),
+        Rule::HashOrder => format!(
+            "`{what}` iterates in per-process random order; use \
+             BTreeMap/BTreeSet, or justify that this value is never iterated"
+        ),
+        Rule::UnwrapInLib => format!(
+            "`{what}` can panic in library code; bubble the error or justify \
+             why it is unreachable"
+        ),
+        Rule::FloatEq => format!(
+            "float `{what}` comparison is exact; compare with a tolerance or \
+             total ordering"
+        ),
+        Rule::TodoMarker => format!("`{what}` must not ship outside tests"),
+        Rule::MalformedAllow => what.to_string(),
+    }
+}
+
+/// Runs the engine on raw source text (convenience for tests/fixtures).
+pub fn check_source(path: &str, source: &str, cfg: &CrateConfig) -> Vec<Diagnostic> {
+    let scanned = crate::scanner::scan(path, source);
+    check_file(&scanned, cfg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::STRICT;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        check_source("t.rs", src, &STRICT)
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_and_systemtime() {
+        let d = diags("let t = std::time::Instant::now();\nlet s = SystemTime::now();\n");
+        let rules: Vec<&str> = d.iter().map(|d| d.rule.id()).collect();
+        assert!(
+            rules.iter().filter(|r| **r == "wall-clock").count() >= 2,
+            "{rules:?}"
+        );
+    }
+
+    #[test]
+    fn os_entropy_flags_each_source() {
+        let d = diags("let r = thread_rng();\nlet s = SmallRng::from_entropy();\nlet h: HashMap<u32, u32, RandomState> = HashMap::default();\n");
+        let hits = d.iter().filter(|d| d.rule == Rule::OsEntropy).count();
+        assert_eq!(hits, 3, "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_in_lib_skips_unwrap_or() {
+        let d = diags("let x = y.unwrap_or(3);\nlet z = w.unwrap();\n");
+        let hits: Vec<_> = d.iter().filter(|d| d.rule == Rule::UnwrapInLib).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn float_eq_catches_literal_and_cast_comparisons() {
+        for src in [
+            "if x == 1.0 {}",
+            "if 0.5 != y {}",
+            "if a as f64 == b {}",
+            "if x == f64::INFINITY {}",
+            "if x == 1e-9 {}",
+            "if x == 2f64 {}",
+        ] {
+            let d = diags(src);
+            assert!(d.iter().any(|d| d.rule == Rule::FloatEq), "{src}");
+        }
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_and_generic_comparisons() {
+        for src in [
+            "if x == 1 {}",
+            "if n != m {}",
+            "if x <= 1.0 {}",
+            "if x >= 1.0 {}",
+            "let f = |a: &u32| *a == 3;",
+            "assert!(matches!(k, K::V));",
+        ] {
+            let d = diags(src);
+            assert!(!d.iter().any(|d| d.rule == Rule::FloatEq), "{src}");
+        }
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let src = "// tg-lint: allow(hash-order) -- lookup-only cache, never iterated\n\
+                   let m: HashMap<u32, u32> = HashMap::new();\n";
+        let d = diags(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_without_justification_is_malformed_and_does_not_suppress() {
+        let src = "// tg-lint: allow(hash-order)\nlet m: HashMap<u32, u32> = HashMap::new();\n";
+        let d = diags(src);
+        assert!(d.iter().any(|d| d.rule == Rule::MalformedAllow));
+        assert!(d.iter().any(|d| d.rule == Rule::HashOrder));
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let src = "// tg-lint: allow(wall-clock) -- nothing here\nlet x = 1;\n";
+        let d = diags(src);
+        assert!(d
+            .iter()
+            .any(|d| d.rule == Rule::MalformedAllow && d.message.contains("stale")));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x = y.unwrap();\n        let m = std::collections::HashMap::new();\n    }\n}\n";
+        let d = diags(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn todo_markers_flagged_outside_tests_only() {
+        let d = diags("fn f() { todo!() }\n");
+        assert!(d.iter().any(|d| d.rule == Rule::TodoMarker));
+        let d = diags("#[test]\nfn t() { unimplemented!() }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn multiple_rules_in_one_allow() {
+        let src = "// tg-lint: allow(wall-clock, unwrap-in-lib) -- test harness shim\n\
+                   let t = Instant::now().elapsed().as_secs_f64(); let x = y.unwrap();\n";
+        let d = diags(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -12,9 +12,6 @@
 //! * [`LatencySummary`] — a compact row (count, mean, p50/p95/p99/max) for
 //!   printing experiment tables.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod load;
 mod reservoir;
 mod timed_window;

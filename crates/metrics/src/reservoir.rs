@@ -95,11 +95,11 @@ impl LatencyReservoir {
 
     /// Largest sample ([`SimDuration::ZERO`] when empty).
     pub fn max(&mut self) -> SimDuration {
-        if self.samples.is_empty() {
-            return SimDuration::ZERO;
-        }
         self.ensure_sorted();
-        SimDuration::from_nanos(*self.samples.last().expect("non-empty"))
+        match self.samples.last() {
+            Some(&v) => SimDuration::from_nanos(v),
+            None => SimDuration::ZERO,
+        }
     }
 
     /// Smallest sample ([`SimDuration::ZERO`] when empty).

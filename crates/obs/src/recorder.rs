@@ -27,7 +27,7 @@ pub struct RingRecorder {
 
 impl std::fmt::Debug for RingRecorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let ring = self.inner.lock().unwrap();
+        let ring = self.ring();
         f.debug_struct("RingRecorder")
             .field("capacity", &ring.capacity)
             .field("len", &ring.events.len())
@@ -38,6 +38,16 @@ impl std::fmt::Debug for RingRecorder {
 }
 
 impl RingRecorder {
+    /// Locks the ring, recovering from a poisoned mutex: the ring holds
+    /// plain counters and copied events, so state left by a thread that
+    /// panicked mid-record is still internally consistent and the
+    /// recording (a diagnostic aid) should outlive the panic.
+    fn ring(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A recorder keeping the most recent `capacity` events (at least 1).
     ///
     /// The buffer grows on demand (amortized doubling) up to the bound
@@ -62,13 +72,13 @@ impl RingRecorder {
 
     /// A copy of the retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let ring = self.inner.lock().unwrap();
+        let ring = self.ring();
         ring.events.iter().copied().collect()
     }
 
     /// Events currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().events.len()
+        self.ring().events.len()
     }
 
     /// True when nothing has been retained.
@@ -78,7 +88,7 @@ impl RingRecorder {
 
     /// Events recorded over the recorder's lifetime (retained + evicted).
     pub fn total_recorded(&self) -> u64 {
-        self.inner.lock().unwrap().total
+        self.ring().total
     }
 
     /// Events evicted to honor the capacity bound. When this is non-zero,
@@ -86,17 +96,17 @@ impl RingRecorder {
     /// the run — callers should surface that instead of calling the
     /// recording complete.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        self.ring().dropped
     }
 
     /// The configured capacity bound.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().unwrap().capacity
+        self.ring().capacity
     }
 
     /// Discards the retained events and resets the counters.
     pub fn clear(&self) {
-        let mut ring = self.inner.lock().unwrap();
+        let mut ring = self.ring();
         ring.events.clear();
         ring.total = 0;
         ring.dropped = 0;
@@ -105,7 +115,7 @@ impl RingRecorder {
 
 impl TraceSink for RingRecorder {
     fn record(&mut self, event: &TraceEvent) {
-        let mut ring = self.inner.lock().unwrap();
+        let mut ring = self.ring();
         if ring.events.len() == ring.capacity {
             ring.events.pop_front();
             ring.dropped += 1;

@@ -453,6 +453,7 @@ impl Registry {
 
     /// The snapshot as pretty-printed JSON.
     pub fn to_json(&self) -> String {
+        // tg-lint: allow(unwrap-in-lib) -- pure in-memory serialization of plain structs cannot fail
         serde_json::to_string_pretty(&self.snapshot()).expect("registry snapshot serializes")
     }
 }

@@ -108,7 +108,10 @@ fn handle_connection(mut stream: TcpStream, registry: &SharedRegistry) -> std::i
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("");
     let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
-        let body = registry.lock().unwrap().prometheus_text();
+        let body = registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .prometheus_text();
         ("200 OK", body)
     } else {
         ("404 Not Found", String::from("not found\n"))

@@ -27,9 +27,6 @@
 //! assert_eq!(q.pop().unwrap().task_id, 2); // earliest deadline first
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod edf;
 mod fifo;
 mod priq;

@@ -49,11 +49,10 @@ impl TaskQueue for PriqQueue {
     }
 
     fn pop(&mut self) -> Option<QueuedTask> {
-        let class = *self.queues.keys().next()?;
-        let queue = self.queues.get_mut(&class).expect("key just observed");
-        let task = queue.pop_front();
-        if queue.is_empty() {
-            self.queues.remove(&class);
+        let mut entry = self.queues.first_entry()?;
+        let task = entry.get_mut().pop_front();
+        if entry.get().is_empty() {
+            entry.remove();
         }
         if task.is_some() {
             self.len -= 1;

@@ -29,10 +29,18 @@
 //! paper claims.
 
 use crate::config::{ClassSpec, ClusterSpec};
+// tg-lint: allow(hash-order) -- imported only for the lookup-only Memo alias below
 use std::collections::HashMap;
 use std::sync::Arc;
 use tailguard_dist::{order_stats, Cdf, CdfSnapshot, DynDistribution, LogHistogram};
 use tailguard_simcore::{SimDuration, SimRng};
+
+/// Budget/tail memo keyed by `(class, group occupancy)`. Accessed only
+/// point-wise (`get`/`insert`/`clear`/`len`) on the per-query hot path —
+/// never iterated, so the hash order cannot leak into any result. A
+/// `BTreeMap` here would put an `O(log n)` walk on every deadline stamp.
+// tg-lint: allow(hash-order) -- lookup-only memo, never iterated; hot-path point access
+type Memo = HashMap<(u8, GroupKey), SimDuration>;
 
 /// Where the estimator's per-server CDFs come from.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,8 +156,8 @@ pub struct DeadlineEstimator {
     group_count: usize,
     source: CdfSource,
     hists: Vec<LogHistogram>, // per group; empty in analytic mode
-    budget_cache: HashMap<(u8, GroupKey), SimDuration>,
-    tail_cache: HashMap<(u8, GroupKey), SimDuration>,
+    budget_cache: Memo,
+    tail_cache: Memo,
     counts_scratch: Vec<u32>, // group -> count, reused across group_key calls
     budget_lookups: u64,
     refresh_every: u64,
@@ -218,8 +226,8 @@ impl DeadlineEstimator {
             group_count,
             source,
             hists,
-            budget_cache: HashMap::new(),
-            tail_cache: HashMap::new(),
+            budget_cache: Memo::new(),
+            tail_cache: Memo::new(),
             counts_scratch: vec![0; group_count],
             budget_lookups: 0,
             refresh_every,

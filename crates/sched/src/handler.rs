@@ -696,8 +696,7 @@ impl QueryHandler {
         let can_retry = self
             .mitigation
             .as_ref()
-            .map(|m| m.retry_lost && self.slots[slot as usize].attempts < m.max_attempts)
-            .unwrap_or(false);
+            .is_some_and(|m| m.retry_lost && self.slots[slot as usize].attempts < m.max_attempts);
         let retry = if can_retry {
             self.backup_server(slot)
                 .map(|server| RetryPlan { slot, server })

@@ -20,9 +20,6 @@
 //! simulation and the system experiment at the same time, and differential
 //! tests can hold the two runtimes to the same observable behavior.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod admission;
 mod config;
 mod estimator;

@@ -64,9 +64,6 @@
 //! assert_eq!(engine.state().served, 10);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod engine;
 mod event;
 mod rng;

@@ -44,9 +44,6 @@
 //! assert_eq!(report.completed_queries, 300);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod handler;
 mod node;
 mod runner;

@@ -2,12 +2,44 @@
 
 use crate::sensor::SensorStore;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use tailguard_dist::DynDistribution;
 use tailguard_faults::FaultPlan;
 use tailguard_simcore::{SimDuration, SimRng, SimTime};
 use tokio::sync::mpsc;
 use tokio::time::Instant;
+
+/// Times the fault epoch was armed when it already held an instant.
+/// Double-arming is benign (first arm wins) but worth counting: a non-zero
+/// value in a test run means two code paths both think they own arming.
+static FAULT_EPOCH_DOUBLE_ARMS: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the fault epoch at `now`, idempotently.
+///
+/// `OnceLock::set` returns `Err` when a value is already present; an
+/// `unwrap()` there would panic whichever worker armed second (e.g. a
+/// runner re-calibrating after a warm-up pass). The first arm wins — fault
+/// episodes stay anchored to the earliest epoch — and later arms are
+/// counted instead of panicking. Returns `true` when this call armed it.
+pub(crate) fn arm_fault_epoch(epoch: &OnceLock<Instant>, now: Instant) -> bool {
+    let armed = epoch.set(now).is_ok();
+    if !armed {
+        FAULT_EPOCH_DOUBLE_ARMS.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(
+            epoch.get().is_some(),
+            "set failed, so an instant must already be armed"
+        );
+    }
+    armed
+}
+
+/// Times the epoch was re-armed after already being set (see
+/// [`arm_fault_epoch`]); process-wide, read by the regression test.
+#[cfg(test)]
+pub(crate) fn fault_epoch_double_arms() -> u64 {
+    FAULT_EPOCH_DOUBLE_ARMS.load(Ordering::Relaxed)
+}
 
 /// A task sent from the query handler to an edge node.
 #[derive(Debug, Clone, Copy)]
@@ -296,7 +328,7 @@ mod tests {
             FaultKind::Drop,
         ));
         let epoch = Arc::new(OnceLock::new());
-        epoch.set(Instant::now()).unwrap();
+        arm_fault_epoch(&epoch, Instant::now());
         tokio::spawn(edge_node(
             7,
             store,
@@ -342,7 +374,7 @@ mod tests {
             FaultKind::Slowdown { factor: 4.0 },
         ));
         let epoch = Arc::new(OnceLock::new());
-        epoch.set(Instant::now()).unwrap();
+        arm_fault_epoch(&epoch, Instant::now());
         tokio::spawn(edge_node(
             0,
             store,
@@ -428,5 +460,31 @@ mod tests {
             assert_eq!(r.outcome, TaskOutcome::Failed);
             assert_eq!(r.records, 0);
         }
+    }
+
+    /// Regression: arming the fault epoch twice used to `unwrap()` the
+    /// `OnceLock::set` error and panic the arming worker. It must be
+    /// idempotent — first instant wins, later arms are counted.
+    #[tokio::test(start_paused = true)]
+    async fn double_arming_the_fault_epoch_is_idempotent() {
+        let epoch = Arc::new(OnceLock::new());
+        let before = fault_epoch_double_arms();
+        let first = Instant::now();
+        assert!(arm_fault_epoch(&epoch, first));
+        tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+        assert!(
+            !arm_fault_epoch(&epoch, Instant::now()),
+            "second arm must report it did not win"
+        );
+        assert_eq!(
+            epoch.get().copied(),
+            Some(first),
+            "the first armed instant must win"
+        );
+        assert_eq!(
+            fault_epoch_double_arms(),
+            before + 1,
+            "the re-arm must be counted"
+        );
     }
 }

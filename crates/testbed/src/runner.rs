@@ -146,8 +146,7 @@ impl TestbedReport {
     pub fn class_p99_ms(&mut self, class: u8) -> f64 {
         self.latency_by_class
             .get_mut(&class)
-            .map(|r| r.percentile(0.99).as_millis_f64())
-            .unwrap_or(0.0)
+            .map_or(0.0, |r| r.percentile(0.99).as_millis_f64())
     }
 
     /// True when every class with enough samples meets its SLO.
@@ -279,7 +278,7 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
     estimator.refresh_now();
     // Calibration done: arm the fault plan — episode times are measured
     // from here, matching the simulator's t = 0.
-    let _ = fault_epoch.set(tokio::time::Instant::now());
+    crate::node::arm_fault_epoch(&fault_epoch, tokio::time::Instant::now());
 
     // --- Load generator. ---------------------------------------------------
     let input = scenario.input(config.target_load, config.queries);

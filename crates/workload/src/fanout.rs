@@ -137,6 +137,7 @@ impl FanoutDist {
 
     /// The largest possible fanout.
     pub fn max_fanout(&self) -> u32 {
+        // tg-lint: allow(unwrap-in-lib) -- the constructor asserts at least one fanout entry
         *self.fanouts.iter().max().expect("non-empty")
     }
 

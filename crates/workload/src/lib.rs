@@ -14,9 +14,6 @@
 //! The crate also provides trace generation and (de)serialization
 //! ([`Trace`]), so experiments can be replayed bit-for-bit.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod arrival;
 mod fanout;
 mod tailbench;

@@ -126,6 +126,7 @@ impl QueryMix {
             .iter()
             .map(|c| c.fanout.max_fanout())
             .max()
+            // tg-lint: allow(unwrap-in-lib) -- mix constructors assert at least one class share
             .expect("non-empty")
     }
 }
@@ -271,8 +272,7 @@ impl Trace {
     pub fn duration(&self) -> SimTime {
         self.records
             .last()
-            .map(QueryRecord::arrival)
-            .unwrap_or(SimTime::ZERO)
+            .map_or(SimTime::ZERO, QueryRecord::arrival)
     }
 
     /// Serializes to JSON.
@@ -394,6 +394,7 @@ impl Trace {
             return Err(TraceError::NotSorted);
         }
         let rate = if records.len() >= 2 {
+            // tg-lint: allow(unwrap-in-lib) -- guarded by the len() >= 2 branch above
             let span_ms = (records.last().expect("non-empty").arrival_ns - records[0].arrival_ns)
                 as f64
                 / 1e6;

@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example admission_control`
 
+// Printing is this example's interface.
+#![allow(clippy::print_stdout)]
 use tailguard::{
     max_load, measure_at_load, run_simulation, scenarios, AdmissionConfig, MaxLoadOptions,
 };

@@ -5,6 +5,8 @@
 //! the tree under comparison, take the best of the 15 repetitions, and
 //! interleave runs when comparing two trees on a shared host.
 
+// Printing is this example's interface.
+#![allow(clippy::print_stdout)]
 use std::time::Instant;
 use tailguard_repro::policy::Policy;
 use tailguard_repro::tailguard::{run_simulation, scenarios};

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Printing is this example's interface.
+#![allow(clippy::print_stdout)]
 use tailguard::{max_load, measure_at_load, scenarios, MaxLoadOptions};
 use tailguard_policy::Policy;
 use tailguard_workload::TailbenchWorkload;

@@ -12,6 +12,8 @@
 //!
 //! Run with: `cargo run --release --example sensing_service [-- --fast]`
 
+// Printing is this example's interface.
+#![allow(clippy::print_stdout)]
 use tailguard_policy::Policy;
 use tailguard_testbed::{run_testbed, TestbedConfig, TestbedMode};
 

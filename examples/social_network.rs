@@ -11,6 +11,8 @@
 //!
 //! Run with: `cargo run --release --example social_network`
 
+// Printing is this example's interface.
+#![allow(clippy::print_stdout)]
 use tailguard::{max_load, ClassSpec, DeadlineEstimator, EstimatorMode, MaxLoadOptions, Scenario};
 use tailguard_policy::Policy;
 use tailguard_simcore::SimDuration;

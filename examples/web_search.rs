@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example web_search`
 
+// Printing is this example's interface.
+#![allow(clippy::print_stdout)]
 use tailguard::{scenarios, sweep_loads, MaxLoadOptions};
 use tailguard_policy::Policy;
 use tailguard_workload::TailbenchWorkload;

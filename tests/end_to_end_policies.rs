@@ -119,8 +119,7 @@ fn per_type_reservoirs_partition_per_class_counts() {
         let class_count = report
             .query_latency_by_class
             .get(&class)
-            .map(|r| r.len())
-            .unwrap_or(0);
+            .map_or(0, tailguard_repro::metrics::LatencyReservoir::len);
         let type_sum: usize = report
             .query_latency_by_type
             .iter()

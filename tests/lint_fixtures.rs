@@ -1,0 +1,82 @@
+//! The static analyzer's acceptance gate, run as an ordinary workspace
+//! test so `cargo test` fails when either side of the contract breaks:
+//!
+//! * the fixture corpus under `crates/lint/fixtures/bad/` must keep
+//!   producing the byte-pinned JSON report (every rule fires, malformed
+//!   allows are themselves reported), and
+//! * `crates/lint/fixtures/allowed/` — one justified exemption per rule —
+//!   must stay silent, and
+//! * the workspace itself must lint clean, which is the invariant the
+//!   whole tool exists to hold.
+
+use std::path::{Path, PathBuf};
+
+use tailguard_lint::rules::{Rule, ALL_RULES};
+use tailguard_lint::{lint_paths, lint_workspace};
+
+fn fixtures(sub: &str) -> Vec<PathBuf> {
+    let dir = PathBuf::from("crates/lint/fixtures").join(sub);
+    assert!(dir.is_dir(), "missing fixture dir {}", dir.display());
+    vec![dir]
+}
+
+#[test]
+fn bad_fixtures_match_pinned_json_report() {
+    let report = lint_paths(&fixtures("bad")).expect("lint bad fixtures");
+    let pinned = std::fs::read_to_string("crates/lint/fixtures/bad_report.json")
+        .expect("read pinned report");
+    assert_eq!(
+        report.render_json(),
+        pinned,
+        "bad-fixture JSON drifted; if the change is intended, re-pin with\n  \
+         cargo run -p tailguard-lint -- --paths crates/lint/fixtures/bad --json \
+         > crates/lint/fixtures/bad_report.json"
+    );
+}
+
+#[test]
+fn every_rule_fires_on_the_bad_corpus() {
+    let report = lint_paths(&fixtures("bad")).expect("lint bad fixtures");
+    assert!(!report.ok());
+    for &rule in ALL_RULES {
+        assert!(
+            report.count(rule) > 0,
+            "rule `{}` has no triggering fixture under crates/lint/fixtures/bad/",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn allowed_fixtures_are_silent_and_every_allow_is_used() {
+    let report = lint_paths(&fixtures("allowed")).expect("lint allowed fixtures");
+    assert!(
+        report.ok(),
+        "allowed fixtures must not flag:\n{}",
+        report.render_text()
+    );
+    // One justified exemption per allowable rule (malformed-allow cannot be
+    // allowed by design), and each must actually suppress something —
+    // otherwise the stale-allow rule would have fired above.
+    let allowable = ALL_RULES.len() - 1;
+    assert_eq!(report.allows.len(), allowable, "{:?}", report.allows);
+    for a in &report.allows {
+        assert!(a.used > 0, "stale allow in fixture: {a:?}");
+        assert_ne!(a.rule, Rule::MalformedAllow);
+        assert!(!a.justification.is_empty());
+    }
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = lint_workspace(Path::new(".")).expect("lint workspace");
+    assert!(
+        report.ok(),
+        "the workspace must lint clean; fix or justify:\n{}",
+        report.render_text()
+    );
+    // Every suppression in the tree must still be load-bearing.
+    for a in &report.allows {
+        assert!(a.used > 0, "stale allow in the tree: {a:?}");
+    }
+}

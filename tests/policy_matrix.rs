@@ -99,8 +99,7 @@ fn paper_mix_type_population_matches_probabilities() {
             .query_latency_by_type
             .iter()
             .find(|(k, _)| k.fanout == fanout)
-            .map(|(_, r)| r.len() as f64)
-            .unwrap_or(0.0)
+            .map_or(0.0, |(_, r)| r.len() as f64)
     };
     let total = count_of(1) + count_of(10) + count_of(100);
     assert!((count_of(1) / total - 100.0 / 111.0).abs() < 0.02);

@@ -54,13 +54,11 @@ fn same_workload_same_counts_without_admission() {
         let s = sim
             .query_latency_by_class
             .get(&class)
-            .map(|r| r.len())
-            .unwrap_or(0);
+            .map_or(0, tailguard_repro::metrics::LatencyReservoir::len);
         let t = tb
             .latency_by_class
             .get(&class)
-            .map(|r| r.len())
-            .unwrap_or(0);
+            .map_or(0, tailguard_repro::metrics::LatencyReservoir::len);
         assert_eq!(s, t, "class {class}: sim completed {s}, testbed {t}");
         assert!(s > 0, "class {class} saw no traffic");
     }
