@@ -458,6 +458,7 @@ const FAULTS_KEYS: &[&str] = &[
     "fault-from",
     "fault-to",
     "episodes",
+    "lease-ms",
     "hedge",
     "attempts",
     "quorum",
@@ -485,6 +486,11 @@ struct FaultCell {
     hedges_issued: u64,
     hedge_wins: u64,
     retries: u64,
+    /// Expired leases reclaimed (tasks re-enqueued after a crash swallowed
+    /// them); zero unless the cell armed a lease.
+    reclaims: u64,
+    /// Redelivered results suppressed idempotently.
+    dup_suppressed: u64,
 }
 
 /// Builds the injected fault plan from `--fault`/`--factor`/
@@ -525,10 +531,13 @@ fn fault_plan_from(args: &Args, servers: usize) -> Result<FaultPlan, ArgError> {
         "slowdown" => FaultKind::Slowdown { factor },
         "stall" => FaultKind::Stall,
         "drop" => FaultKind::Drop,
+        "crash" => FaultKind::Crash,
+        "restart" => FaultKind::Restart,
+        "dup" => FaultKind::DuplicateDelivery,
         other => {
             return Err(err(format!(
-                "unknown fault kind `{other}` (expected slowdown|stall|drop|random)"
-            )))
+            "unknown fault kind `{other}` (expected slowdown|stall|drop|crash|restart|dup|random)"
+        )))
         }
     };
     let start = SimTime::from_millis_f64(from_ms);
@@ -557,6 +566,26 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
     }
     let queries = args.usize_or("queries", 10_000)?;
     let plan = fault_plan_from(args, servers)?;
+    // Crash/restart episodes swallow in-flight work silently (crash) or
+    // lose it on landing (restart) — only a lease notices the former. The
+    // faulty and mitigated cells arm one automatically for those kinds;
+    // `--lease-ms` overrides the default TTL (the widest class SLO: past
+    // it the query has missed anyway, so reclaiming is free).
+    let lease_ms = args.f64_or("lease-ms", 0.0)?;
+    if lease_ms < 0.0 || !lease_ms.is_finite() {
+        return Err(err("--lease-ms must be a finite non-negative duration"));
+    }
+    let crashy = plan
+        .episodes()
+        .iter()
+        .any(|e| matches!(e.kind, FaultKind::Crash | FaultKind::Restart));
+    let lease_ttl = if lease_ms > 0.0 {
+        Some(SimDuration::from_millis_f64(lease_ms))
+    } else if crashy {
+        scenario.classes.iter().map(|c| c.slo).max()
+    } else {
+        None
+    };
     let hedge = args.f64_or("hedge", 0.5)?;
     if !hedge.is_finite() || hedge <= 0.0 {
         return Err(err("--hedge must be a positive budget fraction"));
@@ -589,6 +618,9 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
         let mut config = scenario.config(policy).with_warmup(warmup);
         if mode >= 1 {
             config = config.with_faults(plan.clone());
+            if let Some(ttl) = lease_ttl {
+                config = config.with_lease(ttl);
+            }
         }
         if mode == 2 {
             config = config.with_mitigation(mitigation);
@@ -629,6 +661,8 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
             hedges_issued: r.hedges_issued,
             hedge_wins: r.hedge_wins,
             retries: r.retries,
+            reclaims: report.lifecycle.reclaims,
+            dup_suppressed: report.lifecycle.duplicates_suppressed,
         }
     });
     if args.flag("json") {
@@ -649,6 +683,8 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
             "hedges",
             "hedge_wins",
             "retries",
+            "reclaims",
+            "dups",
         ],
     );
     let mut out = format!(
@@ -658,7 +694,7 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
         policies.len()
     );
     out.push_str(&format!(
-        "{:<10} {:<9} {:>10} {:>7} {:>15} {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8}\n",
+        "{:<10} {:<9} {:>10} {:>7} {:>15} {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8} {:>8} {:>6}\n",
         "policy",
         "mode",
         "p99(ms)",
@@ -670,11 +706,13 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
         "lost",
         "hedges",
         "wins",
-        "retries"
+        "retries",
+        "reclaims",
+        "dups"
     ));
     for c in &results {
         out.push_str(&format!(
-            "{:<10} {:<9} {:>10.3} {:>6.2}% {:>15} {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8}\n",
+            "{:<10} {:<9} {:>10.3} {:>6.2}% {:>15} {:>9} {:>8} {:>7} {:>6} {:>7} {:>6} {:>8} {:>8} {:>6}\n",
             c.policy,
             c.mode,
             c.p99_ms,
@@ -686,7 +724,9 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
             c.tasks_lost,
             c.hedges_issued,
             c.hedge_wins,
-            c.retries
+            c.retries,
+            c.reclaims,
+            c.dup_suppressed
         ));
         csv.labeled_row(
             &format!("{}/{}", c.policy, c.mode),
@@ -702,6 +742,8 @@ pub fn cmd_faults(args: &Args) -> Result<String, ArgError> {
                 c.hedges_issued as f64,
                 c.hedge_wins as f64,
                 c.retries as f64,
+                c.reclaims as f64,
+                c.dup_suppressed as f64,
             ],
         );
     }
@@ -1374,6 +1416,65 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--quorum"));
+    }
+
+    #[test]
+    fn faults_crash_arms_lease_and_reclaims() {
+        let out = cmd_faults(&args(&[
+            "--policies",
+            "tfedf",
+            "--queries",
+            "3000",
+            "--fault",
+            "crash",
+            "--fault-servers",
+            "5",
+            "--fault-to",
+            "3000",
+            "--json",
+        ]))
+        .expect("faults");
+        let cells: serde_json::Value = serde_json::from_str(&out).expect("json");
+        let cells = cells.as_array().unwrap();
+        let healthy = &cells[0];
+        let faulty = &cells[1];
+        // The healthy cell runs without a lease: bit-identical to the
+        // pre-lifecycle baseline, nothing reclaimed.
+        assert_eq!(healthy["reclaims"].as_u64(), Some(0));
+        // Crashes swallow tasks silently; only the (SLO-default) lease
+        // gets them back, and conservation must hold afterwards: the
+        // faulty cell resolves exactly as many recorded queries as the
+        // healthy one (reclaim keeps retrying until the node recovers).
+        assert!(faulty["reclaims"].as_u64().unwrap() > 0, "{faulty:?}");
+        let accounted = |cell: &serde_json::Value| {
+            cell["completed"].as_u64().unwrap()
+                + cell["rejected"].as_u64().unwrap()
+                + cell["partial"].as_u64().unwrap()
+                + cell["failed"].as_u64().unwrap()
+        };
+        assert_eq!(accounted(faulty), accounted(healthy), "{faulty:?}");
+    }
+
+    #[test]
+    fn faults_dup_suppresses_duplicates() {
+        let out = cmd_faults(&args(&[
+            "--policies",
+            "tfedf",
+            "--queries",
+            "2000",
+            "--fault",
+            "dup",
+            "--fault-servers",
+            "10",
+            "--json",
+        ]))
+        .expect("faults");
+        let cells: serde_json::Value = serde_json::from_str(&out).expect("json");
+        let cells = cells.as_array().unwrap();
+        let faulty = &cells[1];
+        assert!(faulty["dup_suppressed"].as_u64().unwrap() > 0, "{faulty:?}");
+        // Duplicate delivery changes no outcome: every query completes.
+        assert_eq!(faulty["completed"].as_u64(), cells[0]["completed"].as_u64());
     }
 
     #[test]

@@ -41,10 +41,13 @@ COMMANDS:
     sweep      Per-class p99 at each load in --loads <f,f,...>
                --jobs <n> (load points in parallel; default: all cores)
     faults     Fault matrix: each policy healthy / faulty / mitigated
-               --fault slowdown|stall|drop|random  --factor <x>
-               --fault-servers <n>  --fault-from <ms>  --fault-to <ms>
-               --episodes <n> (random)  --hedge <frac>  --attempts <n>
-               --quorum <frac>  --policies ...  --jobs <n>  --json
+               --fault slowdown|stall|drop|crash|restart|dup|random
+               --factor <x>  --fault-servers <n>
+               --fault-from <ms>  --fault-to <ms>  --episodes <n> (random)
+               --lease-ms <ms> (crash-recovery lease TTL; crash/restart
+               default to the widest class SLO)  --hedge <frac>
+               --attempts <n>  --quorum <frac>  --policies ...
+               --jobs <n>  --json
     testbed    Run the tokio SaS testbed (32 nodes, 4 clusters)
                --policy ... --load ... --queries ... --scale <x>
                --probes <n> --store-days <n> --realtime

@@ -16,8 +16,8 @@ use std::collections::BTreeMap;
 use tailguard_faults::FaultPlan;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_sched::{
-    AdmitDecision, AttemptKind, DeadlineEstimator, DispatchedTask, EstimatorMode, LostTask,
-    QueryArrival, QueryDone, QueryHandler, TraceSink,
+    AdmitDecision, AttemptKind, DeadlineEstimator, DispatchedTask, EstimatorMode, LeaseToken,
+    LostTask, QueryArrival, QueryDone, QueryHandler, TraceSink,
 };
 use tailguard_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, Simulation};
 
@@ -122,6 +122,9 @@ pub(crate) fn run_with_observer(
     if let Some(mitigation) = config.mitigation {
         handler = handler.with_mitigation(mitigation);
     }
+    if let Some(ttl) = config.lease {
+        handler = handler.with_lease(ttl);
+    }
     let (sink, snapshot_every) = match observer {
         Some(o) => (Some(o.sink), Some(o.snapshot_every)),
         None => (None, None),
@@ -139,6 +142,7 @@ pub(crate) fn run_with_observer(
         placement_rng,
         service_rng,
         services: Vec::with_capacity(input.query_count() * 2),
+        dispatched_at: Vec::with_capacity(input.query_count() * 2),
         query_request: Vec::new(),
         targets_scratch: Vec::new(),
         services_scratch: Vec::new(),
@@ -194,6 +198,7 @@ pub(crate) fn run_with_observer(
             events_processed: events,
             robustness: stats.robustness,
             partial_latency: stats.partial_latency,
+            lifecycle: stats.lifecycle,
         },
         snapshots: state.snapshots,
         budget_lookups,
@@ -206,11 +211,26 @@ pub(crate) fn run_with_observer(
 enum Ev {
     /// Request `i` arrives (its first query is issued).
     Arrive(usize),
-    /// The task in service at server `s` finishes.
-    Finish(u32),
+    /// The work dispatched for `task` on `server` under `token` finishes.
+    /// The token fences the result: a reclaim between dispatch and finish
+    /// turns this into a stale commit the handler rejects. `busy` is the
+    /// effective dispatch→finish delay of *this* attempt (nominal service
+    /// plus any fault hold/slowdown) — carried in the event rather than in
+    /// per-task state because a reclaimed task can be re-dispatched with a
+    /// different effective delay while a zombie finish is still in flight.
+    Finish {
+        server: u32,
+        task: u32,
+        token: LeaseToken,
+        busy: SimDuration,
+    },
     /// Time to consider hedging original task `t` (its budget-fraction
     /// threshold passed without a completion).
     HedgeCheck(u32),
+    /// The lease `token` on `task` reached its TTL: reclaim the attempt if
+    /// that lease is still the active one. Only scheduled when a lease TTL
+    /// is configured.
+    LeaseCheck { task: u32, token: LeaseToken },
     /// Observed runs only: sample a [`SimSnapshot`] of the cluster state.
     Snapshot,
 }
@@ -226,6 +246,10 @@ struct ClusterSim {
     /// Drawn service time per handler task id — the simulator's oracle for
     /// when a started task's `Finish` event fires.
     services: Vec<SimDuration>,
+    /// When each task was (last) dispatched — the window start for
+    /// crash-interrupts-in-flight-work detection at finish time. Grown in
+    /// lockstep with `services`.
+    dispatched_at: Vec<SimTime>,
     /// Owning request per handler query id (for Fig. 1 chaining).
     query_request: Vec<u32>,
     // Per-query scratch, reused across issue_query calls so the hot path
@@ -318,6 +342,8 @@ impl ClusterSim {
         if let AdmitDecision::Admitted { .. } = decision {
             self.issued_queries += 1;
             self.services.extend_from_slice(&services);
+            self.dispatched_at
+                .resize(self.services.len(), SimTime::ZERO);
             self.query_request.push(request as u32);
             // Deadline-aware hedging: schedule a check at each original
             // task's hedge threshold (before dispatch, so a dispatch-time
@@ -364,24 +390,63 @@ impl ClusterSim {
 
     /// Begins the actual work of a task the handler just moved into
     /// service. Without a fault plan this is exactly the one `schedule_in`
-    /// the pre-fault simulator did; with one, the task can be dropped by an
-    /// active blackout (lost, possibly retried) or its completion deferred
-    /// by stall/slowdown episodes.
+    /// the pre-fault simulator did; with one, the task can be swallowed by
+    /// an active crash (recoverable only through lease reclaim), dropped by
+    /// an active blackout (lost, possibly retried), or its completion
+    /// deferred by stall/restart/slowdown episodes.
     fn dispatch(&mut self, now: SimTime, d: DispatchedTask, sched: &mut Scheduler<Ev>) {
+        self.dispatched_at[d.task as usize] = now;
+        // The lease check is armed before any fault can swallow the
+        // dispatch: for a crashed node it is the *only* recovery path.
+        if let Some(expiry) = self.handler.lease_expiry(d.task) {
+            sched.schedule_at(
+                expiry,
+                Ev::LeaseCheck {
+                    task: d.task,
+                    token: d.lease,
+                },
+            );
+        }
+        let service = self.services[d.task as usize];
         let Some(faults) = &self.faults else {
-            sched.schedule_in(now, self.services[d.task as usize], Ev::Finish(d.server));
+            sched.schedule_in(
+                now,
+                service,
+                Ev::Finish {
+                    server: d.server,
+                    task: d.task,
+                    token: d.lease,
+                    busy: service,
+                },
+            );
             return;
         };
+        if faults.crashed(d.server, now) {
+            // The node is down and never saw the dispatch: no loss report,
+            // no finish event. Without a lease TTL the attempt is gone.
+            return;
+        }
         if faults.drops(d.server, now) {
-            let lost = self.handler.on_task_lost(now, d.task);
+            let lost = self.handler.on_task_lost(now, d.task, d.lease);
             self.apply_lost(now, lost, sched);
             return;
         }
-        let delay = faults.completion_delay(d.server, now, self.services[d.task as usize]);
-        // The effective dispatch→finish delay replaces the drawn service so
-        // busy/estimator accounting at completion observes the fault.
-        self.services[d.task as usize] = delay;
-        sched.schedule_in(now, delay, Ev::Finish(d.server));
+        // The effective dispatch→finish delay rides in the event so
+        // busy/estimator accounting at completion observes the fault. The
+        // nominal draw in `services` is never overwritten: a reclaimed task
+        // re-dispatches from the same nominal service, so repeated reclaims
+        // cannot compound fault holds into the service time.
+        let delay = faults.completion_delay(d.server, now, service);
+        sched.schedule_in(
+            now,
+            delay,
+            Ev::Finish {
+                server: d.server,
+                task: d.task,
+                token: d.lease,
+                busy: delay,
+            },
+        );
     }
 
     /// Applies the fallout of a lost task: the freed server's next task is
@@ -403,6 +468,7 @@ impl ClusterSim {
             );
             debug_assert_eq!(task as usize, self.services.len());
             self.services.push(svc);
+            self.dispatched_at.push(SimTime::ZERO);
             if let Some(d) = dispatched {
                 self.dispatch(now, d, sched);
             }
@@ -424,28 +490,45 @@ impl ClusterSim {
                 .issue_duplicate(now, task, server, Some(svc), AttemptKind::Hedge);
         debug_assert_eq!(id as usize, self.services.len());
         self.services.push(svc);
+        self.dispatched_at.push(SimTime::ZERO);
         if let Some(d) = dispatched {
             self.dispatch(now, d, sched);
         }
     }
 
-    fn finish_task(&mut self, now: SimTime, server: u32, sched: &mut Scheduler<Ev>) {
-        let task = self
-            .handler
-            .task_in_service(server)
-            // tg-lint: allow(unwrap-in-lib) -- a Finish event is only scheduled after a task enters service; crashing loudly here beats silently corrupting the sim
-            .expect("finish event implies a task in service");
+    fn finish_task(
+        &mut self,
+        now: SimTime,
+        server: u32,
+        task: u32,
+        token: LeaseToken,
+        busy: SimDuration,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let mut duplicate = false;
         if let Some(faults) = &self.faults {
-            // The result lands inside a blackout: it is lost with the
-            // server's work (the sim analog of a node failing mid-reply).
-            if faults.drops(server, now) {
-                let lost = self.handler.on_task_lost(now, task);
+            // A crash that began after dispatch swallows in-flight work:
+            // the node restarted and forgot the task, so nothing lands and
+            // nobody is notified. Only the lease reclaim recovers it.
+            if faults.crash_started_within(server, self.dispatched_at[task as usize], now) {
+                return;
+            }
+            // The result lands inside a blackout or a restart: it is lost
+            // with the server's work, but the scheduler hears about it (the
+            // sim analog of a node failing mid-reply with a NACK).
+            if faults.drops(server, now) || faults.restart_loses(server, now) {
+                let lost = self.handler.on_task_lost(now, task, token);
                 self.apply_lost(now, lost, sched);
                 return;
             }
+            duplicate = faults.duplicates(server, now);
         }
-        let busy = self.services[task as usize];
-        let completion = self.handler.on_task_complete(now, task, busy);
+        let completion = self.handler.on_task_complete(now, task, token, busy);
+        if duplicate {
+            // At-least-once delivery: the same result (same lease token)
+            // arrives a second time; the state store suppresses it.
+            let _ = self.handler.on_task_complete(now, task, token, busy);
+        }
 
         // Work conservation: the freed server's next task is scheduled
         // *before* any successor query is issued, so a chained query cannot
@@ -456,6 +539,29 @@ impl ClusterSim {
 
         if let Some(done) = completion.done {
             self.handle_done(now, done, sched);
+        }
+    }
+
+    /// A lease TTL elapsed. If that lease is still the active one the
+    /// attempt is reclaimed — re-enqueued with its *original* deadline —
+    /// and the suspected server's next task dispatched; otherwise (the
+    /// common case: the work committed first) this is a pure no-op. Only a
+    /// real reclaim counts as activity, so lease-only runs keep `elapsed`
+    /// — and every load ratio — identical to lease-free ones.
+    fn lease_check(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        token: LeaseToken,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let before = self.handler.lifecycle().reclaims;
+        let next = self.handler.on_lease_expired(now, task, token);
+        if self.handler.lifecycle().reclaims > before {
+            self.last_activity = now;
+        }
+        if let Some(d) = next {
+            self.dispatch(now, d, sched);
         }
     }
 
@@ -516,7 +622,7 @@ impl Simulation for ClusterSim {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
-        if !matches!(ev, Ev::Snapshot) {
+        if !matches!(ev, Ev::Snapshot | Ev::LeaseCheck { .. }) {
             self.last_activity = now;
         }
         match ev {
@@ -530,8 +636,14 @@ impl Simulation for ClusterSim {
                 self.issue_query(now, i, sched);
                 self.schedule_snapshot(now, sched);
             }
-            Ev::Finish(server) => self.finish_task(now, server, sched),
+            Ev::Finish {
+                server,
+                task,
+                token,
+                busy,
+            } => self.finish_task(now, server, task, token, busy, sched),
             Ev::HedgeCheck(task) => self.hedge_check(now, task, sched),
+            Ev::LeaseCheck { task, token } => self.lease_check(now, task, token, sched),
             Ev::Snapshot => {
                 self.snapshot_pending = false;
                 self.take_snapshot(now);

@@ -68,7 +68,10 @@ pub use spec::{
     SimInput, Slowdown,
 };
 pub use tailguard_faults::{FaultEpisode, FaultKind, FaultPlan};
-pub use tailguard_sched::{DeadlineEstimator, EstimatorMode, MitigationConfig, RobustnessStats};
+pub use tailguard_sched::{
+    CommitOutcome, DeadlineEstimator, EstimatorMode, LeaseToken, LifecycleStats, MitigationConfig,
+    RobustnessStats,
+};
 
 /// The runtime-agnostic scheduling core ([`tailguard_sched`]) this
 /// simulator drives; also driven by the tokio testbed.

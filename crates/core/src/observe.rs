@@ -165,6 +165,7 @@ pub fn run_simulation_observed(
     let mut registry = Registry::new();
     registry.ingest_events(&recorder.events());
     registry.ingest_robustness(&raw.report.robustness);
+    registry.ingest_lifecycle(&raw.report.lifecycle);
     registry.counter_set(
         "tailguard_estimator_budget_lookups_total",
         "Budget-table lookups while stamping deadlines (Eq. 6)",

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use tailguard_metrics::{LatencyReservoir, LoadStats};
 use tailguard_policy::Policy;
-use tailguard_sched::RobustnessStats;
+use tailguard_sched::{LifecycleStats, RobustnessStats};
 use tailguard_simcore::{SimDuration, SimTime};
 
 // The per-type key lives in the shared scheduling core (which does the
@@ -51,6 +51,10 @@ pub struct SimReport {
     /// Latencies of partially completed queries, kept out of the per-class
     /// SLO reservoirs so graceful degradation cannot flatter the tail.
     pub partial_latency: LatencyReservoir,
+    /// Task lifecycle accounting from the durable state store: end-of-run
+    /// state gauges plus lease/reclaim/duplicate/stale counters (reclaims
+    /// and suppressions are zero without a lease TTL or fault plan).
+    pub lifecycle: LifecycleStats,
 }
 
 impl SimReport {
@@ -209,6 +213,7 @@ mod tests {
             events_processed: 0,
             robustness: RobustnessStats::default(),
             partial_latency: LatencyReservoir::new(),
+            lifecycle: LifecycleStats::default(),
         }
     }
 

@@ -166,6 +166,13 @@ pub struct SimConfig {
     /// Straggler/fault mitigation (hedging, retries, partial quorum) in the
     /// shared scheduling core. `None` (the default) disables it.
     pub mitigation: Option<MitigationConfig>,
+    /// Lease TTL for dispatched tasks. `Some(ttl)` arms crash recovery:
+    /// every dispatch carries a fenced lease expiring `ttl` after dequeue,
+    /// and an expired lease is reclaimed — re-enqueued with its *original*
+    /// deadline `t_D`. `None` (the default) disables leasing entirely, so
+    /// no lease-check events enter the heap and runs stay bit-identical to
+    /// pre-lease ones.
+    pub lease: Option<SimDuration>,
 }
 
 impl SimConfig {
@@ -184,6 +191,7 @@ impl SimConfig {
             slowdowns: Vec::new(),
             faults: None,
             mitigation: None,
+            lease: None,
         }
     }
 
@@ -233,6 +241,12 @@ impl SimConfig {
     /// Enables straggler/fault mitigation (builder-style).
     pub fn with_mitigation(mut self, mitigation: MitigationConfig) -> Self {
         self.mitigation = Some(mitigation);
+        self
+    }
+
+    /// Arms lease-fenced crash recovery with the given TTL (builder-style).
+    pub fn with_lease(mut self, ttl: SimDuration) -> Self {
+        self.lease = Some(ttl);
         self
     }
 }

@@ -34,6 +34,20 @@ pub enum FaultKind {
     /// Blackout: tasks dispatched during the episode — and results that
     /// would land inside it — are lost and must be retried elsewhere.
     Drop,
+    /// The server process dies over the episode: tasks dispatched during it
+    /// and in-flight work the crash interrupts are *silently swallowed* —
+    /// unlike [`FaultKind::Drop`], no loss notification reaches the
+    /// scheduler, so the only recovery path is lease expiry and reclaim.
+    Crash,
+    /// The server restarts: tasks dispatched during the episode are held
+    /// until it ends (like a stall), but results that would land inside it
+    /// are lost *with* a notification — the in-memory work of the dying
+    /// process is gone, while the supervisor still reports the failure.
+    Restart,
+    /// The delivery path misbehaves: results completing during the episode
+    /// are delivered twice (at-least-once delivery made visible). The
+    /// second copy must be suppressed idempotently by the lifecycle store.
+    DuplicateDelivery,
 }
 
 /// One contiguous fault on one server over `[start, end)`.
@@ -174,12 +188,91 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a seed-driven crash storm: `n_episodes` episodes of mean
+    /// length `mean_len_ms`, uniformly placed over `[0, horizon)` on
+    /// uniformly drawn servers from `0..servers`, cycling through the
+    /// lifecycle fault kinds — [`FaultKind::Crash`], [`FaultKind::Restart`],
+    /// and [`FaultKind::DuplicateDelivery`].
+    ///
+    /// A separate generator (rather than extending [`FaultPlan::generate`]'s
+    /// three-kind cycle) so existing seeded plans stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `servers` is zero, `horizon` is zero, or `mean_len_ms`
+    /// is not finite and positive.
+    pub fn generate_crash_storm(
+        seed: u64,
+        servers: u32,
+        horizon: SimDuration,
+        n_episodes: usize,
+        mean_len_ms: f64,
+    ) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(!horizon.is_zero(), "horizon must be positive");
+        assert!(
+            mean_len_ms.is_finite() && mean_len_ms > 0.0,
+            "mean episode length must be finite and positive"
+        );
+        let mut rng = SimRng::seed(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_episodes {
+            let server = rng.index(servers as usize) as u32;
+            let len_ms = (mean_len_ms * -rng.open01().ln()).max(mean_len_ms * 0.1);
+            let start_ns = (horizon.as_nanos() as f64 * rng.f64()) as u64;
+            let start = SimTime::from_nanos(start_ns);
+            let end = start + SimDuration::from_millis_f64(len_ms);
+            let kind = match rng.index(3) {
+                0 => FaultKind::Crash,
+                1 => FaultKind::Restart,
+                _ => FaultKind::DuplicateDelivery,
+            };
+            plan = plan.with_episode(FaultEpisode::new(server, start, end, kind));
+        }
+        plan
+    }
+
     /// Whether a task dispatched to (or completing at) `server` at `now`
     /// is lost to an active [`FaultKind::Drop`] episode.
     pub fn drops(&self, server: u32, now: SimTime) -> bool {
         self.episodes
             .iter()
             .any(|e| e.server == server && e.active_at(now) && e.kind == FaultKind::Drop)
+    }
+
+    /// Whether `server` is dead to an active [`FaultKind::Crash`] episode
+    /// at `now` — work sent to it is silently swallowed.
+    pub fn crashed(&self, server: u32, now: SimTime) -> bool {
+        self.episodes
+            .iter()
+            .any(|e| e.server == server && e.active_at(now) && e.kind == FaultKind::Crash)
+    }
+
+    /// Whether a [`FaultKind::Crash`] episode *began* on `server` strictly
+    /// after `from` and at or before `to` — i.e. the crash interrupted work
+    /// dispatched at `from` that would have completed at `to`. The result
+    /// of such work is silently swallowed even though the server may
+    /// already be back up at `to`.
+    pub fn crash_started_within(&self, server: u32, from: SimTime, to: SimTime) -> bool {
+        self.episodes.iter().any(|e| {
+            e.server == server && e.kind == FaultKind::Crash && from < e.start && e.start <= to
+        })
+    }
+
+    /// Whether a result landing at `server` at `now` is lost (with a
+    /// notification) to an active [`FaultKind::Restart`] episode.
+    pub fn restart_loses(&self, server: u32, now: SimTime) -> bool {
+        self.episodes
+            .iter()
+            .any(|e| e.server == server && e.active_at(now) && e.kind == FaultKind::Restart)
+    }
+
+    /// Whether a result completing at `server` at `now` is delivered twice
+    /// by an active [`FaultKind::DuplicateDelivery`] episode.
+    pub fn duplicates(&self, server: u32, now: SimTime) -> bool {
+        self.episodes.iter().any(|e| {
+            e.server == server && e.active_at(now) && e.kind == FaultKind::DuplicateDelivery
+        })
     }
 
     /// Product of all slowdown factors active on `server` at `now`
@@ -197,18 +290,22 @@ impl FaultPlan {
     /// Total dispatch→completion delay for a task of nominal service time
     /// `service` dispatched to `server` at `now`.
     ///
-    /// Active [`FaultKind::Stall`] episodes push the service start to the
-    /// episode end (chained stalls compose: if another stall is active at
-    /// that instant, it pushes further); the service itself is then
-    /// inflated by the slowdown factors active at the (possibly deferred)
-    /// start instant.
+    /// Active [`FaultKind::Stall`] and [`FaultKind::Restart`] episodes push
+    /// the service start to the episode end (chained holds compose: if
+    /// another hold is active at that instant, it pushes further); the
+    /// service itself is then inflated by the slowdown factors active at
+    /// the (possibly deferred) start instant.
     pub fn completion_delay(&self, server: u32, now: SimTime, service: SimDuration) -> SimDuration {
         let mut start = now;
         loop {
             let stalled_until = self
                 .episodes
                 .iter()
-                .filter(|e| e.server == server && e.active_at(start) && e.kind == FaultKind::Stall)
+                .filter(|e| {
+                    e.server == server
+                        && e.active_at(start)
+                        && matches!(e.kind, FaultKind::Stall | FaultKind::Restart)
+                })
                 .map(|e| e.end)
                 .max();
             match stalled_until {
@@ -466,6 +563,85 @@ mod tests {
                 FaultEdge::End
             ]
         );
+    }
+
+    #[test]
+    fn crash_is_silent_and_scoped() {
+        let plan =
+            FaultPlan::new().with_episode(FaultEpisode::new(1, ms(10), ms(20), FaultKind::Crash));
+        assert!(!plan.crashed(1, ms(9)));
+        assert!(plan.crashed(1, ms(10)));
+        assert!(plan.crashed(1, ms(19)));
+        assert!(!plan.crashed(1, ms(20)), "end is exclusive");
+        assert!(!plan.crashed(0, ms(15)));
+        // A crash never triggers the notified-loss predicates.
+        assert!(!plan.drops(1, ms(15)));
+        assert!(!plan.restart_loses(1, ms(15)));
+    }
+
+    #[test]
+    fn crash_interrupts_in_flight_work() {
+        let plan =
+            FaultPlan::new().with_episode(FaultEpisode::new(0, ms(10), ms(20), FaultKind::Crash));
+        // Dispatched at 5, would complete at 12: the crash at 10 interrupts.
+        assert!(plan.crash_started_within(0, ms(5), ms(12)));
+        // Completing exactly at the crash start is still swallowed.
+        assert!(plan.crash_started_within(0, ms(5), ms(10)));
+        // Work fully before or dispatched at/after the crash start is not.
+        assert!(!plan.crash_started_within(0, ms(2), ms(9)));
+        assert!(
+            !plan.crash_started_within(0, ms(10), ms(30)),
+            "dispatch at crash start is caught by `crashed`, not this"
+        );
+        assert!(!plan.crash_started_within(1, ms(5), ms(12)));
+    }
+
+    #[test]
+    fn restart_holds_dispatches_and_loses_landing_results() {
+        let plan =
+            FaultPlan::new().with_episode(FaultEpisode::new(0, ms(10), ms(30), FaultKind::Restart));
+        // Dispatched mid-restart at t=15: held 15ms, then serves 2ms.
+        assert_eq!(plan.completion_delay(0, ms(15), dms(2)), dms(17));
+        // A result landing inside the episode is lost with a notification.
+        assert!(plan.restart_loses(0, ms(15)));
+        assert!(!plan.restart_loses(0, ms(30)));
+        assert!(!plan.drops(0, ms(15)), "restart is not a blackout");
+    }
+
+    #[test]
+    fn duplicate_delivery_is_scoped() {
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            2,
+            ms(5),
+            ms(8),
+            FaultKind::DuplicateDelivery,
+        ));
+        assert!(plan.duplicates(2, ms(6)));
+        assert!(!plan.duplicates(2, ms(8)));
+        assert!(!plan.duplicates(0, ms(6)));
+        // Duplicate delivery affects nothing else.
+        assert_eq!(plan.completion_delay(2, ms(6), dms(2)), dms(2));
+        assert!(!plan.drops(2, ms(6)));
+    }
+
+    #[test]
+    fn crash_storm_is_deterministic_and_lifecycle_only() {
+        let a = FaultPlan::generate_crash_storm(7, 16, dms(10_000), 12, 50.0);
+        let b = FaultPlan::generate_crash_storm(7, 16, dms(10_000), 12, 50.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert!(a.episodes().iter().all(|e| matches!(
+            e.kind,
+            FaultKind::Crash | FaultKind::Restart | FaultKind::DuplicateDelivery
+        )));
+        assert!(a.episodes().iter().any(|e| e.kind == FaultKind::Crash));
+        // The legacy generator's stream is untouched: same seed, different
+        // plans.
+        let legacy = FaultPlan::generate(7, 16, dms(10_000), 12, 50.0);
+        assert!(legacy.episodes().iter().all(|e| matches!(
+            e.kind,
+            FaultKind::Slowdown { .. } | FaultKind::Stall | FaultKind::Drop
+        )));
     }
 
     #[test]

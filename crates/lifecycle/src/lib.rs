@@ -1,0 +1,727 @@
+//! The durable task-lifecycle state store shared by both runtimes.
+//!
+//! TailGuard's deadline math (Eq. 6 task deadlines, §III.C admission)
+//! assumes every dispatched task either completes or is *observed* to fail.
+//! A crashed or restarted edge node breaks that assumption: its in-flight
+//! work vanishes without a loss notification, so SLO accounting and
+//! conservation both silently drift. This crate supplies the production
+//! lifecycle layer that closes the gap — the durable-execution model of
+//! at-least-once delivery, idempotent commit, and lease fencing:
+//!
+//! - every task **attempt** moves through an explicit state machine
+//!   ([`AttemptState`]: `Queued → Leased → Running → Completed/Failed`),
+//! - each dispatch takes a monotonically increasing [`LeaseToken`] with a
+//!   `lease_expires_at` instant, so exactly one attempt incarnation is
+//!   active at a time,
+//! - a commit ([`TaskStateStore::commit`] / [`TaskStateStore::fail`])
+//!   carries the token it was dispatched under and is **fenced**: a stale
+//!   incarnation's result is rejected by token mismatch, and a duplicate
+//!   delivery of an already-committed result is suppressed idempotently,
+//! - a lease that expires while its attempt is still active can be
+//!   **reclaimed** ([`TaskStateStore::reclaim_expired`]) back to `Queued`,
+//!   so the scheduler re-enqueues the task — with its *original* queuing
+//!   deadline `t_D`, never a refreshed one.
+//!
+//! Everything here is pure bookkeeping: no clock, no RNG, no I/O. The
+//! scheduling core (`tailguard-sched`) owns the store and drives every
+//! transition; the discrete-event simulator and the tokio testbed only see
+//! tokens and expiry instants through it, which is what makes crash
+//! recovery behave identically on both runtimes.
+
+use tailguard_simcore::{SimDuration, SimTime};
+
+/// A fencing token for one lease of one task attempt.
+///
+/// Tokens are assigned monotonically from a store-wide counter: a reclaim
+/// followed by a re-dispatch yields a strictly larger token, so the old
+/// incarnation's commit can be recognized as stale by simple inequality.
+/// [`LeaseToken::NONE`] (zero) is never issued and marks "no lease" in
+/// driver-side plumbing (e.g. calibration probes that bypass the core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LeaseToken(pub u64);
+
+impl LeaseToken {
+    /// The null token: never issued by a store, compares below every real
+    /// token.
+    pub const NONE: LeaseToken = LeaseToken(0);
+}
+
+/// Which attempt of a logical task an issued copy is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptKind {
+    /// The first copy, issued at query arrival.
+    Original,
+    /// A hedge copy, issued when the remaining budget crossed the
+    /// mitigation layer's hedge threshold.
+    Hedge,
+    /// A retry copy, issued after an attempt was lost to a fault.
+    Retry,
+}
+
+impl AttemptKind {
+    /// Stable lowercase name (`"original"`/`"hedge"`/`"retry"`), used by
+    /// trace exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttemptKind::Original => "original",
+            AttemptKind::Hedge => "hedge",
+            AttemptKind::Retry => "retry",
+        }
+    }
+}
+
+/// Where one task attempt is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptState {
+    /// Waiting in a server's queue (also the state a reclaimed attempt
+    /// returns to).
+    Queued,
+    /// Dequeued and dispatched under a lease, not yet acknowledged as
+    /// executing. In-process drivers transition straight on to
+    /// [`AttemptState::Running`]; the distinction exists for drivers with a
+    /// real dispatch/start gap.
+    Leased {
+        /// The fencing token this incarnation holds.
+        token: LeaseToken,
+        /// When the lease expires, if the store has a TTL configured.
+        expires_at: Option<SimTime>,
+    },
+    /// Executing at its server under a lease.
+    Running {
+        /// The fencing token this incarnation holds.
+        token: LeaseToken,
+        /// When the lease expires, if the store has a TTL configured.
+        expires_at: Option<SimTime>,
+    },
+    /// A result committed for this attempt (terminal). Remembers the
+    /// winning token so late zombie results still fence as stale rather
+    /// than blending into redelivery suppression.
+    Completed {
+        /// The token the committed result was dispatched under.
+        token: LeaseToken,
+    },
+    /// The attempt ended without a result: lost to a fault, or cancelled
+    /// at dequeue because its slot had already resolved (terminal).
+    Failed {
+        /// The token of the failing incarnation ([`LeaseToken::NONE`] for
+        /// never-leased attempts cancelled at dequeue).
+        token: LeaseToken,
+    },
+}
+
+/// Verdict of a fenced commit or failure report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The token matched an active lease: the attempt transitioned to its
+    /// terminal state and the caller should apply the result.
+    Committed,
+    /// The attempt was already terminal — an at-least-once redelivery.
+    /// Suppressed idempotently; the caller must not apply the result again.
+    Duplicate,
+    /// The token belongs to a reclaimed (or otherwise superseded) lease
+    /// incarnation: fencing rejects the result outright.
+    Stale,
+}
+
+/// Immutable identity of one task attempt (who it serves and where).
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptRecord {
+    /// The owning query.
+    pub query: u32,
+    /// The server the attempt targets.
+    pub server: u32,
+    /// The logical task (slot) this attempt serves: originals point at
+    /// themselves, hedge/retry copies at the original's id.
+    pub slot: u32,
+    /// Original, hedge, or retry.
+    pub kind: AttemptKind,
+}
+
+/// Per-logical-task (slot) state, indexed like attempts; entries at
+/// hedge/retry ids are inert placeholders (their state lives at the
+/// original's index).
+#[derive(Debug, Clone)]
+pub struct SlotRecord {
+    /// A completion (or exhaustion) already resolved this slot; any other
+    /// in-flight attempt is a loser to cancel at dequeue or completion.
+    pub resolved: bool,
+    /// Attempts issued so far (original + hedges + retries).
+    pub attempts: u32,
+    /// Attempts currently queued or in service.
+    pub live: u32,
+    /// The slot's queuing deadline `t_D` (duplicates inherit it, and a
+    /// reclaim re-enqueues with it unchanged — the reclaim-preserves-`t_D`
+    /// invariant).
+    pub deadline: SimTime,
+    /// When a hedge copy becomes due, if hedging is configured.
+    pub hedge_at: Option<SimTime>,
+    /// Servers already tried by duplicates (excluded from backup choice).
+    pub extra_servers: Vec<u32>,
+}
+
+impl SlotRecord {
+    fn placeholder() -> Self {
+        SlotRecord {
+            resolved: true,
+            attempts: 0,
+            live: 0,
+            deadline: SimTime::ZERO,
+            hedge_at: None,
+            extra_servers: Vec::new(),
+        }
+    }
+}
+
+/// Lifecycle gauges and counters, accumulated by the store.
+///
+/// The first five fields are *current-state gauges* (they go up and down as
+/// attempts move through the machine); the rest are monotonic counters.
+/// Conservation: `completed + failed + queued + leased + running` always
+/// equals the number of attempts created.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Attempts currently waiting in a queue.
+    pub queued: u64,
+    /// Attempts currently dispatched but not yet running.
+    pub leased: u64,
+    /// Attempts currently executing under a lease.
+    pub running: u64,
+    /// Attempts that committed a result (terminal).
+    pub completed: u64,
+    /// Attempts that ended without a result (terminal).
+    pub failed: u64,
+    /// Leases issued (one per dispatch, including re-dispatches after
+    /// reclaim).
+    pub leases_issued: u64,
+    /// Expired leases reclaimed back to `Queued`.
+    pub reclaims: u64,
+    /// Redeliveries of already-committed results, suppressed idempotently.
+    pub duplicates_suppressed: u64,
+    /// Results rejected by lease-token fencing (stale incarnations).
+    pub stale_commits_rejected: u64,
+}
+
+/// The per-attempt state store: attempt identities, slot bookkeeping, lease
+/// issuance, and fenced commits, all under one roof.
+///
+/// # Example
+///
+/// ```
+/// use tailguard_lifecycle::{CommitOutcome, TaskStateStore};
+/// use tailguard_simcore::{SimDuration, SimTime};
+///
+/// let mut store = TaskStateStore::new(Some(SimDuration::from_millis(5)));
+/// let t = store.push_original(0, 2, SimTime::from_millis(10), None);
+/// let lease = store.lease(t, SimTime::ZERO);
+/// store.mark_running(t);
+///
+/// // The node crashes; the lease expires and the task is reclaimed.
+/// assert!(store.reclaim_expired(t, lease, SimTime::from_millis(5)));
+/// let lease2 = store.lease(t, SimTime::from_millis(5));
+/// store.mark_running(t);
+///
+/// // The zombie incarnation's result is fenced off...
+/// assert_eq!(store.commit(t, lease), CommitOutcome::Stale);
+/// // ...the live incarnation commits, and a redelivery is suppressed.
+/// assert_eq!(store.commit(t, lease2), CommitOutcome::Committed);
+/// assert_eq!(store.commit(t, lease2), CommitOutcome::Duplicate);
+/// ```
+#[derive(Debug)]
+pub struct TaskStateStore {
+    attempts: Vec<AttemptRecord>,
+    states: Vec<AttemptState>,
+    slots: Vec<SlotRecord>,
+    next_token: u64,
+    lease_ttl: Option<SimDuration>,
+    stats: LifecycleStats,
+}
+
+impl TaskStateStore {
+    /// Creates an empty store. With `lease_ttl` set, every lease carries an
+    /// expiry instant `now + ttl` the driver can schedule a reclaim check
+    /// at; without one, leases never expire (the pre-recovery behaviour).
+    pub fn new(lease_ttl: Option<SimDuration>) -> Self {
+        TaskStateStore {
+            attempts: Vec::new(),
+            states: Vec::new(),
+            slots: Vec::new(),
+            next_token: 1,
+            lease_ttl,
+            stats: LifecycleStats::default(),
+        }
+    }
+
+    /// The configured lease TTL, if any.
+    pub fn lease_ttl(&self) -> Option<SimDuration> {
+        self.lease_ttl
+    }
+
+    /// Sets the lease TTL. Intended for builder-time configuration, before
+    /// any lease is issued.
+    pub fn set_lease_ttl(&mut self, ttl: Option<SimDuration>) {
+        self.lease_ttl = ttl;
+    }
+
+    /// Registers a query's original attempt for one fanout task, `Queued`,
+    /// with its own slot. Returns the attempt id (`== slot id`).
+    pub fn push_original(
+        &mut self,
+        query: u32,
+        server: u32,
+        deadline: SimTime,
+        hedge_at: Option<SimTime>,
+    ) -> u32 {
+        let task = self.attempts.len() as u32;
+        self.attempts.push(AttemptRecord {
+            query,
+            server,
+            slot: task,
+            kind: AttemptKind::Original,
+        });
+        self.states.push(AttemptState::Queued);
+        self.slots.push(SlotRecord {
+            resolved: false,
+            attempts: 1,
+            live: 1,
+            deadline,
+            hedge_at,
+            extra_servers: Vec::new(),
+        });
+        self.stats.queued += 1;
+        task
+    }
+
+    /// Registers a hedge or retry copy of `slot` targeting `server`,
+    /// `Queued`, bumping the slot's attempt/live counts and recording the
+    /// tried server. Returns the new attempt id.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the slot is unresolved and `kind` is not
+    /// [`AttemptKind::Original`].
+    pub fn push_duplicate(&mut self, slot: u32, server: u32, kind: AttemptKind) -> u32 {
+        debug_assert_ne!(kind, AttemptKind::Original, "duplicates are not originals");
+        debug_assert!(
+            !self.slots[slot as usize].resolved,
+            "cannot duplicate a resolved slot"
+        );
+        let query = self.attempts[slot as usize].query;
+        let task = self.attempts.len() as u32;
+        self.attempts.push(AttemptRecord {
+            query,
+            server,
+            slot,
+            kind,
+        });
+        self.states.push(AttemptState::Queued);
+        self.slots.push(SlotRecord::placeholder());
+        let slot_state = &mut self.slots[slot as usize];
+        slot_state.attempts += 1;
+        slot_state.live += 1;
+        slot_state.extra_servers.push(server);
+        self.stats.queued += 1;
+        task
+    }
+
+    /// Leases a `Queued` attempt for dispatch at `now`: assigns the next
+    /// monotonic token and stamps `expires_at = now + ttl` when a TTL is
+    /// configured.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the attempt is `Queued`.
+    pub fn lease(&mut self, task: u32, now: SimTime) -> LeaseToken {
+        debug_assert!(
+            matches!(self.states[task as usize], AttemptState::Queued),
+            "only queued attempts can be leased"
+        );
+        let token = LeaseToken(self.next_token);
+        self.next_token += 1;
+        self.states[task as usize] = AttemptState::Leased {
+            token,
+            expires_at: self.lease_ttl.map(|ttl| now + ttl),
+        };
+        self.stats.queued -= 1;
+        self.stats.leased += 1;
+        self.stats.leases_issued += 1;
+        token
+    }
+
+    /// Transitions a `Leased` attempt to `Running` (same token and expiry).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the attempt is `Leased`.
+    pub fn mark_running(&mut self, task: u32) {
+        let AttemptState::Leased { token, expires_at } = self.states[task as usize] else {
+            debug_assert!(false, "only leased attempts can start running");
+            return;
+        };
+        self.states[task as usize] = AttemptState::Running { token, expires_at };
+        self.stats.leased -= 1;
+        self.stats.running += 1;
+    }
+
+    /// Fenced commit of a result for `task` under `token`.
+    ///
+    /// Matching active lease → `Completed` and [`CommitOutcome::Committed`];
+    /// terminal under the *same* token → [`CommitOutcome::Duplicate`]
+    /// (at-least-once redelivery, suppressed idempotently); reclaimed,
+    /// superseded, or terminal under a different token →
+    /// [`CommitOutcome::Stale`].
+    pub fn commit(&mut self, task: u32, token: LeaseToken) -> CommitOutcome {
+        match self.states[task as usize] {
+            AttemptState::Running { token: t, .. } if t == token => {
+                self.states[task as usize] = AttemptState::Completed { token };
+                self.stats.running -= 1;
+                self.stats.completed += 1;
+                CommitOutcome::Committed
+            }
+            AttemptState::Leased { token: t, .. } if t == token => {
+                self.states[task as usize] = AttemptState::Completed { token };
+                self.stats.leased -= 1;
+                self.stats.completed += 1;
+                CommitOutcome::Committed
+            }
+            AttemptState::Completed { token: t } | AttemptState::Failed { token: t }
+                if t == token =>
+            {
+                self.stats.duplicates_suppressed += 1;
+                CommitOutcome::Duplicate
+            }
+            AttemptState::Queued
+            | AttemptState::Running { .. }
+            | AttemptState::Leased { .. }
+            | AttemptState::Completed { .. }
+            | AttemptState::Failed { .. } => {
+                self.stats.stale_commits_rejected += 1;
+                CommitOutcome::Stale
+            }
+        }
+    }
+
+    /// Fenced failure report (a loss notification) for `task` under
+    /// `token`. Same fencing rules as [`TaskStateStore::commit`], with
+    /// `Failed` as the terminal state.
+    pub fn fail(&mut self, task: u32, token: LeaseToken) -> CommitOutcome {
+        match self.states[task as usize] {
+            AttemptState::Running { token: t, .. } if t == token => {
+                self.states[task as usize] = AttemptState::Failed { token };
+                self.stats.running -= 1;
+                self.stats.failed += 1;
+                CommitOutcome::Committed
+            }
+            AttemptState::Leased { token: t, .. } if t == token => {
+                self.states[task as usize] = AttemptState::Failed { token };
+                self.stats.leased -= 1;
+                self.stats.failed += 1;
+                CommitOutcome::Committed
+            }
+            AttemptState::Completed { token: t } | AttemptState::Failed { token: t }
+                if t == token =>
+            {
+                self.stats.duplicates_suppressed += 1;
+                CommitOutcome::Duplicate
+            }
+            AttemptState::Queued
+            | AttemptState::Running { .. }
+            | AttemptState::Leased { .. }
+            | AttemptState::Completed { .. }
+            | AttemptState::Failed { .. } => {
+                self.stats.stale_commits_rejected += 1;
+                CommitOutcome::Stale
+            }
+        }
+    }
+
+    /// Cancels a `Queued` attempt (discarded at dequeue because its slot
+    /// already resolved) — terminal `Failed` without a loss notification.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the attempt is `Queued`.
+    pub fn cancel(&mut self, task: u32) {
+        debug_assert!(
+            matches!(self.states[task as usize], AttemptState::Queued),
+            "only queued attempts are cancelled at dequeue"
+        );
+        self.states[task as usize] = AttemptState::Failed {
+            token: LeaseToken::NONE,
+        };
+        self.stats.queued -= 1;
+        self.stats.failed += 1;
+    }
+
+    /// Reclaims an expired lease: when `task` still holds an active lease
+    /// under exactly `token` whose expiry has passed by `now`, it returns
+    /// to `Queued` (ready for re-enqueue with its original deadline) and
+    /// the reclaim is counted. Returns `false` — a fenced no-op — when the
+    /// attempt already committed, failed, or was re-leased under a newer
+    /// token.
+    pub fn reclaim_expired(&mut self, task: u32, token: LeaseToken, now: SimTime) -> bool {
+        let (t, expires_at) = match self.states[task as usize] {
+            AttemptState::Running { token, expires_at }
+            | AttemptState::Leased { token, expires_at } => (token, expires_at),
+            AttemptState::Queued | AttemptState::Completed { .. } | AttemptState::Failed { .. } => {
+                return false
+            }
+        };
+        if t != token {
+            return false;
+        }
+        let Some(expires_at) = expires_at else {
+            return false;
+        };
+        if now < expires_at {
+            return false;
+        }
+        match self.states[task as usize] {
+            AttemptState::Running { .. } => self.stats.running -= 1,
+            _ => self.stats.leased -= 1,
+        }
+        self.states[task as usize] = AttemptState::Queued;
+        self.stats.queued += 1;
+        self.stats.reclaims += 1;
+        true
+    }
+
+    /// When the current lease of `task` expires, if it holds one with a
+    /// TTL — the driver schedules its reclaim check here.
+    pub fn lease_expiry(&self, task: u32) -> Option<SimTime> {
+        match self.states[task as usize] {
+            AttemptState::Leased { expires_at, .. } | AttemptState::Running { expires_at, .. } => {
+                expires_at
+            }
+            AttemptState::Queued | AttemptState::Completed { .. } | AttemptState::Failed { .. } => {
+                None
+            }
+        }
+    }
+
+    /// The token of the attempt's current lease, if it holds one.
+    pub fn current_token(&self, task: u32) -> Option<LeaseToken> {
+        match self.states[task as usize] {
+            AttemptState::Leased { token, .. } | AttemptState::Running { token, .. } => Some(token),
+            AttemptState::Queued | AttemptState::Completed { .. } | AttemptState::Failed { .. } => {
+                None
+            }
+        }
+    }
+
+    /// The attempt's current lifecycle state.
+    pub fn state(&self, task: u32) -> AttemptState {
+        self.states[task as usize]
+    }
+
+    /// The attempt's immutable identity (query, server, slot, kind).
+    pub fn attempt(&self, task: u32) -> &AttemptRecord {
+        &self.attempts[task as usize]
+    }
+
+    /// The slot record at `slot` (placeholder for hedge/retry ids).
+    pub fn slot(&self, slot: u32) -> &SlotRecord {
+        &self.slots[slot as usize]
+    }
+
+    /// Mutable slot record (the scheduling core resolves slots here).
+    pub fn slot_mut(&mut self, slot: u32) -> &mut SlotRecord {
+        &mut self.slots[slot as usize]
+    }
+
+    /// Total attempts created (ids are `0..len()`).
+    pub fn len(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// True when no attempt was created yet.
+    pub fn is_empty(&self) -> bool {
+        self.attempts.is_empty()
+    }
+
+    /// The accumulated lifecycle gauges and counters.
+    pub fn stats(&self) -> &LifecycleStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn store(ttl: Option<u64>) -> TaskStateStore {
+        TaskStateStore::new(ttl.map(dms))
+    }
+
+    #[test]
+    fn tokens_are_monotonic_and_nonzero() {
+        let mut s = store(None);
+        let a = s.push_original(0, 0, ms(10), None);
+        let b = s.push_original(0, 1, ms(10), None);
+        let ta = s.lease(a, ms(0));
+        let tb = s.lease(b, ms(0));
+        assert!(ta > LeaseToken::NONE);
+        assert!(tb > ta, "tokens grow monotonically");
+        assert_eq!(s.stats().leases_issued, 2);
+    }
+
+    #[test]
+    fn happy_path_counts_states() {
+        let mut s = store(None);
+        let t = s.push_original(3, 1, ms(10), None);
+        assert_eq!(s.stats().queued, 1);
+        let tok = s.lease(t, ms(0));
+        assert_eq!((s.stats().queued, s.stats().leased), (0, 1));
+        s.mark_running(t);
+        assert_eq!((s.stats().leased, s.stats().running), (0, 1));
+        assert_eq!(s.commit(t, tok), CommitOutcome::Committed);
+        assert_eq!((s.stats().running, s.stats().completed), (0, 1));
+        assert_eq!(s.attempt(t).query, 3);
+        assert_eq!(s.state(t), AttemptState::Completed { token: tok });
+    }
+
+    #[test]
+    fn duplicate_delivery_is_suppressed_idempotently() {
+        let mut s = store(None);
+        let t = s.push_original(0, 0, ms(10), None);
+        let tok = s.lease(t, ms(0));
+        s.mark_running(t);
+        assert_eq!(s.commit(t, tok), CommitOutcome::Committed);
+        assert_eq!(s.commit(t, tok), CommitOutcome::Duplicate);
+        assert_eq!(s.fail(t, tok), CommitOutcome::Duplicate);
+        assert_eq!(s.stats().duplicates_suppressed, 2);
+        assert_eq!(s.stats().completed, 1, "terminal state unchanged");
+    }
+
+    #[test]
+    fn stale_token_is_fenced() {
+        let mut s = store(Some(5));
+        let t = s.push_original(0, 0, ms(10), None);
+        let old = s.lease(t, ms(0));
+        s.mark_running(t);
+        assert!(s.reclaim_expired(t, old, ms(5)), "lease expired at +5ms");
+        let new = s.lease(t, ms(5));
+        s.mark_running(t);
+        // The zombie incarnation is rejected; the live one commits.
+        assert_eq!(s.commit(t, old), CommitOutcome::Stale);
+        assert_eq!(s.fail(t, old), CommitOutcome::Stale);
+        assert_eq!(s.commit(t, new), CommitOutcome::Committed);
+        assert_eq!(s.stats().stale_commits_rejected, 2);
+        assert_eq!(s.stats().reclaims, 1);
+    }
+
+    #[test]
+    fn reclaim_requires_expiry_and_matching_token() {
+        let mut s = store(Some(5));
+        let t = s.push_original(0, 0, ms(10), None);
+        let tok = s.lease(t, ms(0));
+        s.mark_running(t);
+        assert_eq!(s.lease_expiry(t), Some(ms(5)));
+        assert!(!s.reclaim_expired(t, tok, ms(4)), "not yet expired");
+        assert!(
+            !s.reclaim_expired(t, LeaseToken(999), ms(5)),
+            "wrong token is a fenced no-op"
+        );
+        assert!(s.reclaim_expired(t, tok, ms(5)));
+        assert!(
+            !s.reclaim_expired(t, tok, ms(6)),
+            "already reclaimed: queued attempts hold no lease"
+        );
+        assert_eq!(s.stats().reclaims, 1);
+        assert_eq!(s.current_token(t), None);
+    }
+
+    #[test]
+    fn without_ttl_leases_never_expire() {
+        let mut s = store(None);
+        let t = s.push_original(0, 0, ms(10), None);
+        let tok = s.lease(t, ms(0));
+        s.mark_running(t);
+        assert_eq!(s.lease_expiry(t), None);
+        assert!(!s.reclaim_expired(t, tok, SimTime::from_millis(1_000_000)));
+    }
+
+    #[test]
+    fn commit_after_reclaim_and_reenqueue_round_trips() {
+        let mut s = store(Some(2));
+        let t = s.push_original(0, 0, ms(10), None);
+        let t1 = s.lease(t, ms(0));
+        s.mark_running(t);
+        assert!(s.reclaim_expired(t, t1, ms(2)));
+        // Second incarnation completes normally.
+        let t2 = s.lease(t, ms(3));
+        s.mark_running(t);
+        assert_eq!(s.commit(t, t2), CommitOutcome::Committed);
+        // The first incarnation's late result is a stale commit, and a
+        // re-send of the second's is a duplicate.
+        assert_eq!(s.commit(t, t1), CommitOutcome::Stale);
+        assert_eq!(s.commit(t, t2), CommitOutcome::Duplicate);
+        let st = s.stats();
+        assert_eq!(
+            (
+                st.completed,
+                st.reclaims,
+                st.stale_commits_rejected,
+                st.duplicates_suppressed
+            ),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn duplicates_track_slot_bookkeeping() {
+        let mut s = store(None);
+        let orig = s.push_original(7, 0, ms(10), Some(ms(5)));
+        let hedge = s.push_duplicate(orig, 2, AttemptKind::Hedge);
+        assert_eq!(s.attempt(hedge).slot, orig);
+        assert_eq!(s.attempt(hedge).query, 7);
+        assert_eq!(s.attempt(hedge).kind, AttemptKind::Hedge);
+        let slot = s.slot(orig);
+        assert_eq!(slot.attempts, 2);
+        assert_eq!(slot.live, 2);
+        assert_eq!(slot.extra_servers, vec![2]);
+        assert_eq!(slot.hedge_at, Some(ms(5)));
+        assert!(s.slot(hedge).resolved, "duplicate entry is a placeholder");
+    }
+
+    #[test]
+    fn cancel_moves_queued_to_failed() {
+        let mut s = store(None);
+        let t = s.push_original(0, 0, ms(10), None);
+        s.cancel(t);
+        assert_eq!(
+            s.state(t),
+            AttemptState::Failed {
+                token: LeaseToken::NONE
+            }
+        );
+        assert_eq!((s.stats().queued, s.stats().failed), (0, 1));
+    }
+
+    #[test]
+    fn state_conservation_holds() {
+        let mut s = store(Some(3));
+        let a = s.push_original(0, 0, ms(10), None);
+        let b = s.push_original(0, 1, ms(10), None);
+        let c = s.push_duplicate(a, 2, AttemptKind::Retry);
+        let ta = s.lease(a, ms(0));
+        s.mark_running(a);
+        let _tb = s.lease(b, ms(0));
+        s.mark_running(b);
+        s.cancel(c);
+        assert!(s.reclaim_expired(a, ta, ms(3)));
+        let st = s.stats();
+        assert_eq!(
+            st.queued + st.leased + st.running + st.completed + st.failed,
+            s.len() as u64,
+            "every attempt is in exactly one state"
+        );
+    }
+}

@@ -60,6 +60,11 @@ pub const CRATES: &[CrateConfig] = &[
         float_strict: true,
     },
     CrateConfig {
+        name: "lifecycle",
+        class: CrateClass::Deterministic,
+        float_strict: false,
+    },
+    CrateConfig {
         name: "sched",
         class: CrateClass::Deterministic,
         float_strict: true,
@@ -152,7 +157,15 @@ mod tests {
         for name in ["sched", "dist", "policy"] {
             assert!(crate_config(name).unwrap().float_strict, "{name}");
         }
-        for name in ["simcore", "metrics", "workload", "faults", "core", "obs"] {
+        for name in [
+            "simcore",
+            "metrics",
+            "workload",
+            "lifecycle",
+            "faults",
+            "core",
+            "obs",
+        ] {
             assert!(!crate_config(name).unwrap().float_strict, "{name}");
         }
     }

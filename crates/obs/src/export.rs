@@ -9,7 +9,7 @@ use tailguard_sched::TraceEvent;
 
 /// The CSV header matching [`event_to_csv_row`].
 pub const CSV_HEADER: &str =
-    "at_ns,event,query,task,slot,class,fanout,server,kind,deadline_ns,waited_ns,slack_ns,busy_ns,late_by_ns,won";
+    "at_ns,event,query,task,slot,class,fanout,server,kind,deadline_ns,waited_ns,slack_ns,busy_ns,late_by_ns,won,token";
 
 /// Renders one event as a JSON object (one JSONL line, no trailing
 /// newline).
@@ -37,6 +37,7 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
         }
         TraceEvent::TaskEnqueued {
             task,
+            slot,
             query,
             class,
             server,
@@ -46,6 +47,7 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
         } => {
             fields.push(format!("\"query\":{query}"));
             fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"slot\":{slot}"));
             fields.push(format!("\"class\":{class}"));
             fields.push(format!("\"server\":{server}"));
             fields.push(format!("\"kind\":\"{}\"", kind.name()));
@@ -53,19 +55,23 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
         }
         TraceEvent::TaskDequeued {
             task,
+            slot,
             query,
             class,
             kind,
             server,
+            token,
             waited,
             slack_ns,
             ..
         } => {
             fields.push(format!("\"query\":{query}"));
             fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"slot\":{slot}"));
             fields.push(format!("\"class\":{class}"));
             fields.push(format!("\"server\":{server}"));
             fields.push(format!("\"kind\":\"{}\"", kind.name()));
+            fields.push(format!("\"token\":{}", token.0));
             fields.push(format!("\"waited_ns\":{}", waited.as_nanos()));
             fields.push(format!("\"slack_ns\":{slack_ns}"));
         }
@@ -95,22 +101,26 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
         }
         TraceEvent::TaskCancelled {
             task,
+            slot,
             query,
             server,
             ..
         }
         | TraceEvent::TaskLost {
             task,
+            slot,
             query,
             server,
             ..
         } => {
             fields.push(format!("\"query\":{query}"));
             fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"slot\":{slot}"));
             fields.push(format!("\"server\":{server}"));
         }
         TraceEvent::TaskCompleted {
             task,
+            slot,
             query,
             server,
             busy,
@@ -119,9 +129,39 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
         } => {
             fields.push(format!("\"query\":{query}"));
             fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"slot\":{slot}"));
             fields.push(format!("\"server\":{server}"));
             fields.push(format!("\"busy_ns\":{}", busy.as_nanos()));
             fields.push(format!("\"won\":{won}"));
+        }
+        TraceEvent::LeaseReclaimed {
+            task,
+            query,
+            server,
+            token,
+            ..
+        }
+        | TraceEvent::StaleCommitRejected {
+            task,
+            query,
+            server,
+            token,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"server\":{server}"));
+            fields.push(format!("\"token\":{}", token.0));
+        }
+        TraceEvent::DuplicateSuppressed {
+            task,
+            query,
+            server,
+            ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"task\":{task}"));
+            fields.push(format!("\"server\":{server}"));
         }
         TraceEvent::AdmissionPause { .. } | TraceEvent::AdmissionResume { .. } => {}
     }
@@ -141,8 +181,9 @@ pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
 /// Renders one event as a CSV row under [`CSV_HEADER`].
 pub fn event_to_csv_row(ev: &TraceEvent) -> String {
     // Column order: at_ns,event,query,task,slot,class,fanout,server,kind,
-    //               deadline_ns,waited_ns,slack_ns,busy_ns,late_by_ns,won
-    let mut cols: [String; 15] = Default::default();
+    //               deadline_ns,waited_ns,slack_ns,busy_ns,late_by_ns,won,
+    //               token
+    let mut cols: [String; 16] = Default::default();
     cols[0] = ev.at().as_nanos().to_string();
     cols[1] = ev.kind_name().to_string();
     if let Some(q) = ev.query() {
@@ -165,6 +206,7 @@ pub fn event_to_csv_row(ev: &TraceEvent) -> String {
         }
         TraceEvent::TaskEnqueued {
             task,
+            slot,
             class,
             server,
             kind,
@@ -172,6 +214,7 @@ pub fn event_to_csv_row(ev: &TraceEvent) -> String {
             ..
         } => {
             cols[3] = task.to_string();
+            cols[4] = slot.to_string();
             cols[5] = class.to_string();
             cols[7] = server.to_string();
             cols[8] = kind.name().to_string();
@@ -179,19 +222,23 @@ pub fn event_to_csv_row(ev: &TraceEvent) -> String {
         }
         TraceEvent::TaskDequeued {
             task,
+            slot,
             class,
             kind,
             server,
+            token,
             waited,
             slack_ns,
             ..
         } => {
             cols[3] = task.to_string();
+            cols[4] = slot.to_string();
             cols[5] = class.to_string();
             cols[7] = server.to_string();
             cols[8] = kind.name().to_string();
             cols[10] = waited.as_nanos().to_string();
             cols[11] = slack_ns.to_string();
+            cols[15] = token.0.to_string();
         }
         TraceEvent::DeadlineMissed {
             task,
@@ -210,22 +257,49 @@ pub fn event_to_csv_row(ev: &TraceEvent) -> String {
             cols[4] = slot.to_string();
             cols[7] = server.to_string();
         }
-        TraceEvent::TaskCancelled { task, server, .. }
-        | TraceEvent::TaskLost { task, server, .. } => {
+        TraceEvent::TaskCancelled {
+            task, slot, server, ..
+        }
+        | TraceEvent::TaskLost {
+            task, slot, server, ..
+        } => {
             cols[3] = task.to_string();
+            cols[4] = slot.to_string();
             cols[7] = server.to_string();
         }
         TraceEvent::TaskCompleted {
             task,
+            slot,
             server,
             busy,
             won,
             ..
         } => {
             cols[3] = task.to_string();
+            cols[4] = slot.to_string();
             cols[7] = server.to_string();
             cols[12] = busy.as_nanos().to_string();
             cols[14] = won.to_string();
+        }
+        TraceEvent::LeaseReclaimed {
+            task,
+            server,
+            token,
+            ..
+        }
+        | TraceEvent::StaleCommitRejected {
+            task,
+            server,
+            token,
+            ..
+        } => {
+            cols[3] = task.to_string();
+            cols[7] = server.to_string();
+            cols[15] = token.0.to_string();
+        }
+        TraceEvent::DuplicateSuppressed { task, server, .. } => {
+            cols[3] = task.to_string();
+            cols[7] = server.to_string();
         }
         TraceEvent::AdmissionPause { .. } | TraceEvent::AdmissionResume { .. } => {}
     }
@@ -263,12 +337,21 @@ mod tests {
             TraceEvent::TaskDequeued {
                 at: SimTime::from_millis(2),
                 task: 5,
+                slot: 4,
                 query: 3,
                 class: 1,
                 kind: AttemptKind::Hedge,
                 server: 7,
+                token: tailguard_sched::LeaseToken(9),
                 waited: SimDuration::from_millis(1),
                 slack_ns: -250,
+            },
+            TraceEvent::LeaseReclaimed {
+                at: SimTime::from_millis(3),
+                task: 5,
+                query: 3,
+                server: 7,
+                token: tailguard_sched::LeaseToken(9),
             },
         ];
         let jsonl = events_to_jsonl(&events);
@@ -279,6 +362,9 @@ mod tests {
         }
         assert!(jsonl.contains("\"slack_ns\":-250"));
         assert!(jsonl.contains("\"kind\":\"hedge\""));
+        assert!(jsonl.contains("\"slot\":4"));
+        assert!(jsonl.contains("\"token\":9"));
+        assert!(jsonl.contains("\"event\":\"lease_reclaimed\""));
     }
 
     #[test]
@@ -290,17 +376,34 @@ mod tests {
             TraceEvent::TaskCompleted {
                 at: SimTime::from_millis(10),
                 task: 1,
+                slot: 1,
                 query: 0,
                 server: 2,
                 busy: SimDuration::from_millis(3),
                 won: true,
             },
+            TraceEvent::StaleCommitRejected {
+                at: SimTime::from_millis(11),
+                task: 1,
+                query: 0,
+                server: 2,
+                token: tailguard_sched::LeaseToken(3),
+            },
+            TraceEvent::DuplicateSuppressed {
+                at: SimTime::from_millis(12),
+                task: 1,
+                query: 0,
+                server: 2,
+            },
         ];
         let csv = events_to_csv(&events);
         let cols = CSV_HEADER.split(',').count();
+        assert_eq!(cols, 16, "token column appended");
         for line in csv.lines() {
             assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
         }
         assert!(csv.contains("task_completed"));
+        assert!(csv.contains("stale_commit_rejected"));
+        assert!(csv.contains("duplicate_suppressed"));
     }
 }

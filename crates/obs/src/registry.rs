@@ -26,7 +26,7 @@
 use serde::Serialize;
 use std::collections::BTreeMap;
 use tailguard_dist::{Cdf, LogHistogram};
-use tailguard_sched::{AttemptKind, RobustnessStats, TraceEvent};
+use tailguard_sched::{AttemptKind, LifecycleStats, RobustnessStats, TraceEvent};
 use tailguard_simcore::SimTime;
 
 /// Fixed `le` boundaries (ms) for the Prometheus histogram exposition,
@@ -140,6 +140,9 @@ impl Registry {
         let mut lost = 0u64;
         let mut pauses = 0u64;
         let mut resumes = 0u64;
+        let mut reclaimed = 0u64;
+        let mut dup_suppressed = 0u64;
+        let mut stale_rejected = 0u64;
         let mut queue_wait = LogHistogram::new();
         let mut hedge_wait = LogHistogram::new();
         let mut service = LogHistogram::new();
@@ -182,11 +185,14 @@ impl Registry {
                 TraceEvent::TaskLost { .. } => lost += 1,
                 TraceEvent::AdmissionPause { .. } => pauses += 1,
                 TraceEvent::AdmissionResume { .. } => resumes += 1,
+                TraceEvent::LeaseReclaimed { .. } => reclaimed += 1,
+                TraceEvent::DuplicateSuppressed { .. } => dup_suppressed += 1,
+                TraceEvent::StaleCommitRejected { .. } => stale_rejected += 1,
             }
         }
         // Metric names appear exactly when their events did, matching the
         // previous per-event behaviour.
-        let counters: [(&str, &'static str, u64); 10] = [
+        let counters: [(&str, &'static str, u64); 13] = [
             (
                 "tailguard_queries_admitted_total",
                 "Queries that passed admission control",
@@ -236,6 +242,21 @@ impl Registry {
                 "tailguard_admission_resumes_total",
                 "Admission flips from rejecting back to admitting",
                 resumes,
+            ),
+            (
+                "tailguard_leases_reclaimed_total",
+                "Expired leases reclaimed (attempt re-enqueued or cancelled)",
+                reclaimed,
+            ),
+            (
+                "tailguard_duplicates_suppressed_total",
+                "Redelivered results suppressed by idempotent commit",
+                dup_suppressed,
+            ),
+            (
+                "tailguard_stale_commits_rejected_total",
+                "Zombie results fenced off by lease-token mismatch",
+                stale_rejected,
             ),
         ];
         for (name, help, count) in counters {
@@ -330,6 +351,60 @@ impl Registry {
             "tailguard_mitigation_failed_queries_total",
             "Queries whose every task was lost",
             rs.failed_queries,
+        );
+    }
+
+    /// Publishes the state store's [`LifecycleStats`]: end-of-run task
+    /// state gauges plus lease/reclaim/duplicate/stale counters. The
+    /// counter names shared with [`Registry::ingest_events`] are
+    /// *overwritten* with the store's authoritative values (the stats
+    /// survive ring-recorder eviction; the values agree whenever no events
+    /// were dropped), so calling both in either order is safe.
+    pub fn ingest_lifecycle(&mut self, lc: &LifecycleStats) {
+        self.gauge_set(
+            "tailguard_tasks_queued",
+            "Task attempts still queued at end of run",
+            lc.queued as f64,
+        );
+        self.gauge_set(
+            "tailguard_tasks_leased",
+            "Task attempts holding an uncommitted lease at end of run",
+            lc.leased as f64,
+        );
+        self.gauge_set(
+            "tailguard_tasks_running",
+            "Task attempts in service at end of run",
+            lc.running as f64,
+        );
+        self.counter_set(
+            "tailguard_tasks_state_completed_total",
+            "Task attempts whose commit was accepted by the state store",
+            lc.completed,
+        );
+        self.counter_set(
+            "tailguard_tasks_state_failed_total",
+            "Task attempts that terminally failed (lost or cancelled)",
+            lc.failed,
+        );
+        self.counter_set(
+            "tailguard_leases_issued_total",
+            "Leases issued at dequeue (one per dispatch)",
+            lc.leases_issued,
+        );
+        self.counter_set(
+            "tailguard_leases_reclaimed_total",
+            "Expired leases reclaimed (attempt re-enqueued or cancelled)",
+            lc.reclaims,
+        );
+        self.counter_set(
+            "tailguard_duplicates_suppressed_total",
+            "Redelivered results suppressed by idempotent commit",
+            lc.duplicates_suppressed,
+        );
+        self.counter_set(
+            "tailguard_stale_commits_rejected_total",
+            "Zombie results fenced off by lease-token mismatch",
+            lc.stale_commits_rejected,
         );
     }
 
@@ -630,25 +705,43 @@ mod tests {
             TraceEvent::TaskDequeued {
                 at: SimTime::ZERO,
                 task: 0,
+                slot: 0,
                 query: 0,
                 class: 0,
                 kind: AttemptKind::Original,
                 server: 0,
+                token: tailguard_sched::LeaseToken(1),
                 waited: SimDuration::from_millis(2),
                 slack_ns: -1_000_000,
             },
             TraceEvent::TaskCompleted {
                 at: SimTime::from_millis(3),
                 task: 0,
+                slot: 0,
                 query: 0,
                 server: 0,
                 busy: SimDuration::from_millis(3),
                 won: true,
             },
+            TraceEvent::LeaseReclaimed {
+                at: SimTime::from_millis(4),
+                task: 1,
+                query: 1,
+                server: 0,
+                token: tailguard_sched::LeaseToken(2),
+            },
+            TraceEvent::DuplicateSuppressed {
+                at: SimTime::from_millis(5),
+                task: 0,
+                query: 0,
+                server: 0,
+            },
         ];
         r.ingest_events(&events);
         assert_eq!(r.counter("tailguard_queries_admitted_total"), Some(1));
         assert_eq!(r.counter("tailguard_tasks_dequeued_total"), Some(1));
+        assert_eq!(r.counter("tailguard_leases_reclaimed_total"), Some(1));
+        assert_eq!(r.counter("tailguard_duplicates_suppressed_total"), Some(1));
         assert!(r.histogram("tailguard_queue_wait_ms").is_some());
         assert!(r.histogram("tailguard_service_ms").is_some());
         assert!(
@@ -656,6 +749,35 @@ mod tests {
                 .is_some(),
             "negative slack lands in the lateness histogram"
         );
+    }
+
+    #[test]
+    fn ingest_lifecycle_publishes_gauges_and_counters() {
+        let mut r = Registry::new();
+        // Simulate the event-derived value being present first: the
+        // authoritative store value must overwrite it.
+        r.counter_add("tailguard_leases_reclaimed_total", "h", 1);
+        let lc = LifecycleStats {
+            queued: 2,
+            leased: 1,
+            running: 3,
+            completed: 40,
+            failed: 5,
+            leases_issued: 48,
+            reclaims: 6,
+            duplicates_suppressed: 7,
+            stale_commits_rejected: 8,
+        };
+        r.ingest_lifecycle(&lc);
+        assert_eq!(r.gauge("tailguard_tasks_queued"), Some(2.0));
+        assert_eq!(r.gauge("tailguard_tasks_leased"), Some(1.0));
+        assert_eq!(r.gauge("tailguard_tasks_running"), Some(3.0));
+        assert_eq!(r.counter("tailguard_tasks_state_completed_total"), Some(40));
+        assert_eq!(r.counter("tailguard_tasks_state_failed_total"), Some(5));
+        assert_eq!(r.counter("tailguard_leases_issued_total"), Some(48));
+        assert_eq!(r.counter("tailguard_leases_reclaimed_total"), Some(6));
+        assert_eq!(r.counter("tailguard_duplicates_suppressed_total"), Some(7));
+        assert_eq!(r.counter("tailguard_stale_commits_rejected_total"), Some(8));
     }
 
     #[test]

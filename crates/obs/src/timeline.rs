@@ -16,10 +16,17 @@ use tailguard_simcore::{SimDuration, SimTime};
 pub struct AttemptRecord {
     /// The attempt's task id.
     pub task: TaskId,
+    /// The logical slot (the original attempt's task id) this attempt
+    /// serves — hedges/retries of one slot share it, so the attempts of a
+    /// query are distinguishable *and* groupable.
+    pub slot: TaskId,
     /// Its target server.
     pub server: u32,
     /// Original, hedge, or retry.
     pub kind: AttemptKind,
+    /// How many times an expired lease bounced this attempt back into its
+    /// queue (0 for the common case).
+    pub reclaims: u64,
     /// When it entered its server's queue.
     pub enqueued_at: SimTime,
     /// Its queuing deadline `t_D`.
@@ -136,6 +143,7 @@ pub fn build_timelines(events: &[TraceEvent]) -> BTreeMap<QueryId, QueryTimeline
             TraceEvent::TaskEnqueued {
                 at,
                 task,
+                slot,
                 query,
                 class: _,
                 server,
@@ -143,11 +151,23 @@ pub fn build_timelines(events: &[TraceEvent]) -> BTreeMap<QueryId, QueryTimeline
                 deadline,
             } => {
                 if let Some(tl) = timelines.get_mut(&query) {
+                    // A second enqueue of a known task is a lease reclaim
+                    // bouncing the attempt back into its queue: reopen the
+                    // existing record instead of inventing a new attempt.
+                    if let Some(a) = tl.attempts.iter_mut().find(|a| a.task == task) {
+                        a.enqueued_at = at;
+                        a.dequeued_at = None;
+                        a.waited = None;
+                        a.slack_ns = None;
+                        continue;
+                    }
                     task_owner.insert(task, query);
                     tl.attempts.push(AttemptRecord {
                         task,
+                        slot,
                         server,
                         kind,
+                        reclaims: 0,
                         enqueued_at: at,
                         deadline,
                         dequeued_at: None,
@@ -209,10 +229,17 @@ pub fn build_timelines(events: &[TraceEvent]) -> BTreeMap<QueryId, QueryTimeline
                     a.lost_at = Some(at);
                 }
             }
+            TraceEvent::LeaseReclaimed { task, query, .. } => {
+                if let Some(a) = attempt_mut(&mut timelines, &task_owner, query, task) {
+                    a.reclaims += 1;
+                }
+            }
             TraceEvent::HedgeIssued { .. }
             | TraceEvent::QueryRejected { .. }
             | TraceEvent::AdmissionPause { .. }
-            | TraceEvent::AdmissionResume { .. } => {}
+            | TraceEvent::AdmissionResume { .. }
+            | TraceEvent::DuplicateSuppressed { .. }
+            | TraceEvent::StaleCommitRejected { .. } => {}
         }
     }
     timelines
@@ -383,6 +410,7 @@ mod tests {
             TraceEvent::TaskEnqueued {
                 at: t(0),
                 task: 0,
+                slot: 0,
                 query: 0,
                 class: 0,
                 server: 0,
@@ -392,10 +420,12 @@ mod tests {
             TraceEvent::TaskDequeued {
                 at: t(1),
                 task: 0,
+                slot: 0,
                 query: 0,
                 class: 0,
                 kind: AttemptKind::Original,
                 server: 0,
+                token: tailguard_sched::LeaseToken(1),
                 waited: ms(1),
                 slack_ns: 4_000_000,
             },
@@ -409,6 +439,7 @@ mod tests {
             TraceEvent::TaskEnqueued {
                 at: t(2),
                 task: 1,
+                slot: 0,
                 query: 0,
                 class: 0,
                 server: 1,
@@ -418,6 +449,7 @@ mod tests {
             TraceEvent::TaskCompleted {
                 at: t(3),
                 task: 0,
+                slot: 0,
                 query: 0,
                 server: 0,
                 busy: ms(2),
@@ -426,6 +458,7 @@ mod tests {
             TraceEvent::TaskCancelled {
                 at: t(3),
                 task: 1,
+                slot: 0,
                 query: 0,
                 server: 1,
             },
@@ -444,6 +477,77 @@ mod tests {
         assert_eq!(hedge.kind, AttemptKind::Hedge);
         assert!(hedge.cancelled_at.is_some());
         assert!(!hedge.won);
+    }
+
+    #[test]
+    fn reclaim_reopens_the_attempt_instead_of_duplicating_it() {
+        let ms = SimDuration::from_millis;
+        let t = SimTime::from_millis;
+        let mut events = sample_events();
+        // The winning completion at t=3 is replaced by a crash story: the
+        // lease expires, the attempt is re-enqueued, re-dequeued, and only
+        // then completes.
+        events.truncate(5);
+        events.extend([
+            TraceEvent::LeaseReclaimed {
+                at: t(4),
+                task: 0,
+                query: 0,
+                server: 0,
+                token: tailguard_sched::LeaseToken(1),
+            },
+            TraceEvent::TaskEnqueued {
+                at: t(4),
+                task: 0,
+                slot: 0,
+                query: 0,
+                class: 0,
+                server: 0,
+                kind: AttemptKind::Original,
+                deadline: t(5),
+            },
+            TraceEvent::TaskDequeued {
+                at: t(5),
+                task: 0,
+                slot: 0,
+                query: 0,
+                class: 0,
+                kind: AttemptKind::Original,
+                server: 0,
+                token: tailguard_sched::LeaseToken(2),
+                waited: ms(1),
+                slack_ns: 0,
+            },
+            TraceEvent::TaskCompleted {
+                at: t(6),
+                task: 0,
+                slot: 0,
+                query: 0,
+                server: 0,
+                busy: ms(1),
+                won: true,
+            },
+            TraceEvent::TaskCancelled {
+                at: t(6),
+                task: 1,
+                slot: 0,
+                query: 0,
+                server: 1,
+            },
+        ]);
+        let timelines = build_timelines(&events);
+        let tl = &timelines[&0];
+        assert_eq!(
+            tl.attempts.len(),
+            2,
+            "reclaim must not mint a third attempt"
+        );
+        let original = &tl.attempts[0];
+        assert_eq!(original.reclaims, 1);
+        assert_eq!(original.enqueued_at, t(4), "reopened at the reclaim");
+        assert_eq!(original.completed_at, Some(t(6)));
+        assert!(tl.is_complete());
+        assert_eq!(tl.latency(), Some(ms(6)));
     }
 
     #[test]
@@ -477,6 +581,7 @@ mod tests {
             TraceEvent::TaskEnqueued {
                 at: t(0),
                 task: 2,
+                slot: 2,
                 query: 1,
                 class: 0,
                 server: 0,
@@ -486,6 +591,7 @@ mod tests {
             TraceEvent::TaskCompleted {
                 at: t(9),
                 task: 2,
+                slot: 2,
                 query: 1,
                 server: 0,
                 busy: SimDuration::from_millis(9),

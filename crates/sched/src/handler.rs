@@ -22,6 +22,7 @@ use crate::estimator::DeadlineEstimator;
 use crate::mitigation::{MitigationConfig, RobustnessStats};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
+use tailguard_lifecycle::{AttemptKind, CommitOutcome, LeaseToken, LifecycleStats, TaskStateStore};
 use tailguard_metrics::{LatencyReservoir, LoadStats};
 use tailguard_policy::{DeadlineRule, Policy, QueuedTask, ServiceClass, TaskQueue};
 use tailguard_simcore::{SimDuration, SimTime};
@@ -92,6 +93,11 @@ pub struct DispatchedTask {
     pub task: TaskId,
     /// The server serving it.
     pub server: u32,
+    /// The fencing token of the lease this dispatch runs under. The driver
+    /// must hand it back with the result ([`QueryHandler::on_task_complete`]
+    /// / [`QueryHandler::on_task_lost`]) so a stale incarnation's report can
+    /// be rejected.
+    pub lease: LeaseToken,
 }
 
 /// A fully aggregated query (its slowest task just completed).
@@ -121,30 +127,10 @@ pub struct TaskCompletion {
     pub next: Option<DispatchedTask>,
     /// The completed query, when this was its last outstanding task.
     pub done: Option<QueryDone>,
-}
-
-/// Which attempt of a logical task an issued copy is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AttemptKind {
-    /// The first copy, issued at query arrival.
-    Original,
-    /// A hedge copy, issued when the remaining budget crossed the
-    /// [`MitigationConfig::hedge_after`] threshold.
-    Hedge,
-    /// A retry copy, issued after an attempt was lost to a fault.
-    Retry,
-}
-
-impl AttemptKind {
-    /// Stable lowercase name (`"original"`/`"hedge"`/`"retry"`), used by
-    /// trace exporters.
-    pub fn name(self) -> &'static str {
-        match self {
-            AttemptKind::Original => "original",
-            AttemptKind::Hedge => "hedge",
-            AttemptKind::Retry => "retry",
-        }
-    }
+    /// The fencing verdict. Only [`CommitOutcome::Committed`] results were
+    /// applied; for `Duplicate`/`Stale` the completion was suppressed and
+    /// the driver must discard the result's payload too.
+    pub commit: CommitOutcome,
 }
 
 /// The driver's cue to reissue a fault-lost task on a backup server: call
@@ -197,47 +183,10 @@ pub struct SchedStats {
     /// Latencies of partially completed queries (recorded separately from
     /// the per-class SLO reservoirs so degradation cannot flatter the tail).
     pub partial_latency: LatencyReservoir,
-}
-
-struct TaskMeta {
-    query: QueryId,
-    server: u32,
-    /// The logical task this attempt serves: originals point at themselves,
-    /// hedge/retry copies at the original's id.
-    slot: TaskId,
-    kind: AttemptKind,
-}
-
-/// Per-logical-task (slot) mitigation state, indexed like `tasks`; entries
-/// for hedge/retry copies are inert placeholders (their state lives at the
-/// original's index).
-struct SlotState {
-    /// A completion (or exhaustion) already resolved this slot; any other
-    /// in-flight attempt is a loser to cancel at dequeue or completion.
-    resolved: bool,
-    /// Attempts issued so far (original + hedges + retries).
-    attempts: u32,
-    /// Attempts currently queued or in service.
-    live: u32,
-    /// The slot's queuing deadline (duplicates inherit it).
-    deadline: SimTime,
-    /// When a hedge copy becomes due, if hedging is configured.
-    hedge_at: Option<SimTime>,
-    /// Servers already tried by duplicates (excluded from backup choice).
-    extra_servers: Vec<u32>,
-}
-
-impl SlotState {
-    fn placeholder() -> Self {
-        SlotState {
-            resolved: true,
-            attempts: 0,
-            live: 0,
-            deadline: SimTime::ZERO,
-            hedge_at: None,
-            extra_servers: Vec::new(),
-        }
-    }
+    /// Lifecycle gauges/counters from the task state store (leases issued,
+    /// reclaims, fenced commits). Filled by [`QueryHandler::into_stats`];
+    /// read live via [`QueryHandler::lifecycle`].
+    pub lifecycle: LifecycleStats,
 }
 
 struct QueryMeta {
@@ -301,11 +250,14 @@ struct ServerSlot {
 /// assert!(matches!(decision, AdmitDecision::Admitted { .. }));
 /// assert_eq!(started.len(), 2); // both servers were idle
 ///
-/// // The slowest task completes the query.
+/// // The slowest task completes the query; each result carries the lease
+/// // token its dispatch ran under, so stale incarnations can be fenced.
 /// let ms = SimDuration::from_millis(1);
-/// let first = handler.on_task_complete(SimTime::ZERO + ms, started[0].task, ms);
+/// let first =
+///     handler.on_task_complete(SimTime::ZERO + ms, started[0].task, started[0].lease, ms);
 /// assert!(first.done.is_none());
-/// let last = handler.on_task_complete(SimTime::ZERO + ms, started[1].task, ms);
+/// let last =
+///     handler.on_task_complete(SimTime::ZERO + ms, started[1].task, started[1].lease, ms);
 /// assert_eq!(last.done.expect("query aggregated").latency, ms);
 /// ```
 pub struct QueryHandler {
@@ -313,8 +265,9 @@ pub struct QueryHandler {
     classes: Vec<ClassSpec>,
     estimator: DeadlineEstimator,
     servers: Vec<ServerSlot>,
-    tasks: Vec<TaskMeta>,
-    slots: Vec<SlotState>,
+    /// The durable lifecycle store: per-attempt state machine, slot
+    /// bookkeeping, lease issuance, and fenced commits.
+    store: TaskStateStore,
     queries: Vec<QueryMeta>,
     admission: Option<AdmissionController>,
     mitigation: Option<MitigationConfig>,
@@ -337,7 +290,7 @@ impl std::fmt::Debug for QueryHandler {
             .field("policy", &self.policy)
             .field("servers", &self.servers.len())
             .field("queries", &self.queries.len())
-            .field("tasks", &self.tasks.len())
+            .field("tasks", &self.store.len())
             .finish()
     }
 }
@@ -371,8 +324,7 @@ impl QueryHandler {
                     in_service: None,
                 })
                 .collect(),
-            tasks: Vec::new(),
-            slots: Vec::new(),
+            store: TaskStateStore::new(None),
             queries: Vec::new(),
             admission: admission.map(AdmissionController::new),
             mitigation: None,
@@ -387,6 +339,7 @@ impl QueryHandler {
                 admission_resumes: 0,
                 robustness: RobustnessStats::default(),
                 partial_latency: LatencyReservoir::new(),
+                lifecycle: LifecycleStats::default(),
             },
             sink: Box::new(NullSink),
             trace_on: false,
@@ -415,6 +368,22 @@ impl QueryHandler {
     /// The mitigation config, when one was set.
     pub fn mitigation(&self) -> Option<&MitigationConfig> {
         self.mitigation.as_ref()
+    }
+
+    /// Enables lease expiry: every dispatch's lease carries
+    /// `expires_at = now + ttl`, and the driver is expected to call
+    /// [`QueryHandler::on_lease_expired`] at that instant so crashed
+    /// servers' work is reclaimed. Without a TTL leases never expire and
+    /// the handler behaves exactly as before (fencing stays active but can
+    /// never reject anything, since no lease is ever superseded).
+    pub fn with_lease(mut self, ttl: SimDuration) -> Self {
+        self.store.set_lease_ttl(Some(ttl));
+        self
+    }
+
+    /// The configured lease TTL, if any.
+    pub fn lease_ttl(&self) -> Option<SimDuration> {
+        self.store.lease_ttl()
     }
 
     /// Handles one query arrival at `now`: admission (§III.C), deadline
@@ -508,7 +477,7 @@ impl QueryHandler {
             started_at: now,
             outstanding: fanout,
             record: arrival.record,
-            first_task: self.tasks.len() as TaskId,
+            first_task: self.store.len() as TaskId,
             completed_slots: 0,
             lost_slots: 0,
             quorum,
@@ -525,30 +494,19 @@ impl QueryHandler {
         }
 
         for (idx, &server) in arrival.targets.iter().enumerate() {
-            let task = self.tasks.len() as TaskId;
-            self.tasks.push(TaskMeta {
-                query,
-                server,
-                slot: task,
-                kind: AttemptKind::Original,
-            });
-            self.stats.load.task_dispatched();
             // Footnote-4 ablation hook: per-task deadlines when provided.
             let (task_budget, task_deadline) = match arrival.task_budgets {
                 Some(tb) => (tb[idx], now + tb[idx]),
                 None => (budget, deadline),
             };
-            self.slots.push(SlotState {
-                resolved: false,
-                attempts: 1,
-                live: 1,
-                deadline: task_deadline,
-                // Deadline-aware hedge trigger: a fraction of the queuing
-                // budget after arrival (the remaining budget has crossed
-                // the threshold once it fires).
-                hedge_at: hedge_after.map(|f| now + task_budget.mul_f64(f)),
-                extra_servers: Vec::new(),
-            });
+            // Deadline-aware hedge trigger: a fraction of the queuing
+            // budget after arrival (the remaining budget has crossed
+            // the threshold once it fires).
+            let hedge_at = hedge_after.map(|f| now + task_budget.mul_f64(f));
+            let task = self
+                .store
+                .push_original(query, server, task_deadline, hedge_at);
+            self.stats.load.task_dispatched();
             let mut entry = QueuedTask::new(
                 u64::from(task),
                 ServiceClass(arrival.class),
@@ -562,6 +520,7 @@ impl QueryHandler {
                 self.sink.record(&TraceEvent::TaskEnqueued {
                     at: now,
                     task,
+                    slot: task,
                     query,
                     class: arrival.class,
                     server,
@@ -580,35 +539,74 @@ impl QueryHandler {
         AdmitDecision::Admitted { query }
     }
 
-    /// Handles the completion of `task` at `now`, where `busy` is the
-    /// service time the server actually spent on it (the simulator's drawn
-    /// service; the testbed's measured dispatch→result time).
+    /// Handles the completion of `task` at `now` under the lease `token`
+    /// its dispatch carried, where `busy` is the service time the server
+    /// actually spent on it (the simulator's drawn service; the testbed's
+    /// measured dispatch→result time).
     ///
-    /// In order: busy/estimator accounting, work conservation (the freed
-    /// server pulls its next task — reported in
+    /// The commit is fenced first: a redelivered result of an already
+    /// terminal attempt is suppressed idempotently, and a result from a
+    /// reclaimed (zombie) incarnation is rejected by token mismatch — both
+    /// return without touching server state, accounting, or aggregation,
+    /// and the driver must discard the result's payload (see
+    /// [`TaskCompletion::commit`]).
+    ///
+    /// For a committed result, in order: busy/estimator accounting, work
+    /// conservation (the freed server pulls its next task — reported in
     /// [`TaskCompletion::next`] *before* any successor work, so a chained
     /// query cannot jump the queue), then fanout aggregation.
     ///
     /// # Panics
     ///
-    /// Panics when `task` is unknown; debug-asserts it is the task in
-    /// service at its server.
+    /// Panics when `task` is unknown; debug-asserts a committed result's
+    /// task is the task in service at its server.
     pub fn on_task_complete(
         &mut self,
         now: SimTime,
         task: TaskId,
+        token: LeaseToken,
         busy: SimDuration,
     ) -> TaskCompletion {
-        let TaskMeta {
-            query,
-            server,
-            slot,
-            kind,
-        } = self.tasks[task as usize];
+        let rec = *self.store.attempt(task);
+        let (query, server, slot, kind) = (rec.query, rec.server, rec.slot, rec.kind);
+        match self.store.commit(task, token) {
+            CommitOutcome::Committed => {}
+            outcome @ CommitOutcome::Duplicate => {
+                if self.trace_on {
+                    self.sink.record(&TraceEvent::DuplicateSuppressed {
+                        at: now,
+                        task,
+                        query,
+                        server,
+                    });
+                }
+                return TaskCompletion {
+                    next: None,
+                    done: None,
+                    commit: outcome,
+                };
+            }
+            outcome @ CommitOutcome::Stale => {
+                if self.trace_on {
+                    self.sink.record(&TraceEvent::StaleCommitRejected {
+                        at: now,
+                        task,
+                        query,
+                        server,
+                        token,
+                    });
+                }
+                return TaskCompletion {
+                    next: None,
+                    done: None,
+                    commit: outcome,
+                };
+            }
+        }
         debug_assert_eq!(
             self.servers[server as usize].in_service,
             Some(task),
-            "completion implies the task is in service at its server"
+            "a committed completion implies the task is in service at its server"
         );
         self.stats.load.record_busy(busy);
         self.stats.busy_by_server[server as usize] += busy;
@@ -621,15 +619,16 @@ impl QueryHandler {
             self.sink.record(&TraceEvent::TaskCompleted {
                 at: now,
                 task,
+                slot,
                 query,
                 server,
                 busy,
-                won: !self.slots[slot as usize].resolved,
+                won: !self.store.slot(slot).resolved,
             });
         }
 
         let next = self.on_server_free(now, server);
-        let slot_state = &mut self.slots[slot as usize];
+        let slot_state = self.store.slot_mut(slot);
         slot_state.live -= 1;
         let done = if slot_state.resolved {
             // A duplicate already resolved this slot: the completion is a
@@ -646,42 +645,81 @@ impl QueryHandler {
             }
             self.resolve_slot(now, query, false)
         };
-        TaskCompletion { next, done }
+        TaskCompletion {
+            next,
+            done,
+            commit: CommitOutcome::Committed,
+        }
     }
 
-    /// Handles the loss of `task` — in service at its server — to an
-    /// injected fault (blackout drop) or a worker failure. The server is
-    /// freed (no busy time is recorded: the work produced nothing the
-    /// estimator should learn from), and the slot either retries on a
+    /// Handles the loss of `task` — in service at its server under the
+    /// lease `token` — to an injected fault (blackout drop) or a worker
+    /// failure. The loss report is fenced exactly like a commit: a stale
+    /// incarnation's loss (its lease was already reclaimed) or a redundant
+    /// report for a terminal attempt is a no-op. For a committed loss the
+    /// server is freed (no busy time is recorded: the work produced nothing
+    /// the estimator should learn from), and the slot either retries on a
     /// backup server (see [`LostTask::retry`]), keeps waiting for another
     /// live attempt, or — with every attempt exhausted — resolves as lost,
     /// possibly finishing the query as partial or failed.
     ///
     /// # Panics
     ///
-    /// Panics when `task` is unknown; debug-asserts it is in service.
-    pub fn on_task_lost(&mut self, now: SimTime, task: TaskId) -> LostTask {
-        let TaskMeta {
-            query,
-            server,
-            slot,
-            kind: _,
-        } = self.tasks[task as usize];
+    /// Panics when `task` is unknown; debug-asserts a committed loss's task
+    /// is in service.
+    pub fn on_task_lost(&mut self, now: SimTime, task: TaskId, token: LeaseToken) -> LostTask {
+        let rec = *self.store.attempt(task);
+        let (query, server, slot) = (rec.query, rec.server, rec.slot);
+        match self.store.fail(task, token) {
+            CommitOutcome::Committed => {}
+            CommitOutcome::Duplicate => {
+                if self.trace_on {
+                    self.sink.record(&TraceEvent::DuplicateSuppressed {
+                        at: now,
+                        task,
+                        query,
+                        server,
+                    });
+                }
+                return LostTask {
+                    next: None,
+                    retry: None,
+                    done: None,
+                };
+            }
+            CommitOutcome::Stale => {
+                if self.trace_on {
+                    self.sink.record(&TraceEvent::StaleCommitRejected {
+                        at: now,
+                        task,
+                        query,
+                        server,
+                        token,
+                    });
+                }
+                return LostTask {
+                    next: None,
+                    retry: None,
+                    done: None,
+                };
+            }
+        }
         debug_assert_eq!(
             self.servers[server as usize].in_service,
             Some(task),
-            "loss implies the task is in service at its server"
+            "a committed loss implies the task is in service at its server"
         );
         if self.trace_on {
             self.sink.record(&TraceEvent::TaskLost {
                 at: now,
                 task,
+                slot,
                 query,
                 server,
             });
         }
         let next = self.on_server_free(now, server);
-        let slot_state = &mut self.slots[slot as usize];
+        let slot_state = self.store.slot_mut(slot);
         slot_state.live -= 1;
         if slot_state.resolved {
             // The slot already has a winner; losing a loser is a wash.
@@ -696,16 +734,16 @@ impl QueryHandler {
         let can_retry = self
             .mitigation
             .as_ref()
-            .is_some_and(|m| m.retry_lost && self.slots[slot as usize].attempts < m.max_attempts);
+            .is_some_and(|m| m.retry_lost && self.store.slot(slot).attempts < m.max_attempts);
         let retry = if can_retry {
             self.backup_server(slot)
                 .map(|server| RetryPlan { slot, server })
         } else {
             None
         };
-        let done = if retry.is_none() && self.slots[slot as usize].live == 0 {
+        let done = if retry.is_none() && self.store.slot(slot).live == 0 {
             // Every attempt is gone: the slot resolves as lost.
-            self.slots[slot as usize].resolved = true;
+            self.store.slot_mut(slot).resolved = true;
             self.resolve_slot(now, query, true)
         } else {
             None
@@ -725,15 +763,17 @@ impl QueryHandler {
         loop {
             let entry = self.servers[server as usize].queue.pop()?;
             let task = entry.task_id as TaskId;
-            let slot = self.tasks[task as usize].slot;
-            if self.slots[slot as usize].resolved {
-                self.slots[slot as usize].live -= 1;
+            let slot = self.store.attempt(task).slot;
+            if self.store.slot(slot).resolved {
+                self.store.cancel(task);
+                self.store.slot_mut(slot).live -= 1;
                 self.stats.robustness.cancelled_tasks += 1;
                 if self.trace_on {
                     self.sink.record(&TraceEvent::TaskCancelled {
                         at: now,
                         task,
-                        query: self.tasks[task as usize].query,
+                        slot,
+                        query: self.store.attempt(task).query,
                         server,
                     });
                 }
@@ -746,7 +786,7 @@ impl QueryHandler {
     /// When the hedge copy of `task` (an original attempt) becomes due, if
     /// hedging is configured — the driver schedules its hedge check here.
     pub fn hedge_deadline(&self, task: TaskId) -> Option<SimTime> {
-        self.slots[task as usize].hedge_at
+        self.store.slot(task).hedge_at
     }
 
     /// Picks a backup server for the slot of `task` when a hedge is still
@@ -755,7 +795,7 @@ impl QueryHandler {
     /// The driver follows up with [`QueryHandler::issue_duplicate`].
     pub fn hedge_target(&self, task: TaskId) -> Option<u32> {
         let m = self.mitigation.as_ref()?;
-        let slot_state = &self.slots[task as usize];
+        let slot_state = self.store.slot(task);
         if slot_state.resolved || slot_state.attempts >= m.max_attempts {
             return None;
         }
@@ -766,8 +806,8 @@ impl QueryHandler {
     /// index breaking ties — deterministic) that this slot has not yet
     /// tried. `None` when every server was tried.
     fn backup_server(&self, slot: TaskId) -> Option<u32> {
-        let origin = self.tasks[slot as usize].server;
-        let tried = &self.slots[slot as usize].extra_servers;
+        let origin = self.store.attempt(slot).server;
+        let tried = &self.store.slot(slot).extra_servers;
         let mut best: Option<(usize, u32)> = None;
         for (i, s) in self.servers.iter().enumerate() {
             let i = i as u32;
@@ -799,28 +839,10 @@ impl QueryHandler {
         size: Option<SimDuration>,
         kind: AttemptKind,
     ) -> (TaskId, Option<DispatchedTask>) {
-        debug_assert_ne!(kind, AttemptKind::Original, "duplicates are not originals");
-        debug_assert!(
-            !self.slots[slot as usize].resolved,
-            "cannot duplicate a resolved slot"
-        );
-        let query = self.tasks[slot as usize].query;
+        let query = self.store.attempt(slot).query;
         let class = self.queries[query as usize].class;
-        let deadline = self.slots[slot as usize].deadline;
-        let task = self.tasks.len() as TaskId;
-        self.tasks.push(TaskMeta {
-            query,
-            server,
-            slot,
-            kind,
-        });
-        self.slots.push(SlotState::placeholder());
-        {
-            let slot_state = &mut self.slots[slot as usize];
-            slot_state.attempts += 1;
-            slot_state.live += 1;
-            slot_state.extra_servers.push(server);
-        }
+        let deadline = self.store.slot(slot).deadline;
+        let task = self.store.push_duplicate(slot, server, kind);
         match kind {
             AttemptKind::Hedge => self.stats.robustness.hedges_issued += 1,
             AttemptKind::Retry => self.stats.robustness.retries += 1,
@@ -840,6 +862,7 @@ impl QueryHandler {
             self.sink.record(&TraceEvent::TaskEnqueued {
                 at: now,
                 task,
+                slot,
                 query,
                 class,
                 server,
@@ -860,9 +883,98 @@ impl QueryHandler {
         (task, dispatched)
     }
 
+    /// Handles an expired lease check for `task` at `now`: the driver
+    /// schedules this at the dispatch's [`QueryHandler::lease_expiry`]
+    /// instant (virtual time in the simulator; a wall timer in the
+    /// testbed).
+    ///
+    /// A lease still active under exactly `token` past its expiry is
+    /// **reclaimed**: the incarnation is presumed dead (crashed node,
+    /// swallowed result), the attempt returns to `Queued`, and — unless its
+    /// slot already resolved, in which case it is cancelled outright — it
+    /// is re-enqueued on its server with the slot's *original* deadline
+    /// `t_D` (Eq. 6 stamps the queuing deadline once, at arrival; recovery
+    /// must not grant a crashed task fresh budget). The suspected server is
+    /// then freed, so its queue keeps draining; the returned dispatch (often
+    /// the reclaimed task itself, under a new lease) must be started by the
+    /// driver. If the presumed-dead incarnation later reports anyway (false
+    /// suspicion), its stale token fences it off.
+    ///
+    /// Checks for leases that were already committed, superseded, or not
+    /// yet expired are no-ops returning `None`.
+    pub fn on_lease_expired(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        token: LeaseToken,
+    ) -> Option<DispatchedTask> {
+        if !self.store.reclaim_expired(task, token, now) {
+            return None;
+        }
+        let rec = *self.store.attempt(task);
+        debug_assert_eq!(
+            self.servers[rec.server as usize].in_service,
+            Some(task),
+            "a reclaimed lease implies the task was in service at its server"
+        );
+        if self.trace_on {
+            self.sink.record(&TraceEvent::LeaseReclaimed {
+                at: now,
+                task,
+                query: rec.query,
+                server: rec.server,
+                token,
+            });
+        }
+        if self.store.slot(rec.slot).resolved {
+            // The slot resolved while this attempt sat on the dead server:
+            // nothing left to recover, the attempt is cancelled.
+            self.store.cancel(task);
+            self.store.slot_mut(rec.slot).live -= 1;
+            self.stats.robustness.cancelled_tasks += 1;
+            if self.trace_on {
+                self.sink.record(&TraceEvent::TaskCancelled {
+                    at: now,
+                    task,
+                    slot: rec.slot,
+                    query: rec.query,
+                    server: rec.server,
+                });
+            }
+        } else {
+            let class = self.queries[rec.query as usize].class;
+            let deadline = self.store.slot(rec.slot).deadline;
+            let entry = QueuedTask::new(u64::from(task), ServiceClass(class), deadline, now);
+            if self.trace_on {
+                self.sink.record(&TraceEvent::TaskEnqueued {
+                    at: now,
+                    task,
+                    slot: rec.slot,
+                    query: rec.query,
+                    class,
+                    server: rec.server,
+                    kind: rec.kind,
+                    deadline,
+                });
+            }
+            self.servers[rec.server as usize].queue.push(entry);
+        }
+        // Free the suspected-dead server so its queue drains; this may pop
+        // the reclaimed task itself, re-dispatching it under a new lease.
+        self.on_server_free(now, rec.server)
+    }
+
+    /// When the current lease of `task` expires, if it holds one with a
+    /// TTL — the driver schedules the reclaim check
+    /// ([`QueryHandler::on_lease_expired`]) here.
+    pub fn lease_expiry(&self, task: TaskId) -> Option<SimTime> {
+        self.store.lease_expiry(task)
+    }
+
     /// Dequeues `entry` into service on `server`: miss detection at dequeue
     /// time (`t_dequeue > t_D`), window/load accounting, pre-dequeue wait
-    /// recording.
+    /// recording, and lease issuance — the dispatch runs under a fresh
+    /// fencing token from here on.
     fn start(&mut self, now: SimTime, server: u32, entry: QueuedTask) -> DispatchedTask {
         let missed = now > entry.deadline;
         self.stats.load.task_completed(missed);
@@ -871,20 +983,25 @@ impl QueryHandler {
         }
         let waited = now.saturating_since(entry.enqueued_at);
         let task = entry.task_id as TaskId;
-        let query = self.tasks[task as usize].query;
+        let rec = *self.store.attempt(task);
+        let query = rec.query;
         if self.queries[query as usize].record {
             self.stats.pre_dequeue.record(waited);
         }
+        let lease = self.store.lease(task, now);
+        self.store.mark_running(task);
         if self.trace_on {
             // Slack is signed: negative exactly when this dequeue is a miss.
             let slack_ns = entry.deadline.as_nanos() as i64 - now.as_nanos() as i64;
             self.sink.record(&TraceEvent::TaskDequeued {
                 at: now,
                 task,
+                slot: rec.slot,
                 query,
                 class: self.queries[query as usize].class,
-                kind: self.tasks[task as usize].kind,
+                kind: rec.kind,
                 server,
+                token: lease,
                 waited,
                 slack_ns,
             });
@@ -899,7 +1016,11 @@ impl QueryHandler {
             }
         }
         self.servers[server as usize].in_service = Some(task);
-        DispatchedTask { task, server }
+        DispatchedTask {
+            task,
+            server,
+            lease,
+        }
     }
 
     /// Accounts one resolved slot of `query` (won by a completion, or lost
@@ -930,7 +1051,7 @@ impl QueryHandler {
         // slots resolve now — their in-flight attempts become losers,
         // cancelled at completion or dequeue.
         for slot in first..last {
-            self.slots[slot as usize].resolved = true;
+            self.store.slot_mut(slot).resolved = true;
         }
         if recorded {
             if completed == 0 {
@@ -1004,7 +1125,12 @@ impl QueryHandler {
 
     /// Total tasks created so far (task ids are `0..task_count()`).
     pub fn task_count(&self) -> usize {
-        self.tasks.len()
+        self.store.len()
+    }
+
+    /// The live lifecycle gauges/counters from the task state store.
+    pub fn lifecycle(&self) -> &LifecycleStats {
+        self.store.stats()
     }
 
     /// Total queries admitted so far (query ids are `0..query_count()`).
@@ -1032,9 +1158,12 @@ impl QueryHandler {
         &self.estimator
     }
 
-    /// Consumes the handler, returning its measurements.
+    /// Consumes the handler, returning its measurements (with the final
+    /// lifecycle gauges/counters folded in).
     pub fn into_stats(self) -> SchedStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.lifecycle = self.store.stats().clone();
+        stats
     }
 }
 
@@ -1076,8 +1205,16 @@ mod tests {
         assert_eq!(
             started,
             vec![
-                DispatchedTask { task: 0, server: 2 },
-                DispatchedTask { task: 1, server: 0 }
+                DispatchedTask {
+                    task: 0,
+                    server: 2,
+                    lease: LeaseToken(1)
+                },
+                DispatchedTask {
+                    task: 1,
+                    server: 0,
+                    lease: LeaseToken(2)
+                }
             ]
         );
         assert_eq!(h.task_in_service(2), Some(0));
@@ -1093,9 +1230,17 @@ mod tests {
         h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
         assert!(started.is_empty(), "server busy: task must queue");
 
-        let done = h.on_task_complete(SimTime::from_millis(3), 0, ms(3.0));
+        let done = h.on_task_complete(SimTime::from_millis(3), 0, LeaseToken(1), ms(3.0));
         // Work conservation: the queued task enters service...
-        assert_eq!(done.next, Some(DispatchedTask { task: 1, server: 0 }));
+        assert_eq!(
+            done.next,
+            Some(DispatchedTask {
+                task: 1,
+                server: 0,
+                lease: LeaseToken(2)
+            })
+        );
+        assert_eq!(done.commit, CommitOutcome::Committed);
         // ...and the first query aggregates.
         let q = done.done.expect("fanout-1 query done");
         assert_eq!(q.query, 0);
@@ -1109,9 +1254,19 @@ mod tests {
         let mut h = handler(2, Policy::TfEdf, None);
         let mut started = Vec::new();
         h.on_query_arrival(SimTime::ZERO, arrival(&[0, 1], true), &mut started);
-        let first = h.on_task_complete(SimTime::from_millis(1), started[0].task, ms(1.0));
+        let first = h.on_task_complete(
+            SimTime::from_millis(1),
+            started[0].task,
+            started[0].lease,
+            ms(1.0),
+        );
         assert!(first.done.is_none(), "one task still outstanding");
-        let last = h.on_task_complete(SimTime::from_millis(7), started[1].task, ms(7.0));
+        let last = h.on_task_complete(
+            SimTime::from_millis(7),
+            started[1].task,
+            started[1].lease,
+            ms(7.0),
+        );
         let q = last.done.expect("all tasks returned");
         assert_eq!(q.latency, ms(7.0), "query latency = slowest task");
         assert_eq!(h.stats().completed_queries, 1);
@@ -1122,7 +1277,7 @@ mod tests {
         let mut h = handler(1, Policy::Fifo, None);
         let mut started = Vec::new();
         h.on_query_arrival(SimTime::ZERO, arrival(&[0], false), &mut started);
-        let done = h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0));
+        let done = h.on_task_complete(SimTime::from_millis(1), 0, LeaseToken(1), ms(1.0));
         let q = done.done.expect("aggregates regardless");
         assert!(!q.recorded);
         assert_eq!(h.stats().completed_queries, 0);
@@ -1146,8 +1301,17 @@ mod tests {
             },
             &mut started,
         );
-        let next = h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0)).next;
-        assert_eq!(next, Some(DispatchedTask { task: 1, server: 0 }));
+        let next = h
+            .on_task_complete(SimTime::from_millis(1), 0, LeaseToken(1), ms(1.0))
+            .next;
+        assert_eq!(
+            next,
+            Some(DispatchedTask {
+                task: 1,
+                server: 0,
+                lease: LeaseToken(2)
+            })
+        );
 
         // Miss ratio 1/2 > 0.1 → the next arrival is rejected.
         let sizes = [ms(4.0)];
@@ -1172,7 +1336,7 @@ mod tests {
         let mut h = handler(2, Policy::TfEdf, None);
         let mut started = Vec::new();
         h.on_query_arrival(SimTime::ZERO, arrival(&[1], true), &mut started);
-        h.on_task_complete(SimTime::from_millis(5), 0, ms(5.0));
+        h.on_task_complete(SimTime::from_millis(5), 0, LeaseToken(1), ms(5.0));
         assert_eq!(h.stats().busy_by_server[0], SimDuration::ZERO);
         assert_eq!(h.stats().busy_by_server[1], ms(5.0));
         assert_eq!(h.stats().load.tasks_completed_count(), 1);
@@ -1202,10 +1366,16 @@ mod tests {
             },
             &mut started,
         );
-        let next = h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0)).next;
+        let next = h
+            .on_task_complete(SimTime::from_millis(1), 0, LeaseToken(1), ms(1.0))
+            .next;
         assert_eq!(
             next,
-            Some(DispatchedTask { task: 2, server: 0 }),
+            Some(DispatchedTask {
+                task: 2,
+                server: 0,
+                lease: LeaseToken(2)
+            }),
             "SJF must pick the short task first"
         );
     }
@@ -1221,11 +1391,18 @@ mod tests {
         assert_eq!(h.hedge_target(0), Some(1), "idle server 1 is the backup");
 
         let (hedge, dispatched) = h.issue_duplicate(due, 0, 1, None, AttemptKind::Hedge);
-        assert_eq!(dispatched, Some(DispatchedTask { task: 1, server: 1 }));
+        assert_eq!(
+            dispatched,
+            Some(DispatchedTask {
+                task: 1,
+                server: 1,
+                lease: LeaseToken(2)
+            })
+        );
         assert_eq!(h.hedge_target(0), None, "attempt cap reached");
 
         // The hedge returns first: it wins and completes the query.
-        let win = h.on_task_complete(due + ms(1.0), hedge, ms(1.0));
+        let win = h.on_task_complete(due + ms(1.0), hedge, LeaseToken(2), ms(1.0));
         let q = win.done.expect("hedge completion finishes the query");
         assert!(!q.partial);
         assert_eq!(h.stats().robustness.hedges_issued, 1);
@@ -1233,8 +1410,13 @@ mod tests {
         assert_eq!(h.stats().completed_queries, 1);
 
         // The straggling original is a loser: no double aggregation.
-        let lose = h.on_task_complete(due + ms(5.0), 0, ms(5.0));
+        let lose = h.on_task_complete(due + ms(5.0), 0, LeaseToken(1), ms(5.0));
         assert!(lose.done.is_none());
+        assert_eq!(
+            lose.commit,
+            CommitOutcome::Committed,
+            "a loser still commits"
+        );
         assert_eq!(h.stats().robustness.cancelled_tasks, 1);
         assert_eq!(h.stats().completed_queries, 1);
     }
@@ -1247,11 +1429,11 @@ mod tests {
         h.on_query_arrival(SimTime::ZERO, arrival(&[0, 1, 2], true), &mut started);
         // ceil(0.5 × 3) = 2 of 3 tasks suffice.
         assert!(h
-            .on_task_complete(SimTime::from_millis(1), 0, ms(1.0))
+            .on_task_complete(SimTime::from_millis(1), 0, LeaseToken(1), ms(1.0))
             .done
             .is_none());
         let q = h
-            .on_task_complete(SimTime::from_millis(2), 1, ms(2.0))
+            .on_task_complete(SimTime::from_millis(2), 1, LeaseToken(2), ms(2.0))
             .done
             .expect("quorum reached");
         assert!(q.partial);
@@ -1265,7 +1447,7 @@ mod tests {
         );
         // The straggler resolves as a loser.
         assert!(h
-            .on_task_complete(SimTime::from_millis(9), 2, ms(9.0))
+            .on_task_complete(SimTime::from_millis(9), 2, LeaseToken(3), ms(9.0))
             .done
             .is_none());
         assert_eq!(h.stats().robustness.cancelled_tasks, 1);
@@ -1276,16 +1458,16 @@ mod tests {
         let mut h = handler(2, Policy::TfEdf, None).with_mitigation(MitigationConfig::new());
         let mut started = Vec::new();
         h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
-        let lost = h.on_task_lost(SimTime::from_millis(1), 0);
+        let lost = h.on_task_lost(SimTime::from_millis(1), 0, LeaseToken(1));
         assert_eq!(lost.retry, Some(RetryPlan { slot: 0, server: 1 }));
         assert!(lost.done.is_none());
         assert_eq!(h.stats().robustness.tasks_lost_to_faults, 1);
 
         let (retry, dispatched) =
             h.issue_duplicate(SimTime::from_millis(1), 0, 1, None, AttemptKind::Retry);
-        assert!(dispatched.is_some());
+        let retry_lease = dispatched.expect("idle backup dispatches").lease;
         let q = h
-            .on_task_complete(SimTime::from_millis(3), retry, ms(2.0))
+            .on_task_complete(SimTime::from_millis(3), retry, retry_lease, ms(2.0))
             .done
             .expect("retry completes the query");
         assert!(!q.partial, "all slots have results");
@@ -1299,7 +1481,7 @@ mod tests {
         let mut h = handler(2, Policy::TfEdf, None);
         let mut started = Vec::new();
         h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
-        let lost = h.on_task_lost(SimTime::from_millis(1), 0);
+        let lost = h.on_task_lost(SimTime::from_millis(1), 0, LeaseToken(1));
         assert_eq!(lost.retry, None, "no mitigation → no retry");
         let q = lost.done.expect("sole slot resolved as lost");
         assert!(q.partial);
@@ -1323,8 +1505,8 @@ mod tests {
 
         // The original wins; then server 1 frees and must discard the
         // queued hedge instead of starting it.
-        h.on_task_complete(SimTime::from_millis(2), 1, ms(2.0));
-        let filler = h.on_task_complete(SimTime::from_millis(3), 0, ms(3.0));
+        h.on_task_complete(SimTime::from_millis(2), 1, LeaseToken(2), ms(2.0));
+        let filler = h.on_task_complete(SimTime::from_millis(3), 0, LeaseToken(1), ms(3.0));
         assert_eq!(filler.next, None, "queued loser discarded, queue empty");
         assert_eq!(h.stats().robustness.cancelled_tasks, 1);
         assert_eq!(
@@ -1332,6 +1514,105 @@ mod tests {
             2,
             "the cancelled hedge never counts as a dequeue"
         );
+    }
+
+    #[test]
+    fn expired_lease_reclaims_and_fences_the_zombie() {
+        let mut h = handler(1, Policy::TfEdf, None).with_lease(ms(2.0));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let d = started[0];
+        assert_eq!(h.lease_expiry(d.task), Some(SimTime::ZERO + ms(2.0)));
+
+        // Not yet expired: the check is a no-op.
+        assert!(h
+            .on_lease_expired(SimTime::from_millis(1), d.task, d.lease)
+            .is_none());
+
+        // Expired: the task is reclaimed and immediately re-dispatched on
+        // the freed server under a new lease.
+        let again = h
+            .on_lease_expired(SimTime::from_millis(2), d.task, d.lease)
+            .expect("reclaimed task re-dispatches");
+        assert_eq!(again.task, d.task);
+        assert!(again.lease > d.lease, "re-dispatch gets a newer token");
+        assert_eq!(h.lifecycle().reclaims, 1);
+        // A second check against the superseded token is fenced.
+        assert!(h
+            .on_lease_expired(SimTime::from_millis(3), d.task, d.lease)
+            .is_none());
+        assert_eq!(h.lifecycle().reclaims, 1);
+
+        // The zombie incarnation's late result is fenced off...
+        let stale = h.on_task_complete(SimTime::from_millis(3), d.task, d.lease, ms(3.0));
+        assert_eq!(stale.commit, CommitOutcome::Stale);
+        assert!(stale.done.is_none() && stale.next.is_none());
+        assert_eq!(h.stats().completed_queries, 0);
+
+        // ...and the live incarnation completes the query exactly once.
+        let win = h.on_task_complete(SimTime::from_millis(4), d.task, again.lease, ms(2.0));
+        assert_eq!(win.commit, CommitOutcome::Committed);
+        assert!(win.done.is_some());
+        let dup = h.on_task_complete(SimTime::from_millis(5), d.task, again.lease, ms(2.0));
+        assert_eq!(dup.commit, CommitOutcome::Duplicate);
+        assert_eq!(h.stats().completed_queries, 1, "no double counting");
+        assert_eq!(h.lifecycle().stale_commits_rejected, 1);
+        assert_eq!(h.lifecycle().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn stale_loss_report_is_fenced_too() {
+        let mut h = handler(2, Policy::TfEdf, None)
+            .with_mitigation(MitigationConfig::new())
+            .with_lease(ms(2.0));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let d = started[0];
+        let again = h
+            .on_lease_expired(SimTime::from_millis(2), d.task, d.lease)
+            .expect("reclaim re-dispatches");
+        // A loss notification from the presumed-dead incarnation must not
+        // trigger a retry or free the server a second time.
+        let stale = h.on_task_lost(SimTime::from_millis(3), d.task, d.lease);
+        assert_eq!(
+            stale,
+            LostTask {
+                next: None,
+                retry: None,
+                done: None
+            }
+        );
+        assert_eq!(h.stats().robustness.tasks_lost_to_faults, 0);
+
+        let q = h
+            .on_task_complete(SimTime::from_millis(4), d.task, again.lease, ms(2.0))
+            .done
+            .expect("live incarnation completes");
+        assert!(!q.partial);
+    }
+
+    #[test]
+    fn reclaim_of_a_resolved_slot_cancels_instead_of_reenqueueing() {
+        let mut h = handler(2, Policy::TfEdf, None)
+            .with_mitigation(MitigationConfig::new().with_hedge_after(0.1))
+            .with_lease(ms(5.0));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        let d = started[0];
+        // A hedge on server 1 wins the slot while the original hangs.
+        let (hedge, dispatched) =
+            h.issue_duplicate(SimTime::from_millis(1), 0, 1, None, AttemptKind::Hedge);
+        let hedge_lease = dispatched.expect("idle backup dispatches").lease;
+        h.on_task_complete(SimTime::from_millis(2), hedge, hedge_lease, ms(1.0));
+        assert_eq!(h.stats().completed_queries, 1);
+
+        // The original's lease expires: nothing left to recover, so the
+        // reclaim cancels it rather than re-enqueueing.
+        let next = h.on_lease_expired(SimTime::from_millis(5), d.task, d.lease);
+        assert!(next.is_none(), "no queued work on the freed server");
+        assert_eq!(h.lifecycle().reclaims, 1);
+        assert_eq!(h.stats().robustness.cancelled_tasks, 1);
+        assert_eq!(h.task_in_service(0), None, "suspected server was freed");
     }
 
     /// A test sink sharing its event log through an `Arc` so the handler
@@ -1352,7 +1633,7 @@ mod tests {
         let mut started = Vec::new();
         h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
         h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
-        h.on_task_complete(SimTime::from_millis(3), 0, ms(3.0));
+        h.on_task_complete(SimTime::from_millis(3), 0, LeaseToken(1), ms(3.0));
 
         let events = sink.0.lock().unwrap();
         let kinds: Vec<&str> = events.iter().map(|e| e.kind_name()).collect();
@@ -1394,8 +1675,8 @@ mod tests {
         h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
         let due = h.hedge_deadline(0).unwrap();
         let (hedge, _) = h.issue_duplicate(due, 0, 1, None, AttemptKind::Hedge);
-        h.on_task_complete(due + ms(1.0), hedge, ms(1.0));
-        h.on_task_complete(due + ms(5.0), 0, ms(5.0));
+        h.on_task_complete(due + ms(1.0), hedge, LeaseToken(2), ms(1.0));
+        h.on_task_complete(due + ms(5.0), 0, LeaseToken(1), ms(5.0));
 
         let events = sink.0.lock().unwrap();
         assert!(events
@@ -1441,7 +1722,7 @@ mod tests {
             },
             &mut started,
         );
-        h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0));
+        h.on_task_complete(SimTime::from_millis(1), 0, LeaseToken(1), ms(1.0));
         // Miss ratio 1/2 > 0.1: this arrival flips admission to rejecting.
         h.on_query_arrival(SimTime::from_millis(1), arrival(&[0], true), &mut started);
         // After the window expires, admission resumes and admits again.
@@ -1473,7 +1754,7 @@ mod tests {
         h.on_query_arrival(SimTime::ZERO, arrival(&[0, 1], true), &mut started);
         assert_eq!(h.queued_tasks(), 1, "one task waits behind server 0");
         assert_eq!(h.servers_busy(), 2);
-        h.on_task_complete(SimTime::from_millis(1), 0, ms(1.0));
+        h.on_task_complete(SimTime::from_millis(1), 0, LeaseToken(1), ms(1.0));
         assert_eq!(h.queued_tasks(), 0);
     }
 

@@ -30,8 +30,11 @@ mod trace;
 pub use config::{AdmissionConfig, ClassSpec, ClusterSpec};
 pub use estimator::{DeadlineEstimator, EstimatorMode};
 pub use handler::{
-    AdmitDecision, AttemptKind, DispatchedTask, LostTask, QueryArrival, QueryDone, QueryHandler,
-    QueryId, QueryTypeKey, RetryPlan, SchedStats, TaskCompletion, TaskId,
+    AdmitDecision, DispatchedTask, LostTask, QueryArrival, QueryDone, QueryHandler, QueryId,
+    QueryTypeKey, RetryPlan, SchedStats, TaskCompletion, TaskId,
 };
 pub use mitigation::{MitigationConfig, RobustnessStats};
+// Lifecycle vocabulary re-exported for driver convenience (`AttemptKind`
+// predates the lifecycle crate and keeps its original path here).
+pub use tailguard_lifecycle::{AttemptKind, CommitOutcome, LeaseToken, LifecycleStats};
 pub use trace::{NullSink, TraceEvent, TraceSink, VecSink};

@@ -16,6 +16,7 @@
 
 use crate::handler::{QueryId, TaskId};
 use crate::AttemptKind;
+use tailguard_lifecycle::LeaseToken;
 use tailguard_simcore::{SimDuration, SimTime};
 
 /// One scheduling-lifecycle event, emitted at the instant it happens.
@@ -56,6 +57,9 @@ pub enum TraceEvent {
         at: SimTime,
         /// The attempt's task id.
         task: TaskId,
+        /// The logical task (slot) this attempt serves — distinguishes
+        /// hedge/retry copies of one fanout task in exported timelines.
+        slot: TaskId,
         /// The owning query.
         query: QueryId,
         /// The query's class.
@@ -67,12 +71,15 @@ pub enum TraceEvent {
         /// The attempt's queuing deadline.
         deadline: SimTime,
     },
-    /// A task attempt left its queue and entered service.
+    /// A task attempt left its queue and entered service under a fresh
+    /// lease.
     TaskDequeued {
         /// Event time.
         at: SimTime,
         /// The attempt's task id.
         task: TaskId,
+        /// The logical task (slot) this attempt serves.
+        slot: TaskId,
         /// The owning query.
         query: QueryId,
         /// The query's class.
@@ -81,6 +88,8 @@ pub enum TraceEvent {
         kind: AttemptKind,
         /// The serving server.
         server: u32,
+        /// The fencing token of the lease this dispatch runs under.
+        token: LeaseToken,
         /// Queue wait (enqueue → dequeue).
         waited: SimDuration,
         /// Deadline slack at dequeue in nanoseconds: `t_D − now`, negative
@@ -124,6 +133,8 @@ pub enum TraceEvent {
         at: SimTime,
         /// The discarded attempt.
         task: TaskId,
+        /// The logical task (slot) the attempt served.
+        slot: TaskId,
         /// The owning query.
         query: QueryId,
         /// The server whose queue it was discarded from.
@@ -137,6 +148,8 @@ pub enum TraceEvent {
         at: SimTime,
         /// The completed attempt.
         task: TaskId,
+        /// The logical task (slot) the attempt served.
+        slot: TaskId,
         /// The owning query.
         query: QueryId,
         /// The server that served it.
@@ -153,10 +166,54 @@ pub enum TraceEvent {
         at: SimTime,
         /// The lost attempt.
         task: TaskId,
+        /// The logical task (slot) the attempt served.
+        slot: TaskId,
         /// The owning query.
         query: QueryId,
         /// The server it was in service at.
         server: u32,
+    },
+    /// An expired lease was reclaimed: the attempt's incarnation under
+    /// `token` is presumed dead, the task returns to `Queued` with its
+    /// *original* deadline `t_D`, and the suspected server is freed. Any
+    /// later result under `token` is fenced off as stale.
+    LeaseReclaimed {
+        /// Event time (the reclaim check that found the lease expired).
+        at: SimTime,
+        /// The reclaimed attempt.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The server whose lease expired.
+        server: u32,
+        /// The token of the expired (now fenced) lease incarnation.
+        token: LeaseToken,
+    },
+    /// A redelivered result for an already-terminal attempt was suppressed
+    /// idempotently (at-least-once delivery tolerance).
+    DuplicateSuppressed {
+        /// Event time.
+        at: SimTime,
+        /// The attempt whose result arrived again.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The server that (re)delivered it.
+        server: u32,
+    },
+    /// A result carrying a stale lease token was rejected by fencing — a
+    /// zombie incarnation reported after its lease was reclaimed.
+    StaleCommitRejected {
+        /// Event time.
+        at: SimTime,
+        /// The attempt the stale result targeted.
+        task: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The server that delivered the stale result.
+        server: u32,
+        /// The stale token the result carried.
+        token: LeaseToken,
     },
     /// Admission flipped from admitting to rejecting (the window's miss
     /// ratio crossed the threshold).
@@ -185,6 +242,9 @@ impl TraceEvent {
             | TraceEvent::TaskCancelled { at, .. }
             | TraceEvent::TaskCompleted { at, .. }
             | TraceEvent::TaskLost { at, .. }
+            | TraceEvent::LeaseReclaimed { at, .. }
+            | TraceEvent::DuplicateSuppressed { at, .. }
+            | TraceEvent::StaleCommitRejected { at, .. }
             | TraceEvent::AdmissionPause { at }
             | TraceEvent::AdmissionResume { at } => at,
         }
@@ -200,7 +260,10 @@ impl TraceEvent {
             | TraceEvent::HedgeIssued { query, .. }
             | TraceEvent::TaskCancelled { query, .. }
             | TraceEvent::TaskCompleted { query, .. }
-            | TraceEvent::TaskLost { query, .. } => Some(query),
+            | TraceEvent::TaskLost { query, .. }
+            | TraceEvent::LeaseReclaimed { query, .. }
+            | TraceEvent::DuplicateSuppressed { query, .. }
+            | TraceEvent::StaleCommitRejected { query, .. } => Some(query),
             TraceEvent::QueryRejected { .. }
             | TraceEvent::AdmissionPause { .. }
             | TraceEvent::AdmissionResume { .. } => None,
@@ -219,6 +282,9 @@ impl TraceEvent {
             TraceEvent::TaskCancelled { .. } => "task_cancelled",
             TraceEvent::TaskCompleted { .. } => "task_completed",
             TraceEvent::TaskLost { .. } => "task_lost",
+            TraceEvent::LeaseReclaimed { .. } => "lease_reclaimed",
+            TraceEvent::DuplicateSuppressed { .. } => "duplicate_suppressed",
+            TraceEvent::StaleCommitRejected { .. } => "stale_commit_rejected",
             TraceEvent::AdmissionPause { .. } => "admission_pause",
             TraceEvent::AdmissionResume { .. } => "admission_resume",
         }
@@ -288,10 +354,12 @@ mod tests {
         let ev = TraceEvent::TaskDequeued {
             at: SimTime::from_millis(3),
             task: 7,
+            slot: 7,
             query: 2,
             class: 0,
             kind: AttemptKind::Original,
             server: 1,
+            token: LeaseToken(4),
             waited: SimDuration::from_millis(1),
             slack_ns: -50,
         };
@@ -300,5 +368,14 @@ mod tests {
         assert_eq!(ev.kind_name(), "task_dequeued");
         let pause = TraceEvent::AdmissionPause { at: SimTime::ZERO };
         assert_eq!(pause.query(), None);
+        let reclaim = TraceEvent::LeaseReclaimed {
+            at: SimTime::from_millis(9),
+            task: 7,
+            query: 2,
+            server: 1,
+            token: LeaseToken(4),
+        };
+        assert_eq!(reclaim.query(), Some(2));
+        assert_eq!(reclaim.kind_name(), "lease_reclaimed");
     }
 }

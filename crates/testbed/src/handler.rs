@@ -16,8 +16,9 @@ use tailguard_metrics::LatencyReservoir;
 use tailguard_obs::{RingRecorder, SharedRegistry};
 use tailguard_policy::Policy;
 use tailguard_sched::{
-    AdmissionConfig, AdmitDecision, AttemptKind, ClassSpec, DeadlineEstimator, DispatchedTask,
-    MitigationConfig, QueryArrival, QueryHandler, RobustnessStats, TaskCompletion,
+    AdmissionConfig, AdmitDecision, AttemptKind, ClassSpec, CommitOutcome, DeadlineEstimator,
+    DispatchedTask, LeaseToken, LifecycleStats, MitigationConfig, QueryArrival, QueryHandler,
+    RobustnessStats, TaskCompletion,
 };
 use tailguard_simcore::{SimDuration, SimTime};
 use tokio::sync::mpsc;
@@ -56,6 +57,8 @@ pub(crate) struct HandlerOutput {
     pub robustness: RobustnessStats,
     /// Tasks whose worker panicked (counted on top of `tasks_lost_to_faults`).
     pub worker_panics: u64,
+    /// Lease/fencing counters from the core's task state store.
+    pub lifecycle: LifecycleStats,
 }
 
 pub(crate) struct HandlerConfig {
@@ -64,6 +67,11 @@ pub(crate) struct HandlerConfig {
     pub admission: Option<AdmissionConfig>, // window in the scaled domain
     pub mitigation: Option<MitigationConfig>, // hedging/retry/partial quorum
     pub expected_queries: u64,
+    /// Lease TTL in the *scaled* wall domain. When set, every dispatch
+    /// issues a fencing token and arms a reclaim timer; a node that goes
+    /// silent past the TTL has its task re-enqueued with the original
+    /// deadline, and any late result it still sends is fenced off.
+    pub lease_ttl: Option<SimDuration>,
     /// When set, the handler records lifecycle events into a
     /// [`RingRecorder`] and keeps this registry current: queue-depth and
     /// miss-ratio series during the run (so a live `/metrics` scrape sees
@@ -97,6 +105,9 @@ pub(crate) async fn query_handler(
     if let Some(mitigation) = cfg.mitigation {
         core = core.with_mitigation(mitigation);
     }
+    if let Some(ttl) = cfg.lease_ttl {
+        core = core.with_lease(ttl);
+    }
     let recorder = cfg
         .registry
         .as_ref()
@@ -124,6 +135,10 @@ pub(crate) async fn query_handler(
     // Pending hedge thresholds: (wall deadline, slot task id), earliest
     // first. Stale entries (slot already resolved) are dropped when due.
     let mut hedge_heap: BinaryHeap<Reverse<(Instant, u32)>> = BinaryHeap::new();
+    // Pending lease expiries: (wall expiry, task, token). Entries whose
+    // token no longer matches the store (task committed, failed, or
+    // already reclaimed) are no-ops when due — the core rejects them.
+    let mut lease_heap: BinaryHeap<Reverse<(Instant, u32, u64)>> = BinaryHeap::new();
 
     let to_sim =
         |i: Instant| -> SimTime { SimTime::from_nanos(i.duration_since(epoch).as_nanos() as u64) };
@@ -139,14 +154,19 @@ pub(crate) async fn query_handler(
                 break;
             }
         }
-        // Biased three-way select, hand-rolled at the poll level: node
+        // Biased four-way select, hand-rolled at the poll level: node
         // results are always drained before hedge timers (a completion can
-        // make a pending hedge moot) and before new queries (completions
-        // free servers, so this keeps queue depth honest); the loop ends
-        // when both channels are closed and drained.
+        // make a pending hedge moot), hedges before lease reclaims (both
+        // are timers, but a hedge can resolve the slot a reclaim would
+        // touch), and all of those before new queries (completions free
+        // servers, so this keeps queue depth honest); the loop ends when
+        // both channels are closed and drained.
         let mut hedge_sleep = hedge_heap
             .peek()
             .map(|Reverse((at, _))| Box::pin(tokio::time::sleep_until(*at)));
+        let mut lease_sleep = lease_heap
+            .peek()
+            .map(|Reverse((at, _, _))| Box::pin(tokio::time::sleep_until(*at)));
         let event = std::future::poll_fn(|cx| {
             let mut results_closed = false;
             match results.poll_recv(cx) {
@@ -159,6 +179,11 @@ pub(crate) async fn query_handler(
             if let Some(sleep) = hedge_sleep.as_mut() {
                 if sleep.as_mut().poll(cx).is_ready() {
                     return std::task::Poll::Ready(HandlerEvent::HedgeDue);
+                }
+            }
+            if let Some(sleep) = lease_sleep.as_mut() {
+                if sleep.as_mut().poll(cx).is_ready() {
+                    return std::task::Poll::Ready(HandlerEvent::LeaseDue);
                 }
             }
             match queries.poll_recv(cx) {
@@ -184,17 +209,40 @@ pub(crate) async fn query_handler(
                     )
                     .as_nanos() as u64,
                 );
-                post_queuing_by_node[node].record(post_queuing);
-                records_retrieved += result.records as u64;
-                temperature_sum += f64::from(result.mean_temperature);
-                humidity_sum += f64::from(result.mean_humidity);
-                task_results += 1;
-                // Busy accounting, estimator updates (§III.B.2), work
-                // conservation, and aggregation happen in the core.
-                let TaskCompletion { next, done: _ } =
-                    core.on_task_complete(to_sim(now), task, post_queuing);
+                // Commit under the result's fencing token FIRST: busy
+                // accounting, estimator updates (§III.B.2), work
+                // conservation, and aggregation happen in the core only
+                // when the commit lands. A redelivered or zombie result
+                // (its lease was reclaimed and the task re-issued) must
+                // not double-count records or node latency either, so the
+                // driver-side aggregates below are gated the same way.
+                let TaskCompletion {
+                    next,
+                    done: _,
+                    commit,
+                } = core.on_task_complete(
+                    to_sim(now),
+                    task,
+                    LeaseToken(result.lease),
+                    post_queuing,
+                );
+                if commit == CommitOutcome::Committed {
+                    post_queuing_by_node[node].record(post_queuing);
+                    records_retrieved += result.records as u64;
+                    temperature_sum += f64::from(result.mean_temperature);
+                    humidity_sum += f64::from(result.mean_humidity);
+                    task_results += 1;
+                }
                 if let Some(d) = next {
-                    dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                    dispatch(
+                        d,
+                        &core,
+                        epoch,
+                        &mut lease_heap,
+                        &mut dispatched_at,
+                        &task_ranges,
+                        &node_txs,
+                    );
                 }
                 if let Some(reg) = &cfg.registry {
                     results_since_sample += 1;
@@ -214,9 +262,17 @@ pub(crate) async fn query_handler(
                 }
                 let task = result.task_id as u32;
                 let now = to_sim(Instant::now());
-                let lost = core.on_task_lost(now, task);
+                let lost = core.on_task_lost(now, task, LeaseToken(result.lease));
                 if let Some(d) = lost.next {
-                    dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                    dispatch(
+                        d,
+                        &core,
+                        epoch,
+                        &mut lease_heap,
+                        &mut dispatched_at,
+                        &task_ranges,
+                        &node_txs,
+                    );
                 }
                 if let Some(retry) = lost.retry {
                     let (dup, dispatched) = core.issue_duplicate(
@@ -230,7 +286,15 @@ pub(crate) async fn query_handler(
                     task_ranges.push(task_ranges[retry.slot as usize]);
                     dispatched_at.push(None);
                     if let Some(d) = dispatched {
-                        dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                        dispatch(
+                            d,
+                            &core,
+                            epoch,
+                            &mut lease_heap,
+                            &mut dispatched_at,
+                            &task_ranges,
+                            &node_txs,
+                        );
                     }
                 }
                 // lost.done needs no driving here: the sas workload has no
@@ -258,8 +322,47 @@ pub(crate) async fn query_handler(
                     task_ranges.push(task_ranges[slot as usize]);
                     dispatched_at.push(None);
                     if let Some(d) = dispatched {
-                        dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                        dispatch(
+                            d,
+                            &core,
+                            epoch,
+                            &mut lease_heap,
+                            &mut dispatched_at,
+                            &task_ranges,
+                            &node_txs,
+                        );
                     }
+                }
+            }
+            HandlerEvent::LeaseDue => {
+                let wall = Instant::now();
+                let now = to_sim(wall);
+                while let Some(Reverse((at, _, _))) = lease_heap.peek() {
+                    if *at > wall {
+                        break;
+                    }
+                    let Some(Reverse((_, task, token))) = lease_heap.pop() else {
+                        break;
+                    };
+                    // The core validates the token against the store: a
+                    // task that committed, failed, or re-leased since this
+                    // timer was armed is left alone. A genuine expiry
+                    // reclaims the lease, re-enqueues the task with its
+                    // ORIGINAL deadline, and may start the freed node on
+                    // its next queued task.
+                    if let Some(d) = core.on_lease_expired(now, task, LeaseToken(token)) {
+                        dispatch(
+                            d,
+                            &core,
+                            epoch,
+                            &mut lease_heap,
+                            &mut dispatched_at,
+                            &task_ranges,
+                            &node_txs,
+                        );
+                    }
+                    // The reclaimed task itself re-dispatches later via the
+                    // normal dequeue path, which re-arms its lease timer.
                 }
             }
             HandlerEvent::Query(query) => {
@@ -290,7 +393,15 @@ pub(crate) async fn query_handler(
                         }
                     }
                     for &d in &started {
-                        dispatch(d, &mut dispatched_at, &task_ranges, &node_txs);
+                        dispatch(
+                            d,
+                            &core,
+                            epoch,
+                            &mut lease_heap,
+                            &mut dispatched_at,
+                            &task_ranges,
+                            &node_txs,
+                        );
                     }
                 }
             }
@@ -310,6 +421,7 @@ pub(crate) async fn query_handler(
         let mut reg = reg.lock().unwrap();
         reg.ingest_events(&rec.events());
         reg.ingest_robustness(&stats.robustness);
+        reg.ingest_lifecycle(&stats.lifecycle);
         reg.counter_set(
             "tailguard_estimator_budget_lookups_total",
             "Budget-table lookups while stamping deadlines (Eq. 6)",
@@ -364,6 +476,7 @@ pub(crate) async fn query_handler(
         task_results,
         robustness: stats.robustness,
         worker_panics,
+        lifecycle: stats.lifecycle,
     }
 }
 
@@ -392,14 +505,25 @@ fn sample_registry(reg: &SharedRegistry, core: &QueryHandler, now: SimTime) {
     );
 }
 
-/// Sends a task the core just moved into service to its edge node.
+/// Sends a task the core just moved into service to its edge node,
+/// arming its lease-reclaim timer when leasing is on.
 fn dispatch(
     d: DispatchedTask,
+    core: &QueryHandler,
+    epoch: Instant,
+    lease_heap: &mut BinaryHeap<Reverse<(Instant, u32, u64)>>,
     dispatched_at: &mut [Option<Instant>],
     task_ranges: &[(u32, u32)],
     node_txs: &[mpsc::UnboundedSender<TaskAssignment>],
 ) {
     dispatched_at[d.task as usize] = Some(Instant::now());
+    if let Some(expiry) = core.lease_expiry(d.task) {
+        lease_heap.push(Reverse((
+            epoch + std::time::Duration::from_nanos(expiry.as_nanos()),
+            d.task,
+            d.lease.0,
+        )));
+    }
     let (start_day, days) = task_ranges[d.task as usize];
     // A closed node channel means shutdown is racing completion; the
     // expected-queries accounting still terminates the loop.
@@ -407,6 +531,7 @@ fn dispatch(
         task_id: u64::from(d.task),
         start_day,
         days,
+        lease: d.lease.0,
     });
 }
 
@@ -416,6 +541,8 @@ enum HandlerEvent {
     Result(TaskResult),
     /// The earliest pending hedge threshold elapsed.
     HedgeDue,
+    /// The earliest pending lease expiry elapsed.
+    LeaseDue,
     /// The load generator produced a query.
     Query(IncomingQuery),
     /// Both channels closed and drained.

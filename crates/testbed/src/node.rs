@@ -46,6 +46,9 @@ pub(crate) fn fault_epoch_double_arms() -> u64 {
 pub(crate) struct TaskAssignment {
     /// Handler-side task identifier.
     pub task_id: u64,
+    /// The lease token fencing this dispatch (0 = unleased); echoed back
+    /// in the result so the handler can reject zombie replies.
+    pub lease: u64,
     /// First day of the requested record range.
     pub start_day: u32,
     /// Number of consecutive days requested.
@@ -71,6 +74,8 @@ pub(crate) struct TaskResult {
     pub node: u32,
     /// Handler-side task identifier.
     pub task_id: u64,
+    /// The lease token the task was dispatched under, echoed back.
+    pub lease: u64,
     /// Number of sensor records retrieved.
     pub records: usize,
     /// Mean temperature over the range (the aggregated payload).
@@ -82,10 +87,11 @@ pub(crate) struct TaskResult {
 }
 
 /// A payload-free result for a task the node could not serve.
-fn empty_result(node: u32, task_id: u64, outcome: TaskOutcome) -> TaskResult {
+fn empty_result(node: u32, task_id: u64, lease: u64, outcome: TaskOutcome) -> TaskResult {
     TaskResult {
         node,
         task_id,
+        lease,
         records: 0,
         mean_temperature: 0.0,
         mean_humidity: 0.0,
@@ -127,7 +133,12 @@ pub(crate) async fn edge_node(
         let drawn = std::panic::catch_unwind(AssertUnwindSafe(|| service.sample(&mut rng)));
         let Ok(sample_ms) = drawn else {
             if results
-                .send(empty_result(node_id, task.task_id, TaskOutcome::Failed))
+                .send(empty_result(
+                    node_id,
+                    task.task_id,
+                    task.lease,
+                    TaskOutcome::Failed,
+                ))
                 .is_err()
             {
                 return;
@@ -135,19 +146,31 @@ pub(crate) async fn edge_node(
             continue;
         };
         let mut service_ms = sample_ms / time_scale;
+        let dispatched_at = fault_now().unwrap_or(SimTime::ZERO);
         if let (Some(plan), Some(now)) = (faults.as_deref(), fault_now()) {
+            if plan.crashed(node_id, now) {
+                // The node is down: the dispatch vanishes without a trace —
+                // no NACK, no result. Only a lease reclaim recovers it.
+                continue;
+            }
             if plan.drops(node_id, now) {
                 // Blackout at dispatch: the task is swallowed, no work done.
                 if results
-                    .send(empty_result(node_id, task.task_id, TaskOutcome::Lost))
+                    .send(empty_result(
+                        node_id,
+                        task.task_id,
+                        task.lease,
+                        TaskOutcome::Lost,
+                    ))
                     .is_err()
                 {
                     return;
                 }
                 continue;
             }
-            // Stall episodes defer the start; slowdown episodes inflate the
-            // service — both fold into one effective dispatch→result delay.
+            // Stall/restart episodes defer the start; slowdown episodes
+            // inflate the service — both fold into one effective
+            // dispatch→result delay.
             service_ms = plan
                 .completion_delay(node_id, now, SimDuration::from_millis_f64(service_ms))
                 .as_millis_f64();
@@ -168,18 +191,32 @@ pub(crate) async fn edge_node(
         if quantized_ms >= 1 {
             tokio::time::sleep(std::time::Duration::from_millis(quantized_ms - 1)).await;
         }
+        let mut duplicate = false;
         if let (Some(plan), Some(now)) = (faults.as_deref(), fault_now()) {
-            if plan.drops(node_id, now) {
-                // The result lands inside a blackout: the reply is lost
-                // with the node's in-flight state.
+            if plan.crash_started_within(node_id, dispatched_at, now) {
+                // The node crashed while the work was in flight: it
+                // restarted and forgot the task. Nothing lands, nobody is
+                // notified — the lease reclaim is the only recovery.
+                continue;
+            }
+            if plan.drops(node_id, now) || plan.restart_loses(node_id, now) {
+                // The result lands inside a blackout or a restart window:
+                // the reply is lost with the node's in-flight state, but
+                // the scheduler is notified.
                 if results
-                    .send(empty_result(node_id, task.task_id, TaskOutcome::Lost))
+                    .send(empty_result(
+                        node_id,
+                        task.task_id,
+                        task.lease,
+                        TaskOutcome::Lost,
+                    ))
                     .is_err()
                 {
                     return;
                 }
                 continue;
             }
+            duplicate = plan.duplicates(node_id, now);
         }
         let retrieved = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let slice = store.range_query(task.start_day, task.days);
@@ -190,15 +227,23 @@ pub(crate) async fn edge_node(
             Ok((records, mean_temperature, mean_humidity)) => TaskResult {
                 node: node_id,
                 task_id: task.task_id,
+                lease: task.lease,
                 records,
                 mean_temperature,
                 mean_humidity,
                 outcome: TaskOutcome::Ok,
             },
-            Err(_) => empty_result(node_id, task.task_id, TaskOutcome::Failed),
+            Err(_) => empty_result(node_id, task.task_id, task.lease, TaskOutcome::Failed),
         };
         if results.send(result).is_err() {
             return; // handler gone; shut down quietly
+        }
+        if duplicate {
+            // The ack was retransmitted: deliver the same result a second
+            // time. The handler's state store suppresses the redelivery.
+            if results.send(result).is_err() {
+                return;
+            }
         }
     }
 }
@@ -236,6 +281,7 @@ mod tests {
             task_tx
                 .send(TaskAssignment {
                     task_id: id,
+                    lease: 0,
                     start_day: 0,
                     days: 1,
                 })
@@ -277,6 +323,7 @@ mod tests {
         task_tx
             .send(TaskAssignment {
                 task_id: 0,
+                lease: 0,
                 start_day: 0,
                 days: 1,
             })
@@ -344,6 +391,7 @@ mod tests {
             task_tx
                 .send(TaskAssignment {
                     task_id: id,
+                    lease: 0,
                     start_day: 0,
                     days: 1,
                 })
@@ -359,6 +407,94 @@ mod tests {
         let r = res_rx.recv().await.unwrap();
         assert_eq!(r.outcome, TaskOutcome::Ok);
         assert_eq!(r.records, SensorStore::RECORDS_PER_DAY);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn crash_swallows_the_task_silently() {
+        let store = Arc::new(SensorStore::generate_days(8, 10));
+        let (task_tx, task_rx) = mpsc::unbounded_channel();
+        let (res_tx, mut res_rx) = mpsc::unbounded_channel();
+        let service: DynDistribution = Arc::new(Deterministic::new(2.0));
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            9,
+            SimTime::from_millis(0),
+            SimTime::from_millis(5),
+            FaultKind::Crash,
+        ));
+        let epoch = Arc::new(OnceLock::new());
+        arm_fault_epoch(&epoch, Instant::now());
+        tokio::spawn(edge_node(
+            9,
+            store,
+            service,
+            1.0,
+            Some(Arc::new(plan)),
+            epoch,
+            SimRng::seed(1),
+            task_rx,
+            res_tx,
+        ));
+        let send = |id| {
+            task_tx
+                .send(TaskAssignment {
+                    task_id: id,
+                    lease: id + 1,
+                    start_day: 0,
+                    days: 1,
+                })
+                .unwrap();
+        };
+        // Dispatched into the crash: swallowed, no result at all.
+        send(0);
+        // Past the crash: served normally, and the lease echoes back.
+        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        send(1);
+        let r = res_rx.recv().await.unwrap();
+        assert_eq!(r.task_id, 1, "the crashed task must yield nothing");
+        assert_eq!(r.lease, 2);
+        assert_eq!(r.outcome, TaskOutcome::Ok);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn duplicate_delivery_sends_the_result_twice() {
+        let store = Arc::new(SensorStore::generate_days(9, 10));
+        let (task_tx, task_rx) = mpsc::unbounded_channel();
+        let (res_tx, mut res_rx) = mpsc::unbounded_channel();
+        let service: DynDistribution = Arc::new(Deterministic::new(2.0));
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            4,
+            SimTime::from_millis(0),
+            SimTime::from_millis(50),
+            FaultKind::DuplicateDelivery,
+        ));
+        let epoch = Arc::new(OnceLock::new());
+        arm_fault_epoch(&epoch, Instant::now());
+        tokio::spawn(edge_node(
+            4,
+            store,
+            service,
+            1.0,
+            Some(Arc::new(plan)),
+            epoch,
+            SimRng::seed(1),
+            task_rx,
+            res_tx,
+        ));
+        task_tx
+            .send(TaskAssignment {
+                task_id: 0,
+                lease: 7,
+                start_day: 0,
+                days: 1,
+            })
+            .unwrap();
+        let first = res_rx.recv().await.unwrap();
+        let second = res_rx.recv().await.unwrap();
+        assert_eq!(first.task_id, second.task_id);
+        assert_eq!(first.lease, second.lease);
+        assert_eq!(first.outcome, TaskOutcome::Ok);
+        assert_eq!(second.outcome, TaskOutcome::Ok);
+        assert_eq!(first.records, second.records);
     }
 
     #[tokio::test(start_paused = true)]
@@ -390,6 +526,7 @@ mod tests {
         task_tx
             .send(TaskAssignment {
                 task_id: 0,
+                lease: 0,
                 start_day: 0,
                 days: 1,
             })
@@ -449,6 +586,7 @@ mod tests {
             task_tx
                 .send(TaskAssignment {
                     task_id: id,
+                    lease: 0,
                     start_day: 0,
                     days: 1,
                 })

@@ -12,7 +12,7 @@ use tailguard_faults::FaultPlan;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_obs::SharedRegistry;
 use tailguard_policy::Policy;
-use tailguard_sched::{MitigationConfig, RobustnessStats};
+use tailguard_sched::{LifecycleStats, MitigationConfig, RobustnessStats};
 use tailguard_simcore::{SimDuration, SimRng};
 use tokio::sync::mpsc;
 
@@ -53,6 +53,13 @@ pub struct TestbedConfig {
     /// Deadline-aware hedging/retry and graceful degradation at the
     /// handler, if any.
     pub mitigation: Option<MitigationConfig>,
+    /// Lease TTL in *uncompressed* Pi time (compressed alongside every
+    /// other duration). When set, each dispatched task carries a fencing
+    /// token; a node silent past the TTL — crashed, restarting, or
+    /// partitioned — has its task reclaimed and re-enqueued with the
+    /// original deadline, and any zombie result is rejected by token
+    /// mismatch. `None` (default) disables crash recovery.
+    pub lease_ttl: Option<SimDuration>,
     /// Clock mode.
     pub mode: TestbedMode,
     /// Master seed.
@@ -80,6 +87,7 @@ impl Default for TestbedConfig {
             admission: None,
             faults: None,
             mitigation: None,
+            lease_ttl: None,
             mode: TestbedMode::PausedTime,
             seed: 0x5A5_7E57,
             store_days: 90,
@@ -139,6 +147,8 @@ pub struct TestbedReport {
     pub robustness: RobustnessStats,
     /// Tasks whose worker panicked (the node survived and reported them).
     pub worker_panics: u64,
+    /// Lease/fencing counters (all zero without `lease_ttl`).
+    pub lifecycle: LifecycleStats,
 }
 
 impl TestbedReport {
@@ -266,6 +276,7 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
                 task_id: u64::MAX,
                 start_day,
                 days: 1,
+                lease: 0, // probes bypass the core; no fencing
             });
             let r = result_rx.recv().await.expect("nodes alive");
             debug_assert_eq!(r.node as usize, node);
@@ -332,6 +343,11 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
             // dimensionless, so no compression needed.
             mitigation: config.mitigation,
             expected_queries: config.queries as u64,
+            // The lease TTL is a Pi-time knob like the SLOs; compress it
+            // into the wall domain the handler's timers run in.
+            lease_ttl: config
+                .lease_ttl
+                .map(|ttl| SimDuration::from_millis_f64(ttl.as_millis_f64() / scale)),
             registry: config.registry.clone(),
         },
         estimator,
@@ -408,6 +424,7 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
         },
         robustness: out.robustness,
         worker_panics: out.worker_panics,
+        lifecycle: out.lifecycle,
     }
 }
 
@@ -617,6 +634,121 @@ mod tests {
             report.completed_queries + report.rejected_queries + r.failed_queries,
             300
         );
+    }
+
+    #[test]
+    fn crash_with_lease_reclaims_and_conserves_queries() {
+        use tailguard_faults::{FaultEpisode, FaultKind};
+        use tailguard_simcore::SimTime;
+        let mut cfg = quick(Policy::TfEdf, 0.25, 300);
+        // Nodes 0–1 crash for a finite window: tasks dispatched into (or
+        // caught in-flight by) the window vanish silently — no Lost
+        // report, nothing. Only the lease notices.
+        let mut plan = FaultPlan::new();
+        for node in 0..2 {
+            plan = plan.with_episode(FaultEpisode::new(
+                node,
+                SimTime::ZERO,
+                SimTime::from_millis(3_000),
+                FaultKind::Crash,
+            ));
+        }
+        cfg.faults = Some(plan);
+        cfg.lease_ttl = Some(SimDuration::from_millis(500));
+        let report = run_testbed(&cfg);
+        let lc = &report.lifecycle;
+        assert!(lc.reclaims > 0, "crashed tasks must be reclaimed");
+        assert!(lc.leases_issued > 0);
+        // Reclaim + re-enqueue keeps retrying until the node recovers, so
+        // no query is lost and none is double-counted.
+        assert_eq!(
+            report.completed_queries
+                + report.rejected_queries
+                + report.robustness.partial_completions
+                + report.robustness.failed_queries,
+            300
+        );
+        // Every attempt the store ever tracked is in a terminal state or
+        // was never started; nothing leaks.
+        assert_eq!(lc.queued + lc.leased + lc.running, 0, "no task left live");
+    }
+
+    #[test]
+    fn duplicate_delivery_is_suppressed_idempotently() {
+        use tailguard_faults::{FaultEpisode, FaultKind};
+        use tailguard_simcore::SimTime;
+        let mut cfg = quick(Policy::TfEdf, 0.25, 300);
+        // Nodes 0–3 deliver every result twice for the whole run.
+        let mut plan = FaultPlan::new();
+        for node in 0..4 {
+            plan = plan.with_episode(FaultEpisode::new(
+                node,
+                SimTime::ZERO,
+                SimTime::from_millis(100_000_000),
+                FaultKind::DuplicateDelivery,
+            ));
+        }
+        cfg.faults = Some(plan);
+        cfg.lease_ttl = Some(SimDuration::from_millis(5_000));
+        let mut report = run_testbed(&cfg);
+        let lc = &report.lifecycle;
+        assert!(lc.duplicates_suppressed > 0, "duplicates must be fenced");
+        assert_eq!(lc.reclaims, 0, "generous TTL: nothing should expire");
+        assert_eq!(report.completed_queries, 300);
+        // The duplicate payloads must not inflate the sensing aggregates:
+        // readings stay physical.
+        let (t, h) = report.mean_reading;
+        assert!(t > -20.0 && t < 50.0, "temperature {t}");
+        assert!((0.0..=100.0).contains(&h), "humidity {h}");
+        assert!(report.class_p99_ms(0) > 0.0);
+    }
+
+    #[test]
+    fn restart_loses_in_flight_work_but_recovers() {
+        use tailguard_faults::{FaultEpisode, FaultKind};
+        use tailguard_simcore::SimTime;
+        let mut cfg = quick(Policy::TfEdf, 0.3, 300);
+        // One server-room node restarts repeatedly early in the run:
+        // results landing inside an episode are lost WITH notification, so
+        // the core frees the node immediately (no lease wait needed).
+        let mut plan = FaultPlan::new();
+        for k in 0..3 {
+            let start = 500 + k * 2_000;
+            plan = plan.with_episode(FaultEpisode::new(
+                0,
+                SimTime::from_millis(start),
+                SimTime::from_millis(start + 800),
+                FaultKind::Restart,
+            ));
+        }
+        cfg.faults = Some(plan);
+        cfg.lease_ttl = Some(SimDuration::from_millis(2_000));
+        cfg.mitigation = Some(MitigationConfig::new());
+        let report = run_testbed(&cfg);
+        assert!(
+            report.robustness.tasks_lost_to_faults > 0,
+            "restarts must lose in-flight work"
+        );
+        assert_eq!(
+            report.completed_queries
+                + report.rejected_queries
+                + report.robustness.partial_completions
+                + report.robustness.failed_queries,
+            300
+        );
+    }
+
+    #[test]
+    fn lease_off_keeps_lifecycle_counters_quiet() {
+        let report = run_testbed(&quick(Policy::TfEdf, 0.25, 200));
+        let lc = &report.lifecycle;
+        assert_eq!(lc.reclaims, 0);
+        assert_eq!(lc.duplicates_suppressed, 0);
+        assert_eq!(lc.stale_commits_rejected, 0);
+        // Leases are still issued (the token fences every dispatch); they
+        // just never expire without a TTL.
+        assert!(lc.leases_issued > 0);
+        assert_eq!(lc.completed, lc.leases_issued, "every dispatch committed");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! determinism and sim/testbed-agreement guarantees of the fault layer.
 
 use tailguard_repro::policy::Policy;
-use tailguard_repro::simcore::SimTime;
+use tailguard_repro::simcore::{SimDuration, SimTime};
 use tailguard_repro::tailguard::{
     run_indexed, run_simulation, scenarios, FaultEpisode, FaultKind, FaultPlan, MitigationConfig,
     Scenario,
@@ -179,6 +179,79 @@ fn sim_and_testbed_count_faults_alike() {
         assert_eq!(
             resolved, queries as u64,
             "{name}: every query must resolve exactly once"
+        );
+    }
+}
+
+/// Crash recovery is runtime-agnostic: under an identical crash plan
+/// (nodes 0–3 down for the first stretch of the run) with a lease TTL
+/// armed, both the simulator and the tokio testbed reclaim expired
+/// leases, re-enqueue the swallowed tasks, and still resolve every
+/// query exactly once with nothing left live in the state store.
+#[test]
+fn sim_and_testbed_recover_from_crashes_alike() {
+    let queries = 300usize;
+    let load = 0.3;
+    let mut plan = FaultPlan::new();
+    for server in 0..4 {
+        plan = plan.with_episode(FaultEpisode::new(
+            server,
+            SimTime::ZERO,
+            SimTime::from_millis(3_000),
+            FaultKind::Crash,
+        ));
+    }
+    let lease = SimDuration::from_millis(500);
+
+    let tb_config = TestbedConfig {
+        policy: Policy::TfEdf,
+        queries,
+        target_load: load,
+        calibration_probes: 20,
+        store_days: 35,
+        mode: TestbedMode::PausedTime,
+        faults: Some(plan.clone()),
+        lease_ttl: Some(lease),
+        ..TestbedConfig::default()
+    };
+    let tb = run_testbed(&tb_config);
+
+    let scenario = scenarios::sas_testbed();
+    let cfg = scenario
+        .config(Policy::TfEdf)
+        .with_warmup(0)
+        .with_faults(plan)
+        .with_lease(lease);
+    let input = scenario.input(load, queries);
+    let sim = run_simulation(&cfg, &input);
+
+    for (name, lc, resolved) in [
+        (
+            "testbed",
+            &tb.lifecycle,
+            tb.completed_queries
+                + tb.rejected_queries
+                + tb.robustness.partial_completions
+                + tb.robustness.failed_queries,
+        ),
+        (
+            "sim",
+            &sim.lifecycle,
+            sim.completed_queries
+                + sim.rejected_queries
+                + sim.robustness.partial_completions
+                + sim.robustness.failed_queries,
+        ),
+    ] {
+        assert!(lc.reclaims > 0, "{name}: crash never expired a lease");
+        assert_eq!(
+            resolved, queries as u64,
+            "{name}: every query must resolve exactly once despite crashes"
+        );
+        assert_eq!(
+            lc.queued + lc.leased + lc.running,
+            0,
+            "{name}: attempts left live in the state store"
         );
     }
 }

@@ -6,7 +6,8 @@
 //! deliberately changing simulation semantics (and say so in CHANGELOG.md).
 
 use tailguard_repro::policy::Policy;
-use tailguard_repro::tailguard::{measure_at_load, scenarios, MaxLoadOptions};
+use tailguard_repro::simcore::SimDuration;
+use tailguard_repro::tailguard::{measure_at_load, run_simulation, scenarios, MaxLoadOptions};
 use tailguard_repro::workload::TailbenchWorkload;
 
 fn opts() -> MaxLoadOptions {
@@ -64,6 +65,44 @@ fn golden_single_class_masstree() {
             "{name}: pre-dequeue p99 drifted"
         );
     }
+}
+
+/// The durable-lifecycle layer is free on the golden path: arming a lease
+/// TTL with no fault plan reproduces the exact golden pins — same p99,
+/// completion count, pre-dequeue tail, busy time, and elapsed virtual
+/// time — because every lease commits before it expires and the no-op
+/// `LeaseCheck` events are excluded from activity accounting. Only the
+/// event count may differ (the lease checks themselves).
+#[test]
+fn golden_pins_hold_with_lease_enabled() {
+    let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
+    let queries = 10_000usize;
+    let input = scenario.input(0.4, queries);
+    let warmup = queries / 20;
+    let base = run_simulation(&scenario.config(Policy::TfEdf).with_warmup(warmup), &input);
+    let mut leased = run_simulation(
+        &scenario
+            .config(Policy::TfEdf)
+            .with_warmup(warmup)
+            .with_lease(SimDuration::from_millis(100)),
+        &input,
+    );
+    assert_eq!(
+        leased.class_tail(0, 0.99).as_nanos(),
+        GOLDEN[0].1,
+        "lease-enabled run drifted from the golden p99 pin"
+    );
+    assert_eq!(leased.completed_queries, GOLDEN[0].2);
+    assert_eq!(leased.pre_dequeue.percentile(0.99).as_nanos(), GOLDEN[0].3);
+    assert_eq!(leased.elapsed, base.elapsed, "lease checks moved time");
+    assert_eq!(leased.busy_by_server, base.busy_by_server);
+    assert_eq!(leased.robustness, base.robustness);
+    let lc = &leased.lifecycle;
+    assert!(lc.leases_issued > 0, "lease TTL armed but no leases issued");
+    assert_eq!(lc.reclaims, 0, "no fault, so no lease should ever expire");
+    assert_eq!(lc.duplicates_suppressed, 0);
+    assert_eq!(lc.stale_commits_rejected, 0);
+    assert_eq!(lc.completed, lc.leases_issued);
 }
 
 #[test]

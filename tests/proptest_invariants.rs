@@ -209,6 +209,76 @@ proptest! {
         prop_assert_eq!(report.rejected_queries, 0);
     }
 
+    /// Conservation under crash/restart/duplicate-delivery storms with a
+    /// lease armed: crashes swallow in-flight tasks *silently* (no loss
+    /// notification), yet no admitted query is lost — the expired lease
+    /// reclaims the task and re-enqueues it with its original deadline —
+    /// and none is double-counted — redelivered results and zombie
+    /// completions are fenced by token mismatch.
+    #[test]
+    fn crash_conservation(
+        arrivals in proptest::collection::vec(0u64..20_000, 1..100),
+        fanout in 1u32..8,
+        n_episodes in 1usize..6,
+        fault_seed in 0u64..1_000,
+        lease_ms in 2u64..20,
+        policy_idx in 0usize..4,
+    ) {
+        use tailguard_repro::tailguard::FaultPlan;
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let n = arrivals.len() as u64;
+        let plan = FaultPlan::generate_crash_storm(
+            fault_seed,
+            8,
+            SimDuration::from_millis(30),
+            n_episodes,
+            3.0,
+        );
+        let cfg = SimConfig::new(
+            ClusterSpec::homogeneous(8, Deterministic::new(0.7)),
+            vec![ClassSpec::p99(ms(10.0))],
+            Policy::ALL[policy_idx],
+        )
+        .with_warmup(0)
+        .with_faults(plan)
+        .with_lease(SimDuration::from_millis(lease_ms));
+        let input = SimInput {
+            requests: arrivals
+                .iter()
+                .map(|&a| RequestInput {
+                    arrival: SimTime::from_micros(a),
+                    queries: vec![QuerySpec::new(0, fanout)],
+                })
+                .collect(),
+        };
+        let report = run_simulation(&cfg, &input);
+        let r = &report.robustness;
+        let lc = &report.lifecycle;
+        // Query conservation: every admitted query resolves exactly once.
+        prop_assert_eq!(
+            report.completed_queries + r.partial_completions + r.failed_queries,
+            n
+        );
+        prop_assert_eq!(report.rejected_queries, 0);
+        // Nothing is left live in the state store at the end of the run.
+        prop_assert_eq!(lc.queued + lc.leased + lc.running, 0);
+        // Attempt conservation, unchanged by reclaims: every attempt ever
+        // created reaches exactly one terminal outcome (win / cancel /
+        // loss) no matter how many times its lease expired and the task
+        // was re-enqueued in between.
+        prop_assert_eq!(
+            r.task_wins + r.cancelled_tasks + r.tasks_lost_to_faults,
+            report.load.tasks_dispatched_count()
+        );
+        // Reclaims re-dequeue the same attempt, so the dequeue counter
+        // exceeds the attempt counter by exactly the reclaim count.
+        prop_assert_eq!(
+            report.load.tasks_completed_count(),
+            report.load.tasks_dispatched_count() + lc.reclaims
+        );
+    }
+
     /// The EDF policies never produce a *worse* tail than FIFO for the
     /// tightest-budget class when that class is a minority sharing with
     /// loose background traffic.
