@@ -9,8 +9,9 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use tailguard::{
     default_jobs, max_load_many, run_indexed, run_simulation, run_simulation_observed, scenarios,
-    sweep_loads_parallel, AdmissionConfig, ClassSpec, ClusterSpec, EstimatorMode, FaultEpisode,
-    FaultKind, FaultPlan, MaxLoadOptions, MitigationConfig, ObsOptions, Scenario, SimReport,
+    sweep_loads_parallel, AdmissionConfig, ClassSpec, ClusterSpec, DriftKind, DriftPlan,
+    EstimatorMode, FaultEpisode, FaultKind, FaultPlan, MaxLoadOptions, MitigationConfig,
+    ObsOptions, Scenario, SimReport,
 };
 use tailguard_dist::{Cdf, LogHistogram};
 use tailguard_obs::{
@@ -152,6 +153,7 @@ fn scenario_from(args: &Args) -> Result<Scenario, ArgError> {
         mean_task_work_ms: mean,
         placement: None,
         seed: args.u64_or("seed", 1)?,
+        drift: None,
     })
 }
 
@@ -169,8 +171,66 @@ const SIM_KEYS: &[&str] = &[
     "warmup",
     "admission",
     "online",
+    "drift",
+    "drift-period",
+    "drift-amplitude",
+    "drift-from",
+    "drift-to",
+    "drift-factor",
     "json",
 ];
+
+/// Builds the optional workload drift plan from `--drift diurnal|flashcrowd`.
+///
+/// `diurnal` modulates the arrival rate by `1 + a·sin(2πt/p)` with period
+/// `--drift-period` (ms, default 5000) and amplitude `--drift-amplitude`
+/// (default 0.25); `flashcrowd` multiplies the rate by `--drift-factor`
+/// (default 2) inside [`--drift-from`, `--drift-to`) (ms, default
+/// [1000, 5000)). Omitting `--drift` leaves the trace bit-identical to a
+/// drift-free run.
+fn drift_plan_from(args: &Args) -> Result<Option<DriftPlan>, ArgError> {
+    let Some(kind) = args.get("drift") else {
+        return Ok(None);
+    };
+    let component = match kind {
+        "diurnal" => {
+            let period_ms = args.f64_or("drift-period", 5_000.0)?;
+            if !period_ms.is_finite() || period_ms <= 0.0 {
+                return Err(err("--drift-period must be a positive duration (ms)"));
+            }
+            let amplitude = args.f64_or("drift-amplitude", 0.25)?;
+            if !(0.0..1.0).contains(&amplitude) {
+                return Err(err("--drift-amplitude must lie in [0, 1)"));
+            }
+            DriftKind::Diurnal {
+                period: SimDuration::from_millis_f64(period_ms),
+                amplitude,
+            }
+        }
+        "flashcrowd" => {
+            let from_ms = args.f64_or("drift-from", 1_000.0)?;
+            let to_ms = args.f64_or("drift-to", 5_000.0)?;
+            if from_ms < 0.0 || to_ms <= from_ms {
+                return Err(err("--drift-from/--drift-to need 0 <= from < to (ms)"));
+            }
+            let factor = args.f64_or("drift-factor", 2.0)?;
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(err("--drift-factor must be a finite positive multiplier"));
+            }
+            DriftKind::FlashCrowd {
+                start: SimTime::from_millis_f64(from_ms),
+                end: SimTime::from_millis_f64(to_ms),
+                factor,
+            }
+        }
+        other => {
+            return Err(err(format!(
+                "unknown drift `{other}` (expected diurnal|flashcrowd)"
+            )))
+        }
+    };
+    Ok(Some(DriftPlan::new(vec![component])))
+}
 
 #[derive(Serialize)]
 struct SimSummary {
@@ -227,7 +287,10 @@ fn uniform_metrics(registry: &Registry) -> BTreeMap<String, serde_json::Value> {
 /// `tailguard sim` — run one simulation and report per-type tails.
 pub fn cmd_sim(args: &Args) -> Result<String, ArgError> {
     args.check_known(SIM_KEYS)?;
-    let scenario = scenario_from(args)?;
+    let mut scenario = scenario_from(args)?;
+    if let Some(drift) = drift_plan_from(args)? {
+        scenario = scenario.with_drift(drift);
+    }
     let policy = policy_from(args.get("policy").unwrap_or("tfedf"))?;
     let load = args.f64_or("load", 0.4)?;
     if !(0.0..=1.5).contains(&load) || load <= 0.0 {
@@ -457,6 +520,7 @@ const FAULTS_KEYS: &[&str] = &[
     "fault-servers",
     "fault-from",
     "fault-to",
+    "flap-period",
     "episodes",
     "lease-ms",
     "hedge",
@@ -496,6 +560,9 @@ struct FaultCell {
 /// Builds the injected fault plan from `--fault`/`--factor`/
 /// `--fault-servers`/`--fault-from`/`--fault-to` (ms) or, for
 /// `--fault random`, from `FaultPlan::generate` with `--episodes`.
+/// The gray-failure kinds take extra knobs: `--fault ramp` ramps toward
+/// `--factor`× across the episode, `--fault flap` alternates degraded
+/// and healthy phases each lasting `--flap-period` (ms).
 fn fault_plan_from(args: &Args, servers: usize) -> Result<FaultPlan, ArgError> {
     let from_ms = args.f64_or("fault-from", 0.0)?;
     let to_ms = args.f64_or("fault-to", 3_600_000.0)?;
@@ -534,9 +601,24 @@ fn fault_plan_from(args: &Args, servers: usize) -> Result<FaultPlan, ArgError> {
         "crash" => FaultKind::Crash,
         "restart" => FaultKind::Restart,
         "dup" => FaultKind::DuplicateDelivery,
+        // Gray failures: service times creep up toward `--factor`×
+        // across the episode instead of jumping — the classic fail-slow.
+        "ramp" => FaultKind::DegradeRamp { peak: factor },
+        // Intermittent gray failure: the server alternates degraded
+        // (`--factor`×) and healthy every `--flap-period` ms.
+        "flap" => {
+            let period_ms = args.f64_or("flap-period", 200.0)?;
+            if !period_ms.is_finite() || period_ms <= 0.0 {
+                return Err(err("--flap-period must be a positive duration (ms)"));
+            }
+            FaultKind::Flap {
+                factor,
+                period: SimDuration::from_millis_f64(period_ms),
+            }
+        }
         other => {
             return Err(err(format!(
-            "unknown fault kind `{other}` (expected slowdown|stall|drop|crash|restart|dup|random)"
+            "unknown fault kind `{other}` (expected slowdown|stall|drop|crash|restart|dup|ramp|flap|random)"
         )))
         }
     };
@@ -1277,6 +1359,68 @@ mod tests {
     }
 
     #[test]
+    fn sim_drift_runs_and_conserves() {
+        for drift in ["diurnal", "flashcrowd"] {
+            let out = cmd_sim(&args(&[
+                "--queries",
+                "2000",
+                "--load",
+                "0.2",
+                "--drift",
+                drift,
+                "--json",
+            ]))
+            .expect("sim --drift");
+            let v: serde_json::Value = serde_json::from_str(&out).expect("json");
+            // 2000 offered minus the queries/20 = 100 warm-up discards.
+            assert_eq!(v["completed_queries"].as_u64(), Some(1900), "{drift}");
+        }
+    }
+
+    #[test]
+    fn sim_drift_changes_trace_and_rejects_bad_specs() {
+        let base = &["--queries", "2000", "--load", "0.2", "--json"];
+        let plain = cmd_sim(&args(base)).expect("plain");
+        // 2000 queries at 20% load span ~50 ms, so pin the spike window
+        // inside the run (the [1000, 5000) ms default would miss it).
+        let drifted = cmd_sim(&args(
+            &[
+                base as &[&str],
+                &[
+                    "--drift",
+                    "flashcrowd",
+                    "--drift-from",
+                    "0",
+                    "--drift-to",
+                    "40",
+                    "--drift-factor",
+                    "3",
+                ],
+            ]
+            .concat(),
+        ))
+        .expect("drifted");
+        assert_ne!(plain, drifted, "flash crowd left the run unchanged");
+
+        assert!(cmd_sim(&args(&["--drift", "eclipse"]))
+            .unwrap_err()
+            .0
+            .contains("eclipse"));
+        assert!(
+            cmd_sim(&args(&["--drift", "diurnal", "--drift-amplitude", "1.5"]))
+                .unwrap_err()
+                .0
+                .contains("--drift-amplitude")
+        );
+        assert!(
+            cmd_sim(&args(&["--drift", "flashcrowd", "--drift-to", "0"]))
+                .unwrap_err()
+                .0
+                .contains("--drift-to")
+        );
+    }
+
+    #[test]
     fn maxload_two_policies() {
         let out = cmd_maxload(&args(&[
             "--policies",
@@ -1416,6 +1560,56 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--quorum"));
+        assert!(
+            cmd_faults(&args(&["--fault", "flap", "--flap-period", "0"]))
+                .unwrap_err()
+                .0
+                .contains("--flap-period")
+        );
+    }
+
+    #[test]
+    fn faults_gray_kinds_degrade_the_faulty_cell() {
+        // Ramp and flap inflate service times without losing tasks: the
+        // faulty cell's tail worsens but conservation matches healthy.
+        for (kind, extra) in [("ramp", &[][..]), ("flap", &["--flap-period", "5"][..])] {
+            let out = cmd_faults(&args(
+                &[
+                    &[
+                        "--policies",
+                        "tfedf",
+                        "--queries",
+                        "3000",
+                        "--fault",
+                        kind,
+                        "--factor",
+                        "30",
+                        "--fault-servers",
+                        "10",
+                        "--fault-to",
+                        "200",
+                        "--json",
+                    ] as &[&str],
+                    extra,
+                ]
+                .concat(),
+            ))
+            .expect(kind);
+            let cells: serde_json::Value = serde_json::from_str(&out).expect("json");
+            let cells = cells.as_array().unwrap();
+            assert_eq!(cells.len(), 3, "{kind}");
+            let (healthy, faulty) = (&cells[0], &cells[1]);
+            assert_eq!(faulty["tasks_lost"].as_u64(), Some(0), "{kind}");
+            assert_eq!(
+                faulty["completed"].as_u64(),
+                healthy["completed"].as_u64(),
+                "{kind}"
+            );
+            assert!(
+                faulty["p99_ms"].as_f64().unwrap() > healthy["p99_ms"].as_f64().unwrap(),
+                "{kind}: gray failure left the tail unchanged"
+            );
+        }
     }
 
     #[test]

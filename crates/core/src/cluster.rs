@@ -110,6 +110,9 @@ pub(crate) fn run_with_observer(
     {
         estimator.seed_offline(&config.cluster, offline_samples, &mut estimator_rng);
     }
+    if let Some(aw) = config.adaptive {
+        estimator = estimator.with_adaptive(aw);
+    }
 
     let servers = config.cluster.servers();
     let mut handler = QueryHandler::new(
@@ -124,6 +127,9 @@ pub(crate) fn run_with_observer(
     }
     if let Some(ttl) = config.lease {
         handler = handler.with_lease(ttl);
+    }
+    if let Some(hc) = config.health {
+        handler = handler.with_health(hc);
     }
     let (sink, snapshot_every) = match observer {
         Some(o) => (Some(o.sink), Some(o.snapshot_every)),
@@ -199,6 +205,9 @@ pub(crate) fn run_with_observer(
             robustness: stats.robustness,
             partial_latency: stats.partial_latency,
             lifecycle: stats.lifecycle,
+            health: stats.health,
+            server_health: stats.server_health,
+            estimator_window_rolls: stats.estimator_window_rolls,
         },
         snapshots: state.snapshots,
         budget_lookups,

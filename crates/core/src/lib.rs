@@ -69,9 +69,10 @@ pub use spec::{
 };
 pub use tailguard_faults::{FaultEpisode, FaultKind, FaultPlan};
 pub use tailguard_sched::{
-    CommitOutcome, DeadlineEstimator, EstimatorMode, LeaseToken, LifecycleStats, MitigationConfig,
-    RobustnessStats,
+    AdaptiveWindow, CommitOutcome, DeadlineEstimator, EstimatorMode, HealthConfig, HealthStats,
+    LeaseToken, LifecycleStats, MitigationConfig, RobustnessStats,
 };
+pub use tailguard_workload::{DriftKind, DriftPlan};
 
 /// The runtime-agnostic scheduling core ([`tailguard_sched`]) this
 /// simulator drives; also driven by the tokio testbed.

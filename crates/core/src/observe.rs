@@ -166,6 +166,44 @@ pub fn run_simulation_observed(
     registry.ingest_events(&recorder.events());
     registry.ingest_robustness(&raw.report.robustness);
     registry.ingest_lifecycle(&raw.report.lifecycle);
+    // Health and adaptive-estimator metrics exist exactly when their
+    // features are configured, so feature-off registries are unchanged.
+    if !raw.report.server_health.is_empty() {
+        for (server, score) in raw.report.server_health.iter().enumerate() {
+            registry.gauge_set(
+                &format!("tailguard_server_health{{server=\"{server}\"}}"),
+                "Per-server EWMA health score (observed service time, seconds)",
+                *score,
+            );
+        }
+        registry.counter_set(
+            "tailguard_ejections_total",
+            "Servers ejected from dispatch by the health tracker",
+            raw.report.health.ejections,
+        );
+        registry.counter_set(
+            "tailguard_readmissions_total",
+            "Ejected servers readmitted after recovering",
+            raw.report.health.readmissions,
+        );
+        registry.counter_set(
+            "tailguard_health_probes_total",
+            "Tasks sent to ejected servers as recovery probes",
+            raw.report.health.probes,
+        );
+        registry.counter_set(
+            "tailguard_health_rerouted_total",
+            "Arrivals diverted away from ejected servers",
+            raw.report.health.rerouted_tasks,
+        );
+    }
+    if config.adaptive.is_some() {
+        registry.counter_set(
+            "tailguard_estimator_window_rolls_total",
+            "Adaptive estimator window rolls (decay + budget-table rebuild)",
+            raw.report.estimator_window_rolls,
+        );
+    }
     registry.counter_set(
         "tailguard_estimator_budget_lookups_total",
         "Budget-table lookups while stamping deadlines (Eq. 6)",

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use tailguard_metrics::{LatencyReservoir, LoadStats};
 use tailguard_policy::Policy;
-use tailguard_sched::{LifecycleStats, RobustnessStats};
+use tailguard_sched::{HealthStats, LifecycleStats, RobustnessStats};
 use tailguard_simcore::{SimDuration, SimTime};
 
 // The per-type key lives in the shared scheduling core (which does the
@@ -55,6 +55,16 @@ pub struct SimReport {
     /// state gauges plus lease/reclaim/duplicate/stale counters (reclaims
     /// and suppressions are zero without a lease TTL or fault plan).
     pub lifecycle: LifecycleStats,
+    /// Health-tracking counters (ejections, readmissions, probes, rerouted
+    /// tasks, floor denials); all zero without a
+    /// [`HealthConfig`](tailguard_sched::HealthConfig).
+    pub health: HealthStats,
+    /// Final per-server EWMA health scores (empty without health tracking;
+    /// servers that never completed a task report 0).
+    pub server_health: Vec<f64>,
+    /// Times the adaptive estimator rolled its observation window (always
+    /// zero without an [`AdaptiveWindow`](tailguard_sched::AdaptiveWindow)).
+    pub estimator_window_rolls: u64,
 }
 
 impl SimReport {
@@ -214,6 +224,9 @@ mod tests {
             robustness: RobustnessStats::default(),
             partial_latency: LatencyReservoir::new(),
             lifecycle: LifecycleStats::default(),
+            health: HealthStats::default(),
+            server_health: Vec::new(),
+            estimator_window_rolls: 0,
         }
     }
 

@@ -31,6 +31,7 @@ pub fn single_class(workload: TailbenchWorkload, slo_ms: f64, n: usize) -> Scena
         mean_task_work_ms: mean,
         placement: None,
         seed: 0xF164 ^ n as u64,
+        drift: None,
     }
 }
 
@@ -58,6 +59,7 @@ pub fn two_class(
         mean_task_work_ms: mean,
         placement: None,
         seed: 0xF165,
+        drift: None,
     }
 }
 
@@ -79,6 +81,7 @@ pub fn oldi_two_class(workload: TailbenchWorkload, slo_high_ms: f64, slo_low_ms:
         mean_task_work_ms: mean,
         placement: None,
         seed: 0xF166,
+        drift: None,
     }
 }
 
@@ -105,6 +108,7 @@ pub fn n1000_single_class(workload: TailbenchWorkload, slo_ms: f64) -> Scenario 
         mean_task_work_ms: mean,
         placement: None,
         seed: 0x1000,
+        drift: None,
     }
 }
 
@@ -123,6 +127,7 @@ pub fn four_class(workload: TailbenchWorkload, base_slo_ms: f64) -> Scenario {
         mean_task_work_ms: mean,
         placement: None,
         seed: 0xF0C4,
+        drift: None,
     }
 }
 
@@ -284,6 +289,7 @@ pub fn sas_testbed() -> Scenario {
         mean_task_work_ms,
         placement: Some(placement),
         seed: 0x5A5,
+        drift: None,
     }
 }
 

@@ -4,9 +4,9 @@ use std::fmt;
 use std::sync::Arc;
 use tailguard_faults::FaultPlan;
 use tailguard_policy::Policy;
-use tailguard_sched::{EstimatorMode, MitigationConfig};
+use tailguard_sched::{AdaptiveWindow, EstimatorMode, HealthConfig, MitigationConfig};
 use tailguard_simcore::{SimDuration, SimRng, SimTime};
-use tailguard_workload::{ArrivalProcess, QueryMix, Trace};
+use tailguard_workload::{ArrivalProcess, DriftPlan, QueryMix, Trace};
 
 // Service classes, clusters, and admission control moved into the shared
 // scheduling core so the simulator and the testbed configure the same
@@ -173,6 +173,16 @@ pub struct SimConfig {
     /// no lease-check events enter the heap and runs stay bit-identical to
     /// pre-lease ones.
     pub lease: Option<SimDuration>,
+    /// Per-server health scoring with outlier ejection in the scheduling
+    /// core. `None` (the default) disables it and leaves runs
+    /// bit-identical.
+    pub health: Option<HealthConfig>,
+    /// Adaptive (windowed/decayed) deadline estimation: the online
+    /// estimator's CDFs roll every `window` observations so `x_p^u(k)`
+    /// re-converges after a shift. `None` (the default) keeps cumulative
+    /// estimation and bit-identical runs. Only meaningful with an online
+    /// [`EstimatorMode`].
+    pub adaptive: Option<AdaptiveWindow>,
 }
 
 impl SimConfig {
@@ -192,6 +202,8 @@ impl SimConfig {
             faults: None,
             mitigation: None,
             lease: None,
+            health: None,
+            adaptive: None,
         }
     }
 
@@ -249,6 +261,20 @@ impl SimConfig {
         self.lease = Some(ttl);
         self
     }
+
+    /// Enables per-server health scoring with outlier ejection
+    /// (builder-style).
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Enables adaptive (windowed/decayed) deadline estimation
+    /// (builder-style).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveWindow) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
 }
 
 /// A placement function: picks target servers for a `(class, fanout)` query.
@@ -276,6 +302,10 @@ pub struct Scenario {
     pub placement: Option<Arc<PlacementFn>>,
     /// Base seed for workload generation.
     pub seed: u64,
+    /// Optional workload drift (diurnal/flash-crowd rate curves, mix
+    /// shifts). `None` (the default) keeps the stationary workload and
+    /// bit-identical generation.
+    pub drift: Option<DriftPlan>,
 }
 
 impl fmt::Debug for Scenario {
@@ -323,9 +353,20 @@ impl Scenario {
         let mut place_rng = master.split();
         let mut t = SimTime::ZERO;
         let mut requests = Vec::with_capacity(queries);
+        // Time-varying rate via gap rescaling: the same exponential draw,
+        // stretched or compressed by the drift's instantaneous rate factor
+        // — so a drift-free plan reproduces the stationary trace exactly.
+        let rate_drift = self.drift.as_ref().filter(|d| d.modulates_rate()).cloned();
         for _ in 0..queries {
-            t += arrival.next_gap(&mut arrival_rng);
-            let (class, fanout) = self.mix.sample(&mut mix_rng);
+            let gap = arrival.next_gap(&mut arrival_rng);
+            t += match &rate_drift {
+                Some(d) => gap.mul_f64(1.0 / d.rate_factor(t)),
+                None => gap,
+            };
+            let (class, fanout) = match &self.drift {
+                Some(d) => d.sample_mix(&self.mix, t, &mut mix_rng),
+                None => self.mix.sample(&mut mix_rng),
+            };
             let servers = self
                 .placement
                 .as_ref()
@@ -349,6 +390,12 @@ impl Scenario {
         SimConfig::new(self.cluster.clone(), self.classes.clone(), policy)
             .with_seed(self.seed ^ 0x5eed_c0de)
     }
+
+    /// Attaches a workload drift plan (builder-style).
+    pub fn with_drift(mut self, drift: DriftPlan) -> Self {
+        self.drift = Some(drift);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +415,7 @@ mod tests {
             mean_task_work_ms: 0.2,
             placement: None,
             seed: 1,
+            drift: None,
         };
         // λ = 0.5 * 100 / (10 * 0.2) = 25 queries/ms
         assert!((scenario.rate_for_load(0.5) - 25.0).abs() < 1e-12);
@@ -385,6 +433,7 @@ mod tests {
             mean_task_work_ms: 0.1,
             placement: None,
             seed: 9,
+            drift: None,
         };
         let a = scenario.input(0.4, 100);
         let b = scenario.input(0.4, 100);
@@ -405,6 +454,7 @@ mod tests {
             mean_task_work_ms: 0.1,
             placement: Some(Arc::new(|_rng, _class, _fanout| vec![3])),
             seed: 2,
+            drift: None,
         };
         let input = scenario.input(0.2, 10);
         for r in &input.requests {

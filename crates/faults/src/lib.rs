@@ -48,6 +48,27 @@ pub enum FaultKind {
     /// are delivered twice (at-least-once delivery made visible). The
     /// second copy must be suppressed idempotently by the lifecycle store.
     DuplicateDelivery,
+    /// Gray failure: the service-time multiplier ramps *linearly* from 1 at
+    /// the episode start to `peak` at the episode end — a server that decays
+    /// slowly (leaking memory, filling disk, thermal creep) instead of
+    /// failing cleanly. Unlike [`FaultKind::Slowdown`]'s step, the onset is
+    /// gradual, so threshold-based detectors see no sharp edge.
+    DegradeRamp {
+        /// The multiplier reached at the episode end (finite, > 0).
+        peak: f64,
+    },
+    /// Gray failure: the server oscillates between degraded (service times
+    /// multiplied by `factor`) and healthy phases, each lasting `period`,
+    /// starting degraded at the episode start. Flapping servers defeat
+    /// naive eject-on-first-slow logic: any ejection decision must survive
+    /// the server *looking* healthy half the time.
+    Flap {
+        /// Multiplicative service-time inflation in degraded phases
+        /// (finite, > 0).
+        factor: f64,
+        /// Length of each degraded / healthy phase (non-zero).
+        period: SimDuration,
+    },
 }
 
 /// One contiguous fault on one server over `[start, end)`.
@@ -71,15 +92,31 @@ impl FaultEpisode {
     ///
     /// # Panics
     ///
-    /// Panics when `start >= end`, or a slowdown factor is not finite and
-    /// positive.
+    /// Panics when `start >= end`, a slowdown/ramp/flap factor is not
+    /// finite and positive, or a flap period is zero.
     pub fn new(server: u32, start: SimTime, end: SimTime, kind: FaultKind) -> Self {
         assert!(start < end, "fault episode needs start < end");
-        if let FaultKind::Slowdown { factor } = kind {
-            assert!(
-                factor.is_finite() && factor > 0.0,
-                "slowdown factor must be finite and positive, got {factor}"
-            );
+        match kind {
+            FaultKind::Slowdown { factor } => {
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "slowdown factor must be finite and positive, got {factor}"
+                );
+            }
+            FaultKind::DegradeRamp { peak } => {
+                assert!(
+                    peak.is_finite() && peak > 0.0,
+                    "degrade ramp peak must be finite and positive, got {peak}"
+                );
+            }
+            FaultKind::Flap { factor, period } => {
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "flap factor must be finite and positive, got {factor}"
+                );
+                assert!(!period.is_zero(), "flap period must be non-zero");
+            }
+            _ => {}
         }
         FaultEpisode {
             server,
@@ -232,6 +269,54 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a seed-driven *gray-failure* plan: `n_episodes` episodes
+    /// of mean length `mean_len_ms`, uniformly placed over `[0, horizon)`
+    /// on uniformly drawn servers from `0..servers`, alternating between
+    /// [`FaultKind::DegradeRamp`] (peak 2–10×) and [`FaultKind::Flap`]
+    /// (factor 2–10×, period one tenth of the episode length) — the
+    /// non-stationary degradations the health layer must detect.
+    ///
+    /// A separate generator (rather than extending [`FaultPlan::generate`]'s
+    /// three-kind cycle) so existing seeded plans stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `servers` is zero, `horizon` is zero, or `mean_len_ms`
+    /// is not finite and positive.
+    pub fn generate_drift(
+        seed: u64,
+        servers: u32,
+        horizon: SimDuration,
+        n_episodes: usize,
+        mean_len_ms: f64,
+    ) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(!horizon.is_zero(), "horizon must be positive");
+        assert!(
+            mean_len_ms.is_finite() && mean_len_ms > 0.0,
+            "mean episode length must be finite and positive"
+        );
+        let mut rng = SimRng::seed(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_episodes {
+            let server = rng.index(servers as usize) as u32;
+            let len_ms = (mean_len_ms * -rng.open01().ln()).max(mean_len_ms * 0.1);
+            let start_ns = (horizon.as_nanos() as f64 * rng.f64()) as u64;
+            let start = SimTime::from_nanos(start_ns);
+            let end = start + SimDuration::from_millis_f64(len_ms);
+            let magnitude = 2.0 + rng.f64() * 8.0;
+            let kind = match rng.index(2) {
+                0 => FaultKind::DegradeRamp { peak: magnitude },
+                _ => FaultKind::Flap {
+                    factor: magnitude,
+                    period: SimDuration::from_millis_f64((len_ms / 10.0).max(0.1)),
+                },
+            };
+            plan = plan.with_episode(FaultEpisode::new(server, start, end, kind));
+        }
+        plan
+    }
+
     /// Whether a task dispatched to (or completing at) `server` at `now`
     /// is lost to an active [`FaultKind::Drop`] episode.
     pub fn drops(&self, server: u32, now: SimTime) -> bool {
@@ -275,14 +360,34 @@ impl FaultPlan {
         })
     }
 
-    /// Product of all slowdown factors active on `server` at `now`
+    /// Product of all service-time multipliers active on `server` at `now`
     /// (overlapping episodes compose multiplicatively; 1.0 when healthy).
+    ///
+    /// [`FaultKind::Slowdown`] contributes its constant factor;
+    /// [`FaultKind::DegradeRamp`] contributes `1 + (peak − 1)·φ` where `φ`
+    /// is the episode's elapsed fraction at `now`; [`FaultKind::Flap`]
+    /// contributes its factor in degraded phases (the first phase after
+    /// the episode start, then every other `period`) and 1.0 in healthy
+    /// phases.
     pub fn slowdown_factor(&self, server: u32, now: SimTime) -> f64 {
         self.episodes
             .iter()
             .filter(|e| e.server == server && e.active_at(now))
             .fold(1.0, |acc, e| match e.kind {
                 FaultKind::Slowdown { factor } => acc * factor,
+                FaultKind::DegradeRamp { peak } => {
+                    let span = e.end.saturating_since(e.start).as_nanos() as f64;
+                    let phase = now.saturating_since(e.start).as_nanos() as f64 / span;
+                    acc * (1.0 + (peak - 1.0) * phase)
+                }
+                FaultKind::Flap { factor, period } => {
+                    let cycle = now.saturating_since(e.start).as_nanos() / period.as_nanos();
+                    if cycle.is_multiple_of(2) {
+                        acc * factor
+                    } else {
+                        acc
+                    }
+                }
                 _ => acc,
             })
     }
@@ -339,7 +444,17 @@ impl FaultPlan {
                         ((e.end.as_nanos() as f64 / scale) as u64)
                             .max((e.start.as_nanos() as f64 / scale) as u64 + 1),
                     ),
-                    kind: e.kind,
+                    // Flap phases live on the same clock as the episode
+                    // interval, so the period compresses with it.
+                    kind: match e.kind {
+                        FaultKind::Flap { factor, period } => FaultKind::Flap {
+                            factor,
+                            period: SimDuration::from_nanos(
+                                ((period.as_nanos() as f64 / scale) as u64).max(1),
+                            ),
+                        },
+                        kind => kind,
+                    },
                 })
                 .collect(),
         }
@@ -642,6 +757,149 @@ mod tests {
             e.kind,
             FaultKind::Slowdown { .. } | FaultKind::Stall | FaultKind::Drop
         )));
+    }
+
+    #[test]
+    fn degrade_ramp_interpolates_linearly() {
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            0,
+            ms(10),
+            ms(30),
+            FaultKind::DegradeRamp { peak: 5.0 },
+        ));
+        assert_eq!(plan.slowdown_factor(0, ms(9)), 1.0);
+        assert_eq!(plan.slowdown_factor(0, ms(10)), 1.0, "ramp starts at 1×");
+        assert!(
+            (plan.slowdown_factor(0, ms(20)) - 3.0).abs() < 1e-9,
+            "midpoint"
+        );
+        assert!((plan.slowdown_factor(0, ms(29)) - 4.8).abs() < 1e-9);
+        assert_eq!(plan.slowdown_factor(0, ms(30)), 1.0, "end is exclusive");
+        assert_eq!(plan.slowdown_factor(1, ms(20)), 1.0);
+        // The ramp rides through completion_delay like any multiplier.
+        assert_eq!(plan.completion_delay(0, ms(20), dms(2)), dms(6));
+    }
+
+    #[test]
+    fn flap_alternates_degraded_and_healthy_phases() {
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            0,
+            ms(10),
+            ms(50),
+            FaultKind::Flap {
+                factor: 4.0,
+                period: dms(5),
+            },
+        ));
+        // Starts degraded, flips every 5 ms.
+        assert_eq!(plan.slowdown_factor(0, ms(12)), 4.0);
+        assert_eq!(plan.slowdown_factor(0, ms(17)), 1.0);
+        assert_eq!(plan.slowdown_factor(0, ms(22)), 4.0);
+        assert_eq!(plan.slowdown_factor(0, ms(27)), 1.0);
+        assert_eq!(plan.slowdown_factor(0, ms(9)), 1.0, "before episode");
+        assert_eq!(plan.slowdown_factor(0, ms(50)), 1.0, "end is exclusive");
+    }
+
+    #[test]
+    fn gray_kinds_compose_with_step_slowdowns() {
+        let plan = FaultPlan::new()
+            .with_episode(FaultEpisode::new(
+                0,
+                ms(0),
+                ms(100),
+                FaultKind::Slowdown { factor: 2.0 },
+            ))
+            .with_episode(FaultEpisode::new(
+                0,
+                ms(0),
+                ms(100),
+                FaultKind::Flap {
+                    factor: 3.0,
+                    period: dms(50),
+                },
+            ));
+        assert_eq!(plan.slowdown_factor(0, ms(10)), 6.0);
+        assert_eq!(plan.slowdown_factor(0, ms(60)), 2.0);
+    }
+
+    #[test]
+    fn compressed_scales_flap_period() {
+        let plan = FaultPlan::new().with_episode(FaultEpisode::new(
+            0,
+            ms(100),
+            ms(300),
+            FaultKind::Flap {
+                factor: 4.0,
+                period: dms(50),
+            },
+        ));
+        let c = plan.compressed(10.0);
+        assert_eq!(c.episodes()[0].start, ms(10));
+        assert_eq!(c.episodes()[0].end, ms(30));
+        assert_eq!(
+            c.episodes()[0].kind,
+            FaultKind::Flap {
+                factor: 4.0,
+                period: dms(5),
+            }
+        );
+        // Phase structure is preserved under compression.
+        assert_eq!(
+            plan.slowdown_factor(0, ms(160)),
+            c.slowdown_factor(0, ms(16))
+        );
+        assert_eq!(
+            plan.slowdown_factor(0, ms(110)),
+            c.slowdown_factor(0, ms(11))
+        );
+    }
+
+    #[test]
+    fn drift_plan_is_deterministic_and_gray_only() {
+        let a = FaultPlan::generate_drift(7, 16, dms(10_000), 12, 50.0);
+        let b = FaultPlan::generate_drift(7, 16, dms(10_000), 12, 50.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert!(a.episodes().iter().all(|e| matches!(
+            e.kind,
+            FaultKind::DegradeRamp { .. } | FaultKind::Flap { .. }
+        )));
+        assert!(a
+            .episodes()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::DegradeRamp { .. })));
+        assert!(a
+            .episodes()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Flap { .. })));
+        // The legacy generators' streams are untouched.
+        let legacy = FaultPlan::generate(7, 16, dms(10_000), 12, 50.0);
+        assert!(legacy.episodes().iter().all(|e| matches!(
+            e.kind,
+            FaultKind::Slowdown { .. } | FaultKind::Stall | FaultKind::Drop
+        )));
+        let c = FaultPlan::generate_drift(8, 16, dms(10_000), 12, 50.0);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "ramp peak")]
+    fn non_positive_ramp_peak_panics() {
+        let _ = FaultEpisode::new(0, ms(0), ms(1), FaultKind::DegradeRamp { peak: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "flap period")]
+    fn zero_flap_period_panics() {
+        let _ = FaultEpisode::new(
+            0,
+            ms(0),
+            ms(1),
+            FaultKind::Flap {
+                factor: 2.0,
+                period: SimDuration::ZERO,
+            },
+        );
     }
 
     #[test]

@@ -352,6 +352,11 @@ impl Registry {
             "Queries whose every task was lost",
             rs.failed_queries,
         );
+        self.counter_set(
+            "tailguard_mitigation_budget_exhausted_total",
+            "Hedges/retries denied by the per-class outstanding-duplicate cap",
+            rs.budget_exhausted,
+        );
     }
 
     /// Publishes the state store's [`LifecycleStats`]: end-of-run task

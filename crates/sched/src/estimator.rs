@@ -70,6 +70,46 @@ impl EstimatorMode {
     }
 }
 
+/// Windowed/decayed CDF adaptation for [`EstimatorMode::Online`].
+///
+/// A cumulative online histogram never forgets: after a server degrades,
+/// `x_p^u(k)` converges to the *average* of the pre- and post-shift
+/// distributions instead of the current one, so stamped deadlines stay
+/// wrong forever. With an adaptive window, every `window` observations the
+/// histograms are decayed by `decay` (exponential forgetting of old mass)
+/// and the budget caches are invalidated, so quantiles re-converge to the
+/// shifted distribution at a rate set by `(window, decay)`.
+///
+/// Disabled (`None` on the estimator) by default — runs without it are
+/// bit-identical to pre-adaptive ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveWindow {
+    /// Observations between window rolls.
+    pub window: u64,
+    /// Multiplier applied to every histogram bucket at each roll
+    /// (`0 ≤ decay < 1`; 0 forgets everything, 0.5 halves old mass).
+    pub decay: f64,
+}
+
+impl AdaptiveWindow {
+    /// Creates an adaptive window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is zero or `decay` is outside `[0, 1)`.
+    pub fn new(window: u64, decay: f64) -> Self {
+        assert!(
+            window >= 1,
+            "adaptive window must be at least 1 observation"
+        );
+        assert!(
+            decay.is_finite() && (0.0..1.0).contains(&decay),
+            "adaptive decay must lie in [0, 1), got {decay}"
+        );
+        AdaptiveWindow { window, decay }
+    }
+}
+
 /// Distinct groups stored inline in a [`GroupKey`] before spilling to the
 /// heap. Every homogeneous scenario uses one group and the SaS testbed
 /// uses three, so steady-state budget lookups allocate nothing.
@@ -163,6 +203,9 @@ pub struct DeadlineEstimator {
     refresh_every: u64,
     since_refresh: u64,
     refreshes: u64,
+    adaptive: Option<AdaptiveWindow>,
+    since_roll: u64,
+    window_rolls: u64,
 }
 
 impl std::fmt::Debug for DeadlineEstimator {
@@ -233,7 +276,18 @@ impl DeadlineEstimator {
             refresh_every,
             since_refresh: 0,
             refreshes: 0,
+            adaptive: None,
+            since_roll: 0,
+            window_rolls: 0,
         }
+    }
+
+    /// Enables windowed/decayed CDF adaptation (builder-style). Only
+    /// meaningful in [`EstimatorMode::Online`]; analytic estimators ignore
+    /// observations entirely, so the window never rolls.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveWindow) -> Self {
+        self.adaptive = Some(adaptive);
+        self
     }
 
     /// Runs the paper's offline estimation process: samples each group's
@@ -271,9 +325,29 @@ impl DeadlineEstimator {
         let g = self.group_of[server] as usize;
         self.hists[g].record(t.as_millis_f64());
         self.since_refresh += 1;
+        if let Some(aw) = self.adaptive {
+            self.since_roll += 1;
+            if self.since_roll >= aw.window {
+                self.roll_window(aw.decay);
+                return;
+            }
+        }
         if self.since_refresh >= self.refresh_every {
             self.rebuild_snapshots();
         }
+    }
+
+    /// Decays every group histogram and rebuilds the snapshots + caches —
+    /// the window-roll half of the online updating process. Old mass fades
+    /// exponentially, so `x_p^u(k)` tracks the *current* distribution
+    /// instead of the lifetime average.
+    fn roll_window(&mut self, decay: f64) {
+        for h in &mut self.hists {
+            h.decay(decay);
+        }
+        self.rebuild_snapshots();
+        self.since_roll = 0;
+        self.window_rolls += 1;
     }
 
     fn rebuild_snapshots(&mut self) {
@@ -293,6 +367,12 @@ impl DeadlineEstimator {
     /// Number of background refreshes performed so far.
     pub fn refresh_count(&self) -> u64 {
         self.refreshes
+    }
+
+    /// Number of adaptive window rolls (decay + cache invalidation)
+    /// performed so far. Always zero without [`AdaptiveWindow`].
+    pub fn window_roll_count(&self) -> u64 {
+        self.window_rolls
     }
 
     /// Forces an immediate snapshot rebuild and cache flush — used after an
@@ -585,6 +665,120 @@ mod tests {
             "budget must tighten after slowdown: {before} -> {after}"
         );
         assert!(est.refresh_count() > 10);
+    }
+
+    #[test]
+    fn adaptive_window_reconverges_after_shift() {
+        // A server group shifts from mean 0.2 ms to mean 1.0 ms. The
+        // cumulative estimator averages both regimes; the adaptive one
+        // forgets the old regime and re-converges to the new tail, so its
+        // post-shift budget is strictly tighter.
+        let make = |adaptive: Option<AdaptiveWindow>| {
+            let base: DynDistribution = Arc::new(Exponential::with_mean(0.2));
+            let cluster = ClusterSpec::heterogeneous(vec![Arc::clone(&base), base]);
+            let mut est = DeadlineEstimator::new(
+                &cluster,
+                vec![ClassSpec::p99(ms(20.0))],
+                EstimatorMode::Online {
+                    refresh_every: 2_000,
+                    offline_samples: 0,
+                },
+            );
+            if let Some(aw) = adaptive {
+                est = est.with_adaptive(aw);
+            }
+            let mut rng = SimRng::seed(6);
+            est.seed_offline(&cluster, 100_000, &mut rng);
+            // The shift: both servers now serve 5× slower.
+            let slow = Exponential::with_mean(1.0);
+            for _ in 0..50_000 {
+                est.record_post_queuing(0, ms(slow.sample(&mut rng)));
+                est.record_post_queuing(1, ms(slow.sample(&mut rng)));
+            }
+            est
+        };
+        let mut cumulative = make(None);
+        let mut adaptive = make(Some(AdaptiveWindow::new(4_000, 0.3)));
+        assert_eq!(cumulative.window_roll_count(), 0);
+        assert!(adaptive.window_roll_count() >= 10);
+        let c = adaptive.budget(0, 2, &[0, 1]);
+        let s = cumulative.budget(0, 2, &[0, 1]);
+        assert!(
+            c < s,
+            "adaptive budget must tighten past the stale average: adaptive {c} vs cumulative {s}"
+        );
+        // The adaptive tail is near the true post-shift tail; the
+        // cumulative one is dragged low by 100k pre-shift samples.
+        let true_tail = {
+            let slow: DynDistribution = Arc::new(Exponential::with_mean(1.0));
+            let cluster = ClusterSpec::heterogeneous(vec![Arc::clone(&slow), slow]);
+            DeadlineEstimator::new(
+                &cluster,
+                vec![ClassSpec::p99(ms(20.0))],
+                EstimatorMode::Analytic,
+            )
+            .unloaded_query_tail(0, 2, &[0, 1])
+            .as_millis_f64()
+        };
+        let adaptive_tail = adaptive.unloaded_query_tail(0, 2, &[0, 1]).as_millis_f64();
+        let cumulative_tail = cumulative
+            .unloaded_query_tail(0, 2, &[0, 1])
+            .as_millis_f64();
+        assert!(
+            (adaptive_tail - true_tail).abs() < (cumulative_tail - true_tail).abs(),
+            "adaptive {adaptive_tail} must sit closer to true {true_tail} than cumulative {cumulative_tail}"
+        );
+    }
+
+    #[test]
+    fn window_roll_invalidates_caches() {
+        let cluster = masstree_cluster(10);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(1.0))],
+            EstimatorMode::Online {
+                refresh_every: u64::MAX - 1,
+                offline_samples: 0,
+            },
+        )
+        .with_adaptive(AdaptiveWindow::new(100, 0.5));
+        let mut rng = SimRng::seed(3);
+        est.seed_offline(&cluster, 10_000, &mut rng);
+        let _ = est.budget(0, 10, &[]);
+        assert_eq!(est.cached_budget_count(), 1);
+        for _ in 0..100 {
+            est.record_post_queuing(0, ms(0.3));
+        }
+        assert_eq!(est.window_roll_count(), 1);
+        assert_eq!(est.cached_budget_count(), 0, "roll must flush the memo");
+    }
+
+    #[test]
+    fn adaptive_in_analytic_mode_never_rolls() {
+        let cluster = masstree_cluster(10);
+        let mut est = DeadlineEstimator::new(
+            &cluster,
+            vec![ClassSpec::p99(ms(1.0))],
+            EstimatorMode::Analytic,
+        )
+        .with_adaptive(AdaptiveWindow::new(10, 0.5));
+        for _ in 0..1_000 {
+            est.record_post_queuing(0, ms(100.0));
+        }
+        assert_eq!(est.window_roll_count(), 0);
+        assert_eq!(est.refresh_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive decay")]
+    fn adaptive_decay_of_one_panics() {
+        let _ = AdaptiveWindow::new(100, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive window")]
+    fn adaptive_zero_window_panics() {
+        let _ = AdaptiveWindow::new(0, 0.5);
     }
 
     #[test]

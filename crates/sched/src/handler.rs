@@ -19,6 +19,7 @@
 use crate::admission::AdmissionController;
 use crate::config::{AdmissionConfig, ClassSpec};
 use crate::estimator::DeadlineEstimator;
+use crate::health::{HealthConfig, HealthStats, HealthTracker};
 use crate::mitigation::{MitigationConfig, RobustnessStats};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
@@ -187,6 +188,16 @@ pub struct SchedStats {
     /// reclaims, fenced commits). Filled by [`QueryHandler::into_stats`];
     /// read live via [`QueryHandler::lifecycle`].
     pub lifecycle: LifecycleStats,
+    /// Health/ejection counters (all zero without a health config). Filled
+    /// by [`QueryHandler::into_stats`]; read live via
+    /// [`QueryHandler::health`].
+    pub health: HealthStats,
+    /// Final per-server health scores (EWMA of observed post-queuing
+    /// times, ms). Empty without a health config.
+    pub server_health: Vec<f64>,
+    /// Adaptive-estimator window rolls (0 without
+    /// [`crate::AdaptiveWindow`]). Filled by [`QueryHandler::into_stats`].
+    pub estimator_window_rolls: u64,
 }
 
 struct QueryMeta {
@@ -271,6 +282,10 @@ pub struct QueryHandler {
     queries: Vec<QueryMeta>,
     admission: Option<AdmissionController>,
     mitigation: Option<MitigationConfig>,
+    health: Option<HealthTracker>,
+    /// Outstanding hedge+retry copies per class, for the
+    /// [`MitigationConfig::hedge_budget`] token bucket.
+    outstanding_dups: Vec<u32>,
     stats: SchedStats,
     /// The flight-recorder sink ([`NullSink`] by default — a boxed ZST,
     /// no allocation).
@@ -314,6 +329,7 @@ impl QueryHandler {
         admission: Option<AdmissionConfig>,
     ) -> Self {
         assert!(!classes.is_empty(), "need at least one class");
+        let class_count = classes.len();
         QueryHandler {
             policy,
             classes,
@@ -328,6 +344,8 @@ impl QueryHandler {
             queries: Vec::new(),
             admission: admission.map(AdmissionController::new),
             mitigation: None,
+            health: None,
+            outstanding_dups: vec![0; class_count],
             stats: SchedStats {
                 query_latency_by_class: BTreeMap::new(),
                 query_latency_by_type: BTreeMap::new(),
@@ -340,6 +358,9 @@ impl QueryHandler {
                 robustness: RobustnessStats::default(),
                 partial_latency: LatencyReservoir::new(),
                 lifecycle: LifecycleStats::default(),
+                health: HealthStats::default(),
+                server_health: Vec::new(),
+                estimator_window_rolls: 0,
             },
             sink: Box::new(NullSink),
             trace_on: false,
@@ -368,6 +389,23 @@ impl QueryHandler {
     /// The mitigation config, when one was set.
     pub fn mitigation(&self) -> Option<&MitigationConfig> {
         self.mitigation.as_ref()
+    }
+
+    /// Enables per-server health scoring with hysteresis-gated outlier
+    /// ejection (see [`HealthTracker`]). Tasks aimed at an ejected server
+    /// are diverted to the least-loaded healthy server (keeping their
+    /// stamped deadline — Eq. 6 stamps once, at arrival), except for the
+    /// periodic recovery probe; backup selection for hedges and retries
+    /// also skips ejected servers. Without it the handler behaves exactly
+    /// as before.
+    pub fn with_health(mut self, config: HealthConfig) -> Self {
+        self.health = Some(HealthTracker::new(config, self.servers.len()));
+        self
+    }
+
+    /// The health tracker, when health scoring is enabled.
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.health.as_ref()
     }
 
     /// Enables lease expiry: every dispatch's lease carries
@@ -494,6 +532,20 @@ impl QueryHandler {
         }
 
         for (idx, &server) in arrival.targets.iter().enumerate() {
+            // Outlier ejection: a task aimed at an ejected server diverts
+            // to the least-loaded healthy server (every `probe_every`-th
+            // task still goes through as a recovery probe). The deadline
+            // below is stamped from the *requested* placement — Eq. 6
+            // stamps once, at arrival; diversion must not re-budget.
+            let divert = match &mut self.health {
+                Some(h) => h.should_divert(server as usize),
+                None => false,
+            };
+            let server = if divert {
+                self.healthy_backup(server).unwrap_or(server)
+            } else {
+                server
+            };
             // Footnote-4 ablation hook: per-task deadlines when provided.
             let (task_budget, task_deadline) = match arrival.task_budgets {
                 Some(tb) => (tb[idx], now + tb[idx]),
@@ -613,6 +665,13 @@ impl QueryHandler {
         // Online updating process (§III.B.2): the handler learns the
         // server's post-queuing time distribution from returned results.
         self.estimator.record_post_queuing(server as usize, busy);
+        // The health tracker watches the same completion stream.
+        if let Some(h) = &mut self.health {
+            h.observe(server as usize, busy);
+        }
+        if kind != AttemptKind::Original {
+            self.release_dup(query);
+        }
         if self.trace_on {
             // Emitted before the freed server's next dequeue so the stream
             // reads completion-then-dequeue at equal timestamps.
@@ -718,6 +777,9 @@ impl QueryHandler {
                 server,
             });
         }
+        if rec.kind != AttemptKind::Original {
+            self.release_dup(query);
+        }
         let next = self.on_server_free(now, server);
         let slot_state = self.store.slot_mut(slot);
         slot_state.live -= 1;
@@ -734,7 +796,8 @@ impl QueryHandler {
         let can_retry = self
             .mitigation
             .as_ref()
-            .is_some_and(|m| m.retry_lost && self.store.slot(slot).attempts < m.max_attempts);
+            .is_some_and(|m| m.retry_lost && self.store.slot(slot).attempts < m.max_attempts)
+            && self.dup_budget_available(self.queries[query as usize].class);
         let retry = if can_retry {
             self.backup_server(slot)
                 .map(|server| RetryPlan { slot, server })
@@ -763,17 +826,21 @@ impl QueryHandler {
         loop {
             let entry = self.servers[server as usize].queue.pop()?;
             let task = entry.task_id as TaskId;
-            let slot = self.store.attempt(task).slot;
+            let rec = *self.store.attempt(task);
+            let slot = rec.slot;
             if self.store.slot(slot).resolved {
                 self.store.cancel(task);
                 self.store.slot_mut(slot).live -= 1;
                 self.stats.robustness.cancelled_tasks += 1;
+                if rec.kind != AttemptKind::Original {
+                    self.release_dup(rec.query);
+                }
                 if self.trace_on {
                     self.sink.record(&TraceEvent::TaskCancelled {
                         at: now,
                         task,
                         slot,
-                        query: self.store.attempt(task).query,
+                        query: rec.query,
                         server,
                     });
                 }
@@ -791,20 +858,49 @@ impl QueryHandler {
 
     /// Picks a backup server for the slot of `task` when a hedge is still
     /// worthwhile: the slot is unresolved, attempts remain under
-    /// [`MitigationConfig::max_attempts`], and an untried server exists.
-    /// The driver follows up with [`QueryHandler::issue_duplicate`].
-    pub fn hedge_target(&self, task: TaskId) -> Option<u32> {
+    /// [`MitigationConfig::max_attempts`], the class has token-bucket
+    /// budget left ([`MitigationConfig::hedge_budget`]), and an untried
+    /// healthy server exists. The driver follows up with
+    /// [`QueryHandler::issue_duplicate`].
+    pub fn hedge_target(&mut self, task: TaskId) -> Option<u32> {
         let m = self.mitigation.as_ref()?;
         let slot_state = self.store.slot(task);
         if slot_state.resolved || slot_state.attempts >= m.max_attempts {
             return None;
         }
+        let class = self.queries[self.store.attempt(task).query as usize].class;
+        if !self.dup_budget_available(class) {
+            return None;
+        }
         self.backup_server(task)
+    }
+
+    /// Whether `class` has hedge/retry token-bucket budget left. A denial
+    /// counts in [`RobustnessStats::budget_exhausted`]; without a
+    /// configured budget the bucket is bottomless.
+    fn dup_budget_available(&mut self, class: u8) -> bool {
+        let Some(cap) = self.mitigation.as_ref().and_then(|m| m.hedge_budget) else {
+            return true;
+        };
+        if self.outstanding_dups[class as usize] >= cap {
+            self.stats.robustness.budget_exhausted += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Returns the terminal non-original attempt of `query`'s class to the
+    /// token bucket.
+    fn release_dup(&mut self, query: QueryId) {
+        let class = self.queries[query as usize].class as usize;
+        debug_assert!(self.outstanding_dups[class] > 0, "token-bucket underflow");
+        self.outstanding_dups[class] -= 1;
     }
 
     /// The least-loaded server (queue depth + in-service occupancy, lowest
     /// index breaking ties — deterministic) that this slot has not yet
-    /// tried. `None` when every server was tried.
+    /// tried, skipping ejected servers. `None` when every candidate was
+    /// tried or is ejected.
     fn backup_server(&self, slot: TaskId) -> Option<u32> {
         let origin = self.store.attempt(slot).server;
         let tried = &self.store.slot(slot).extra_servers;
@@ -812,6 +908,33 @@ impl QueryHandler {
         for (i, s) in self.servers.iter().enumerate() {
             let i = i as u32;
             if i == origin || tried.contains(&i) {
+                continue;
+            }
+            if self
+                .health
+                .as_ref()
+                .is_some_and(|h| h.is_ejected(i as usize))
+            {
+                continue;
+            }
+            let depth = s.queue.len() + usize::from(s.in_service.is_some());
+            if best.is_none_or(|(d, _)| depth < d) {
+                best = Some((depth, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// The least-loaded healthy server other than `exclude` (lowest index
+    /// breaking ties — deterministic); `None` when no other healthy server
+    /// exists (the quorum floor makes this unreachable in practice, but
+    /// diversion then falls back to the original target).
+    fn healthy_backup(&self, exclude: u32) -> Option<u32> {
+        let h = self.health.as_ref()?;
+        let mut best: Option<(usize, u32)> = None;
+        for (i, s) in self.servers.iter().enumerate() {
+            let i = i as u32;
+            if i == exclude || h.is_ejected(i as usize) {
                 continue;
             }
             let depth = s.queue.len() + usize::from(s.in_service.is_some());
@@ -847,6 +970,9 @@ impl QueryHandler {
             AttemptKind::Hedge => self.stats.robustness.hedges_issued += 1,
             AttemptKind::Retry => self.stats.robustness.retries += 1,
             AttemptKind::Original => {}
+        }
+        if kind != AttemptKind::Original {
+            self.outstanding_dups[class as usize] += 1;
         }
         self.stats.load.task_dispatched();
         if self.trace_on {
@@ -932,6 +1058,9 @@ impl QueryHandler {
             self.store.cancel(task);
             self.store.slot_mut(rec.slot).live -= 1;
             self.stats.robustness.cancelled_tasks += 1;
+            if rec.kind != AttemptKind::Original {
+                self.release_dup(rec.query);
+            }
             if self.trace_on {
                 self.sink.record(&TraceEvent::TaskCancelled {
                     at: now,
@@ -1159,10 +1288,15 @@ impl QueryHandler {
     }
 
     /// Consumes the handler, returning its measurements (with the final
-    /// lifecycle gauges/counters folded in).
+    /// lifecycle, health, and estimator gauges/counters folded in).
     pub fn into_stats(self) -> SchedStats {
         let mut stats = self.stats;
         stats.lifecycle = self.store.stats().clone();
+        if let Some(h) = &self.health {
+            stats.health = h.stats().clone();
+            stats.server_health = h.scores().to_vec();
+        }
+        stats.estimator_window_rolls = self.estimator.window_roll_count();
         stats
     }
 }
@@ -1756,6 +1890,142 @@ mod tests {
         assert_eq!(h.servers_busy(), 2);
         h.on_task_complete(SimTime::from_millis(1), 0, LeaseToken(1), ms(1.0));
         assert_eq!(h.queued_tasks(), 0);
+    }
+
+    #[test]
+    fn hedge_budget_caps_outstanding_duplicates() {
+        let mut h = handler(4, Policy::TfEdf, None).with_mitigation(
+            MitigationConfig::new()
+                .with_hedge_after(0.5)
+                .with_max_attempts(4)
+                .with_hedge_budget(1),
+        );
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        h.on_query_arrival(SimTime::ZERO, arrival(&[1], true), &mut started);
+
+        // The first hedge fits the bucket; the second is denied while it
+        // is outstanding.
+        let due = h.hedge_deadline(0).unwrap();
+        let target = h.hedge_target(0).expect("budget available");
+        let (hedge, dispatched) = h.issue_duplicate(due, 0, target, None, AttemptKind::Hedge);
+        let lease = dispatched.expect("idle backup dispatches").lease;
+        assert_eq!(h.hedge_target(1), None, "bucket exhausted");
+        assert_eq!(h.stats().robustness.budget_exhausted, 1);
+
+        // The hedge resolving returns its token; hedging works again.
+        h.on_task_complete(due + ms(1.0), hedge, lease, ms(1.0));
+        assert!(h.hedge_target(1).is_some(), "token returned");
+        assert_eq!(h.stats().robustness.budget_exhausted, 1);
+    }
+
+    #[test]
+    fn hedge_budget_denies_retries_of_lost_tasks() {
+        let mut h = handler(3, Policy::TfEdf, None)
+            .with_mitigation(MitigationConfig::new().with_hedge_budget(1));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        h.on_query_arrival(SimTime::ZERO, arrival(&[1], true), &mut started);
+
+        // First loss retries (token taken); the second is denied and its
+        // query fails outright.
+        let first = h.on_task_lost(SimTime::from_millis(1), 0, LeaseToken(1));
+        assert!(first.retry.is_some());
+        let plan = first.retry.unwrap();
+        h.issue_duplicate(
+            SimTime::from_millis(1),
+            plan.slot,
+            plan.server,
+            None,
+            AttemptKind::Retry,
+        );
+        let second = h.on_task_lost(SimTime::from_millis(1), 1, LeaseToken(2));
+        assert_eq!(second.retry, None, "bucket exhausted: no retry");
+        assert!(second.done.is_some(), "slot resolves as lost instead");
+        assert_eq!(h.stats().robustness.budget_exhausted, 1);
+        assert_eq!(h.stats().robustness.failed_queries, 1);
+    }
+
+    #[test]
+    fn ejected_server_diverts_arrivals_and_probes() {
+        let cfg = HealthConfig::new()
+            .with_min_observations(4)
+            .with_eval_every(4)
+            .with_probe_every(3);
+        let mut h = handler(3, Policy::TfEdf, None).with_health(cfg);
+        let mut started = Vec::new();
+
+        // Teach the tracker that server 2 is a 10× outlier (draining
+        // chained dispatches, since diverted tasks may queue).
+        for round in 0..20u64 {
+            let t = SimTime::from_millis(10 * round);
+            h.on_query_arrival(t, arrival(&[0, 1, 2], false), &mut started);
+            let mut pending = started.clone();
+            while let Some(d) = pending.pop() {
+                let busy = if d.server == 2 { ms(2.0) } else { ms(0.2) };
+                let c = h.on_task_complete(t + busy, d.task, d.lease, busy);
+                pending.extend(c.next);
+            }
+        }
+        assert!(h.health().unwrap().is_ejected(2));
+
+        // Tasks aimed at server 2 now divert to a healthy server, except
+        // every 3rd, which probes. (The teaching loop already diverted
+        // some post-ejection arrivals, so counters are compared as deltas.)
+        let base = h.health().unwrap().stats().clone();
+        let mut dispatched_servers = Vec::new();
+        for i in 0..6u64 {
+            let t = SimTime::from_millis(1000 + i);
+            h.on_query_arrival(t, arrival(&[2], false), &mut started);
+            let d = started[0];
+            dispatched_servers.push(d.server);
+            h.on_task_complete(t + ms(0.2), d.task, d.lease, ms(0.2));
+        }
+        assert!(
+            dispatched_servers.iter().filter(|&&s| s != 2).count() == 4
+                && dispatched_servers.iter().filter(|&&s| s == 2).count() == 2,
+            "4 diverted, 2 probes, got {dispatched_servers:?}"
+        );
+        let hs = h.health().unwrap().stats();
+        assert_eq!(hs.probes - base.probes, 2);
+        assert_eq!(hs.rerouted_tasks - base.rerouted_tasks, 4);
+
+        let stats = h.into_stats();
+        assert_eq!(stats.health.ejections, 1);
+        assert_eq!(stats.server_health.len(), 3);
+        assert!(stats.server_health[2] > stats.server_health[0]);
+    }
+
+    #[test]
+    fn backup_selection_skips_ejected_servers() {
+        let cfg = HealthConfig::new()
+            .with_min_observations(4)
+            .with_eval_every(4);
+        let mut h = handler(3, Policy::TfEdf, None)
+            .with_health(cfg)
+            .with_mitigation(MitigationConfig::new().with_hedge_after(0.5));
+        let mut started = Vec::new();
+        for round in 0..20u64 {
+            let t = SimTime::from_millis(10 * round);
+            h.on_query_arrival(t, arrival(&[0, 1, 2], false), &mut started);
+            let mut pending = started.clone();
+            while let Some(d) = pending.pop() {
+                let busy = if d.server == 1 { ms(2.0) } else { ms(0.2) };
+                let c = h.on_task_complete(t + busy, d.task, d.lease, busy);
+                pending.extend(c.next);
+            }
+        }
+        assert!(h.health().unwrap().is_ejected(1));
+
+        // A hedge for a task on server 0 must pick server 2, never the
+        // ejected server 1 (even though both are idle).
+        h.on_query_arrival(
+            SimTime::from_millis(1000),
+            arrival(&[0], false),
+            &mut started,
+        );
+        let slot = started[0].task;
+        assert_eq!(h.hedge_target(slot), Some(2));
     }
 
     #[test]

@@ -24,15 +24,17 @@ mod admission;
 mod config;
 mod estimator;
 mod handler;
+mod health;
 mod mitigation;
 mod trace;
 
 pub use config::{AdmissionConfig, ClassSpec, ClusterSpec};
-pub use estimator::{DeadlineEstimator, EstimatorMode};
+pub use estimator::{AdaptiveWindow, DeadlineEstimator, EstimatorMode};
 pub use handler::{
     AdmitDecision, DispatchedTask, LostTask, QueryArrival, QueryDone, QueryHandler, QueryId,
     QueryTypeKey, RetryPlan, SchedStats, TaskCompletion, TaskId,
 };
+pub use health::{HealthConfig, HealthStats, HealthTracker};
 pub use mitigation::{MitigationConfig, RobustnessStats};
 // Lifecycle vocabulary re-exported for driver convenience (`AttemptKind`
 // predates the lifecycle crate and keeps its original path here).

@@ -27,6 +27,12 @@ pub struct MitigationConfig {
     /// `ceil(partial_quorum × k_f)` of its tasks have finished (clamped to
     /// `1..=k_f`). `None` requires all `k_f` tasks.
     pub partial_quorum: Option<f64>,
+    /// Retry-storm guard: a per-class token bucket capping *outstanding*
+    /// hedge+retry copies. A hedge or retry is denied (counted in
+    /// [`RobustnessStats::budget_exhausted`]) while the class already has
+    /// this many duplicates in flight, so mitigation cannot amplify load
+    /// into an already-degraded cluster. `None` leaves it uncapped.
+    pub hedge_budget: Option<u32>,
 }
 
 impl Default for MitigationConfig {
@@ -36,6 +42,7 @@ impl Default for MitigationConfig {
             max_attempts: 2,
             retry_lost: true,
             partial_quorum: None,
+            hedge_budget: None,
         }
     }
 }
@@ -90,6 +97,19 @@ impl MitigationConfig {
         self.partial_quorum = Some(fraction);
         self
     }
+
+    /// Caps outstanding hedge+retry copies per class (the retry-storm
+    /// guard's token bucket size).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` is zero (use `retry_lost: false` and no
+    /// `hedge_after` to disable mitigation outright).
+    pub fn with_hedge_budget(mut self, budget: u32) -> Self {
+        assert!(budget >= 1, "hedge_budget must be at least 1");
+        self.hedge_budget = Some(budget);
+        self
+    }
 }
 
 /// Fault/hedge/partial counters, accumulated by the handler.
@@ -117,6 +137,9 @@ pub struct RobustnessStats {
     pub partial_completions: u64,
     /// Queries whose every task was lost (no result at all).
     pub failed_queries: u64,
+    /// Hedges/retries denied by the [`MitigationConfig::hedge_budget`]
+    /// token bucket (outstanding-duplicate cap hit for the class).
+    pub budget_exhausted: u64,
 }
 
 #[cfg(test)]
@@ -129,11 +152,13 @@ mod tests {
             .with_hedge_after(0.5)
             .with_max_attempts(3)
             .with_retry_lost(false)
-            .with_partial_quorum(0.8);
+            .with_partial_quorum(0.8)
+            .with_hedge_budget(4);
         assert_eq!(m.hedge_after, Some(0.5));
         assert_eq!(m.max_attempts, 3);
         assert!(!m.retry_lost);
         assert_eq!(m.partial_quorum, Some(0.8));
+        assert_eq!(m.hedge_budget, Some(4));
     }
 
     #[test]
@@ -152,5 +177,11 @@ mod tests {
     #[should_panic(expected = "partial_quorum")]
     fn oversized_quorum_panics() {
         let _ = MitigationConfig::new().with_partial_quorum(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "hedge_budget")]
+    fn zero_hedge_budget_panics() {
+        let _ = MitigationConfig::new().with_hedge_budget(0);
     }
 }

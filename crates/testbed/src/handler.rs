@@ -17,8 +17,8 @@ use tailguard_obs::{RingRecorder, SharedRegistry};
 use tailguard_policy::Policy;
 use tailguard_sched::{
     AdmissionConfig, AdmitDecision, AttemptKind, ClassSpec, CommitOutcome, DeadlineEstimator,
-    DispatchedTask, LeaseToken, LifecycleStats, MitigationConfig, QueryArrival, QueryHandler,
-    RobustnessStats, TaskCompletion,
+    DispatchedTask, HealthConfig, HealthStats, LeaseToken, LifecycleStats, MitigationConfig,
+    QueryArrival, QueryHandler, RobustnessStats, TaskCompletion,
 };
 use tailguard_simcore::{SimDuration, SimTime};
 use tokio::sync::mpsc;
@@ -59,6 +59,13 @@ pub(crate) struct HandlerOutput {
     pub worker_panics: u64,
     /// Lease/fencing counters from the core's task state store.
     pub lifecycle: LifecycleStats,
+    /// Health-tracking counters (all zero without a health config).
+    pub health: HealthStats,
+    /// Final per-node EWMA health scores, scaled wall domain (empty
+    /// without health tracking).
+    pub server_health: Vec<f64>,
+    /// Adaptive-estimator window rolls (zero without an adaptive window).
+    pub estimator_window_rolls: u64,
 }
 
 pub(crate) struct HandlerConfig {
@@ -66,6 +73,7 @@ pub(crate) struct HandlerConfig {
     pub scaled_classes: Vec<ClassSpec>, // per class, wall-scaled SLOs
     pub admission: Option<AdmissionConfig>, // window in the scaled domain
     pub mitigation: Option<MitigationConfig>, // hedging/retry/partial quorum
+    pub health: Option<HealthConfig>,   // gray-failure ejection (dimensionless)
     pub expected_queries: u64,
     /// Lease TTL in the *scaled* wall domain. When set, every dispatch
     /// issues a fencing token and arms a reclaim timer; a node that goes
@@ -107,6 +115,9 @@ pub(crate) async fn query_handler(
     }
     if let Some(ttl) = cfg.lease_ttl {
         core = core.with_lease(ttl);
+    }
+    if let Some(hc) = cfg.health {
+        core = core.with_health(hc);
     }
     let recorder = cfg
         .registry
@@ -452,6 +463,34 @@ pub(crate) async fn query_handler(
             "Final dequeue-time deadline-miss ratio",
             stats.load.deadline_miss_ratio(),
         );
+        // Health metrics exist exactly when health tracking is on, so
+        // feature-off registries keep their previous shape.
+        if !stats.server_health.is_empty() {
+            for (node, score) in stats.server_health.iter().enumerate() {
+                reg.gauge_set(
+                    &format!("tailguard_server_health{{server=\"{node}\"}}"),
+                    "Per-node EWMA health score (observed service time, compressed domain)",
+                    *score,
+                );
+            }
+            reg.counter_set(
+                "tailguard_ejections_total",
+                "Nodes ejected from dispatch by the health tracker",
+                stats.health.ejections,
+            );
+            reg.counter_set(
+                "tailguard_readmissions_total",
+                "Ejected nodes readmitted after recovering",
+                stats.health.readmissions,
+            );
+        }
+        if stats.estimator_window_rolls > 0 {
+            reg.counter_set(
+                "tailguard_estimator_window_rolls_total",
+                "Adaptive estimator window rolls (decay + budget-table rebuild)",
+                stats.estimator_window_rolls,
+            );
+        }
         if rec.dropped() > 0 {
             reg.counter_set(
                 "tailguard_trace_events_dropped_total",
@@ -477,6 +516,9 @@ pub(crate) async fn query_handler(
         robustness: stats.robustness,
         worker_panics,
         lifecycle: stats.lifecycle,
+        health: stats.health,
+        server_health: stats.server_health,
+        estimator_window_rolls: stats.estimator_window_rolls,
     }
 }
 

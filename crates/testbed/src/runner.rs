@@ -12,7 +12,9 @@ use tailguard_faults::FaultPlan;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_obs::SharedRegistry;
 use tailguard_policy::Policy;
-use tailguard_sched::{LifecycleStats, MitigationConfig, RobustnessStats};
+use tailguard_sched::{
+    AdaptiveWindow, HealthConfig, HealthStats, LifecycleStats, MitigationConfig, RobustnessStats,
+};
 use tailguard_simcore::{SimDuration, SimRng};
 use tokio::sync::mpsc;
 
@@ -50,6 +52,12 @@ pub struct TestbedConfig {
     /// Pi time; compressed alongside everything else). Armed only after
     /// offline calibration, so probes always see the healthy cluster.
     pub faults: Option<FaultPlan>,
+    /// Workload drift (diurnal load curves, flash crowds, mix shifts) in
+    /// *uncompressed* Pi time, applied to the scenario before the load plan
+    /// is generated — so a simulator run with the same drifted scenario
+    /// consumes the identical query sequence. `None` keeps the stationary
+    /// plan (and its RNG stream) bit-identical.
+    pub drift: Option<tailguard::DriftPlan>,
     /// Deadline-aware hedging/retry and graceful degradation at the
     /// handler, if any.
     pub mitigation: Option<MitigationConfig>,
@@ -60,6 +68,15 @@ pub struct TestbedConfig {
     /// original deadline, and any zombie result is rejected by token
     /// mismatch. `None` (default) disables crash recovery.
     pub lease_ttl: Option<SimDuration>,
+    /// Gray-failure resilience: per-node EWMA health scoring with
+    /// hysteresis-gated ejection and recovery probing. The thresholds are
+    /// dimensionless ratios against the cluster median, so the same config
+    /// works under any time compression. `None` (default) disables it.
+    pub health: Option<HealthConfig>,
+    /// Adaptive deadline estimation: the estimator decays its observation
+    /// histograms every `window` samples so budgets track drifting service
+    /// times. `None` (default) keeps the cumulative estimator.
+    pub adaptive: Option<AdaptiveWindow>,
     /// Clock mode.
     pub mode: TestbedMode,
     /// Master seed.
@@ -86,8 +103,11 @@ impl Default for TestbedConfig {
             calibration_probes: 40,
             admission: None,
             faults: None,
+            drift: None,
             mitigation: None,
             lease_ttl: None,
+            health: None,
+            adaptive: None,
             mode: TestbedMode::PausedTime,
             seed: 0x5A5_7E57,
             store_days: 90,
@@ -149,6 +169,14 @@ pub struct TestbedReport {
     pub worker_panics: u64,
     /// Lease/fencing counters (all zero without `lease_ttl`).
     pub lifecycle: LifecycleStats,
+    /// Health-tracking counters (all zero without [`TestbedConfig::health`]).
+    pub health: HealthStats,
+    /// Final per-node EWMA health scores in the *compressed* wall domain
+    /// (empty without health tracking).
+    pub server_health: Vec<f64>,
+    /// Adaptive-estimator window rolls (zero without
+    /// [`TestbedConfig::adaptive`]).
+    pub estimator_window_rolls: u64,
 }
 
 impl TestbedReport {
@@ -246,7 +274,10 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
     }
 
     // --- The workload plan comes from the simulation twin scenario. ------
-    let scenario = scenarios::sas_testbed();
+    let mut scenario = scenarios::sas_testbed();
+    if let Some(d) = &config.drift {
+        scenario = scenario.with_drift(d.clone());
+    }
     let scaled_classes: Vec<tailguard::ClassSpec> = scenario
         .classes
         .iter()
@@ -287,6 +318,9 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
         }
     }
     estimator.refresh_now();
+    if let Some(aw) = config.adaptive {
+        estimator = estimator.with_adaptive(aw);
+    }
     // Calibration done: arm the fault plan — episode times are measured
     // from here, matching the simulator's t = 0.
     crate::node::arm_fault_epoch(&fault_epoch, tokio::time::Instant::now());
@@ -342,6 +376,9 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
             // Hedge threshold and quorum are fractions of budget/fanout —
             // dimensionless, so no compression needed.
             mitigation: config.mitigation,
+            // Health thresholds are ratios against the live cluster median
+            // — dimensionless, so they pass through uncompressed.
+            health: config.health,
             expected_queries: config.queries as u64,
             // The lease TTL is a Pi-time knob like the SLOs; compress it
             // into the wall domain the handler's timers run in.
@@ -425,6 +462,9 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
         robustness: out.robustness,
         worker_panics: out.worker_panics,
         lifecycle: out.lifecycle,
+        health: out.health,
+        server_health: out.server_health,
+        estimator_window_rolls: out.estimator_window_rolls,
     }
 }
 

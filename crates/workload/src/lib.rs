@@ -15,11 +15,13 @@
 //! ([`Trace`]), so experiments can be replayed bit-for-bit.
 
 mod arrival;
+mod drift;
 mod fanout;
 mod tailbench;
 mod trace;
 
 pub use arrival::ArrivalProcess;
+pub use drift::{DriftKind, DriftPlan};
 pub use fanout::FanoutDist;
 pub use tailbench::{fig3_markers, TailbenchWorkload, UnloadedStats};
 pub use trace::{ClassShare, QueryMix, QueryRecord, Trace, TraceError, TraceMeta};

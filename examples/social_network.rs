@@ -52,6 +52,7 @@ fn main() {
         mean_task_work_ms: workload.mean_service_ms(),
         placement: None,
         seed: 0x50C1A1,
+        drift: None,
     };
 
     // --- The paper's §I observation, concretely. -------------------------

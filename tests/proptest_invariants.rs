@@ -279,6 +279,89 @@ proptest! {
         );
     }
 
+    /// Gray-failure resilience: under arbitrary degrade-ramp/flap drift
+    /// plans, health-gated ejection with recovery probing (plus a capped
+    /// hedge budget) conserves every query and every task attempt, and
+    /// the tracker never shrinks the dispatchable pool below the
+    /// partial-quorum hard floor.
+    #[test]
+    fn health_ejection_conserves_and_respects_floor(
+        arrivals in proptest::collection::vec(0u64..20_000, 1..100),
+        fanout in 1u32..8,
+        n_episodes in 1usize..6,
+        fault_seed in 0u64..1_000,
+        frac_pct in 50u64..100,
+        policy_idx in 0usize..4,
+    ) {
+        use tailguard_repro::tailguard::{FaultPlan, HealthConfig, MitigationConfig};
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let n = arrivals.len() as u64;
+        let plan = FaultPlan::generate_drift(
+            fault_seed,
+            8,
+            SimDuration::from_millis(30),
+            n_episodes,
+            3.0,
+        );
+        let frac = frac_pct as f64 / 100.0;
+        let cfg = SimConfig::new(
+            ClusterSpec::homogeneous(8, Deterministic::new(0.7)),
+            vec![ClassSpec::p99(ms(10.0))],
+            Policy::ALL[policy_idx],
+        )
+        .with_warmup(0)
+        .with_faults(plan)
+        .with_health(
+            HealthConfig::new()
+                .with_min_observations(5)
+                .with_eval_every(8)
+                .with_probe_every(3)
+                .with_min_healthy_fraction(frac),
+        )
+        .with_mitigation(
+            MitigationConfig::new()
+                .with_hedge_after(0.5)
+                .with_hedge_budget(2),
+        );
+        let input = SimInput {
+            requests: arrivals
+                .iter()
+                .map(|&a| RequestInput {
+                    arrival: SimTime::from_micros(a),
+                    queries: vec![QuerySpec::new(0, fanout)],
+                })
+                .collect(),
+        };
+        let report = run_simulation(&cfg, &input);
+        let r = &report.robustness;
+        // Query conservation: diversion, probing, and budget-denied hedges
+        // never lose or double-count a query.
+        prop_assert_eq!(
+            report.completed_queries + r.partial_completions + r.failed_queries,
+            n
+        );
+        prop_assert_eq!(report.rejected_queries, 0);
+        // Task-attempt conservation still holds with rerouting in the path.
+        prop_assert_eq!(
+            r.task_wins + r.cancelled_tasks + r.tasks_lost_to_faults,
+            report.load.tasks_dispatched_count()
+        );
+        // Quorum floor: ejections minus readmissions is the number of
+        // currently ejected servers, which may never push the healthy
+        // count below ceil(frac × 8).
+        let h = &report.health;
+        prop_assert!(h.ejections >= h.readmissions);
+        let min_healthy = (frac * 8.0).ceil() as u64;
+        prop_assert!(
+            8 - (h.ejections - h.readmissions) >= min_healthy,
+            "floor violated: {} ejected with floor {}",
+            h.ejections - h.readmissions,
+            min_healthy
+        );
+        prop_assert_eq!(report.server_health.len(), 8);
+    }
+
     /// The EDF policies never produce a *worse* tail than FIFO for the
     /// tightest-budget class when that class is a minority sharing with
     /// loose background traffic.

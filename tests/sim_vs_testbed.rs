@@ -76,6 +76,95 @@ fn same_workload_same_counts_without_admission() {
 }
 
 #[test]
+fn drifting_gray_failure_agrees_across_runtimes() {
+    // Non-stationary differential: the same flash-crowd drift plan shapes
+    // the workload on both sides (the testbed applies it to the scenario
+    // before generating the load plan, so the query sequences are
+    // identical), the same degrade-ramp turns two server-room nodes gray,
+    // and the same health config ejects them. Counts must agree exactly;
+    // the health machinery must engage on both runtimes.
+    use tailguard_repro::faults::{FaultEpisode, FaultKind, FaultPlan};
+    use tailguard_repro::simcore::SimTime;
+    use tailguard_repro::tailguard::{AdaptiveWindow, DriftKind, DriftPlan, HealthConfig};
+
+    let load = 0.3;
+    let drift = DriftPlan::new(vec![DriftKind::FlashCrowd {
+        start: SimTime::from_millis(2_000),
+        end: SimTime::from_millis(10_000),
+        factor: 1.5,
+    }]);
+    let mut faults = FaultPlan::new();
+    for node in 0..2 {
+        faults = faults.with_episode(FaultEpisode::new(
+            node,
+            SimTime::from_millis(500),
+            SimTime::from_millis(100_000_000),
+            FaultKind::DegradeRamp { peak: 15.0 },
+        ));
+    }
+    let health = HealthConfig::new()
+        .with_min_observations(5)
+        .with_eval_every(16)
+        .with_thresholds(2.5, 1.4);
+    let adaptive = AdaptiveWindow::new(500, 0.5);
+
+    let mut tb_cfg = testbed_config(load, QUERIES);
+    tb_cfg.drift = Some(drift.clone());
+    tb_cfg.faults = Some(faults.clone());
+    tb_cfg.health = Some(health);
+    tb_cfg.adaptive = Some(adaptive);
+    let tb = run_testbed(&tb_cfg);
+    assert_eq!(
+        tb.completed_queries
+            + tb.rejected_queries
+            + tb.robustness.partial_completions
+            + tb.robustness.failed_queries,
+        QUERIES as u64,
+        "testbed lost queries under drift + ejection"
+    );
+    assert!(tb.health.ejections > 0, "testbed never ejected a gray node");
+    assert!(tb.health.rerouted_tasks > 0, "testbed never rerouted");
+    assert_eq!(tb.server_health.len(), 32);
+
+    let scenario = scenarios::sas_testbed().with_drift(drift);
+    let cfg = scenario
+        .config(Policy::TfEdf)
+        .with_warmup(0)
+        .with_faults(faults)
+        .with_health(health)
+        .with_adaptive(adaptive);
+    let input = scenario.input(load, QUERIES);
+    let sim = run_simulation(&cfg, &input);
+    assert_eq!(
+        sim.completed_queries
+            + sim.rejected_queries
+            + sim.robustness.partial_completions
+            + sim.robustness.failed_queries,
+        QUERIES as u64,
+        "simulator lost queries under drift + ejection"
+    );
+    assert!(sim.health.ejections > 0, "simulator never ejected");
+    assert!(sim.health.rerouted_tasks > 0, "simulator never rerouted");
+    assert_eq!(sim.server_health.len(), 32);
+
+    // The identical drifted SimInput drives both runtimes: per-class
+    // completed counts agree one for one (placement may differ — diversion
+    // reacts to each runtime's own observed times — but completion
+    // accounting may not).
+    for class in 0..3u8 {
+        let s = sim
+            .query_latency_by_class
+            .get(&class)
+            .map_or(0, tailguard_repro::metrics::LatencyReservoir::len);
+        let t = tb
+            .latency_by_class
+            .get(&class)
+            .map_or(0, tailguard_repro::metrics::LatencyReservoir::len);
+        assert_eq!(s, t, "class {class}: sim completed {s}, testbed {t}");
+    }
+}
+
+#[test]
 fn same_admission_config_rejects_on_both_runtimes() {
     // One AdmissionConfig value flows to both drivers unchanged (the
     // testbed rescales only the window into its compressed clock): the
