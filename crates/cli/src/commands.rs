@@ -15,8 +15,8 @@ use tailguard::{
 };
 use tailguard_dist::{Cdf, LogHistogram};
 use tailguard_obs::{
-    build_timelines, events_to_csv, events_to_jsonl, miss_ratio_timeline, slack_by_type,
-    slowest_queries, QueryTimeline, Registry,
+    build_timelines, events_to_csv, events_to_jsonl, miss_ratio_timeline, server_transitions,
+    slack_by_type, slowest_queries, QueryTimeline, Registry, SloSnapshot,
 };
 use tailguard_policy::Policy;
 use tailguard_simcore::{SimDuration, SimTime};
@@ -249,6 +249,9 @@ struct SimSummary {
     /// Includes the estimator counters (`tailguard_estimator_*`) and the
     /// mitigation counters (`tailguard_mitigation_*`).
     metrics: BTreeMap<String, serde_json::Value>,
+    /// The SLO monitor's sealed state (attainment, burn rates, alerts)
+    /// when the run was observed; absent on unobserved paths.
+    slo: Option<SloSnapshot>,
 }
 
 fn summarize(report: &mut SimReport, offered: f64) -> SimSummary {
@@ -266,6 +269,7 @@ fn summarize(report: &mut SimReport, offered: f64) -> SimSummary {
         meets_all_slos: report.meets_all_slos(),
         class_p99_ms,
         metrics: BTreeMap::new(),
+        slo: None,
     }
 }
 
@@ -314,6 +318,7 @@ pub fn cmd_sim(args: &Args) -> Result<String, ArgError> {
         let mut report = run.report;
         let mut summary = summarize(&mut report, load);
         summary.metrics = uniform_metrics(&run.registry);
+        summary.slo = Some(run.slo);
         serde_json::to_string_pretty(&summary).map_err(|e| err(e.to_string()))
     } else {
         let mut report = run_simulation(&config, &input);
@@ -852,6 +857,8 @@ const TRACE_KEYS: &[&str] = &[
     "bin",
     "ring",
     "snapshot-every",
+    "sample",
+    "slow-after",
     "export",
     "metrics",
     "json",
@@ -884,7 +891,7 @@ pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
     }
     let mut opts = ObsOptions {
         ring_capacity: args.usize_or("ring", tailguard::DEFAULT_RING_CAPACITY)?,
-        snapshot_every: None,
+        ..ObsOptions::default()
     };
     if opts.ring_capacity == 0 {
         return Err(err("--ring must be positive (events)"));
@@ -895,6 +902,20 @@ pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
             return Err(err("--snapshot-every must be positive (ms)"));
         }
         opts.snapshot_every = Some(SimDuration::from_millis_f64(every));
+    }
+    if args.get("sample").is_some() || args.get("slow-after").is_some() {
+        let keep = args.usize_or("sample", 10)?;
+        if keep > 1000 {
+            return Err(err("--sample is a per-mille keep rate (0..=1000)"));
+        }
+        let slow_ms = args.f64_or("slow-after", 20.0)?;
+        if slow_ms <= 0.0 {
+            return Err(err("--slow-after must be positive (ms)"));
+        }
+        opts.sampler = Some(tailguard_obs::SamplerConfig {
+            keep_permille: keep as u16,
+            slow_after: SimDuration::from_millis_f64(slow_ms),
+        });
     }
 
     let run = run_simulation_observed(&config, &input, &opts);
@@ -924,8 +945,13 @@ pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
                 "events_dropped".to_string(),
                 serde_json::Value::U64(run.recorder.dropped()),
             ),
+            (
+                "events_sampled_out".to_string(),
+                serde_json::Value::U64(run.recorder.sampled_out()),
+            ),
             ("registry".to_string(), run.registry.snapshot().to_node()),
             ("snapshots".to_string(), run.snapshots.to_node()),
+            ("slo".to_string(), run.slo.to_node()),
         ]);
         return serde_json::to_string_pretty(&doc).map_err(|e| err(e.to_string()));
     }
@@ -952,10 +978,11 @@ pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
         load * 100.0
     );
     out.push_str(&format!(
-        "events: {} recorded, {} retained ({} dropped); snapshots: {}\n",
+        "events: {} recorded, {} retained ({} dropped, {} sampled out); snapshots: {}\n",
         run.recorder.total_recorded(),
         run.recorder.len(),
         run.recorder.dropped(),
+        run.recorder.sampled_out(),
         run.snapshots.len()
     ));
     let complete = timelines.values().filter(|t| t.is_complete()).count();
@@ -1032,6 +1059,181 @@ pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
             ratio * 100.0
         ));
     }
+
+    let transitions = server_transitions(&events);
+    if !transitions.is_empty() {
+        out.push_str("\ncluster events (health tracker):\n");
+        for t in &transitions {
+            out.push_str(&format!(
+                "  {:>10.3} ms server {:>3} {}\n",
+                t.at.as_millis_f64(),
+                t.server,
+                if t.ejected { "ejected" } else { "readmitted" }
+            ));
+        }
+    }
+
+    out.push_str(&render_slo(&run.slo));
+    Ok(out)
+}
+
+/// Renders the SLO monitor's sealed state: the per-class attainment and
+/// burn-rate table, then every multi-window burn alert in time order.
+fn render_slo(slo: &SloSnapshot) -> String {
+    let mut out = format!(
+        "\nSLO attainment (target {:.2}%, bucket {:.0} ms, slow window {} buckets, burn alert ≥ {:.1}x):\n",
+        slo.target * 100.0,
+        slo.bucket_ns as f64 / 1e6,
+        slo.slow_buckets,
+        slo.burn_threshold
+    );
+    if slo.classes.is_empty() {
+        out.push_str("  (no dequeues observed)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:>6} {:>9} {:>7} {:>11} {:>5} {:>9} {:>9} {:>7} {:>12} {:>12}\n",
+        "class",
+        "dequeues",
+        "misses",
+        "attainment",
+        "met",
+        "burn_fast",
+        "burn_slow",
+        "alerts",
+        "slack p50",
+        "slack p99"
+    ));
+    for c in &slo.classes {
+        out.push_str(&format!(
+            "{:>6} {:>9} {:>7} {:>10.3}% {:>5} {:>9.2} {:>9.2} {:>7} {:>9.3} ms {:>9.3} ms\n",
+            c.class,
+            c.dequeues,
+            c.misses,
+            c.attainment * 100.0,
+            if c.met { "yes" } else { "NO" },
+            c.fast_burn,
+            c.slow_burn,
+            c.alerts,
+            c.slack_p50_ms,
+            c.slack_p99_ms
+        ));
+    }
+    if !slo.alerts.is_empty() {
+        out.push_str("\nburn-rate alerts:\n");
+        for a in &slo.alerts {
+            out.push_str(&format!(
+                "  {:>10.3} ms class {} fast {:.1}x slow {:.1}x\n",
+                a.at_ns as f64 / 1e6,
+                a.class,
+                a.fast_burn,
+                a.slow_burn
+            ));
+        }
+    }
+    out
+}
+
+const SLO_KEYS: &[&str] = &[
+    "workload",
+    "policy",
+    "load",
+    "queries",
+    "slo",
+    "slos",
+    "fanout",
+    "servers",
+    "arrival",
+    "seed",
+    "warmup",
+    "admission",
+    "online",
+    "target",
+    "bucket",
+    "slow-buckets",
+    "burn",
+    "json",
+];
+
+/// `tailguard slo` — run one simulation under the online SLO monitor and
+/// report per-class attainment, multi-window burn rates, windowed slack
+/// percentiles, and every burn-rate alert. `--target` overrides the
+/// attainment target (default: the strictest class percentile),
+/// `--bucket`/`--slow-buckets` set the fast/slow windows, `--burn` the
+/// alert threshold, and `--json` emits the full monitor snapshot.
+pub fn cmd_slo(args: &Args) -> Result<String, ArgError> {
+    args.check_known(SLO_KEYS)?;
+    let scenario = scenario_from(args)?;
+    let policy = policy_from(args.get("policy").unwrap_or("tfedf"))?;
+    let load = args.f64_or("load", 0.4)?;
+    if !(0.0..=1.5).contains(&load) || load <= 0.0 {
+        return Err(err("--load must lie in (0, 1.5]"));
+    }
+    let queries = args.usize_or("queries", 20_000)?;
+    let warmup = args.usize_or("warmup", queries / 20)?;
+    let input = scenario.input(load, queries);
+    let mut config = scenario.config(policy).with_warmup(warmup);
+    if let Some(adm) = admission_from(args.get("admission"))? {
+        config = config.with_admission(adm);
+    }
+    if args.flag("online") {
+        config = config.with_estimator(EstimatorMode::online_default());
+    }
+    let mut slo_config = tailguard_obs::SloConfig::default();
+    let strictest = config
+        .classes
+        .iter()
+        .map(|c| c.percentile)
+        .fold(f64::NAN, f64::min);
+    if !strictest.is_nan() {
+        slo_config.target = strictest;
+    }
+    if args.get("target").is_some() {
+        let target = args.f64_or("target", 0.99)?;
+        if !(0.0..1.0).contains(&target) || target <= 0.0 {
+            return Err(err("--target must lie in (0, 1)"));
+        }
+        slo_config.target = target;
+    }
+    if args.get("bucket").is_some() {
+        let bucket_ms = args.f64_or("bucket", 100.0)?;
+        if bucket_ms <= 0.0 {
+            return Err(err("--bucket must be positive (ms)"));
+        }
+        slo_config.bucket = SimDuration::from_millis_f64(bucket_ms);
+    }
+    if args.get("slow-buckets").is_some() {
+        let n = args.usize_or("slow-buckets", 10)?;
+        if n == 0 {
+            return Err(err("--slow-buckets must be at least 1"));
+        }
+        slo_config.slow_buckets = n;
+    }
+    if args.get("burn").is_some() {
+        let burn = args.f64_or("burn", 2.0)?;
+        if !burn.is_finite() || burn <= 0.0 {
+            return Err(err("--burn must be a positive multiplier"));
+        }
+        slo_config.burn_threshold = burn;
+    }
+    let run = run_simulation_observed(
+        &config,
+        &input,
+        &ObsOptions {
+            slo: Some(slo_config),
+            ..ObsOptions::default()
+        },
+    );
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&run.slo).map_err(|e| err(e.to_string()));
+    }
+    let mut out = format!(
+        "{} under {} @ offered load {:.1}% — SLO monitor\n",
+        scenario.label,
+        policy.name(),
+        load * 100.0
+    );
+    out.push_str(&render_slo(&run.slo));
     Ok(out)
 }
 
@@ -1057,6 +1259,12 @@ fn render_timeline(tl: &QueryTimeline) -> String {
         out.push_str(&format!(
             "  ({} hedge/retry copies issued)\n",
             tl.duplicate_attempts()
+        ));
+    }
+    if tl.budget_denials > 0 {
+        out.push_str(&format!(
+            "  ({} hedge/retry copies denied: class budget exhausted)\n",
+            tl.budget_denials
         ));
     }
     for a in &tl.attempts {

@@ -7,6 +7,7 @@
 //! tailguard faults    fault matrix × policy sweep with mitigation
 //! tailguard testbed   run the tokio Sensing-as-a-Service testbed
 //! tailguard trace     flight-record a run and summarize/export the trace
+//! tailguard slo       run the online SLO monitor and report burn rates
 //! tailguard gentrace  generate a JSON query trace on stdout
 //! tailguard workloads print the calibrated Table II statistics
 //! tailguard budgets   show Eq. 6 pre-dequeuing budgets
@@ -55,7 +56,12 @@ COMMANDS:
                histograms, miss-ratio timeline, Prometheus/JSON metrics
                sim options plus --top <k>  --query <id>  --bin <ms>
                --snapshot-every <ms>  --ring <events>
+               --sample <permille> --slow-after <ms> (tail-aware sampling)
                --export jsonl|csv  --metrics  --json
+    slo        Run one simulation under the online SLO attainment monitor:
+               per-class attainment, multi-window burn rates, alerts
+               sim options plus --target <frac>  --bucket <ms>
+               --slow-buckets <n>  --burn <x>  --json
     gentrace   Generate a JSON query trace on stdout
                --rate <q/ms> --queries <n> --classes <n> --fanout ...
     workloads  Print the calibrated Tailbench statistics (Table II)
@@ -70,6 +76,7 @@ EXAMPLES:
     tailguard maxload --workload xapian --slos 10,15 --fanout oldi --policies all
     tailguard testbed --policy tfedf --load 0.42
     tailguard trace --policy tfedf --load 0.4 --top 5
+    tailguard slo --policy tfedf --load 0.5 --burn 2
     tailguard trace --export jsonl --queries 5000 > events.jsonl
     tailguard gentrace --rate 2 --queries 100000 > trace.json
 ";
@@ -99,6 +106,7 @@ fn main() -> ExitCode {
         "faults" => commands::cmd_faults(&parsed),
         "testbed" => commands::cmd_testbed(&parsed),
         "trace" => commands::cmd_trace(&parsed),
+        "slo" => commands::cmd_slo(&parsed),
         "gentrace" => commands::cmd_gentrace(&parsed),
         "workloads" => commands::cmd_workloads(&parsed),
         "budgets" => commands::cmd_budgets(&parsed),

@@ -23,10 +23,12 @@ use tailguard_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, Simulat
 
 /// What [`run_with_observer`] installs when a run is observed: the trace
 /// sink the handler will emit lifecycle events into, and the virtual-time
-/// cadence for [`SimSnapshot`] sampling.
+/// cadence for [`SimSnapshot`] sampling (`None` records the trace without
+/// injecting any snapshot events — the engine's event count then matches
+/// the unobserved run exactly).
 pub(crate) struct ObserverSetup {
     pub sink: Box<dyn TraceSink>,
-    pub snapshot_every: SimDuration,
+    pub snapshot_every: Option<SimDuration>,
 }
 
 /// Everything a run produces before the observability layer shapes it:
@@ -83,6 +85,29 @@ pub fn run_simulation(config: &SimConfig, input: &SimInput) -> SimReport {
     run_with_observer(config, input, None).report
 }
 
+/// Runs one simulation with a caller-supplied trace sink and *nothing
+/// else* from the observability layer: no snapshot events, no registry
+/// ingest, no decoding. The report — including `events_processed` — is
+/// identical to [`run_simulation`]'s; the only added cost is the sink's
+/// own recording, which is exactly what the `obs_overhead` bench
+/// measures. Use [`crate::run_simulation_observed`] for the full
+/// metrics/snapshot pipeline.
+pub fn run_simulation_traced(
+    config: &SimConfig,
+    input: &SimInput,
+    sink: Box<dyn TraceSink>,
+) -> SimReport {
+    run_with_observer(
+        config,
+        input,
+        Some(ObserverSetup {
+            sink,
+            snapshot_every: None,
+        }),
+    )
+    .report
+}
+
 /// The shared run loop behind [`run_simulation`] and
 /// [`crate::run_simulation_observed`]. Without an observer this is
 /// byte-for-byte the unobserved simulation: no sink is installed (the
@@ -132,7 +157,7 @@ pub(crate) fn run_with_observer(
         handler = handler.with_health(hc);
     }
     let (sink, snapshot_every) = match observer {
-        Some(o) => (Some(o.sink), Some(o.snapshot_every)),
+        Some(o) => (Some(o.sink), o.snapshot_every),
         None => (None, None),
     };
     if let Some(sink) = sink {
@@ -490,7 +515,7 @@ impl ClusterSim {
     /// A hedge threshold fired: if the slot is still unresolved and under
     /// its attempt cap, issue a hedge copy on the least-loaded backup.
     fn hedge_check(&mut self, now: SimTime, task: u32, sched: &mut Scheduler<Ev>) {
-        let Some(server) = self.handler.hedge_target(task) else {
+        let Some(server) = self.handler.hedge_target(now, task) else {
             return;
         };
         let svc = self.draw_service(server, now);

@@ -52,10 +52,11 @@ mod runner;
 pub mod scenarios;
 mod spec;
 
-pub use cluster::run_simulation;
+pub use cluster::{run_simulation, run_simulation_traced};
 pub use maxload::{max_load, measure_at_load, sweep_loads, LoadPoint, MaxLoadOptions};
 pub use observe::{
     run_simulation_observed, ObsOptions, ObservedRun, SimSnapshot, DEFAULT_RING_CAPACITY,
+    FLIGHT_RING_CAPACITY,
 };
 pub use report::{QueryTypeKey, SimReport};
 pub use request::{BudgetSplit, RequestBudgets, RequestPlanner};

@@ -2,11 +2,14 @@
 //! with the flight recorder on.
 //!
 //! [`run_simulation_observed`] drives the exact same event loop as the
-//! plain entry point, but installs a bounded [`RingRecorder`] as the
-//! handler's [`TraceSink`](tailguard_sched::TraceSink), samples
-//! [`SimSnapshot`]s at a configurable virtual-time cadence, and distills
-//! both into a [`Registry`] — the one place the CLI `--json` output, the
-//! Prometheus exposition, and the JSON snapshot dumps all read from.
+//! plain entry point, but installs a bounded [`BinaryRecorder`] sink as
+//! the handler's [`TraceSink`](tailguard_sched::TraceSink) — events are
+//! encoded into a fixed-width binary layout on the hot path and decoded
+//! back only here, at analysis time — samples [`SimSnapshot`]s at a
+//! configurable virtual-time cadence, replays the decoded stream through
+//! the [`SloMonitor`], and distills everything into a [`Registry`] — the
+//! one place the CLI `--json` output, the Prometheus exposition, and the
+//! JSON snapshot dumps all read from.
 //!
 //! The observed run is still fully deterministic in `(config.seed,
 //! input)`: tracing draws no randomness and snapshot events touch no
@@ -18,13 +21,25 @@ use crate::cluster::{run_with_observer, ObserverSetup};
 use crate::report::SimReport;
 use crate::spec::{SimConfig, SimInput};
 use serde::Serialize;
-use tailguard_obs::{Registry, RingRecorder};
+use tailguard_obs::{BinaryRecorder, Registry, SamplerConfig, SloConfig, SloMonitor, SloSnapshot};
 use tailguard_simcore::{SimDuration, SimTime};
 
-/// Default [`RingRecorder`] capacity: at roughly 64 bytes per event this
-/// bounds the recording near 64 MiB while still holding every event of the
-/// golden-pin-sized runs (10 000 queries ≈ 60 000 events).
+/// Default [`BinaryRecorder`] capacity: at 51 bytes per encoded event
+/// this bounds the recording near 51 MiB while still holding every event
+/// of the golden-pin-sized runs (10 000 queries ≈ 60 000 events).
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// Always-on flight-recorder capacity: the last 16 384 events (~817 KiB
+/// encoded), sized so ring, staging blocks, and recycled allocations stay
+/// cache-resident. Recording overhead is dominated by *retention volume*,
+/// not encoding — filling [`DEFAULT_RING_CAPACITY`]'s tens of megabytes
+/// first-touches cold pages and roughly doubles the recording cost, while
+/// a ring at this bound recycles warm blocks and stays within the ≤15%
+/// always-on budget (`BENCH_obs.json`, `binrecorder` vs
+/// `binrecorder_fullring`). Use the full capacity when the analysis needs
+/// the whole run (`tailguard trace`, `sim --json`); use this bound when
+/// tracing stays on and only the recent window matters.
+pub const FLIGHT_RING_CAPACITY: usize = 1 << 14;
 
 /// One sample of the cluster's state at a point in virtual time.
 ///
@@ -58,13 +73,22 @@ pub struct SimSnapshot {
 /// Tuning knobs for [`run_simulation_observed`].
 #[derive(Debug, Clone)]
 pub struct ObsOptions {
-    /// Most recent events the [`RingRecorder`] retains
+    /// Most recent events the [`BinaryRecorder`] retains
     /// ([`DEFAULT_RING_CAPACITY`] by default).
     pub ring_capacity: usize,
     /// Virtual-time interval between [`SimSnapshot`]s. `None` picks the
     /// admission window when one is configured (so the sampling cadence
     /// matches the controller's decision cadence) and 10 ms otherwise.
     pub snapshot_every: Option<SimDuration>,
+    /// Tail-aware sampling in front of the recorder: interesting queries
+    /// (misses, hedges, retries, losses, reclaims, slow dequeues) are
+    /// retained whole, healthy ones at the configured per-mille rate.
+    /// `None` (the default) records every event.
+    pub sampler: Option<SamplerConfig>,
+    /// SLO-monitor windowing. `None` (the default) uses the default
+    /// windows with the attainment target derived from the class specs
+    /// (the strictest — lowest — percentile across classes).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ObsOptions {
@@ -72,6 +96,8 @@ impl Default for ObsOptions {
         ObsOptions {
             ring_capacity: DEFAULT_RING_CAPACITY,
             snapshot_every: None,
+            sampler: None,
+            slo: None,
         }
     }
 }
@@ -84,17 +110,21 @@ pub struct ObservedRun {
     /// this config/input produces (only `events_processed` differs, since
     /// snapshot sampling adds engine events).
     pub report: SimReport,
-    /// The flight recorder with the retained lifecycle events — feed
-    /// [`RingRecorder::events`] to `tailguard_obs::build_timelines` or the
-    /// exporters.
-    pub recorder: RingRecorder,
+    /// The binary flight recorder with the retained lifecycle events —
+    /// feed [`BinaryRecorder::events`] (decoded on demand) to
+    /// `tailguard_obs::build_timelines` or the exporters.
+    pub recorder: BinaryRecorder,
     /// Lifecycle counters, per-phase latency histograms, estimator and
-    /// mitigation counters, and the queue-depth/miss-ratio series, ready
-    /// for `Registry::prometheus_text` or `Registry::to_json`.
+    /// mitigation counters, SLO attainment/burn-rate metrics, and the
+    /// queue-depth/miss-ratio series, ready for
+    /// `Registry::prometheus_text` or `Registry::to_json`.
     pub registry: Registry,
     /// Virtual-time samples, oldest first; never empty (a final snapshot
     /// is always taken at the last event time).
     pub snapshots: Vec<SimSnapshot>,
+    /// The sealed SLO monitor's state: per-class attainment, burn rates,
+    /// windowed slack percentiles, and every alert raised.
+    pub slo: SloSnapshot,
 }
 
 impl ObservedRun {
@@ -111,6 +141,21 @@ fn default_snapshot_interval(config: &SimConfig) -> SimDuration {
     config
         .admission
         .map_or_else(|| SimDuration::from_millis(10), |a| a.window)
+}
+
+/// The SLO-monitor config when [`ObsOptions::slo`] is `None`: default
+/// windows, with the attainment target taken from the strictest (lowest)
+/// class percentile so no configured class under-alerts.
+fn default_slo_config(config: &SimConfig) -> SloConfig {
+    let target = config
+        .classes
+        .iter()
+        .map(|c| c.percentile)
+        .fold(f64::NAN, f64::min);
+    SloConfig {
+        target: if target.is_nan() { 0.99 } else { target },
+        ..SloConfig::default()
+    }
 }
 
 /// Runs one simulation with the flight recorder on.
@@ -150,22 +195,33 @@ pub fn run_simulation_observed(
     input: &SimInput,
     opts: &ObsOptions,
 ) -> ObservedRun {
-    let recorder = RingRecorder::with_capacity(opts.ring_capacity);
+    let recorder = BinaryRecorder::with_capacity(opts.ring_capacity);
     let every = opts
         .snapshot_every
         .unwrap_or_else(|| default_snapshot_interval(config));
+    let sink = match opts.sampler {
+        Some(sampler) => recorder.sink_sampled(sampler),
+        None => recorder.sink(),
+    };
     let raw = run_with_observer(
         config,
         input,
         Some(ObserverSetup {
-            sink: recorder.sink(),
-            snapshot_every: every,
+            sink,
+            snapshot_every: Some(every),
         }),
     );
+    // Decode once, at analysis time; the hot path only saw fixed-width
+    // binary appends.
+    let events = recorder.events();
+    let mut slo_monitor = SloMonitor::new(opts.slo.unwrap_or_else(|| default_slo_config(config)));
+    slo_monitor.ingest(&events);
+    slo_monitor.finish();
     let mut registry = Registry::new();
-    registry.ingest_events(&recorder.events());
+    registry.ingest_events(&events);
     registry.ingest_robustness(&raw.report.robustness);
     registry.ingest_lifecycle(&raw.report.lifecycle);
+    slo_monitor.publish(&mut registry);
     // Health and adaptive-estimator metrics exist exactly when their
     // features are configured, so feature-off registries are unchanged.
     if !raw.report.server_health.is_empty() {
@@ -251,6 +307,13 @@ pub fn run_simulation_observed(
             recorder.dropped(),
         );
     }
+    if recorder.sampled_out() > 0 {
+        registry.counter_set(
+            "tailguard_trace_events_sampled_out_total",
+            "Healthy-query events discarded by tail-aware sampling",
+            recorder.sampled_out(),
+        );
+    }
     for s in &raw.snapshots {
         let at = SimTime::from_nanos(s.at_ns);
         registry.series_push(
@@ -277,6 +340,7 @@ pub fn run_simulation_observed(
         recorder,
         registry,
         snapshots: raw.snapshots,
+        slo: slo_monitor.snapshot(),
     }
 }
 

@@ -163,6 +163,16 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
             fields.push(format!("\"task\":{task}"));
             fields.push(format!("\"server\":{server}"));
         }
+        TraceEvent::ServerEjected { server, .. } | TraceEvent::ServerReadmitted { server, .. } => {
+            fields.push(format!("\"server\":{server}"));
+        }
+        TraceEvent::HedgeBudgetExhausted {
+            slot, query, class, ..
+        } => {
+            fields.push(format!("\"query\":{query}"));
+            fields.push(format!("\"slot\":{slot}"));
+            fields.push(format!("\"class\":{class}"));
+        }
         TraceEvent::AdmissionPause { .. } | TraceEvent::AdmissionResume { .. } => {}
     }
     format!("{{{}}}", fields.join(","))
@@ -300,6 +310,13 @@ pub fn event_to_csv_row(ev: &TraceEvent) -> String {
         TraceEvent::DuplicateSuppressed { task, server, .. } => {
             cols[3] = task.to_string();
             cols[7] = server.to_string();
+        }
+        TraceEvent::ServerEjected { server, .. } | TraceEvent::ServerReadmitted { server, .. } => {
+            cols[7] = server.to_string();
+        }
+        TraceEvent::HedgeBudgetExhausted { slot, class, .. } => {
+            cols[4] = slot.to_string();
+            cols[5] = class.to_string();
         }
         TraceEvent::AdmissionPause { .. } | TraceEvent::AdmissionResume { .. } => {}
     }

@@ -7,8 +7,18 @@
 //! aggregates. It builds on the scheduling core's flight-recorder
 //! contract ([`tailguard_sched::TraceSink`]) and provides:
 //!
-//! - [`RingRecorder`] — a bounded, shareable sink retaining the most
-//!   recent N lifecycle events (evictions counted, memory bounded);
+//! - [`BinaryRecorder`] — the always-on flight recorder: events encode
+//!   into a fixed-width binary layout ([`codec`]) in a per-handler
+//!   staging buffer and flush to a bounded shared ring in batches,
+//!   decoded back to events only at analysis time; optional tail-aware
+//!   sampling ([`TailSampler`]) keeps every interesting query whole and
+//!   a deterministic fraction of healthy ones;
+//! - [`SloMonitor`] — online SLO attainment tracking: windowed per-class
+//!   miss ratios and slack percentiles with multi-window burn-rate
+//!   alerts, published under the `tailguard_slo_*` names;
+//! - [`RingRecorder`] — the legacy bounded, shareable sink retaining the
+//!   most recent N lifecycle events as full enums (evictions counted,
+//!   memory bounded; one mutex lock per event);
 //! - [`Registry`] — counters, gauges, log-bucketed histograms (built on
 //!   [`tailguard_dist::LogHistogram`]) and time series under one naming
 //!   scheme, with Prometheus text exposition
@@ -27,20 +37,27 @@
 //! knows nothing about recording, so disabled tracing (the default
 //! [`tailguard_sched::NullSink`]) keeps the golden pins bit-identical.
 
+mod binring;
+pub mod codec;
 mod export;
 mod recorder;
 mod registry;
+mod sampler;
 mod server;
+mod slo;
 mod timeline;
 
+pub use binring::{BinaryRecorder, BinarySink, FLUSH_EVENTS};
 pub use export::{event_to_csv_row, event_to_json, events_to_csv, events_to_jsonl, CSV_HEADER};
 pub use recorder::RingRecorder;
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Registry, RegistrySnapshot, SeriesPoint,
     SeriesSnapshot,
 };
+pub use sampler::{SamplerConfig, TailSampler};
 pub use server::{shared_registry, MetricsServer, SharedRegistry};
+pub use slo::{SloAlert, SloClassSnapshot, SloConfig, SloMonitor, SloSnapshot};
 pub use timeline::{
-    build_timelines, miss_ratio_timeline, slack_by_class, slack_by_type, slowest_queries,
-    AttemptRecord, MissBin, QueryTimeline, SlackStats,
+    build_timelines, miss_ratio_timeline, server_transitions, slack_by_class, slack_by_type,
+    slowest_queries, AttemptRecord, MissBin, QueryTimeline, ServerTransition, SlackStats,
 };

@@ -143,6 +143,9 @@ impl Registry {
         let mut reclaimed = 0u64;
         let mut dup_suppressed = 0u64;
         let mut stale_rejected = 0u64;
+        let mut ejections = 0u64;
+        let mut readmissions = 0u64;
+        let mut budget_denials = 0u64;
         let mut queue_wait = LogHistogram::new();
         let mut hedge_wait = LogHistogram::new();
         let mut service = LogHistogram::new();
@@ -188,11 +191,14 @@ impl Registry {
                 TraceEvent::LeaseReclaimed { .. } => reclaimed += 1,
                 TraceEvent::DuplicateSuppressed { .. } => dup_suppressed += 1,
                 TraceEvent::StaleCommitRejected { .. } => stale_rejected += 1,
+                TraceEvent::ServerEjected { .. } => ejections += 1,
+                TraceEvent::ServerReadmitted { .. } => readmissions += 1,
+                TraceEvent::HedgeBudgetExhausted { .. } => budget_denials += 1,
             }
         }
         // Metric names appear exactly when their events did, matching the
         // previous per-event behaviour.
-        let counters: [(&str, &'static str, u64); 13] = [
+        let counters: [(&str, &'static str, u64); 16] = [
             (
                 "tailguard_queries_admitted_total",
                 "Queries that passed admission control",
@@ -257,6 +263,21 @@ impl Registry {
                 "tailguard_stale_commits_rejected_total",
                 "Zombie results fenced off by lease-token mismatch",
                 stale_rejected,
+            ),
+            (
+                "tailguard_trace_server_ejections_total",
+                "Server-ejection flips narrated into the trace stream",
+                ejections,
+            ),
+            (
+                "tailguard_trace_server_readmissions_total",
+                "Server-readmission flips narrated into the trace stream",
+                readmissions,
+            ),
+            (
+                "tailguard_trace_budget_denials_total",
+                "Hedges/retries denied by an empty per-class token bucket",
+                budget_denials,
             ),
         ];
         for (name, help, count) in counters {

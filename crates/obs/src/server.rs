@@ -136,6 +136,18 @@ mod tests {
         out
     }
 
+    /// Extracts the counter value from a scrape response, panicking on a
+    /// malformed body — a half-written line means the scrape observed a
+    /// torn registry.
+    fn admitted_value(response: &str) -> u64 {
+        response
+            .lines()
+            .find(|l| l.starts_with("tailguard_queries_admitted_total "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("scrape body missing the admitted counter")
+    }
+
     #[test]
     fn serves_metrics_and_404s_elsewhere() {
         let registry = shared_registry();
@@ -155,5 +167,88 @@ mod tests {
             .unwrap()
             .counter_add("tailguard_queries_admitted_total", "Admitted", 1);
         assert!(get(server.addr(), "/metrics").contains("tailguard_queries_admitted_total 12"));
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_succeed() {
+        let registry = shared_registry();
+        registry
+            .lock()
+            .unwrap()
+            .counter_add("tailguard_queries_admitted_total", "Admitted", 7);
+        let server = MetricsServer::serve(Arc::clone(&registry), 0).unwrap();
+        let addr = server.addr();
+        let scrapers: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut ok = 0;
+                    for _ in 0..16 {
+                        let response = get(addr, "/metrics");
+                        assert!(response.starts_with("HTTP/1.1 200 OK"));
+                        assert_eq!(admitted_value(&response), 7);
+                        ok += 1;
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let served: usize = scrapers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(served, 8 * 16);
+    }
+
+    #[test]
+    fn scrapes_during_updates_see_consistent_snapshots() {
+        let registry = shared_registry();
+        registry
+            .lock()
+            .unwrap()
+            .counter_add("tailguard_queries_admitted_total", "Admitted", 0);
+        let server = MetricsServer::serve(Arc::clone(&registry), 0).unwrap();
+        let addr = server.addr();
+        // A writer hammers the registry while a scraper reads: every
+        // response must parse and be monotonically non-decreasing —
+        // exposition happens under the registry mutex, so a scrape can
+        // never observe a torn or rolled-back counter.
+        let writer_registry = Arc::clone(&registry);
+        let writer = std::thread::spawn(move || {
+            for _ in 0..2_000 {
+                writer_registry.lock().unwrap().counter_add(
+                    "tailguard_queries_admitted_total",
+                    "Admitted",
+                    1,
+                );
+            }
+        });
+        let mut last = 0;
+        for _ in 0..32 {
+            let value = admitted_value(&get(addr, "/metrics"));
+            assert!(value >= last, "scrape went backwards: {value} after {last}");
+            assert!(value <= 2_000);
+            last = value;
+        }
+        writer.join().unwrap();
+        assert_eq!(admitted_value(&get(addr, "/metrics")), 2_000);
+    }
+
+    #[test]
+    fn scrapes_survive_a_poisoned_registry() {
+        let registry = shared_registry();
+        registry
+            .lock()
+            .unwrap()
+            .counter_add("tailguard_queries_admitted_total", "Admitted", 3);
+        let server = MetricsServer::serve(Arc::clone(&registry), 0).unwrap();
+        // Poison the mutex: a producer panicking mid-update must not take
+        // the exposition endpoint down with it.
+        let poisoner = Arc::clone(&registry);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("simulated producer crash while holding the registry");
+        })
+        .join();
+        assert!(registry.is_poisoned(), "test setup failed to poison");
+        let response = get(server.addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(admitted_value(&response), 3);
     }
 }

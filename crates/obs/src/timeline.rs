@@ -75,6 +75,9 @@ pub struct QueryTimeline {
     /// Every attempt issued for it, in task-id order (originals first,
     /// then hedges/retries as they were issued).
     pub attempts: Vec<AttemptRecord>,
+    /// Hedges/retries this query was denied because its class's
+    /// token bucket was empty (`TraceEvent::HedgeBudgetExhausted`).
+    pub budget_denials: u64,
 }
 
 impl QueryTimeline {
@@ -137,6 +140,7 @@ pub fn build_timelines(events: &[TraceEvent]) -> BTreeMap<QueryId, QueryTimeline
                         admitted_at: at,
                         deadline,
                         attempts: Vec::with_capacity(fanout as usize),
+                        budget_denials: 0,
                     },
                 );
             }
@@ -234,15 +238,55 @@ pub fn build_timelines(events: &[TraceEvent]) -> BTreeMap<QueryId, QueryTimeline
                     a.reclaims += 1;
                 }
             }
+            TraceEvent::HedgeBudgetExhausted { query, .. } => {
+                if let Some(tl) = timelines.get_mut(&query) {
+                    tl.budget_denials += 1;
+                }
+            }
             TraceEvent::HedgeIssued { .. }
             | TraceEvent::QueryRejected { .. }
             | TraceEvent::AdmissionPause { .. }
             | TraceEvent::AdmissionResume { .. }
             | TraceEvent::DuplicateSuppressed { .. }
-            | TraceEvent::StaleCommitRejected { .. } => {}
+            | TraceEvent::StaleCommitRejected { .. }
+            | TraceEvent::ServerEjected { .. }
+            | TraceEvent::ServerReadmitted { .. } => {}
         }
     }
     timelines
+}
+
+/// One health-tracker ejection-state flip pulled from an event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerTransition {
+    /// When the flip happened.
+    pub at: SimTime,
+    /// The server whose state flipped.
+    pub server: u32,
+    /// `true` for an ejection, `false` for a readmission.
+    pub ejected: bool,
+}
+
+/// Extracts the server ejection/readmission flips from an event stream, in
+/// emission order — the cluster-level counterpart to the per-query
+/// timelines (`tailguard trace` renders them as a cluster-events section).
+pub fn server_transitions(events: &[TraceEvent]) -> Vec<ServerTransition> {
+    events
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::ServerEjected { at, server } => Some(ServerTransition {
+                at,
+                server,
+                ejected: true,
+            }),
+            TraceEvent::ServerReadmitted { at, server } => Some(ServerTransition {
+                at,
+                server,
+                ejected: false,
+            }),
+            _ => None,
+        })
+        .collect()
 }
 
 fn attempt_mut<'a>(
@@ -602,5 +646,39 @@ mod tests {
         let top = slowest_queries(&timelines, 1);
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].query, 1);
+    }
+
+    #[test]
+    fn budget_denials_count_and_cluster_events_surface_as_transitions() {
+        let t = SimTime::from_millis;
+        let mut events = sample_events();
+        events.extend([
+            TraceEvent::HedgeBudgetExhausted {
+                at: t(2),
+                slot: 0,
+                query: 0,
+                class: 0,
+            },
+            TraceEvent::HedgeBudgetExhausted {
+                at: t(3),
+                slot: 0,
+                query: 0,
+                class: 0,
+            },
+            TraceEvent::ServerEjected {
+                at: t(1),
+                server: 7,
+            },
+            TraceEvent::ServerReadmitted {
+                at: t(4),
+                server: 7,
+            },
+        ]);
+        let timelines = build_timelines(&events);
+        assert_eq!(timelines[&0].budget_denials, 2);
+        let transitions = server_transitions(&events);
+        assert_eq!(transitions.len(), 2);
+        assert!(transitions[0].ejected && transitions[0].server == 7);
+        assert!(!transitions[1].ejected && transitions[1].at == t(4));
     }
 }

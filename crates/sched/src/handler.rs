@@ -200,6 +200,60 @@ pub struct SchedStats {
     pub estimator_window_rolls: u64,
 }
 
+/// The installed [`TraceSink`] plus the handler-side event stage.
+///
+/// For a sink whose [`TraceSink::batch_hint`] is 1 every event goes
+/// straight through [`TraceSink::record`]. For a batching sink the hot
+/// emission path is an inlined `Vec` push — no virtual dispatch — and the
+/// stage is handed over in [`TraceSink::record_batch`] runs when it fills.
+/// The `Drop` impl delivers the final partial batch, and because dropping
+/// a partially-moved struct still drops its remaining fields, the stage
+/// survives [`QueryHandler::into_stats`] moving the measurements out.
+struct Tracer {
+    sink: Box<dyn TraceSink>,
+    stage: Vec<TraceEvent>,
+    /// Cached `sink.batch_hint().max(1)`.
+    batch: usize,
+}
+
+impl Tracer {
+    fn new(sink: Box<dyn TraceSink>) -> Tracer {
+        let batch = sink.batch_hint().max(1);
+        Tracer {
+            sink,
+            stage: Vec::with_capacity(if batch > 1 { batch } else { 0 }),
+            batch,
+        }
+    }
+
+    /// Emits one event: immediate delivery for per-event sinks, a staged
+    /// push (flushed on batch boundaries) for batching sinks.
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if self.batch == 1 {
+            self.sink.record(&ev);
+            return;
+        }
+        self.stage.push(ev);
+        if self.stage.len() >= self.batch {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.stage.is_empty() {
+            self.sink.record_batch(&self.stage);
+            self.stage.clear();
+        }
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 struct QueryMeta {
     class: u8,
     fanout: u32,
@@ -287,9 +341,9 @@ pub struct QueryHandler {
     /// [`MitigationConfig::hedge_budget`] token bucket.
     outstanding_dups: Vec<u32>,
     stats: SchedStats,
-    /// The flight-recorder sink ([`NullSink`] by default — a boxed ZST,
-    /// no allocation).
-    sink: Box<dyn TraceSink>,
+    /// The flight-recorder sink plus its handler-side event stage (see
+    /// [`Tracer`]).
+    tracer: Tracer,
     /// Cached `sink.enabled()`: every emission point is `if self.trace_on`,
     /// so disabled tracing costs one predictable branch and never builds
     /// the event.
@@ -362,7 +416,7 @@ impl QueryHandler {
                 server_health: Vec::new(),
                 estimator_window_rolls: 0,
             },
-            sink: Box::new(NullSink),
+            tracer: Tracer::new(Box::new(NullSink)),
             trace_on: false,
             admission_was_rejecting: false,
         }
@@ -374,7 +428,7 @@ impl QueryHandler {
     /// the hot path free of event construction.
     pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
         self.trace_on = sink.enabled();
-        self.sink = sink;
+        self.tracer = Tracer::new(sink);
         self
     }
 
@@ -467,7 +521,7 @@ impl QueryHandler {
                 }
             }
             if self.trace_on {
-                self.sink.record(&TraceEvent::QueryRejected {
+                self.tracer.emit(TraceEvent::QueryRejected {
                     at: now,
                     class: arrival.class,
                     fanout: arrival.targets.len() as u32,
@@ -522,7 +576,7 @@ impl QueryHandler {
             done: false,
         });
         if self.trace_on {
-            self.sink.record(&TraceEvent::QueryAdmitted {
+            self.tracer.emit(TraceEvent::QueryAdmitted {
                 at: now,
                 query,
                 class: arrival.class,
@@ -569,7 +623,7 @@ impl QueryHandler {
                 entry = entry.with_size_hint(sizes[idx]);
             }
             if self.trace_on {
-                self.sink.record(&TraceEvent::TaskEnqueued {
+                self.tracer.emit(TraceEvent::TaskEnqueued {
                     at: now,
                     task,
                     slot: task,
@@ -625,7 +679,7 @@ impl QueryHandler {
             CommitOutcome::Committed => {}
             outcome @ CommitOutcome::Duplicate => {
                 if self.trace_on {
-                    self.sink.record(&TraceEvent::DuplicateSuppressed {
+                    self.tracer.emit(TraceEvent::DuplicateSuppressed {
                         at: now,
                         task,
                         query,
@@ -640,7 +694,7 @@ impl QueryHandler {
             }
             outcome @ CommitOutcome::Stale => {
                 if self.trace_on {
-                    self.sink.record(&TraceEvent::StaleCommitRejected {
+                    self.tracer.emit(TraceEvent::StaleCommitRejected {
                         at: now,
                         task,
                         query,
@@ -665,9 +719,27 @@ impl QueryHandler {
         // Online updating process (§III.B.2): the handler learns the
         // server's post-queuing time distribution from returned results.
         self.estimator.record_post_queuing(server as usize, busy);
-        // The health tracker watches the same completion stream.
+        // The health tracker watches the same completion stream. Ejection
+        // flips happen inside its amortized evaluation, so they surface
+        // here — drained even when tracing is off to keep the buffer empty.
         if let Some(h) = &mut self.health {
             h.observe(server as usize, busy);
+            while let Some((flipped, ejected)) = h.take_transition() {
+                if self.trace_on {
+                    let ev = if ejected {
+                        TraceEvent::ServerEjected {
+                            at: now,
+                            server: flipped,
+                        }
+                    } else {
+                        TraceEvent::ServerReadmitted {
+                            at: now,
+                            server: flipped,
+                        }
+                    };
+                    self.tracer.emit(ev);
+                }
+            }
         }
         if kind != AttemptKind::Original {
             self.release_dup(query);
@@ -675,7 +747,7 @@ impl QueryHandler {
         if self.trace_on {
             // Emitted before the freed server's next dequeue so the stream
             // reads completion-then-dequeue at equal timestamps.
-            self.sink.record(&TraceEvent::TaskCompleted {
+            self.tracer.emit(TraceEvent::TaskCompleted {
                 at: now,
                 task,
                 slot,
@@ -733,7 +805,7 @@ impl QueryHandler {
             CommitOutcome::Committed => {}
             CommitOutcome::Duplicate => {
                 if self.trace_on {
-                    self.sink.record(&TraceEvent::DuplicateSuppressed {
+                    self.tracer.emit(TraceEvent::DuplicateSuppressed {
                         at: now,
                         task,
                         query,
@@ -748,7 +820,7 @@ impl QueryHandler {
             }
             CommitOutcome::Stale => {
                 if self.trace_on {
-                    self.sink.record(&TraceEvent::StaleCommitRejected {
+                    self.tracer.emit(TraceEvent::StaleCommitRejected {
                         at: now,
                         task,
                         query,
@@ -769,7 +841,7 @@ impl QueryHandler {
             "a committed loss implies the task is in service at its server"
         );
         if self.trace_on {
-            self.sink.record(&TraceEvent::TaskLost {
+            self.tracer.emit(TraceEvent::TaskLost {
                 at: now,
                 task,
                 slot,
@@ -793,11 +865,20 @@ impl QueryHandler {
             };
         }
         self.stats.robustness.tasks_lost_to_faults += 1;
-        let can_retry = self
+        let wants_retry = self
             .mitigation
             .as_ref()
-            .is_some_and(|m| m.retry_lost && self.store.slot(slot).attempts < m.max_attempts)
-            && self.dup_budget_available(self.queries[query as usize].class);
+            .is_some_and(|m| m.retry_lost && self.store.slot(slot).attempts < m.max_attempts);
+        let class = self.queries[query as usize].class;
+        let can_retry = wants_retry && self.dup_budget_available(class);
+        if wants_retry && !can_retry && self.trace_on {
+            self.tracer.emit(TraceEvent::HedgeBudgetExhausted {
+                at: now,
+                slot,
+                query,
+                class,
+            });
+        }
         let retry = if can_retry {
             self.backup_server(slot)
                 .map(|server| RetryPlan { slot, server })
@@ -836,7 +917,7 @@ impl QueryHandler {
                     self.release_dup(rec.query);
                 }
                 if self.trace_on {
-                    self.sink.record(&TraceEvent::TaskCancelled {
+                    self.tracer.emit(TraceEvent::TaskCancelled {
                         at: now,
                         task,
                         slot,
@@ -861,15 +942,26 @@ impl QueryHandler {
     /// [`MitigationConfig::max_attempts`], the class has token-bucket
     /// budget left ([`MitigationConfig::hedge_budget`]), and an untried
     /// healthy server exists. The driver follows up with
-    /// [`QueryHandler::issue_duplicate`].
-    pub fn hedge_target(&mut self, task: TaskId) -> Option<u32> {
+    /// [`QueryHandler::issue_duplicate`]. A budget denial is narrated as
+    /// [`TraceEvent::HedgeBudgetExhausted`] at `now` (the hedge-check
+    /// instant).
+    pub fn hedge_target(&mut self, now: SimTime, task: TaskId) -> Option<u32> {
         let m = self.mitigation.as_ref()?;
         let slot_state = self.store.slot(task);
         if slot_state.resolved || slot_state.attempts >= m.max_attempts {
             return None;
         }
-        let class = self.queries[self.store.attempt(task).query as usize].class;
+        let query = self.store.attempt(task).query;
+        let class = self.queries[query as usize].class;
         if !self.dup_budget_available(class) {
+            if self.trace_on {
+                self.tracer.emit(TraceEvent::HedgeBudgetExhausted {
+                    at: now,
+                    slot: task,
+                    query,
+                    class,
+                });
+            }
             return None;
         }
         self.backup_server(task)
@@ -977,7 +1069,7 @@ impl QueryHandler {
         self.stats.load.task_dispatched();
         if self.trace_on {
             if kind == AttemptKind::Hedge {
-                self.sink.record(&TraceEvent::HedgeIssued {
+                self.tracer.emit(TraceEvent::HedgeIssued {
                     at: now,
                     task,
                     slot,
@@ -985,7 +1077,7 @@ impl QueryHandler {
                     server,
                 });
             }
-            self.sink.record(&TraceEvent::TaskEnqueued {
+            self.tracer.emit(TraceEvent::TaskEnqueued {
                 at: now,
                 task,
                 slot,
@@ -1044,7 +1136,7 @@ impl QueryHandler {
             "a reclaimed lease implies the task was in service at its server"
         );
         if self.trace_on {
-            self.sink.record(&TraceEvent::LeaseReclaimed {
+            self.tracer.emit(TraceEvent::LeaseReclaimed {
                 at: now,
                 task,
                 query: rec.query,
@@ -1062,7 +1154,7 @@ impl QueryHandler {
                 self.release_dup(rec.query);
             }
             if self.trace_on {
-                self.sink.record(&TraceEvent::TaskCancelled {
+                self.tracer.emit(TraceEvent::TaskCancelled {
                     at: now,
                     task,
                     slot: rec.slot,
@@ -1075,7 +1167,7 @@ impl QueryHandler {
             let deadline = self.store.slot(rec.slot).deadline;
             let entry = QueuedTask::new(u64::from(task), ServiceClass(class), deadline, now);
             if self.trace_on {
-                self.sink.record(&TraceEvent::TaskEnqueued {
+                self.tracer.emit(TraceEvent::TaskEnqueued {
                     at: now,
                     task,
                     slot: rec.slot,
@@ -1122,7 +1214,7 @@ impl QueryHandler {
         if self.trace_on {
             // Slack is signed: negative exactly when this dequeue is a miss.
             let slack_ns = entry.deadline.as_nanos() as i64 - now.as_nanos() as i64;
-            self.sink.record(&TraceEvent::TaskDequeued {
+            self.tracer.emit(TraceEvent::TaskDequeued {
                 at: now,
                 task,
                 slot: rec.slot,
@@ -1135,7 +1227,7 @@ impl QueryHandler {
                 slack_ns,
             });
             if missed {
-                self.sink.record(&TraceEvent::DeadlineMissed {
+                self.tracer.emit(TraceEvent::DeadlineMissed {
                     at: now,
                     task,
                     query,
@@ -1219,7 +1311,7 @@ impl QueryHandler {
                 let rejects = adm.rejects(now);
                 self.stats.admission_resumes = adm.resumes();
                 if self.trace_on && rejects != self.admission_was_rejecting {
-                    self.sink.record(&if rejects {
+                    self.tracer.emit(if rejects {
                         TraceEvent::AdmissionPause { at: now }
                     } else {
                         TraceEvent::AdmissionResume { at: now }
@@ -1522,7 +1614,11 @@ mod tests {
         h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
         let due = h.hedge_deadline(0).expect("original has a hedge deadline");
         assert!(due > SimTime::ZERO);
-        assert_eq!(h.hedge_target(0), Some(1), "idle server 1 is the backup");
+        assert_eq!(
+            h.hedge_target(due, 0),
+            Some(1),
+            "idle server 1 is the backup"
+        );
 
         let (hedge, dispatched) = h.issue_duplicate(due, 0, 1, None, AttemptKind::Hedge);
         assert_eq!(
@@ -1533,7 +1629,7 @@ mod tests {
                 lease: LeaseToken(2)
             })
         );
-        assert_eq!(h.hedge_target(0), None, "attempt cap reached");
+        assert_eq!(h.hedge_target(due, 0), None, "attempt cap reached");
 
         // The hedge returns first: it wins and completes the query.
         let win = h.on_task_complete(due + ms(1.0), hedge, LeaseToken(2), ms(1.0));
@@ -1907,15 +2003,15 @@ mod tests {
         // The first hedge fits the bucket; the second is denied while it
         // is outstanding.
         let due = h.hedge_deadline(0).unwrap();
-        let target = h.hedge_target(0).expect("budget available");
+        let target = h.hedge_target(due, 0).expect("budget available");
         let (hedge, dispatched) = h.issue_duplicate(due, 0, target, None, AttemptKind::Hedge);
         let lease = dispatched.expect("idle backup dispatches").lease;
-        assert_eq!(h.hedge_target(1), None, "bucket exhausted");
+        assert_eq!(h.hedge_target(due, 1), None, "bucket exhausted");
         assert_eq!(h.stats().robustness.budget_exhausted, 1);
 
         // The hedge resolving returns its token; hedging works again.
         h.on_task_complete(due + ms(1.0), hedge, lease, ms(1.0));
-        assert!(h.hedge_target(1).is_some(), "token returned");
+        assert!(h.hedge_target(due, 1).is_some(), "token returned");
         assert_eq!(h.stats().robustness.budget_exhausted, 1);
     }
 
@@ -2025,7 +2121,87 @@ mod tests {
             &mut started,
         );
         let slot = started[0].task;
-        assert_eq!(h.hedge_target(slot), Some(2));
+        assert_eq!(h.hedge_target(SimTime::from_millis(1000), slot), Some(2));
+    }
+
+    #[test]
+    fn trace_records_health_transitions_and_budget_denials() {
+        // Ejection/readmission flips surface in the trace stream.
+        let cfg = HealthConfig::new()
+            .with_min_observations(4)
+            .with_eval_every(4)
+            .with_probe_every(3);
+        let sink = TestSink::default();
+        let mut h = handler(3, Policy::TfEdf, None)
+            .with_health(cfg)
+            .with_trace_sink(Box::new(sink.clone()));
+        let mut started = Vec::new();
+        for round in 0..20u64 {
+            let t = SimTime::from_millis(10 * round);
+            h.on_query_arrival(t, arrival(&[0, 1, 2], false), &mut started);
+            let mut pending = started.clone();
+            while let Some(d) = pending.pop() {
+                let busy = if d.server == 2 { ms(2.0) } else { ms(0.2) };
+                let c = h.on_task_complete(t + busy, d.task, d.lease, busy);
+                pending.extend(c.next);
+            }
+        }
+        assert!(h.health().unwrap().is_ejected(2));
+        {
+            let events = sink.0.lock().unwrap();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::ServerEjected { server: 2, .. })),
+                "ejection flip missing from the trace"
+            );
+        }
+        // Fast probe completions heal the score until readmission, which
+        // must surface in the trace as well.
+        for i in 0..200u64 {
+            let t = SimTime::from_millis(1000 + i);
+            h.on_query_arrival(t, arrival(&[2], false), &mut started);
+            let d = started[0];
+            h.on_task_complete(t + ms(0.2), d.task, d.lease, ms(0.2));
+            if !h.health().unwrap().is_ejected(2) {
+                break;
+            }
+        }
+        assert!(!h.health().unwrap().is_ejected(2), "server never healed");
+        assert!(
+            sink.0
+                .lock()
+                .unwrap()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::ServerReadmitted { server: 2, .. })),
+            "readmission flip missing from the trace"
+        );
+
+        // A hedge denied by the empty token bucket is narrated too.
+        let sink = TestSink::default();
+        let mut h = handler(4, Policy::TfEdf, None)
+            .with_mitigation(
+                MitigationConfig::new()
+                    .with_hedge_after(0.5)
+                    .with_max_attempts(4)
+                    .with_hedge_budget(1),
+            )
+            .with_trace_sink(Box::new(sink.clone()));
+        let mut started = Vec::new();
+        h.on_query_arrival(SimTime::ZERO, arrival(&[0], true), &mut started);
+        h.on_query_arrival(SimTime::ZERO, arrival(&[1], true), &mut started);
+        let due = h.hedge_deadline(0).unwrap();
+        let target = h.hedge_target(due, 0).expect("budget available");
+        h.issue_duplicate(due, 0, target, None, AttemptKind::Hedge);
+        assert_eq!(h.hedge_target(due, 1), None, "bucket exhausted");
+        assert!(
+            sink.0
+                .lock()
+                .unwrap()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::HedgeBudgetExhausted { slot: 1, .. })),
+            "budget denial missing from the trace"
+        );
     }
 
     #[test]

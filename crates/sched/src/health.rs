@@ -212,6 +212,11 @@ pub struct HealthTracker {
     min_healthy: usize,
     healthy: usize,
     stats: HealthStats,
+    /// Ejection-state flips since the last [`HealthTracker::take_transition`]
+    /// drain, in evaluation order: `(server, ejected)`. The handler drains
+    /// this after every observation to narrate flips into the trace stream;
+    /// flips are rare (hysteresis), so the buffer is almost always empty.
+    transitions: Vec<(u32, bool)>,
 }
 
 impl HealthTracker {
@@ -236,6 +241,7 @@ impl HealthTracker {
             min_healthy,
             healthy: servers,
             stats: HealthStats::default(),
+            transitions: Vec::new(),
         }
     }
 
@@ -295,6 +301,7 @@ impl HealthTracker {
                 self.probe_counter[s] = 0;
                 self.healthy += 1;
                 self.stats.readmissions += 1;
+                self.transitions.push((s as u32, false));
             }
         }
         // Eject worst-first (the scratch is sorted ascending) so the floor
@@ -312,6 +319,20 @@ impl HealthTracker {
             self.ejected[s] = true;
             self.healthy -= 1;
             self.stats.ejections += 1;
+            self.transitions.push((s as u32, true));
+        }
+    }
+
+    /// Pops the oldest undrained ejection-state flip, if any: `(server,
+    /// ejected)` where `ejected` is `true` for an ejection and `false` for
+    /// a readmission. The handler drains this after feeding observations so
+    /// flips reach the trace stream at the observation that caused them;
+    /// an undrained buffer costs nothing (flips are hysteresis-rare).
+    pub fn take_transition(&mut self) -> Option<(u32, bool)> {
+        if self.transitions.is_empty() {
+            None
+        } else {
+            Some(self.transitions.remove(0))
         }
     }
 

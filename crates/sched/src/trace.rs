@@ -227,6 +227,36 @@ pub enum TraceEvent {
         /// Event time.
         at: SimTime,
     },
+    /// The health tracker ejected a server: its EWMA score crossed the
+    /// eject threshold and dispatch diverts around it (recovery probes
+    /// excepted).
+    ServerEjected {
+        /// Event time (the evaluation that flipped the state).
+        at: SimTime,
+        /// The ejected server.
+        server: u32,
+    },
+    /// The health tracker readmitted an ejected server after its score
+    /// recovered below the readmit threshold.
+    ServerReadmitted {
+        /// Event time (the evaluation that flipped the state).
+        at: SimTime,
+        /// The readmitted server.
+        server: u32,
+    },
+    /// A hedge or retry was denied because the class's token bucket of
+    /// outstanding duplicates was empty
+    /// ([`MitigationConfig::hedge_budget`](crate::MitigationConfig)).
+    HedgeBudgetExhausted {
+        /// Event time.
+        at: SimTime,
+        /// The logical task (slot) the denied copy would have served.
+        slot: TaskId,
+        /// The owning query.
+        query: QueryId,
+        /// The query's class (whose bucket was empty).
+        class: u8,
+    },
 }
 
 impl TraceEvent {
@@ -246,7 +276,10 @@ impl TraceEvent {
             | TraceEvent::DuplicateSuppressed { at, .. }
             | TraceEvent::StaleCommitRejected { at, .. }
             | TraceEvent::AdmissionPause { at }
-            | TraceEvent::AdmissionResume { at } => at,
+            | TraceEvent::AdmissionResume { at }
+            | TraceEvent::ServerEjected { at, .. }
+            | TraceEvent::ServerReadmitted { at, .. }
+            | TraceEvent::HedgeBudgetExhausted { at, .. } => at,
         }
     }
 
@@ -263,10 +296,13 @@ impl TraceEvent {
             | TraceEvent::TaskLost { query, .. }
             | TraceEvent::LeaseReclaimed { query, .. }
             | TraceEvent::DuplicateSuppressed { query, .. }
-            | TraceEvent::StaleCommitRejected { query, .. } => Some(query),
+            | TraceEvent::StaleCommitRejected { query, .. }
+            | TraceEvent::HedgeBudgetExhausted { query, .. } => Some(query),
             TraceEvent::QueryRejected { .. }
             | TraceEvent::AdmissionPause { .. }
-            | TraceEvent::AdmissionResume { .. } => None,
+            | TraceEvent::AdmissionResume { .. }
+            | TraceEvent::ServerEjected { .. }
+            | TraceEvent::ServerReadmitted { .. } => None,
         }
     }
 
@@ -287,6 +323,9 @@ impl TraceEvent {
             TraceEvent::StaleCommitRejected { .. } => "stale_commit_rejected",
             TraceEvent::AdmissionPause { .. } => "admission_pause",
             TraceEvent::AdmissionResume { .. } => "admission_resume",
+            TraceEvent::ServerEjected { .. } => "server_ejected",
+            TraceEvent::ServerReadmitted { .. } => "server_readmitted",
+            TraceEvent::HedgeBudgetExhausted { .. } => "hedge_budget_exhausted",
         }
     }
 }
@@ -306,6 +345,36 @@ pub trait TraceSink: Send {
     /// (as [`NullSink`] does) makes every emission point a dead branch.
     fn enabled(&self) -> bool {
         true
+    }
+
+    /// How many events the emitter may stage before delivering them in
+    /// one [`TraceSink::record_batch`] call.
+    ///
+    /// The default (1) means per-event delivery through
+    /// [`TraceSink::record`], which every sink supports and which test
+    /// sinks rely on for immediate visibility. A sink that ingests in
+    /// bulk (the binary recorder encodes a whole batch per virtual call)
+    /// returns its preferred batch size; the handler then stages events
+    /// in a plain `Vec` and pays one virtual dispatch per batch instead
+    /// of one per event. (On the simulator hot path the dispatch saving
+    /// roughly cancels against the staging copy — see `BENCH_obs.json` —
+    /// but the batch call also hands the sink a natural flush boundary.)
+    /// Delivery is deferred by at most one batch: the stage flushes when
+    /// full and when the handler finishes.
+    fn batch_hint(&self) -> usize {
+        1
+    }
+
+    /// Delivers a staged run of events, in emission order.
+    ///
+    /// The default forwards them one by one to [`TraceSink::record`], so
+    /// a batch-unaware sink observes the exact per-event stream — just
+    /// grouped. Only called when [`TraceSink::batch_hint`] returns more
+    /// than 1.
+    fn record_batch(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            self.record(ev);
+        }
     }
 }
 
@@ -377,5 +446,19 @@ mod tests {
         };
         assert_eq!(reclaim.query(), Some(2));
         assert_eq!(reclaim.kind_name(), "lease_reclaimed");
+        let ejected = TraceEvent::ServerEjected {
+            at: SimTime::from_millis(5),
+            server: 3,
+        };
+        assert_eq!(ejected.query(), None);
+        assert_eq!(ejected.kind_name(), "server_ejected");
+        let denied = TraceEvent::HedgeBudgetExhausted {
+            at: SimTime::from_millis(6),
+            slot: 7,
+            query: 2,
+            class: 1,
+        };
+        assert_eq!(denied.query(), Some(2));
+        assert_eq!(denied.kind_name(), "hedge_budget_exhausted");
     }
 }

@@ -13,7 +13,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::future::Future;
 use tailguard_metrics::LatencyReservoir;
-use tailguard_obs::{RingRecorder, SharedRegistry};
+use tailguard_obs::{BinaryRecorder, SharedRegistry, SloConfig, SloMonitor};
 use tailguard_policy::Policy;
 use tailguard_sched::{
     AdmissionConfig, AdmitDecision, AttemptKind, ClassSpec, CommitOutcome, DeadlineEstimator,
@@ -122,7 +122,7 @@ pub(crate) async fn query_handler(
     let recorder = cfg
         .registry
         .as_ref()
-        .map(|_| RingRecorder::with_capacity(tailguard::DEFAULT_RING_CAPACITY));
+        .map(|_| BinaryRecorder::with_capacity(tailguard::DEFAULT_RING_CAPACITY));
     if let Some(rec) = &recorder {
         core = core.with_trace_sink(rec.sink());
     }
@@ -324,7 +324,7 @@ pub(crate) async fn query_handler(
                     };
                     // Slot already resolved or at its attempt cap → the
                     // timer is stale; drop it.
-                    let Some(server) = core.hedge_target(slot) else {
+                    let Some(server) = core.hedge_target(now, slot) else {
                         continue;
                     };
                     let (dup, dispatched) =
@@ -430,9 +430,29 @@ pub(crate) async fn query_handler(
     let stats = core.into_stats();
     if let (Some(reg), Some(rec)) = (&cfg.registry, &recorder) {
         let mut reg = reg.lock().unwrap();
-        reg.ingest_events(&rec.events());
+        // Decode the binary recording once, at analysis time: the hot
+        // path only staged fixed-width records (flushed when the core was
+        // consumed above).
+        let events = rec.events();
+        let slo_target = cfg
+            .scaled_classes
+            .iter()
+            .map(|c| c.percentile)
+            .fold(f64::NAN, f64::min);
+        let mut slo = SloMonitor::new(SloConfig {
+            target: if slo_target.is_nan() {
+                0.99
+            } else {
+                slo_target
+            },
+            ..SloConfig::default()
+        });
+        slo.ingest(&events);
+        slo.finish();
+        reg.ingest_events(&events);
         reg.ingest_robustness(&stats.robustness);
         reg.ingest_lifecycle(&stats.lifecycle);
+        slo.publish(&mut reg);
         reg.counter_set(
             "tailguard_estimator_budget_lookups_total",
             "Budget-table lookups while stamping deadlines (Eq. 6)",

@@ -1,17 +1,20 @@
 //! Observability guarantees at the workspace level.
 //!
-//! Three pins protect the PR-4 invariants:
+//! Four pins protect the PR-4/PR-9 invariants:
 //!  1. Turning the flight recorder ON does not perturb the simulation —
 //!     an observed run reproduces the exact golden values of
 //!     `golden_report.rs` (the trace-disabled path is byte-identical by
 //!     construction: no sink is installed and no snapshot events enter
 //!     the heap).
-//!  2. Recordings are deterministic under the parallel runner — the
-//!     recorder contents of each cell are identical for `--jobs 1` and
-//!     `--jobs 8`.
+//!  2. Recordings are deterministic under the parallel runner — both the
+//!     raw binary ring contents and the decoded event streams of each
+//!     cell are byte-identical for `--jobs 1` and `--jobs 8`.
 //!  3. The Prometheus text exposition of a fixed-seed run matches a
 //!     committed golden snapshot (set `TG_UPDATE_GOLDEN=1` to
 //!     regenerate after a deliberate semantic change).
+//!  4. The decoded trace of a fixed-seed run matches a committed JSONL
+//!     golden — the binary codec round-trips every event the simulator
+//!     emits, not just the variants unit tests construct by hand.
 
 use tailguard_repro::obs::events_to_jsonl;
 use tailguard_repro::policy::Policy;
@@ -86,36 +89,85 @@ fn observed_golden_run_matches_seed_pins() {
         // Acceptance: every observed run emits at least one snapshot.
         assert!(!run.snapshots.is_empty(), "{name}: no snapshots emitted");
         assert!(run.recorder.total_recorded() > 0, "{name}: empty recording");
+        // The online SLO monitor saw the run: its dequeue count matches
+        // the lease counter exactly (leases are issued at dequeue, one
+        // per dispatch, so the trace and the state store must agree).
+        let slo_dequeues: u64 = run.slo.classes.iter().map(|c| c.dequeues).sum();
+        assert_eq!(
+            slo_dequeues, observed.lifecycle.leases_issued,
+            "{name}: SLO monitor dequeues disagree with lifecycle stats"
+        );
     }
 }
 
 /// Invariant 2: recorder contents are bit-identical whether the cells run
-/// serially or under the parallel runner.
+/// serially or under the parallel runner — at both layers: the raw
+/// fixed-width binary stream and the decoded JSONL rendering.
 #[test]
 fn recorder_contents_identical_across_jobs() {
     let cells: Vec<(Policy, f64)> = [Policy::TfEdf, Policy::Fifo, Policy::Sjf]
         .into_iter()
         .flat_map(|p| [(p, 0.3), (p, 0.5)])
         .collect();
-    let record = |jobs: usize| -> Vec<String> {
+    let record = |jobs: usize| -> Vec<(Vec<u8>, String)> {
         run_indexed(&cells, jobs, |_, &(policy, load)| {
             let scenario = scenarios::single_class(TailbenchWorkload::Masstree, 1.0, 100);
             let input = scenario.input(load, 2_000);
             let config = scenario.config(policy).with_warmup(100);
             let run = run_simulation_observed(&config, &input, &ObsOptions::default());
-            events_to_jsonl(&run.recorder.events())
+            (
+                run.recorder.raw_bytes(),
+                events_to_jsonl(&run.recorder.events()),
+            )
         })
     };
     let serial = record(1);
     let parallel = record(8);
     assert_eq!(serial.len(), parallel.len());
-    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
-        assert!(!s.is_empty(), "cell {i}: empty recording");
+    for (i, ((sb, sj), (pb, pj))) in serial.iter().zip(&parallel).enumerate() {
+        assert!(!sb.is_empty(), "cell {i}: empty recording");
         assert_eq!(
-            s, p,
-            "cell {i}: recording differs between jobs=1 and jobs=8"
+            sb, pb,
+            "cell {i}: raw binary recording differs between jobs=1 and jobs=8"
+        );
+        assert_eq!(
+            sj, pj,
+            "cell {i}: decoded recording differs between jobs=1 and jobs=8"
         );
     }
+}
+
+/// Invariant 4: the decoded trace of a small fixed-seed run is pinned to
+/// a committed JSONL golden — exercising encode → ring → decode over the
+/// full event mix a real simulation produces.
+#[test]
+fn decoded_trace_matches_committed_golden() {
+    let (config, input) = golden_run(Policy::TfEdf);
+    let input_small = SimInput {
+        requests: input.requests.into_iter().take(300).collect(),
+    };
+    let run = run_simulation_observed(&config, &input_small, &ObsOptions::default());
+    assert_eq!(
+        run.recorder.dropped(),
+        0,
+        "ring evicted records; grow DEFAULT_RING_CAPACITY or shrink the run"
+    );
+    let jsonl = events_to_jsonl(&run.recorder.events());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/decoded_trace.jsonl"
+    );
+    if std::env::var("TG_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &jsonl).expect("write golden decoded trace");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("missing tests/golden/decoded_trace.jsonl — run with TG_UPDATE_GOLDEN=1");
+    assert_eq!(
+        jsonl, golden,
+        "decoded trace drifted from the committed golden snapshot; \
+         if the change is deliberate, regenerate with TG_UPDATE_GOLDEN=1"
+    );
 }
 
 /// Invariant 3: the Prometheus text exposition of a fixed-seed run is
