@@ -12,6 +12,7 @@ use crate::report::SimReport;
 use crate::spec::Scenario;
 use std::collections::BTreeMap;
 use tailguard_policy::Policy;
+use tailguard_sched::units;
 use tailguard_simcore::SimDuration;
 
 /// Tuning knobs for [`max_load`] and [`sweep_loads`].
@@ -76,7 +77,7 @@ pub fn measure_at_load(
     opts: &MaxLoadOptions,
 ) -> SimReport {
     let input = scenario.input(load, opts.queries);
-    let warmup = (opts.queries as f64 * opts.warmup_fraction) as usize;
+    let warmup = units::trunc_f64_to_usize(opts.queries as f64 * opts.warmup_fraction);
     let config = scenario.config(policy).with_warmup(warmup);
     run_simulation(&config, &input)
 }
@@ -137,6 +138,7 @@ pub(crate) fn sweep_point(
     let mut report = measure_at_load(scenario, policy, load, opts);
     let mut tails = BTreeMap::new();
     for (class, spec) in scenario.classes.iter().enumerate() {
+        // tg-lint: allow(lossy-cast) -- class ids are scenario constants, fewer than 256 classes by construction
         tails.insert(class as u8, report.class_tail(class as u8, spec.percentile));
     }
     LoadPoint {

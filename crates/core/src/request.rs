@@ -19,6 +19,7 @@
 //! proportionally to each query's unloaded tail (an ablation).
 
 use crate::spec::{ClusterSpec, QuerySpec, RequestInput};
+use tailguard_sched::units;
 use tailguard_simcore::{SimDuration, SimRng, SimTime};
 
 /// How a request-level budget is divided among its queries.
@@ -126,13 +127,16 @@ impl RequestPlanner {
             .map(|_| self.draw_unloaded_request_ms(cluster, fanouts, &mut rng))
             .collect();
         samples.sort_by(f64::total_cmp);
-        let rank = (self.percentile * samples.len() as f64).ceil() as usize;
+        let rank = units::trunc_f64_to_usize((self.percentile * samples.len() as f64).ceil());
+        // tg-lint: allow(panic-surface) -- guarded: `rank` is clamped to 1..=len and `samples` holds mc_samples (> 0) draws
         samples[rank.clamp(1, samples.len()) - 1]
     }
 
     /// Splits the request budget `T_b^R = slo − x_p^{R,u}` across the
     /// queries (Eq. 7's additive property makes any split SLO-safe; the
     /// split changes only resource efficiency).
+    /// `request_slo` is a virtual-time duration (nanosecond domain).
+    /// `request_slo` is a virtual-time duration (nanosecond domain).
     pub fn plan(
         &self,
         cluster: &ClusterSpec,

@@ -67,8 +67,10 @@ where
                 if i >= items.len() {
                     break;
                 }
+                // tg-lint: allow(panic-surface) -- guarded: the `break` above bounds `i < items.len()`
                 let r = f(i, &items[i]);
                 // tg-lint: allow(unwrap-in-lib) -- each slot is touched by exactly one claiming worker; a poisoned lock means that worker already panicked
+                // tg-lint: allow(panic-surface) -- guarded: the `break` above bounds `i < items.len()`
                 *slots[i].lock().expect("result slot lock") = Some(r);
             });
         }
@@ -188,6 +190,7 @@ pub fn replicate(
         let tails: Vec<f64> = (0..classes)
             .map(|c| {
                 report
+                    // tg-lint: allow(lossy-cast, panic-surface) -- class list indexed by its own enumerate index
                     .class_tail(c as u8, s.classes[c].percentile)
                     .as_millis_f64()
             })
@@ -198,6 +201,7 @@ pub fn replicate(
     let n = replicates as f64;
     let tails: Vec<ClassStat> = (0..classes)
         .map(|c| {
+            // tg-lint: allow(panic-surface) -- per-seed tail vectors all have one entry per class by construction
             let xs: Vec<f64> = per_seed.iter().map(|(t, _)| t[c]).collect();
             let mean = xs.iter().sum::<f64>() / n;
             let ci95 = if replicates > 1 {

@@ -18,6 +18,7 @@ fn ms(v: f64) -> SimDuration {
 /// # Panics
 ///
 /// Panics when `n < 100` (the mix needs fanout-100 queries to fit).
+/// `slo_ms` is in milliseconds of virtual time.
 pub fn single_class(workload: TailbenchWorkload, slo_ms: f64, n: usize) -> Scenario {
     assert!(n >= 100, "paper mix needs at least 100 servers");
     let service = workload.service_dist();
@@ -38,6 +39,7 @@ pub fn single_class(workload: TailbenchWorkload, slo_ms: f64, n: usize) -> Scena
 /// §IV.B two-class case (Fig. 5): like [`single_class`] but with two
 /// equiprobable classes, the lower class's SLO at `1.5 ×` the higher
 /// class's, and a choice of arrival process.
+/// `high_slo_ms` is in milliseconds of virtual time.
 pub fn two_class(
     workload: TailbenchWorkload,
     high_slo_ms: f64,
@@ -96,6 +98,7 @@ pub fn fig6_slos(workload: TailbenchWorkload) -> (f64, f64) {
 
 /// §IV.D extension mentioned in the text: `N = 1000` with the scaled paper
 /// mix (fanouts {1, 100, 1000}).
+/// `slo_ms` is in milliseconds of virtual time.
 pub fn n1000_single_class(workload: TailbenchWorkload, slo_ms: f64) -> Scenario {
     let service = workload.service_dist();
     let mean = service.mean();
@@ -114,6 +117,7 @@ pub fn n1000_single_class(workload: TailbenchWorkload, slo_ms: f64) -> Scenario 
 
 /// §IV.D extension mentioned in the text: four service classes with SLOs
 /// `base × {1, 1.5, 2, 3}`, OLDI fanout 100.
+/// `base_slo_ms` is in milliseconds of virtual time.
 pub fn four_class(workload: TailbenchWorkload, base_slo_ms: f64) -> Scenario {
     let service = workload.service_dist();
     let mean = service.mean();
@@ -252,11 +256,14 @@ pub fn sas_testbed() -> Scenario {
                 0 => {
                     // 80% on the Server-room cluster, 20% elsewhere.
                     if rng.chance(0.8) {
+                        // tg-lint: allow(lossy-cast) -- `rng.index(n)` returns a value below n <= 32, well within u32
                         vec![rng.index(8) as u32]
                     } else {
+                        // tg-lint: allow(lossy-cast) -- `rng.index(n)` returns a value below n <= 32, well within u32
                         vec![(8 + rng.index(24)) as u32]
                     }
                 }
+                // tg-lint: allow(lossy-cast) -- `rng.index(n)` returns a value below n <= 32, well within u32
                 1 => (0..4).map(|c| (c * 8 + rng.index(8)) as u32).collect(),
                 _ => (0..fanout).collect(),
             }

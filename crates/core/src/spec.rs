@@ -125,6 +125,7 @@ impl Slowdown {
     ///
     /// Panics unless `factor` is finite and positive and the range is
     /// non-empty.
+    /// `at` is virtual time (nanosecond domain).
     pub fn new(at: SimTime, servers: std::ops::Range<u32>, factor: f64) -> Self {
         assert!(
             factor.is_finite() && factor > 0.0,
@@ -257,6 +258,7 @@ impl SimConfig {
     }
 
     /// Arms lease-fenced crash recovery with the given TTL (builder-style).
+    /// `ttl` is a virtual-time duration (nanosecond domain).
     pub fn with_lease(mut self, ttl: SimDuration) -> Self {
         self.lease = Some(ttl);
         self

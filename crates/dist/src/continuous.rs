@@ -640,8 +640,10 @@ impl Distribution for Mixture {
         let u = rng.f64();
         let idx = match self.cumulative.iter().position(|&c| u < c) {
             Some(i) => i,
+            // tg-lint: allow(panic-surface) -- mixture components are validated non-empty at construction
             None => self.components.len() - 1,
         };
+        // tg-lint: allow(panic-surface) -- mixture components are validated non-empty at construction
         self.components[idx].sample(rng)
     }
 

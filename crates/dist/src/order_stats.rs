@@ -101,6 +101,7 @@ pub fn heterogeneous_quantile<C: Cdf + ?Sized>(server_cdfs: &[&C], p: f64) -> f6
     // Fast path: identical quantile bound gives a bracket start. Upper bound:
     // every marginal must individually reach p^(1/k) at the answer, so the
     // max of per-server quantiles at p^(1/k) is an upper bound.
+    // tg-lint: allow(lossy-cast) -- server/fanout counts are far below 2^31; powi exponents stay exact
     let per_task = per_task_percentile(p, server_cdfs.len() as u32);
     let mut hi = server_cdfs
         .iter()
@@ -166,6 +167,7 @@ pub fn grouped_quantile<C: Cdf + ?Sized>(groups: &[(&C, u32)], p: f64) -> f64 {
     let product = |t: f64| -> f64 {
         groups
             .iter()
+            // tg-lint: allow(lossy-cast) -- server/fanout counts are far below 2^31; powi exponents stay exact
             .map(|&(c, n)| c.cdf(t).powi(n as i32))
             .product()
     };
@@ -218,6 +220,7 @@ pub fn grouped_quantile<C: Cdf + ?Sized>(groups: &[(&C, u32)], p: f64) -> f64 {
 pub fn query_violation_probability(q: f64, k: u32) -> f64 {
     assert!((0.0..=1.0).contains(&q), "q must lie in [0,1]");
     assert!(k >= 1, "fanout must be at least 1");
+    // tg-lint: allow(lossy-cast) -- server/fanout counts are far below 2^31; powi exponents stay exact
     1.0 - (1.0 - q).powi(k as i32)
 }
 

@@ -94,6 +94,7 @@ impl FaultEpisode {
     ///
     /// Panics when `start >= end`, a slowdown/ramp/flap factor is not
     /// finite and positive, or a flap period is zero.
+    /// `start` is virtual time (nanosecond domain).
     pub fn new(server: u32, start: SimTime, end: SimTime, kind: FaultKind) -> Self {
         assert!(start < end, "fault episode needs start < end");
         match kind {
@@ -190,6 +191,7 @@ impl FaultPlan {
     ///
     /// Panics when `servers` is zero, `horizon` is zero, or `mean_len_ms`
     /// is not finite and positive.
+    /// `horizon` is a virtual-time duration (nanosecond domain).
     pub fn generate(
         seed: u64,
         servers: u32,
@@ -206,10 +208,12 @@ impl FaultPlan {
         let mut rng = SimRng::seed(seed);
         let mut plan = FaultPlan::new();
         for _ in 0..n_episodes {
+            // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
             let server = rng.index(servers as usize) as u32;
             // Length ~ Exp(mean) truncated below at 10% of the mean so an
             // episode is never degenerate; start uniform over the horizon.
             let len_ms = (mean_len_ms * -rng.open01().ln()).max(mean_len_ms * 0.1);
+            // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
             let start_ns = (horizon.as_nanos() as f64 * rng.f64()) as u64;
             let start = SimTime::from_nanos(start_ns);
             let end = start + SimDuration::from_millis_f64(len_ms);
@@ -254,8 +258,10 @@ impl FaultPlan {
         let mut rng = SimRng::seed(seed);
         let mut plan = FaultPlan::new();
         for _ in 0..n_episodes {
+            // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
             let server = rng.index(servers as usize) as u32;
             let len_ms = (mean_len_ms * -rng.open01().ln()).max(mean_len_ms * 0.1);
+            // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
             let start_ns = (horizon.as_nanos() as f64 * rng.f64()) as u64;
             let start = SimTime::from_nanos(start_ns);
             let end = start + SimDuration::from_millis_f64(len_ms);
@@ -299,8 +305,10 @@ impl FaultPlan {
         let mut rng = SimRng::seed(seed);
         let mut plan = FaultPlan::new();
         for _ in 0..n_episodes {
+            // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
             let server = rng.index(servers as usize) as u32;
             let len_ms = (mean_len_ms * -rng.open01().ln()).max(mean_len_ms * 0.1);
+            // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
             let start_ns = (horizon.as_nanos() as f64 * rng.f64()) as u64;
             let start = SimTime::from_nanos(start_ns);
             let end = start + SimDuration::from_millis_f64(len_ms);
@@ -319,6 +327,7 @@ impl FaultPlan {
 
     /// Whether a task dispatched to (or completing at) `server` at `now`
     /// is lost to an active [`FaultKind::Drop`] episode.
+    /// `now` is virtual time (nanosecond domain).
     pub fn drops(&self, server: u32, now: SimTime) -> bool {
         self.episodes
             .iter()
@@ -327,6 +336,7 @@ impl FaultPlan {
 
     /// Whether `server` is dead to an active [`FaultKind::Crash`] episode
     /// at `now` — work sent to it is silently swallowed.
+    /// `now` is virtual time (nanosecond domain).
     pub fn crashed(&self, server: u32, now: SimTime) -> bool {
         self.episodes
             .iter()
@@ -338,6 +348,7 @@ impl FaultPlan {
     /// dispatched at `from` that would have completed at `to`. The result
     /// of such work is silently swallowed even though the server may
     /// already be back up at `to`.
+    /// `from` is virtual time (nanosecond domain).
     pub fn crash_started_within(&self, server: u32, from: SimTime, to: SimTime) -> bool {
         self.episodes.iter().any(|e| {
             e.server == server && e.kind == FaultKind::Crash && from < e.start && e.start <= to
@@ -346,6 +357,7 @@ impl FaultPlan {
 
     /// Whether a result landing at `server` at `now` is lost (with a
     /// notification) to an active [`FaultKind::Restart`] episode.
+    /// `now` is virtual time (nanosecond domain).
     pub fn restart_loses(&self, server: u32, now: SimTime) -> bool {
         self.episodes
             .iter()
@@ -354,6 +366,7 @@ impl FaultPlan {
 
     /// Whether a result completing at `server` at `now` is delivered twice
     /// by an active [`FaultKind::DuplicateDelivery`] episode.
+    /// `now` is virtual time (nanosecond domain).
     pub fn duplicates(&self, server: u32, now: SimTime) -> bool {
         self.episodes.iter().any(|e| {
             e.server == server && e.active_at(now) && e.kind == FaultKind::DuplicateDelivery
@@ -381,6 +394,7 @@ impl FaultPlan {
                     acc * (1.0 + (peak - 1.0) * phase)
                 }
                 FaultKind::Flap { factor, period } => {
+                    // tg-lint: allow(panic-surface) -- flap period is asserted non-zero at episode construction
                     let cycle = now.saturating_since(e.start).as_nanos() / period.as_nanos();
                     if cycle.is_multiple_of(2) {
                         acc * factor
@@ -400,6 +414,7 @@ impl FaultPlan {
     /// another hold is active at that instant, it pushes further); the
     /// service itself is then inflated by the slowdown factors active at
     /// the (possibly deferred) start instant.
+    /// `now` is virtual time (nanosecond domain).
     pub fn completion_delay(&self, server: u32, now: SimTime, service: SimDuration) -> SimDuration {
         let mut start = now;
         loop {
@@ -439,9 +454,12 @@ impl FaultPlan {
                 .iter()
                 .map(|e| FaultEpisode {
                     server: e.server,
+                    // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
                     start: SimTime::from_nanos((e.start.as_nanos() as f64 / scale) as u64),
                     end: SimTime::from_nanos(
+                        // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
                         ((e.end.as_nanos() as f64 / scale) as u64)
+                            // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
                             .max((e.start.as_nanos() as f64 / scale) as u64 + 1),
                     ),
                     // Flap phases live on the same clock as the episode
@@ -450,6 +468,7 @@ impl FaultPlan {
                         FaultKind::Flap { factor, period } => FaultKind::Flap {
                             factor,
                             period: SimDuration::from_nanos(
+                                // tg-lint: allow(lossy-cast) -- in range by construction: `rng.index(servers)` is below the u32 server count, and horizon/period scaling multiplies u64 nanoseconds by a [0,1) or validated-positive factor — truncation is the intended draw
                                 ((period.as_nanos() as f64 / scale) as u64).max(1),
                             ),
                         },
@@ -496,6 +515,7 @@ impl FaultPlan {
                 ]
             })
             .collect();
+        // tg-lint: allow(lossy-cast) -- C-like enum discriminant (0/1) used as a deterministic sort key
         transitions.sort_by_key(|t| (t.at, t.edge as u8, t.episode.server));
         FaultSchedule {
             transitions,

@@ -240,6 +240,7 @@ impl TaskStateStore {
     /// Creates an empty store. With `lease_ttl` set, every lease carries an
     /// expiry instant `now + ttl` the driver can schedule a reclaim check
     /// at; without one, leases never expire (the pre-recovery behaviour).
+    /// `lease_ttl` is a virtual-time duration (nanosecond domain).
     pub fn new(lease_ttl: Option<SimDuration>) -> Self {
         TaskStateStore {
             attempts: Vec::new(),
@@ -258,12 +259,14 @@ impl TaskStateStore {
 
     /// Sets the lease TTL. Intended for builder-time configuration, before
     /// any lease is issued.
+    /// `ttl` is a virtual-time duration (nanosecond domain).
     pub fn set_lease_ttl(&mut self, ttl: Option<SimDuration>) {
         self.lease_ttl = ttl;
     }
 
     /// Registers a query's original attempt for one fanout task, `Queued`,
     /// with its own slot. Returns the attempt id (`== slot id`).
+    /// `deadline` is virtual time (nanosecond domain).
     pub fn push_original(
         &mut self,
         query: u32,
@@ -271,6 +274,7 @@ impl TaskStateStore {
         deadline: SimTime,
         hedge_at: Option<SimTime>,
     ) -> u32 {
+        // tg-lint: allow(lossy-cast) -- attempt ids are `u32` on the wire and dense by construction; saturation would alias ids, and admission bounds a run far below 2^32 attempts
         let task = self.attempts.len() as u32;
         self.attempts.push(AttemptRecord {
             query,
@@ -302,10 +306,13 @@ impl TaskStateStore {
     pub fn push_duplicate(&mut self, slot: u32, server: u32, kind: AttemptKind) -> u32 {
         debug_assert_ne!(kind, AttemptKind::Original, "duplicates are not originals");
         debug_assert!(
+            // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
             !self.slots[slot as usize].resolved,
             "cannot duplicate a resolved slot"
         );
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         let query = self.attempts[slot as usize].query;
+        // tg-lint: allow(lossy-cast) -- attempt ids are `u32` on the wire and dense by construction; saturation would alias ids, and admission bounds a run far below 2^32 attempts
         let task = self.attempts.len() as u32;
         self.attempts.push(AttemptRecord {
             query,
@@ -315,6 +322,7 @@ impl TaskStateStore {
         });
         self.states.push(AttemptState::Queued);
         self.slots.push(SlotRecord::placeholder());
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         let slot_state = &mut self.slots[slot as usize];
         slot_state.attempts += 1;
         slot_state.live += 1;
@@ -330,18 +338,21 @@ impl TaskStateStore {
     /// # Panics
     ///
     /// Debug-asserts the attempt is `Queued`.
+    /// `now` is virtual time (nanosecond domain).
     pub fn lease(&mut self, task: u32, now: SimTime) -> LeaseToken {
         debug_assert!(
+            // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
             matches!(self.states[task as usize], AttemptState::Queued),
             "only queued attempts can be leased"
         );
         let token = LeaseToken(self.next_token);
         self.next_token += 1;
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         self.states[task as usize] = AttemptState::Leased {
             token,
             expires_at: self.lease_ttl.map(|ttl| now + ttl),
         };
-        self.stats.queued -= 1;
+        self.stats.queued = self.stats.queued.saturating_sub(1);
         self.stats.leased += 1;
         self.stats.leases_issued += 1;
         token
@@ -353,12 +364,14 @@ impl TaskStateStore {
     ///
     /// Debug-asserts the attempt is `Leased`.
     pub fn mark_running(&mut self, task: u32) {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         let AttemptState::Leased { token, expires_at } = self.states[task as usize] else {
             debug_assert!(false, "only leased attempts can start running");
             return;
         };
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         self.states[task as usize] = AttemptState::Running { token, expires_at };
-        self.stats.leased -= 1;
+        self.stats.leased = self.stats.leased.saturating_sub(1);
         self.stats.running += 1;
     }
 
@@ -370,16 +383,19 @@ impl TaskStateStore {
     /// superseded, or terminal under a different token →
     /// [`CommitOutcome::Stale`].
     pub fn commit(&mut self, task: u32, token: LeaseToken) -> CommitOutcome {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         match self.states[task as usize] {
             AttemptState::Running { token: t, .. } if t == token => {
+                // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
                 self.states[task as usize] = AttemptState::Completed { token };
-                self.stats.running -= 1;
+                self.stats.running = self.stats.running.saturating_sub(1);
                 self.stats.completed += 1;
                 CommitOutcome::Committed
             }
             AttemptState::Leased { token: t, .. } if t == token => {
+                // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
                 self.states[task as usize] = AttemptState::Completed { token };
-                self.stats.leased -= 1;
+                self.stats.leased = self.stats.leased.saturating_sub(1);
                 self.stats.completed += 1;
                 CommitOutcome::Committed
             }
@@ -404,16 +420,19 @@ impl TaskStateStore {
     /// `token`. Same fencing rules as [`TaskStateStore::commit`], with
     /// `Failed` as the terminal state.
     pub fn fail(&mut self, task: u32, token: LeaseToken) -> CommitOutcome {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         match self.states[task as usize] {
             AttemptState::Running { token: t, .. } if t == token => {
+                // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
                 self.states[task as usize] = AttemptState::Failed { token };
-                self.stats.running -= 1;
+                self.stats.running = self.stats.running.saturating_sub(1);
                 self.stats.failed += 1;
                 CommitOutcome::Committed
             }
             AttemptState::Leased { token: t, .. } if t == token => {
+                // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
                 self.states[task as usize] = AttemptState::Failed { token };
-                self.stats.leased -= 1;
+                self.stats.leased = self.stats.leased.saturating_sub(1);
                 self.stats.failed += 1;
                 CommitOutcome::Committed
             }
@@ -442,13 +461,15 @@ impl TaskStateStore {
     /// Debug-asserts the attempt is `Queued`.
     pub fn cancel(&mut self, task: u32) {
         debug_assert!(
+            // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
             matches!(self.states[task as usize], AttemptState::Queued),
             "only queued attempts are cancelled at dequeue"
         );
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         self.states[task as usize] = AttemptState::Failed {
             token: LeaseToken::NONE,
         };
-        self.stats.queued -= 1;
+        self.stats.queued = self.stats.queued.saturating_sub(1);
         self.stats.failed += 1;
     }
 
@@ -458,7 +479,9 @@ impl TaskStateStore {
     /// the reclaim is counted. Returns `false` — a fenced no-op — when the
     /// attempt already committed, failed, or was re-leased under a newer
     /// token.
+    /// `now` is virtual time (nanosecond domain).
     pub fn reclaim_expired(&mut self, task: u32, token: LeaseToken, now: SimTime) -> bool {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         let (t, expires_at) = match self.states[task as usize] {
             AttemptState::Running { token, expires_at }
             | AttemptState::Leased { token, expires_at } => (token, expires_at),
@@ -475,10 +498,14 @@ impl TaskStateStore {
         if now < expires_at {
             return false;
         }
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         match self.states[task as usize] {
-            AttemptState::Running { .. } => self.stats.running -= 1,
-            _ => self.stats.leased -= 1,
+            AttemptState::Running { .. } => {
+                self.stats.running = self.stats.running.saturating_sub(1)
+            }
+            _ => self.stats.leased = self.stats.leased.saturating_sub(1),
         }
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         self.states[task as usize] = AttemptState::Queued;
         self.stats.queued += 1;
         self.stats.reclaims += 1;
@@ -488,6 +515,7 @@ impl TaskStateStore {
     /// When the current lease of `task` expires, if it holds one with a
     /// TTL — the driver schedules its reclaim check here.
     pub fn lease_expiry(&self, task: u32) -> Option<SimTime> {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         match self.states[task as usize] {
             AttemptState::Leased { expires_at, .. } | AttemptState::Running { expires_at, .. } => {
                 expires_at
@@ -500,6 +528,7 @@ impl TaskStateStore {
 
     /// The token of the attempt's current lease, if it holds one.
     pub fn current_token(&self, task: u32) -> Option<LeaseToken> {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         match self.states[task as usize] {
             AttemptState::Leased { token, .. } | AttemptState::Running { token, .. } => Some(token),
             AttemptState::Queued | AttemptState::Completed { .. } | AttemptState::Failed { .. } => {
@@ -510,21 +539,25 @@ impl TaskStateStore {
 
     /// The attempt's current lifecycle state.
     pub fn state(&self, task: u32) -> AttemptState {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         self.states[task as usize]
     }
 
     /// The attempt's immutable identity (query, server, slot, kind).
     pub fn attempt(&self, task: u32) -> &AttemptRecord {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         &self.attempts[task as usize]
     }
 
     /// The slot record at `slot` (placeholder for hedge/retry ids).
     pub fn slot(&self, slot: u32) -> &SlotRecord {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         &self.slots[slot as usize]
     }
 
     /// Mutable slot record (the scheduling core resolves slots here).
     pub fn slot_mut(&mut self, slot: u32) -> &mut SlotRecord {
+        // tg-lint: allow(panic-surface) -- dense id-indexed tables: `task`/`slot` ids are minted by this store's push_* methods and the tables grow in lockstep; a foreign id is a fencing bug where the documented panic is the designed failure mode
         &mut self.slots[slot as usize]
     }
 

@@ -1,0 +1,8 @@
+//! Fixture: a justified hot-region allocation exemption (must NOT flag).
+
+// tg-lint: hot(setup)
+fn warm(cap: usize) -> Vec<u64> {
+    // tg-lint: allow(hot-alloc) -- fixture: one-time warm-up allocation, not steady-state
+    Vec::with_capacity(cap)
+}
+// tg-lint: endhot

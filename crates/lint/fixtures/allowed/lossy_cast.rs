@@ -1,0 +1,6 @@
+//! Fixture: a justified narrowing-cast exemption (must NOT flag).
+
+fn low_bits(word: u64) -> u32 {
+    // tg-lint: allow(lossy-cast) -- fixture: keeping only the low 32 bits is the point
+    word as u32
+}

@@ -1,0 +1,6 @@
+//! Fixture: a justified unsigned-subtraction exemption (must NOT flag).
+
+fn width(lo: u64, hi: u64) -> u64 {
+    // tg-lint: allow(panic-surface) -- fixture: caller contract guarantees `hi >= lo`
+    hi - lo
+}

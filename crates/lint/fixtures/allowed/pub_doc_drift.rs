@@ -1,0 +1,7 @@
+//! Fixture: a justified doc-drift exemption (must NOT flag).
+
+/// Cancels the pending probe.
+// tg-lint: allow(pub-doc-drift) -- fixture: the unit is documented once on the type's module
+pub fn cancel_probe(at: SimTime) {
+    let _ = at;
+}

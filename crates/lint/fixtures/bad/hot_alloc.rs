@@ -1,0 +1,8 @@
+//! Fixture: an allocation inside a declared hot region (one flag).
+
+// tg-lint: hot(encode)
+fn encode(v: u64) -> u64 {
+    let staged = format!("{v}");
+    staged.len() as u64
+}
+// tg-lint: endhot

@@ -1,0 +1,5 @@
+//! Fixture: a narrowing integer cast on a typed value (one flag).
+
+fn narrow(ns: u64) -> u32 {
+    ns as u32
+}

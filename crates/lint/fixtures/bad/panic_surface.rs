@@ -1,0 +1,14 @@
+//! Fixture: computed indexing, division by a non-literal, and unsigned
+//! subtraction (three flags).
+
+fn head(slots: &[u64], i: usize) -> u64 {
+    slots[i]
+}
+
+fn per_slot(total: u64, slots: u64) -> u64 {
+    total / slots
+}
+
+fn remaining(budget: u64, spent: u64) -> u64 {
+    budget - spent
+}

@@ -1,0 +1,7 @@
+//! Fixture: a pub fn with a time-typed param whose doc never states the
+//! unit (one flag).
+
+/// Schedules the next probe.
+pub fn schedule_probe(at: SimTime) {
+    let _ = at;
+}

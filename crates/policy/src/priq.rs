@@ -55,7 +55,7 @@ impl TaskQueue for PriqQueue {
             entry.remove();
         }
         if task.is_some() {
-            self.len -= 1;
+            self.len = self.len.saturating_sub(1);
         }
         task
     }

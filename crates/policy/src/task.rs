@@ -45,6 +45,7 @@ pub struct QueuedTask {
 
 impl QueuedTask {
     /// Creates a queue entry.
+    /// `deadline` is virtual time (nanosecond domain).
     pub fn new(task_id: u64, class: ServiceClass, deadline: SimTime, enqueued_at: SimTime) -> Self {
         QueuedTask {
             task_id,
@@ -57,6 +58,7 @@ impl QueuedTask {
 
     /// Attaches a service-demand estimate (builder-style), for size-aware
     /// disciplines.
+    /// `size_hint` is a virtual-time duration (nanosecond domain).
     pub fn with_size_hint(mut self, size_hint: SimDuration) -> Self {
         self.size_hint = size_hint;
         self

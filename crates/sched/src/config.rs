@@ -36,6 +36,7 @@ impl ClassSpec {
     /// # Panics
     ///
     /// Panics unless `percentile ∈ (0, 1)` and the SLO is positive.
+    /// `slo` is a virtual-time duration (nanosecond domain).
     pub fn new(slo: SimDuration, percentile: f64) -> Self {
         assert!(
             percentile > 0.0 && percentile < 1.0,
@@ -46,6 +47,7 @@ impl ClassSpec {
     }
 
     /// A 99th-percentile SLO — the paper's standard setting.
+    /// `slo` is a virtual-time duration (nanosecond domain).
     pub fn p99(slo: SimDuration) -> Self {
         ClassSpec::new(slo, 0.99)
     }
@@ -118,6 +120,7 @@ impl ClusterSpec {
         if self.service.len() == 1 {
             &self.service[0]
         } else {
+            // tg-lint: allow(panic-surface) -- asserted `i < servers` above; `service` holds 1 or `servers` entries by construction
             &self.service[i]
         }
     }
@@ -185,6 +188,7 @@ impl AdmissionConfig {
     ///
     /// Panics unless the window is positive and the threshold lies in
     /// `(0, 1)`.
+    /// `window` is a virtual-time duration (nanosecond domain).
     pub fn new(window: SimDuration, threshold: f64) -> Self {
         assert!(!window.is_zero(), "window must be positive");
         assert!(

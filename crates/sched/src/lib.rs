@@ -27,6 +27,7 @@ mod handler;
 mod health;
 mod mitigation;
 mod trace;
+pub mod units;
 
 pub use config::{AdmissionConfig, ClassSpec, ClusterSpec};
 pub use estimator::{AdaptiveWindow, DeadlineEstimator, EstimatorMode};

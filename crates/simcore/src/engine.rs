@@ -99,6 +99,7 @@ impl<S: Simulation> Engine<S> {
 
     /// Processes a single event, if one is pending. Returns `false` when the
     /// event list is empty.
+    // tg-lint: hot(event-loop)
     pub fn step(&mut self) -> bool {
         match self.scheduler.pop() {
             Some(scheduled) => {
@@ -117,6 +118,7 @@ impl<S: Simulation> Engine<S> {
             None => false,
         }
     }
+    // tg-lint: endhot
 
     /// Runs until the event list drains or the simulation requests a stop.
     pub fn run_to_completion(&mut self) -> RunOutcome {

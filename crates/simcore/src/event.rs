@@ -32,6 +32,7 @@ impl<E> Scheduled<E> {
 
     /// When the event fires.
     pub fn at(&self) -> SimTime {
+        // tg-lint: allow(lossy-cast) -- exact: the upper half of the packed (time, seq) u128 key — `>> 64` bounds it below 2^64
         SimTime::from_nanos((self.key >> 64) as u64)
     }
 }
@@ -111,6 +112,7 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedules `event` to fire at absolute instant `at`.
+    /// `at` is virtual time (nanosecond domain).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
@@ -119,6 +121,7 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedules `event` to fire `delay` after `now`.
+    /// `now` is virtual time (nanosecond domain).
     pub fn schedule_in(&mut self, now: SimTime, delay: SimDuration, event: E) {
         self.schedule_at(now + delay, event);
     }

@@ -105,6 +105,7 @@ impl SimTime {
 
     /// The elapsed duration since `earlier`, saturating to zero if `earlier`
     /// is in fact later than `self`.
+    /// `earlier` is virtual time (nanosecond domain).
     #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
@@ -188,6 +189,7 @@ impl SimDuration {
     }
 
     /// Saturating subtraction.
+    /// `rhs` is a virtual-time duration (nanosecond domain).
     #[inline]
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
@@ -221,6 +223,7 @@ fn millis_f64_to_nanos(millis: f64) -> u64 {
     if nanos >= u64::MAX as f64 {
         u64::MAX
     } else {
+        // tg-lint: allow(lossy-cast) -- guarded: the branches above establish 0 < nanos < 2^64
         nanos.round() as u64
     }
 }
@@ -301,6 +304,7 @@ impl Div<u64> for SimDuration {
     /// Panics when `rhs` is zero.
     #[inline]
     fn div(self, rhs: u64) -> SimDuration {
+        // tg-lint: allow(panic-surface) -- operator contract mirrors u64 `/` (documented); a zero divisor is a caller bug surfaced loudly
         SimDuration(self.0 / rhs)
     }
 }

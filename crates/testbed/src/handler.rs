@@ -15,6 +15,7 @@ use std::future::Future;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_obs::{BinaryRecorder, SharedRegistry, SloConfig, SloMonitor};
 use tailguard_policy::Policy;
+use tailguard_sched::units;
 use tailguard_sched::{
     AdmissionConfig, AdmitDecision, AttemptKind, ClassSpec, CommitOutcome, DeadlineEstimator,
     DispatchedTask, HealthConfig, HealthStats, LeaseToken, LifecycleStats, MitigationConfig,
@@ -151,8 +152,9 @@ pub(crate) async fn query_handler(
     // already reclaimed) are no-ops when due — the core rejects them.
     let mut lease_heap: BinaryHeap<Reverse<(Instant, u32, u64)>> = BinaryHeap::new();
 
-    let to_sim =
-        |i: Instant| -> SimTime { SimTime::from_nanos(i.duration_since(epoch).as_nanos() as u64) };
+    let to_sim = |i: Instant| -> SimTime {
+        SimTime::from_nanos(units::sat_u128_to_u64(i.duration_since(epoch).as_nanos()))
+    };
 
     loop {
         {
@@ -214,12 +216,12 @@ pub(crate) async fn query_handler(
                 let node = result.node as usize;
                 let task = result.task_id as u32;
                 let now = Instant::now();
-                let post_queuing = SimDuration::from_nanos(
+                let post_queuing = SimDuration::from_nanos(units::sat_u128_to_u64(
                     now.duration_since(
                         dispatched_at[task as usize].expect("result implies dispatch"),
                     )
-                    .as_nanos() as u64,
-                );
+                    .as_nanos(),
+                ));
                 // Commit under the result's fencing token FIRST: busy
                 // accounting, estimator updates (§III.B.2), work
                 // conservation, and aggregation happen in the core only
@@ -420,7 +422,7 @@ pub(crate) async fn query_handler(
         }
     }
 
-    let elapsed = SimDuration::from_nanos(epoch.elapsed().as_nanos() as u64);
+    let elapsed = SimDuration::from_nanos(units::sat_u128_to_u64(epoch.elapsed().as_nanos()));
     if let Some(reg) = &cfg.registry {
         sample_registry(reg, &core, SimTime::from_nanos(elapsed.as_nanos()));
     }

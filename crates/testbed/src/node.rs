@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use tailguard_dist::DynDistribution;
 use tailguard_faults::FaultPlan;
+use tailguard_sched::units;
 use tailguard_simcore::{SimDuration, SimRng, SimTime};
 use tokio::sync::mpsc;
 use tokio::time::Instant;
@@ -126,7 +127,9 @@ pub(crate) async fn edge_node(
     while let Some(task) = tasks.recv().await {
         let fault_now = || -> Option<SimTime> {
             let epoch = fault_epoch.get()?;
-            Some(SimTime::from_nanos(epoch.elapsed().as_nanos() as u64))
+            Some(SimTime::from_nanos(units::sat_u128_to_u64(
+                epoch.elapsed().as_nanos(),
+            )))
         };
         // A pathological service distribution can panic; treat that like
         // any other worker fault so the node survives.
@@ -180,11 +183,11 @@ pub(crate) async fn edge_node(
         // Stochastic rounding to whole milliseconds keeps the mean exact:
         // 2.3 ms sleeps 2 ms with p=0.7 and 3 ms with p=0.3.
         let floor = service_ms.floor();
-        let quantized_ms = if rng.f64() < service_ms - floor {
+        let quantized_ms = units::trunc_f64_to_u64(if rng.f64() < service_ms - floor {
             floor + 1.0
         } else {
             floor
-        } as u64;
+        });
         // tokio wakes at the first wheel tick *strictly after* now + d, so
         // an aligned n-ms target needs sleep(n-1 ms); sleep(0) itself
         // consumes exactly one 1-ms tick (verified by testbed tests).

@@ -12,6 +12,7 @@ use tailguard_faults::FaultPlan;
 use tailguard_metrics::LatencyReservoir;
 use tailguard_obs::SharedRegistry;
 use tailguard_policy::Policy;
+use tailguard_sched::units;
 use tailguard_sched::{
     AdaptiveWindow, HealthConfig, HealthStats, LifecycleStats, MitigationConfig, RobustnessStats,
 };
@@ -313,7 +314,7 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
             debug_assert_eq!(r.node as usize, node);
             estimator.record_post_queuing(
                 node,
-                SimDuration::from_nanos(sent.elapsed().as_nanos() as u64),
+                SimDuration::from_nanos(units::sat_u128_to_u64(sent.elapsed().as_nanos())),
             );
         }
     }
@@ -335,7 +336,9 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
         for req in input.requests {
             let spec = &req.queries[0];
             let at = epoch
-                + std::time::Duration::from_nanos((req.arrival.as_nanos() as f64 / scale) as u64);
+                + std::time::Duration::from_nanos(units::sat_f64_to_u64(
+                    req.arrival.as_nanos() as f64 / scale,
+                ));
             tokio::time::sleep_until(at).await;
             let servers = spec
                 .servers
@@ -384,7 +387,7 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
             // into the wall domain the handler's timers run in.
             lease_ttl: config
                 .lease_ttl
-                .map(|ttl| SimDuration::from_millis_f64(ttl.as_millis_f64() / scale)),
+                .map(|ttl| SimDuration::from_nanos(units::scale_ns(ttl.as_nanos(), scale.recip()))),
             registry: config.registry.clone(),
         },
         estimator,
@@ -399,7 +402,7 @@ async fn run_async(config: &TestbedConfig) -> TestbedReport {
     let unscale = |r: &mut LatencyReservoir| -> LatencyReservoir {
         r.sorted_samples()
             .iter()
-            .map(|&ns| SimDuration::from_nanos((ns as f64 * scale) as u64))
+            .map(|&ns| SimDuration::from_nanos(units::scale_ns(ns, scale)))
             .collect()
     };
     let mut latency_by_class = BTreeMap::new();
@@ -838,5 +841,29 @@ mod tests {
         let mut cfg = quick(Policy::Fifo, 0.2, 1);
         cfg.queries = 0;
         let _ = run_testbed(&cfg);
+    }
+
+    #[test]
+    fn pi_to_wall_scaling_clamps_near_u64_max() {
+        // The exact conversions the runner/handler use for Pi→wall
+        // compression and wall→Pi reporting, pinned at the end of the u64
+        // nanosecond domain: a pathological virtual time must clamp, never
+        // wrap into a short (or zero) wall delay.
+        let scale = 25.0_f64;
+        for t in [u64::MAX, u64::MAX - 1, u64::MAX - 3] {
+            // Compression divides by `scale`; the result stays enormous
+            // and ordered, not wrapped to ~0.
+            let wall = units::sat_f64_to_u64(t as f64 / scale);
+            assert!(wall > u64::MAX / 26, "compressed {t} collapsed to {wall}");
+            // Un-scaling a near-max wall sample back into Pi time
+            // saturates at u64::MAX instead of wrapping.
+            assert_eq!(units::scale_ns(t, scale), u64::MAX);
+            // TTL compression keeps a finite positive duration.
+            let ttl = SimDuration::from_nanos(units::scale_ns(t, scale.recip()));
+            assert!(ttl.as_nanos() > 0);
+        }
+        // Wall durations longer than the u64 ns domain (u128 from
+        // std::time) clamp on entry instead of truncating high bits.
+        assert_eq!(units::sat_u128_to_u64(u128::from(u64::MAX) + 7), u64::MAX);
     }
 }

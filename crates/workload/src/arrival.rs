@@ -52,6 +52,7 @@ impl ArrivalProcess {
     /// # Panics
     ///
     /// Panics unless the rate is finite and positive.
+    /// `rate_per_ms` is in milliseconds of virtual time.
     pub fn poisson(rate_per_ms: f64) -> Self {
         assert!(
             rate_per_ms.is_finite() && rate_per_ms > 0.0,
@@ -66,6 +67,7 @@ impl ArrivalProcess {
     /// # Panics
     ///
     /// Panics unless the rate is finite and positive.
+    /// `rate_per_ms` is in milliseconds of virtual time.
     pub fn pareto(rate_per_ms: f64) -> Self {
         Self::pareto_with_shape(rate_per_ms, Self::DEFAULT_PARETO_SHAPE)
     }
@@ -98,6 +100,7 @@ impl ArrivalProcess {
     /// # Panics
     ///
     /// Panics unless the new rate is finite and positive.
+    /// `rate_per_ms` is in milliseconds of virtual time.
     pub fn with_rate(&self, rate_per_ms: f64) -> Self {
         match self {
             ArrivalProcess::Poisson { .. } => ArrivalProcess::poisson(rate_per_ms),

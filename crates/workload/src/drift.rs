@@ -123,6 +123,7 @@ impl DriftPlan {
 
     /// The arrival-rate multiplier at `now` — the product of every
     /// diurnal and flash-crowd component (1.0 for an empty plan).
+    /// `now` is virtual time (nanosecond domain).
     pub fn rate_factor(&self, now: SimTime) -> f64 {
         self.components.iter().fold(1.0, |acc, c| match c {
             DriftKind::Diurnal { period, amplitude } => {
@@ -144,6 +145,7 @@ impl DriftPlan {
     /// mix-shift component whose window has started decides between its
     /// target mix (with probability equal to its progress) and `base`;
     /// without one, this is exactly `base.sample(rng)`.
+    /// `now` is virtual time (nanosecond domain).
     pub fn sample_mix(&self, base: &QueryMix, now: SimTime, rng: &mut SimRng) -> (u8, u32) {
         for c in self.components.iter().rev() {
             if let DriftKind::MixShift { start, end, to } = c {

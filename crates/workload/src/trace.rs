@@ -115,7 +115,9 @@ impl QueryMix {
         let idx = self
             .cumulative
             .partition_point(|&c| c <= u)
+            // tg-lint: allow(panic-surface) -- guarded: records are validated sorted by arrival and the branch above requires len >= 2
             .min(self.classes.len() - 1);
+        // tg-lint: allow(panic-surface) -- guarded: records are validated sorted by arrival and the branch above requires len >= 2
         let share = &self.classes[idx];
         (share.class, share.fanout.sample(rng))
     }
@@ -395,10 +397,12 @@ impl Trace {
         }
         let rate = if records.len() >= 2 {
             // tg-lint: allow(unwrap-in-lib) -- guarded by the len() >= 2 branch above
+            // tg-lint: allow(panic-surface) -- guarded: records are validated sorted by arrival and the branch above requires len >= 2
             let span_ms = (records.last().expect("non-empty").arrival_ns - records[0].arrival_ns)
                 as f64
                 / 1e6;
             if span_ms > 0.0 {
+                // tg-lint: allow(panic-surface) -- guarded: records are validated sorted by arrival and the branch above requires len >= 2
                 (records.len() - 1) as f64 / span_ms
             } else {
                 1.0
